@@ -1,0 +1,125 @@
+//! Shared accounting for end-to-end comparisons.
+
+use picachu_llm::trace::TraceOp;
+use picachu_llm::ModelConfig;
+use picachu_nonlinear::NonlinearOp;
+use std::fmt;
+
+/// End-to-end latency decomposition (the quantity behind Figs. 1, 8, 9b).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Breakdown {
+    /// Cycles (or ns) spent in GEMMs.
+    pub gemm: f64,
+    /// Cycles spent in nonlinear operations.
+    pub nonlinear: f64,
+    /// Exposed (un-overlapped) data-movement cycles.
+    pub data_movement: f64,
+}
+
+impl Breakdown {
+    /// Total latency.
+    pub fn total(&self) -> f64 {
+        self.gemm + self.nonlinear + self.data_movement
+    }
+
+    /// Fraction of total time in nonlinear operations.
+    pub fn nonlinear_share(&self) -> f64 {
+        if self.total() == 0.0 {
+            0.0
+        } else {
+            self.nonlinear / self.total()
+        }
+    }
+
+    /// Component-wise sum.
+    pub fn add(&self, other: Breakdown) -> Breakdown {
+        Breakdown {
+            gemm: self.gemm + other.gemm,
+            nonlinear: self.nonlinear + other.nonlinear,
+            data_movement: self.data_movement + other.data_movement,
+        }
+    }
+}
+
+impl fmt::Display for Breakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "total {:.3e} (gemm {:.1}%, nonlinear {:.1}%, data {:.1}%)",
+            self.total(),
+            100.0 * self.gemm / self.total().max(1e-12),
+            100.0 * self.nonlinear / self.total().max(1e-12),
+            100.0 * self.data_movement / self.total().max(1e-12),
+        )
+    }
+}
+
+/// A device that can execute nonlinear operations: the common interface the
+/// trace evaluators use. Returns cycles for `rows` channels of `channel`
+/// elements.
+pub trait NonlinearExecutor {
+    /// Device name for tables/figures.
+    fn name(&self) -> &'static str;
+
+    /// Cycles to execute the operation.
+    fn nonlinear_cycles(&self, op: NonlinearOp, rows: usize, channel: usize) -> f64;
+
+    /// Exposed data-movement cycles for the operation (0 for devices that
+    /// overlap transfers).
+    fn data_movement_cycles(&self, op: NonlinearOp, rows: usize, channel: usize) -> f64;
+}
+
+/// Executes a full trace on a device whose GEMMs run on the shared systolic
+/// model and whose nonlinear ops run on `exec` — the common harness for the
+/// CPU and Gemmini comparisons (Fig. 8a), which share PICACHU's systolic
+/// array but differ in the nonlinear path.
+pub fn execute_trace_with(
+    exec: &dyn NonlinearExecutor,
+    systolic: &picachu_systolic::SystolicArray,
+    trace: &[TraceOp],
+) -> Breakdown {
+    let mut b = Breakdown::default();
+    for op in trace {
+        match *op {
+            TraceOp::Gemm { m, k, n, count } => {
+                b.gemm += (systolic.gemm_cycles(m, k, n) * count as u64) as f64;
+            }
+            TraceOp::Nonlinear { op, rows, channel } => {
+                b.nonlinear += exec.nonlinear_cycles(op, rows, channel);
+                b.data_movement += exec.data_movement_cycles(op, rows, channel);
+            }
+        }
+    }
+    b
+}
+
+/// Convenience: evaluate a model end to end at a sequence length.
+pub fn evaluate_model(
+    exec: &dyn NonlinearExecutor,
+    systolic: &picachu_systolic::SystolicArray,
+    cfg: &ModelConfig,
+    seq: usize,
+) -> Breakdown {
+    execute_trace_with(exec, systolic, &picachu_llm::model_trace(cfg, seq))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_accounting() {
+        let b = Breakdown { gemm: 60.0, nonlinear: 30.0, data_movement: 10.0 };
+        assert_eq!(b.total(), 100.0);
+        assert!((b.nonlinear_share() - 0.3).abs() < 1e-12);
+        let s = b.add(b);
+        assert_eq!(s.total(), 200.0);
+    }
+
+    #[test]
+    fn empty_breakdown_safe() {
+        let b = Breakdown::default();
+        assert_eq!(b.total(), 0.0);
+        assert_eq!(b.nonlinear_share(), 0.0);
+    }
+}

@@ -1,0 +1,51 @@
+//! Ablation — heterogeneous tiles vs. an all-universal fabric
+//! (DESIGN.md §5.2).
+//!
+//! A fabric where *every* tile carries every FU maps at least as well as the
+//! heterogeneous PICACHU mix — but costs more area and power. This ablation
+//! quantifies the trade the paper's §4.2.1 makes: per-kernel II on both
+//! fabrics, plus performance-per-area with the calibrated cost model.
+
+use picachu_bench::{banner, geomean};
+use picachu_cgra::cost::CostModel;
+use picachu_compiler::arch::CgraSpec;
+use picachu_compiler::mapper::map_dfg;
+use picachu_compiler::transform::fuse_patterns;
+use picachu_ir::kernels::kernel_library;
+
+fn main() {
+    banner("Ablation", "heterogeneous BaT/BrT/CoT mix vs all-universal tiles");
+    let hetero = CgraSpec::picachu(4, 4);
+    let uni = CgraSpec::universal(4, 4);
+    let cost = CostModel::default();
+    let hetero_cost = cost.cgra_cost(&hetero, 0.7);
+    let uni_cost = cost.cgra_cost(&uni, 0.7);
+
+    println!("{:<16} {:>12} {:>12}", "kernel", "hetero II", "universal II");
+    let mut h_ii = Vec::new();
+    let mut u_ii = Vec::new();
+    for k in kernel_library(4) {
+        for l in &k.loops {
+            let fused = fuse_patterns(&l.dfg);
+            let h = map_dfg(&fused, &hetero, 3).expect("hetero maps");
+            let u = map_dfg(&fused, &uni, 3).expect("universal maps");
+            h_ii.push(h.ii as f64);
+            u_ii.push(u.ii as f64);
+            println!("{:<16} {:>12} {:>12}", l.label, h.ii, u.ii);
+        }
+    }
+    let perf_ratio = geomean(&h_ii) / geomean(&u_ii); // >1 = universal faster
+    println!(
+        "\nuniversal fabric: {:.2}x faster (geomean II), but {:.2}x area ({:.2} vs {:.2} mm2)",
+        perf_ratio,
+        uni_cost.area_mm2 / hetero_cost.area_mm2,
+        uni_cost.area_mm2,
+        hetero_cost.area_mm2
+    );
+    let ppa_hetero = 1.0 / (geomean(&h_ii) * hetero_cost.area_mm2);
+    let ppa_uni = 1.0 / (geomean(&u_ii) * uni_cost.area_mm2);
+    println!(
+        "performance-per-area: heterogeneous {:.2}x of universal — the §4.2.1 trade",
+        ppa_hetero / ppa_uni
+    );
+}

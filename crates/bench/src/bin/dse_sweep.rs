@@ -1,0 +1,26 @@
+//! Design-space exploration (§5.3.5's closing suggestion, §2.2's DSE
+//! tradition): sweep fabric geometry × buffer size × format for a target
+//! model and print the Pareto frontier of (latency, area) design points.
+
+use picachu::dse::{explore, pareto_frontier, DseSweep};
+use picachu_bench::banner;
+use picachu_llm::ModelConfig;
+
+fn main() {
+    banner("DSE", "PICACHU design-space exploration (seq 512)");
+    for model in [ModelConfig::gpt2_xl(), ModelConfig::llama2_7b()] {
+        let points = explore(&model, &DseSweep::default());
+        println!("\n{}: {} design points; Pareto frontier:", model.name, points.len());
+        println!("{:<44} {:>14} {:>10}", "design", "cycles", "mm2");
+        for p in pareto_frontier(&points) {
+            println!(
+                "{:<44} {:>14.3e} {:>10.2}",
+                format!("{}x{} CGRA, {:>2} KB, {}", p.cgra_rows, p.cgra_cols, p.buffer_kb, p.format),
+                p.latency,
+                p.area_mm2
+            );
+        }
+        let best = &points[0];
+        println!("best latency-area product: {best}");
+    }
+}

@@ -1,0 +1,83 @@
+//! Fig. 1 — runtime breakdown of LLM inference on an A100-class GPU.
+//!
+//! (a) GPT2-XL, OPT-6.7B, BigBird and LLaMA2-13B at sequence length 1024;
+//! (b) LLaMA2-7B across sequence lengths 128…2048. The paper's headline:
+//! nonlinear operations account for up to 46.3% of inference latency.
+
+use picachu_baselines::GpuModel;
+use picachu_bench::banner;
+use picachu_llm::trace::TraceOp;
+use picachu_llm::ModelConfig;
+use picachu_nonlinear::NonlinearOp;
+
+fn op_shares(gpu: &GpuModel, cfg: &ModelConfig, seq: usize) -> Vec<(String, f64)> {
+    let trace = picachu_llm::model_trace(cfg, seq);
+    let mut rows: Vec<(String, f64)> = Vec::new();
+    let mut add = |name: String, t: f64| {
+        if let Some(r) = rows.iter_mut().find(|r| r.0 == name) {
+            r.1 += t;
+        } else {
+            rows.push((name, t));
+        }
+    };
+    for op in &trace {
+        match *op {
+            TraceOp::Gemm { m, k, n, count } => {
+                add("GEMM".into(), gpu.gemm_seconds(m, k, n, count))
+            }
+            TraceOp::Nonlinear { op, rows: r, channel } => {
+                add(op.name().into(), gpu.nonlinear_seconds(op, r, channel))
+            }
+        }
+    }
+    let total: f64 = rows.iter().map(|r| r.1).sum();
+    rows.iter_mut().for_each(|r| r.1 /= total);
+    rows
+}
+
+fn main() {
+    let gpu = GpuModel::default();
+
+    banner("Fig. 1a", "runtime breakdown at sequence length 1024 (A100-class model)");
+    let models = [
+        ModelConfig::gpt2_xl(),
+        ModelConfig::opt_6_7b(),
+        ModelConfig::bigbird(),
+        ModelConfig::llama2_13b(),
+    ];
+    println!("{:<12} {:>8} {:>10} {:>10} {:>10} {:>8} {:>14}", "model", "GEMM", "softmax", "norm", "act", "rope", "nonlinear all");
+    for cfg in &models {
+        let shares = op_shares(&gpu, cfg, 1024);
+        let get = |n: &str| shares.iter().find(|r| r.0 == n).map_or(0.0, |r| r.1);
+        let norm = get("layernorm") + get("rmsnorm");
+        let act = get("gelu") + get("relu") + get("swiglu") + get("geglu") + get("silu");
+        let nl = 1.0 - get("GEMM");
+        println!(
+            "{:<12} {:>7.1}% {:>9.1}% {:>9.1}% {:>9.1}% {:>7.1}% {:>13.1}%",
+            cfg.name,
+            100.0 * get("GEMM"),
+            100.0 * get("softmax"),
+            100.0 * norm,
+            100.0 * act,
+            100.0 * get("rope"),
+            100.0 * nl
+        );
+    }
+
+    banner("Fig. 1b", "LLaMA2-7B breakdown across sequence lengths");
+    println!("{:<8} {:>8} {:>14}", "seq", "GEMM", "nonlinear all");
+    let cfg = ModelConfig::llama2_7b();
+    for seq in [128usize, 256, 512, 1024, 2048] {
+        let shares = op_shares(&gpu, &cfg, seq);
+        let gemm = shares.iter().find(|r| r.0 == "GEMM").map_or(0.0, |r| r.1);
+        println!("{:<8} {:>7.1}% {:>13.1}%", seq, 100.0 * gemm, 100.0 * (1.0 - gemm));
+    }
+
+    // the motivation check the intro quotes
+    let worst = models
+        .iter()
+        .map(|m| 1.0 - op_shares(&gpu, m, 1024).iter().find(|r| r.0 == "GEMM").unwrap().1)
+        .fold(0.0f64, f64::max);
+    println!("\nmax nonlinear share @1024 = {:.1}% (paper: up to 46.3%)", 100.0 * worst);
+    let _ = NonlinearOp::ALL; // keep the op list linked for docs
+}

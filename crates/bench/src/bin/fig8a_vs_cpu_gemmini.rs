@@ -1,0 +1,49 @@
+//! Fig. 8a — end-to-end speedup of Gemmini and PICACHU relative to the CPU
+//! configuration (systolic array for GEMM + host CPU for nonlinear ops).
+//!
+//! The paper's pattern: Gemmini stays close to PICACHU on GPT2-XL/OPT (its
+//! dedicated units cover their nonlinear mix) but falls behind on the LLaMA
+//! models, whose SwiGLU/RMSNorm/RoPE must run on its RISC-V core.
+
+use picachu::engine::{EngineConfig, PicachuEngine};
+use picachu_baselines::common::evaluate_model;
+use picachu_baselines::{CpuModel, GemminiModel};
+use picachu_bench::{banner, geomean};
+use picachu_llm::ModelConfig;
+use picachu_num::DataFormat;
+use picachu_systolic::SystolicArray;
+
+fn main() {
+    banner("Fig. 8a", "speedup over CPU configuration (seq 1024)");
+    let sys = SystolicArray::new(32, 32);
+    let cpu = CpuModel::default();
+    let gem = GemminiModel::default();
+    let mut engine = PicachuEngine::new(EngineConfig { format: DataFormat::Int16, ..EngineConfig::default() });
+
+    println!("{:<12} {:>10} {:>10}", "model", "Gemmini", "PICACHU");
+    let mut gem_speedups = Vec::new();
+    let mut pic_speedups = Vec::new();
+    for cfg in ModelConfig::evaluation_set() {
+        let t_cpu = evaluate_model(&cpu, &sys, &cfg, 1024).total();
+        let t_gem = evaluate_model(&gem, &sys, &cfg, 1024).total();
+        let t_pic = engine.execute_model(&cfg, 1024).total();
+        let sg = t_cpu / t_gem;
+        let sp = t_cpu / t_pic;
+        gem_speedups.push(sg);
+        pic_speedups.push(sp);
+        println!("{:<12} {:>9.2}x {:>9.2}x", cfg.name, sg, sp);
+    }
+    println!(
+        "\nPICACHU vs CPU (geomean): {:.2}x   (paper: 1.90x)",
+        geomean(&pic_speedups)
+    );
+    let vs_gemmini: Vec<f64> = pic_speedups
+        .iter()
+        .zip(&gem_speedups)
+        .map(|(p, g)| p / g)
+        .collect();
+    println!(
+        "PICACHU vs Gemmini (geomean): {:.2}x   (paper: 1.86x)",
+        geomean(&vs_gemmini)
+    );
+}

@@ -1,0 +1,78 @@
+//! Fig. 9a — end-to-end speedup and energy reduction of PICACHU relative to
+//! an A100, on the OPT and LLaMA families.
+//!
+//! Following the paper (which follows Tandem), PICACHU is scaled to match
+//! the A100's throughput: the 32×32-systolic + 4×4-CGRA unit is replicated
+//! N = 152 times (the ratio of the A100's 156 TMAC/s FP16 peak to one
+//! unit's 1.024 TMAC/s), splitting the batch/row dimension across units.
+
+use picachu::engine::{EngineConfig, PicachuEngine};
+use picachu_baselines::GpuModel;
+use picachu_bench::{banner, geomean};
+use picachu_cgra::cost::CostModel;
+use picachu_compiler::arch::CgraSpec;
+use picachu_llm::ModelConfig;
+use picachu_num::DataFormat;
+
+const UNITS: f64 = 152.0;
+
+fn main() {
+    banner("Fig. 9a", "speedup and energy reduction vs A100 (seq 1024)");
+    let gpu = GpuModel::default();
+    let cost = CostModel::default();
+
+    // scaled PICACHU power: 152 replicated units
+    let unit_power = cost.systolic_cost(32, 32, 0.8).power_mw
+        + cost.sram_cost(265.0).power_mw
+        + cost.cgra_cost(&CgraSpec::picachu(4, 4), 0.7).power_mw
+        + cost.glue_cost().power_mw;
+    let power_mw = unit_power * UNITS;
+
+    println!(
+        "{:<12} {:>10} {:>10} {:>12} {:>14}",
+        "model", "A100 (s)", "ours (s)", "speedup", "energy gain"
+    );
+    let mut opt_speed = Vec::new();
+    let mut llama_speed = Vec::new();
+    let models = [
+        ModelConfig::opt_6_7b(),
+        ModelConfig::opt_13b(),
+        ModelConfig::llama_7b(),
+        ModelConfig::llama_13b(),
+        ModelConfig::llama2_7b(),
+        ModelConfig::llama2_13b(),
+    ];
+    for cfg in models {
+        let (g, n) = gpu.execute_trace(&picachu_llm::model_trace(&cfg, 1024));
+        let t_gpu = g + n;
+        let e_gpu = gpu.energy_j(g, n);
+
+        let mut e = PicachuEngine::new(EngineConfig {
+            format: DataFormat::Int16,
+            ..EngineConfig::default()
+        });
+        let b = e.execute_model(&cfg, 1024);
+        let t_pic = b.total() / UNITS * 1e-9;
+        let e_pic = t_pic * power_mw * 1e-3; // W x s
+
+        let s = t_gpu / t_pic;
+        if cfg.name.starts_with("OPT") {
+            opt_speed.push(s);
+        } else {
+            llama_speed.push(s);
+        }
+        println!(
+            "{:<12} {:>10.4} {:>10.4} {:>11.2}x {:>13.1}x",
+            cfg.name,
+            t_gpu,
+            t_pic,
+            s,
+            e_gpu / e_pic
+        );
+    }
+    println!(
+        "\nOPT average {:.2}x, LLaMA average {:.2}x   (paper: 2.80x and 3.36x)",
+        geomean(&opt_speed),
+        geomean(&llama_speed)
+    );
+}

@@ -1,0 +1,39 @@
+//! Fig. 9b — latency breakdown of PICACHU on the LLaMA 7B/13B models, with
+//! the A100 nonlinear share for comparison. The paper's result: the
+//! nonlinear share drops from 42.4%/44.4% on the GPU to 22.8%/20.5% on
+//! PICACHU (LLaMA2-7B/13B).
+
+use picachu::engine::{EngineConfig, PicachuEngine};
+use picachu_baselines::GpuModel;
+use picachu_bench::banner;
+use picachu_llm::ModelConfig;
+use picachu_num::DataFormat;
+
+fn main() {
+    banner("Fig. 9b", "PICACHU latency breakdown on LLaMA models (seq 1024)");
+    let gpu = GpuModel::default();
+    println!(
+        "{:<12} {:>10} {:>12} {:>10} {:>16}",
+        "model", "GEMM", "nonlinear", "data", "A100 nl share"
+    );
+    for cfg in [
+        ModelConfig::llama_7b(),
+        ModelConfig::llama_13b(),
+        ModelConfig::llama2_7b(),
+        ModelConfig::llama2_13b(),
+    ] {
+        let mut e = PicachuEngine::new(EngineConfig { format: DataFormat::Int16, ..EngineConfig::default() });
+        let b = e.execute_model(&cfg, 1024);
+        let t = b.total();
+        let gpu_share = gpu.nonlinear_share(&cfg, 1024);
+        println!(
+            "{:<12} {:>9.1}% {:>11.1}% {:>9.1}% {:>15.1}%",
+            cfg.name,
+            100.0 * b.gemm / t,
+            100.0 * b.nonlinear / t,
+            100.0 * b.data_movement / t,
+            100.0 * gpu_share
+        );
+    }
+    println!("\npaper shape: nonlinear share falls from ~42-44% (A100) to ~20-23% (PICACHU).");
+}

@@ -1,0 +1,49 @@
+//! Table 2 — perplexity of baseline integer approximation schemes on
+//! LLaMA-class models.
+//!
+//! **Substitution (DESIGN.md §1):** the paper runs LLaMA-7B/13B and
+//! LLaMA2-7B/13B checkpoints on Wikitext2. We run the identical code paths
+//! on (a) the self-contained LLaMA-like tiny LM (perplexity proxy) and (b)
+//! per-kernel error sweeps over LLaMA-scale activation distributions, which
+//! show the I-BERT collapse quantitatively. The paper's 1e4-scale PPL
+//! explosions require 32-layer compounding a toy model cannot reach; the
+//! *ordering* (FP16 ≈ ours ≪ I-BERT, gemmlowp in between on kernels) is
+//! reproduced.
+
+use picachu_bench::banner;
+use picachu_llm::tinylm::{TinyLm, TinyLmConfig, TinyVariant};
+use picachu_nonlinear::accuracy::{Distribution, Scheme};
+use picachu_nonlinear::kernels::activation::gelu_phi_ref;
+use picachu_num::ErrorStats;
+
+fn main() {
+    banner("Table 2 (proxy)", "baseline scheme perplexity on LLaMA-like models");
+    println!("{:<14} {:>12} {:>12}", "method", "tiny-GPT2", "tiny-LLaMA");
+    let gpt2 = TinyLm::new(TinyLmConfig::with_variant(TinyVariant::Gpt2Like), 42);
+    let llama = TinyLm::new(TinyLmConfig::with_variant(TinyVariant::LlamaLike), 42);
+    let corpus_g = gpt2.generate_corpus(8, 11);
+    let corpus_l = llama.generate_corpus(8, 11);
+    for scheme in [Scheme::Fp16Reference, Scheme::IBert, Scheme::Gemmlowp, Scheme::PicachuFp16] {
+        println!(
+            "{:<14} {:>12.3} {:>12.3}",
+            scheme.name(),
+            gpt2.perplexity(&corpus_g, scheme),
+            llama.perplexity(&corpus_l, scheme)
+        );
+    }
+
+    banner(
+        "Table 2 (kernel level)",
+        "GeLU mean abs error on LLaMA-scale activations (wide range + outliers)",
+    );
+    let x = Distribution::LlamaWide.sample(16384, 7);
+    let reference: Vec<f64> = x.iter().map(|&v| gelu_phi_ref(v as f64)).collect();
+    println!("{:<14} {:>14} {:>14}", "method", "mean abs err", "max abs err");
+    for scheme in [Scheme::PicachuFp16, Scheme::PicachuInt16, Scheme::Gemmlowp, Scheme::IBert] {
+        let got: Vec<f64> = scheme.gelu(&x).iter().map(|&v| v as f64).collect();
+        let s = ErrorStats::compare(&got, &reference);
+        println!("{:<14} {:>14.3e} {:>14.3e}", scheme.name(), s.mean_abs, s.max_abs);
+    }
+    println!("\npaper shape: I-BERT collapses on LLaMA (PPL 1e4-scale), gemmlowp degrades");
+    println!("mildly, FP-faithful schemes match FP16. See EXPERIMENTS.md for deltas.");
+}

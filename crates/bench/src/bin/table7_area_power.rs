@@ -1,0 +1,58 @@
+//! Table 7 — area and power breakdown of PICACHU (32×32 systolic array +
+//! 4×4 CGRA + 40 KB Shared Buffer at 1 GHz, 45 nm-calibrated model), plus
+//! the §5.3.1 per-FU overhead percentages.
+
+use picachu_bench::banner;
+use picachu_cgra::cost::{CostModel, FU_OVERHEADS};
+use picachu_compiler::arch::CgraSpec;
+
+fn main() {
+    banner("Table 7", "power and area breakdown of PICACHU");
+    let m = CostModel::default();
+    let sram = m.sram_cost(265.0); // systolic input/weight/output SRAM + buffer
+    let mac = m.systolic_cost(32, 32, 0.8);
+    let cgra = m.cgra_cost(&CgraSpec::picachu(4, 4), 0.7);
+    let glue = m.glue_cost();
+    let total = sram.add(mac).add(cgra).add(glue);
+
+    println!(
+        "{:<22} {:>12} {:>12} {:>12} {:>12}",
+        "", "SRAM", "MAC", "4x4 CGRA", "Others"
+    );
+    println!(
+        "{:<22} {:>12.2} {:>12.2} {:>12.2} {:>12.2}",
+        "Area (mm2)", sram.area_mm2, mac.area_mm2, cgra.area_mm2, glue.area_mm2
+    );
+    println!(
+        "{:<22} {:>11.1}% {:>11.1}% {:>11.1}% {:>11.1}%",
+        "Area distribution",
+        100.0 * sram.area_mm2 / total.area_mm2,
+        100.0 * mac.area_mm2 / total.area_mm2,
+        100.0 * cgra.area_mm2 / total.area_mm2,
+        100.0 * glue.area_mm2 / total.area_mm2
+    );
+    println!(
+        "{:<22} {:>12.1} {:>12.1} {:>12.1} {:>12.1}",
+        "Power (mW)", sram.power_mw, mac.power_mw, cgra.power_mw, glue.power_mw
+    );
+    println!(
+        "{:<22} {:>11.1}% {:>11.1}% {:>11.1}% {:>11.1}%",
+        "Power distribution",
+        100.0 * sram.power_mw / total.power_mw,
+        100.0 * mac.power_mw / total.power_mw,
+        100.0 * cgra.power_mw / total.power_mw,
+        100.0 * glue.power_mw / total.power_mw
+    );
+
+    banner("§5.3.1", "FU overheads relative to a basic tile");
+    println!("{:<22} {:>10} {:>10}", "component", "area", "power");
+    for o in FU_OVERHEADS {
+        println!(
+            "{:<22} {:>9.1}% {:>9.1}%",
+            o.name,
+            100.0 * o.area_frac,
+            100.0 * o.power_frac
+        );
+    }
+    println!("\npaper: SRAM 77.6%/56.9%, MAC 6.2%/8.6%, CGRA 14.9%/34.2%, others 1.3%/0.3%");
+}

@@ -1,0 +1,54 @@
+//! # picachu-bench — experiment harness
+//!
+//! One binary per paper table/figure (see DESIGN.md §3 for the index) plus
+//! the Criterion microbenchmarks. This library holds the shared helpers.
+
+/// Prints an experiment banner.
+pub fn banner(id: &str, title: &str) {
+    println!("{}", "=".repeat(72));
+    println!("{id} — {title}");
+    println!("{}", "=".repeat(72));
+}
+
+/// Geometric mean of positive values.
+///
+/// # Panics
+/// Panics if `xs` is empty or contains non-positive values.
+pub fn geomean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "geomean needs data");
+    let s: f64 = xs
+        .iter()
+        .map(|&x| {
+            assert!(x > 0.0, "geomean needs positive values, got {x}");
+            x.ln()
+        })
+        .sum();
+    (s / xs.len() as f64).exp()
+}
+
+/// Formats a ratio as `N.NNx`.
+pub fn ratio(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_zero() {
+        geomean(&[0.0]);
+    }
+
+    #[test]
+    fn ratio_format() {
+        assert_eq!(ratio(1.857), "1.86x");
+    }
+}

@@ -1,0 +1,193 @@
+//! Configuration-memory generation (§2.2, §4.3).
+//!
+//! A CGRA executes by having every tile read its configuration memory each
+//! cycle: the entry at `cycle mod II` names the operation the tile performs
+//! and where its operands come from. [`CgraConfig::from_mapping`] translates
+//! the compiler's placement into exactly that structure, including the
+//! routing hops an operand takes through intermediate tiles.
+
+use picachu_compiler::arch::CgraSpec;
+use picachu_compiler::mapper::Mapping;
+use picachu_ir::dfg::{Dfg, NodeId};
+use picachu_ir::opcode::Opcode;
+use std::fmt;
+
+/// One operand source in a tile's configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OperandSource {
+    /// Producing node.
+    pub node: NodeId,
+    /// Tile the producer executes on.
+    pub tile: usize,
+    /// Cycle (absolute, first iteration) the operand becomes available there.
+    pub ready_at: u32,
+    /// Loop-carried distance of the consuming edge.
+    pub distance: u32,
+}
+
+/// What one tile does in one slot of the II window.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum SlotAction {
+    /// Nothing scheduled.
+    #[default]
+    Idle,
+    /// Execute a DFG node.
+    Execute {
+        /// The node to execute.
+        node: NodeId,
+        /// Its opcode.
+        op: Opcode,
+        /// Operand sources.
+        operands: Vec<OperandSource>,
+        /// Absolute time of the first firing (iteration 0).
+        first_time: u32,
+    },
+}
+
+/// Per-tile configuration memory: `slots[c]` is the action at
+/// `cycle mod II == c`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TileProgram {
+    /// The slot table, length = II.
+    pub slots: Vec<SlotAction>,
+}
+
+/// A complete fabric configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CgraConfig {
+    /// Initiation interval.
+    pub ii: u32,
+    /// One program per tile (row-major).
+    pub tiles: Vec<TileProgram>,
+    /// Schedule length (prologue cycles before steady state).
+    pub schedule_len: u32,
+}
+
+impl CgraConfig {
+    /// Builds the configuration from a mapping.
+    ///
+    /// # Panics
+    /// Panics if two nodes collide on the same (tile, slot) — the mapper
+    /// guarantees they cannot.
+    pub fn from_mapping(dfg: &Dfg, mapping: &Mapping, spec: &CgraSpec) -> CgraConfig {
+        let ii = mapping.ii;
+        let mut tiles = vec![
+            TileProgram { slots: vec![SlotAction::Idle; ii as usize] };
+            spec.len()
+        ];
+        for p in &mapping.placements {
+            let node = &dfg.nodes()[p.node.0];
+            let operands = node
+                .inputs
+                .iter()
+                .map(|e| {
+                    let src = mapping.placements[e.from.0];
+                    OperandSource {
+                        node: e.from,
+                        tile: src.tile,
+                        ready_at: src.time + dfg.nodes()[e.from.0].op.latency(),
+                        distance: e.distance,
+                    }
+                })
+                .collect();
+            let slot = (p.time % ii) as usize;
+            let entry = &mut tiles[p.tile].slots[slot];
+            assert!(
+                matches!(entry, SlotAction::Idle),
+                "slot collision on tile {} slot {}",
+                p.tile,
+                slot
+            );
+            *entry = SlotAction::Execute {
+                node: p.node,
+                op: node.op,
+                operands,
+                first_time: p.time,
+            };
+        }
+        CgraConfig { ii, tiles, schedule_len: mapping.schedule_len }
+    }
+
+    /// Number of configured (non-idle) slots — the configuration memory
+    /// footprint in entries.
+    pub fn configured_slots(&self) -> usize {
+        self.tiles
+            .iter()
+            .flat_map(|t| &t.slots)
+            .filter(|s| !matches!(s, SlotAction::Idle))
+            .count()
+    }
+
+    /// Configuration-memory size in bytes, assuming 8-byte entries (opcode +
+    /// operand routing fields), counting all slots like real config SRAM.
+    pub fn size_bytes(&self) -> usize {
+        self.tiles.len() * self.ii as usize * 8
+    }
+}
+
+impl fmt::Display for CgraConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "config: II={} ({} slots used)", self.ii, self.configured_slots())?;
+        for (t, prog) in self.tiles.iter().enumerate() {
+            for (s, slot) in prog.slots.iter().enumerate() {
+                if let SlotAction::Execute { node, op, .. } = slot {
+                    writeln!(f, "  tile {t} slot {s}: {node} = {op}")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use picachu_compiler::mapper::map_dfg;
+    use picachu_compiler::transform::fuse_patterns;
+    use picachu_ir::kernels::{kernel_library, relu_kernel};
+
+    fn setup() -> (Dfg, Mapping, CgraSpec) {
+        let spec = CgraSpec::picachu(4, 4);
+        let dfg = fuse_patterns(&relu_kernel().loops[0].dfg);
+        let m = map_dfg(&dfg, &spec, 3).unwrap();
+        (dfg, m, spec)
+    }
+
+    #[test]
+    fn every_node_configured_once() {
+        let (dfg, m, spec) = setup();
+        let cfg = CgraConfig::from_mapping(&dfg, &m, &spec);
+        assert_eq!(cfg.configured_slots(), dfg.len());
+    }
+
+    #[test]
+    fn operands_reference_mapped_producers() {
+        let (dfg, m, spec) = setup();
+        let cfg = CgraConfig::from_mapping(&dfg, &m, &spec);
+        for prog in &cfg.tiles {
+            for slot in &prog.slots {
+                if let SlotAction::Execute { operands, .. } = slot {
+                    for o in operands {
+                        let p = m.placements[o.node.0];
+                        assert_eq!(p.tile, o.tile);
+                        assert_eq!(o.ready_at, p.time + dfg.nodes()[o.node.0].op.latency());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn config_size_scales_with_ii() {
+        let spec = CgraSpec::picachu(4, 4);
+        for k in kernel_library(4) {
+            for l in &k.loops {
+                let d = fuse_patterns(&l.dfg);
+                let m = map_dfg(&d, &spec, 5).unwrap();
+                let cfg = CgraConfig::from_mapping(&d, &m, &spec);
+                assert_eq!(cfg.size_bytes(), 16 * m.ii as usize * 8);
+                assert_eq!(cfg.ii, m.ii);
+            }
+        }
+    }
+}

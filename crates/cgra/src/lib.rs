@@ -1,0 +1,37 @@
+//! # picachu-cgra — the PICACHU CGRA: configuration, simulation, cost
+//!
+//! The paper evaluates its CGRA with an RTL framework generated from VecPAC
+//! plus Synopsys DC and CACTI for area/power. This crate is the simulation
+//! substitute (see DESIGN.md §1):
+//!
+//! * [`config`] — turns a compiler [`picachu_compiler::Mapping`] into per-tile
+//!   configuration memories (the "control signals for each tile" of §4.3);
+//! * [`sim`] — a cycle-level simulator that executes the configuration in
+//!   steady state, dynamically verifying the static schedule (operands must
+//!   arrive before firing) and producing cycle counts, per-tile activity and
+//!   NoC traffic;
+//! * [`cost`] — the analytical area/power model calibrated to reproduce the
+//!   Table 7 breakdown and the per-FU overhead percentages of §5.3.1.
+//!
+//! ```
+//! use picachu_compiler::{arch::CgraSpec, mapper::map_dfg, transform::fuse_patterns};
+//! use picachu_cgra::{config::CgraConfig, sim::CgraSimulator};
+//! use picachu_ir::kernels::relu_kernel;
+//!
+//! let spec = CgraSpec::picachu(4, 4);
+//! let dfg = fuse_patterns(&relu_kernel().loops[0].dfg);
+//! let mapping = map_dfg(&dfg, &spec, 1).expect("maps");
+//! let cfg = CgraConfig::from_mapping(&dfg, &mapping, &spec);
+//! let report = CgraSimulator::new(&spec, &dfg, &cfg).run(1000);
+//! assert!(report.cycles >= 1000 * mapping.ii as u64);
+//! ```
+
+pub mod config;
+pub mod cost;
+pub mod schedule;
+pub mod sim;
+
+pub use config::CgraConfig;
+pub use cost::{CostModel, FabricCost};
+pub use schedule::{reservation_table, stats, ScheduleStats};
+pub use sim::{CgraSimulator, SimReport};

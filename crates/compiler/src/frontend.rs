@@ -1,0 +1,411 @@
+//! Front end: pattern matching and offloading (§4.3).
+//!
+//! The paper's toolchain lowers PyTorch/ONNX models to MLIR, where a
+//! nonlinear operation appears as a *sequence* of primitive tensor
+//! instructions (their example: GeLU becomes five instructions). A pattern
+//! matcher locates such sequences and collapses them into a single
+//! specialized instruction; the offload pass then lowers specialized
+//! instructions into CGRA calls and everything matrix-shaped onto the
+//! systolic array.
+//!
+//! This module reproduces that flow on a small tensor-op graph: model
+//! builders emit *decomposed* primitive graphs, [`match_patterns`] rewrites
+//! them to fused nonlinear instructions without any dialect change, and
+//! [`offload`] produces the device plan the engine executes.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Primitive tensor operations, as a front end would emit them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TensorOp {
+    /// Graph input.
+    Input,
+    /// Scalar constant (payload used by pattern predicates).
+    Const(f32),
+    /// Matrix multiplication `m×k · k×n`.
+    MatMul {
+        /// Rows of the left operand.
+        m: usize,
+        /// Contraction dimension.
+        k: usize,
+        /// Columns of the right operand.
+        n: usize,
+    },
+    /// Element-wise addition.
+    Add,
+    /// Element-wise subtraction.
+    Sub,
+    /// Element-wise multiplication.
+    Mul,
+    /// Element-wise division.
+    Div,
+    /// Element-wise exponential.
+    Exp,
+    /// Element-wise hyperbolic tangent.
+    Tanh,
+    /// Element-wise sigmoid.
+    Sigmoid,
+    /// Integer power (x³ in the GeLU decomposition).
+    Pow(i32),
+    /// Row-wise maximum reduction.
+    Max,
+    /// Row-wise sum reduction.
+    Sum,
+    /// Row-wise mean reduction.
+    Mean,
+    /// Element-wise square root.
+    Sqrt,
+    /// Element-wise reciprocal square root.
+    Rsqrt,
+    /// Element-wise sine.
+    Sin,
+    /// Element-wise cosine.
+    Cos,
+    /// A recognized nonlinear operation (post-pattern-matching), by name.
+    Fused(&'static str),
+    /// A primitive absorbed into a `Fused` instruction (dead after matching).
+    Folded,
+}
+
+/// One node of the high-level graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HlNode {
+    /// Node id (index).
+    pub id: usize,
+    /// Operation.
+    pub op: TensorOp,
+    /// Input node ids.
+    pub inputs: Vec<usize>,
+    /// Element count of the output tensor (for offload sizing).
+    pub elems: usize,
+}
+
+/// A high-level tensor-op graph.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HlGraph {
+    /// Nodes in topological order.
+    pub nodes: Vec<HlNode>,
+}
+
+impl HlGraph {
+    /// Creates an empty graph.
+    pub fn new() -> HlGraph {
+        HlGraph::default()
+    }
+
+    /// Appends a node.
+    pub fn push(&mut self, op: TensorOp, inputs: Vec<usize>, elems: usize) -> usize {
+        let id = self.nodes.len();
+        self.nodes.push(HlNode { id, op, inputs, elems });
+        id
+    }
+
+    /// Emits the five-instruction decomposed GeLU of the paper's Fig. 6:
+    /// `0.5·x·(1 + tanh(√(2/π)(x + 0.044715·x³)))`.
+    pub fn push_decomposed_gelu(&mut self, x: usize, elems: usize) -> usize {
+        let c_a = self.push(TensorOp::Const(0.044715), vec![], 1);
+        let x3 = self.push(TensorOp::Pow(3), vec![x], elems);
+        let ax3 = self.push(TensorOp::Mul, vec![c_a, x3], elems);
+        let inner = self.push(TensorOp::Add, vec![x, ax3], elems);
+        let c_b = self.push(TensorOp::Const(0.7978845), vec![], 1);
+        let scaled = self.push(TensorOp::Mul, vec![c_b, inner], elems);
+        let th = self.push(TensorOp::Tanh, vec![scaled], elems);
+        let c_one = self.push(TensorOp::Const(1.0), vec![], 1);
+        let one_plus = self.push(TensorOp::Add, vec![c_one, th], elems);
+        let xh = self.push(TensorOp::Mul, vec![x, one_plus], elems);
+        let c_half = self.push(TensorOp::Const(0.5), vec![], 1);
+        self.push(TensorOp::Mul, vec![c_half, xh], elems)
+    }
+
+    /// Emits a decomposed softmax with max subtraction.
+    pub fn push_decomposed_softmax(&mut self, x: usize, elems: usize) -> usize {
+        let mx = self.push(TensorOp::Max, vec![x], 1);
+        let centered = self.push(TensorOp::Sub, vec![x, mx], elems);
+        let e = self.push(TensorOp::Exp, vec![centered], elems);
+        let s = self.push(TensorOp::Sum, vec![e], 1);
+        self.push(TensorOp::Div, vec![e, s], elems)
+    }
+
+    /// Emits a decomposed SiLU `x·σ(x)`.
+    pub fn push_decomposed_silu(&mut self, x: usize, elems: usize) -> usize {
+        let s = self.push(TensorOp::Sigmoid, vec![x], elems);
+        self.push(TensorOp::Mul, vec![x, s], elems)
+    }
+
+    /// Emits a decomposed RMSNorm `x·rsqrt(mean(x²)+ε)`.
+    pub fn push_decomposed_rmsnorm(&mut self, x: usize, elems: usize) -> usize {
+        let sq = self.push(TensorOp::Mul, vec![x, x], elems);
+        let ms = self.push(TensorOp::Mean, vec![sq], 1);
+        let c_eps = self.push(TensorOp::Const(1e-5), vec![], 1);
+        let stable = self.push(TensorOp::Add, vec![ms, c_eps], 1);
+        let inv = self.push(TensorOp::Rsqrt, vec![stable], 1);
+        self.push(TensorOp::Mul, vec![x, inv], elems)
+    }
+
+    /// Emits a decomposed LayerNorm `(x−μ)·rsqrt(var+ε)`.
+    pub fn push_decomposed_layernorm(&mut self, x: usize, elems: usize) -> usize {
+        let mu = self.push(TensorOp::Mean, vec![x], 1);
+        let centered = self.push(TensorOp::Sub, vec![x, mu], elems);
+        let sq = self.push(TensorOp::Mul, vec![centered, centered], elems);
+        let var = self.push(TensorOp::Mean, vec![sq], 1);
+        let c_eps = self.push(TensorOp::Const(1e-5), vec![], 1);
+        let stable = self.push(TensorOp::Add, vec![var, c_eps], 1);
+        let inv = self.push(TensorOp::Rsqrt, vec![stable], 1);
+        self.push(TensorOp::Mul, vec![centered, inv], elems)
+    }
+
+    fn op(&self, id: usize) -> TensorOp {
+        self.nodes[id].op
+    }
+}
+
+/// Rewrites recognized primitive sequences into `Fused` nonlinear
+/// instructions. Returns the number of patterns matched. Unmatched nodes are
+/// untouched — future operations only need a front-end lowering, not a
+/// matcher change (§4.3).
+pub fn match_patterns(g: &mut HlGraph) -> usize {
+    let mut matched = 0usize;
+    let mut replace: HashMap<usize, (&'static str, usize)> = HashMap::new(); // root -> (name, source)
+
+    for root in 0..g.nodes.len() {
+        // softmax: Div(e, Sum(e)) where e = Exp(Sub(x, Max(x)))
+        if let TensorOp::Div = g.op(root) {
+            let [e, s] = g.nodes[root].inputs[..] else { continue };
+            if matches!(g.op(s), TensorOp::Sum)
+                && g.nodes[s].inputs == [e]
+                && matches!(g.op(e), TensorOp::Exp)
+            {
+                let c = g.nodes[e].inputs[0];
+                if matches!(g.op(c), TensorOp::Sub) {
+                    let [x, mx] = g.nodes[c].inputs[..] else { continue };
+                    if matches!(g.op(mx), TensorOp::Max) && g.nodes[mx].inputs == [x] {
+                        replace.insert(root, ("softmax", x));
+                        matched += 1;
+                    }
+                }
+            }
+        }
+        // gelu: Mul(half, Mul(x, Add(one, Tanh(...x...))))
+        if let TensorOp::Mul = g.op(root) {
+            let ins = &g.nodes[root].inputs;
+            if ins.len() == 2 {
+                if let (TensorOp::Const(c), TensorOp::Mul) = (g.op(ins[0]), g.op(ins[1])) {
+                    if (c - 0.5).abs() < 1e-6 {
+                        let inner = &g.nodes[ins[1]].inputs;
+                        if inner.len() == 2 {
+                            let x = inner[0];
+                            if let TensorOp::Add = g.op(inner[1]) {
+                                let add_ins = &g.nodes[inner[1]].inputs;
+                                if add_ins.len() == 2
+                                    && matches!(g.op(add_ins[0]), TensorOp::Const(v) if (v - 1.0).abs() < 1e-6)
+                                    && matches!(g.op(add_ins[1]), TensorOp::Tanh)
+                                {
+                                    replace.insert(root, ("gelu", x));
+                                    matched += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // silu: Mul(x, Sigmoid(x))
+        if let TensorOp::Mul = g.op(root) {
+            let ins = &g.nodes[root].inputs;
+            if ins.len() == 2
+                && matches!(g.op(ins[1]), TensorOp::Sigmoid)
+                && g.nodes[ins[1]].inputs == [ins[0]]
+            {
+                replace.insert(root, ("silu", ins[0]));
+                matched += 1;
+            }
+        }
+        // rmsnorm / layernorm: Mul(base, Rsqrt(Add(Mean(...), eps)))
+        if let TensorOp::Mul = g.op(root) {
+            let ins = &g.nodes[root].inputs;
+            if ins.len() == 2 && matches!(g.op(ins[1]), TensorOp::Rsqrt) {
+                let stable = g.nodes[ins[1]].inputs[0];
+                if matches!(g.op(stable), TensorOp::Add) {
+                    let mean = g.nodes[stable].inputs[0];
+                    if matches!(g.op(mean), TensorOp::Mean) {
+                        let base = ins[0];
+                        // layernorm multiplies the *centered* value
+                        if matches!(g.op(base), TensorOp::Sub) {
+                            let x = g.nodes[base].inputs[0];
+                            replace.insert(root, ("layernorm", x));
+                        } else {
+                            replace.insert(root, ("rmsnorm", base));
+                        }
+                        matched += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    for (root, (name, src)) in replace {
+        // absorb the matched constituents: walk ancestors of the root until
+        // hitting the source or another device boundary, and mark them dead.
+        let mut stack = g.nodes[root].inputs.clone();
+        while let Some(i) = stack.pop() {
+            if i == src
+                || matches!(
+                    g.op(i),
+                    TensorOp::Input | TensorOp::MatMul { .. } | TensorOp::Fused(_) | TensorOp::Folded
+                )
+            {
+                continue;
+            }
+            let inputs = g.nodes[i].inputs.clone();
+            g.nodes[i].op = TensorOp::Folded;
+            stack.extend(inputs);
+        }
+        let elems = g.nodes[root].elems;
+        g.nodes[root] = HlNode {
+            id: root,
+            op: TensorOp::Fused(name),
+            inputs: vec![src],
+            elems,
+        };
+    }
+    matched
+}
+
+/// One unit of offloaded work.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OffloadItem {
+    /// A GEMM tiled onto the systolic array (output-stationary, §4.3).
+    SystolicGemm {
+        /// Rows.
+        m: usize,
+        /// Contraction dimension.
+        k: usize,
+        /// Columns.
+        n: usize,
+    },
+    /// A nonlinear kernel dispatched to the CGRA by accelerator command.
+    CgraKernel {
+        /// Kernel name (matches the kernel library).
+        name: &'static str,
+        /// Total elements to process.
+        elems: usize,
+    },
+    /// Residual primitive element-wise work (also runs on the CGRA, as
+    /// generic element-wise loops).
+    CgraElementwise {
+        /// Total elements.
+        elems: usize,
+    },
+}
+
+/// The offload pass: lowers a pattern-matched graph into the device plan.
+/// `Fused` instructions become CGRA kernel calls; MatMuls go to the systolic
+/// array; remaining non-trivial element-wise primitives become generic CGRA
+/// loops. Inputs/constants/reductions folded into fused ops produce nothing.
+pub fn offload(g: &HlGraph) -> Vec<OffloadItem> {
+    let mut plan = Vec::new();
+    for n in &g.nodes {
+        match n.op {
+            TensorOp::MatMul { m, k, n: nn } => {
+                plan.push(OffloadItem::SystolicGemm { m, k, n: nn })
+            }
+            TensorOp::Fused(name) => {
+                plan.push(OffloadItem::CgraKernel { name, elems: n.elems })
+            }
+            TensorOp::Input | TensorOp::Const(_) | TensorOp::Folded => {}
+            _ => plan.push(OffloadItem::CgraElementwise { elems: n.elems }),
+        }
+    }
+    plan
+}
+
+impl fmt::Display for HlGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "hlgraph ({} nodes):", self.nodes.len())?;
+        for n in &self.nodes {
+            writeln!(f, "  %{} = {:?} {:?}", n.id, n.op, n.inputs)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gelu_pattern_matched() {
+        let mut g = HlGraph::new();
+        let x = g.push(TensorOp::Input, vec![], 4096);
+        let root = g.push_decomposed_gelu(x, 4096);
+        assert_eq!(match_patterns(&mut g), 1);
+        assert_eq!(g.nodes[root].op, TensorOp::Fused("gelu"));
+        assert_eq!(g.nodes[root].inputs, vec![x]);
+    }
+
+    #[test]
+    fn softmax_pattern_matched() {
+        let mut g = HlGraph::new();
+        let x = g.push(TensorOp::Input, vec![], 1024);
+        let root = g.push_decomposed_softmax(x, 1024);
+        assert_eq!(match_patterns(&mut g), 1);
+        assert_eq!(g.nodes[root].op, TensorOp::Fused("softmax"));
+    }
+
+    #[test]
+    fn silu_rmsnorm_layernorm_matched() {
+        let mut g = HlGraph::new();
+        let x = g.push(TensorOp::Input, vec![], 512);
+        let a = g.push_decomposed_silu(x, 512);
+        let b = g.push_decomposed_rmsnorm(a, 512);
+        let c = g.push_decomposed_layernorm(b, 512);
+        assert_eq!(match_patterns(&mut g), 3);
+        assert_eq!(g.nodes[c].op, TensorOp::Fused("layernorm"));
+    }
+
+    #[test]
+    fn unknown_ops_pass_through() {
+        let mut g = HlGraph::new();
+        let x = g.push(TensorOp::Input, vec![], 100);
+        g.push(TensorOp::Sin, vec![x], 100);
+        assert_eq!(match_patterns(&mut g), 0);
+    }
+
+    #[test]
+    fn offload_splits_devices() {
+        let mut g = HlGraph::new();
+        let x = g.push(TensorOp::Input, vec![], 128 * 768);
+        let w = g.push(
+            TensorOp::MatMul { m: 128, k: 768, n: 3072 },
+            vec![x],
+            128 * 3072,
+        );
+        g.push_decomposed_gelu(w, 128 * 3072);
+        match_patterns(&mut g);
+        let plan = offload(&g);
+        assert_eq!(plan.len(), 2);
+        assert!(matches!(plan[0], OffloadItem::SystolicGemm { m: 128, k: 768, n: 3072 }));
+        assert!(matches!(plan[1], OffloadItem::CgraKernel { name: "gelu", elems } if elems == 128 * 3072));
+    }
+
+    #[test]
+    fn folded_primitives_do_not_double_count() {
+        let mut g = HlGraph::new();
+        let x = g.push(TensorOp::Input, vec![], 2048);
+        g.push_decomposed_softmax(x, 2048);
+        match_patterns(&mut g);
+        let plan = offload(&g);
+        // only the fused softmax remains
+        assert_eq!(plan.len(), 1);
+    }
+
+    #[test]
+    fn unmatched_elementwise_becomes_generic_loop() {
+        let mut g = HlGraph::new();
+        let x = g.push(TensorOp::Input, vec![], 64);
+        g.push(TensorOp::Cos, vec![x], 64);
+        let plan = offload(&g);
+        assert_eq!(plan, vec![OffloadItem::CgraElementwise { elems: 64 }]);
+    }
+}

@@ -1,0 +1,563 @@
+//! Modulo-scheduling mapper onto the CGRA's Modulo Routing Resource Graph
+//! (§4.3 "DFG Mapping").
+//!
+//! The mapper implements the paper's heuristic optimization: starting from
+//! the lower bound `MII = max(RecMII, ResMII)`, it attempts randomized
+//! priority-based placement of the DFG onto the time-extended fabric
+//! (tiles × II slots). Placement respects:
+//!
+//! * **heterogeneous operation support** — a node may only occupy a tile
+//!   whose class implements its opcode (BaT/BrT/CoT capabilities);
+//! * **memory-access permissions** — loads/stores only on tiles with Shared
+//!   Buffer ports;
+//! * **compute-slot exclusivity** — one operation per (tile, `time mod II`);
+//! * **mesh routing** — operands travel one hop per cycle along row-first
+//!   paths whose intermediate tiles spend a routing slot (capacity 2 per
+//!   tile-slot), the MRRG's routing-resource constraint;
+//! * **recurrences** — a loop-carried edge of distance `d` must satisfy
+//!   `t_use + d·II ≥ t_def + latency + hops`.
+//!
+//! Failed placements trigger randomized restarts; persistent failure
+//! increases the II, exactly the iterative modulo-scheduling discipline.
+
+use crate::arch::CgraSpec;
+use picachu_ir::dfg::{Dfg, NodeId};
+use picachu_ir::opcode::Opcode;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Routing capacity per (tile, slot): how many pass-through operands a tile's
+/// crossbar can forward per cycle in addition to its own computation.
+const ROUTE_CAP: u32 = 2;
+/// Randomized restarts per candidate II.
+const ATTEMPTS_PER_II: usize = 30;
+/// How far beyond MII the search may go before giving up.
+const II_SLACK: u32 = 40;
+
+/// Where and when one DFG node executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// The DFG node.
+    pub node: NodeId,
+    /// Tile index (row-major).
+    pub tile: usize,
+    /// Absolute schedule time; the node occupies slot `time % II`.
+    pub time: u32,
+}
+
+/// A successful mapping of a DFG onto a CGRA.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mapping {
+    /// Achieved initiation interval.
+    pub ii: u32,
+    /// Per-node placements, indexed by node id.
+    pub placements: Vec<Placement>,
+    /// Schedule length (prologue depth): cycles until the first iteration
+    /// completes.
+    pub schedule_len: u32,
+}
+
+impl Mapping {
+    /// Total cycles to execute `iterations` loop iterations in steady state:
+    /// `schedule_len + (iterations − 1) · II`.
+    pub fn cycles_for(&self, iterations: u64) -> u64 {
+        if iterations == 0 {
+            return 0;
+        }
+        self.schedule_len as u64 + (iterations - 1) * self.ii as u64
+    }
+
+    /// Fraction of compute slots occupied: `nodes / (tiles · II)`.
+    pub fn utilization(&self, tiles: usize) -> f64 {
+        self.placements.len() as f64 / (tiles as f64 * self.ii as f64)
+    }
+}
+
+impl fmt::Display for Mapping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mapping: II={} len={} nodes={}",
+            self.ii,
+            self.schedule_len,
+            self.placements.len()
+        )
+    }
+}
+
+/// Why mapping failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapError {
+    /// Some opcode has no capable tile on this fabric at all.
+    NoCapableTile(Opcode),
+    /// No feasible schedule within `MII + II_SLACK`.
+    IiLimitExceeded {
+        /// The last II tried.
+        tried: u32,
+    },
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::NoCapableTile(op) => {
+                write!(f, "no tile on this fabric supports '{op}'")
+            }
+            MapError::IiLimitExceeded { tried } => {
+                write!(f, "no feasible schedule up to II={tried}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+/// Resource-constrained minimum II: nodes sharing a tile-capability set
+/// cannot initiate faster than `⌈count / |tiles|⌉`.
+pub fn res_mii(dfg: &Dfg, spec: &CgraSpec) -> Result<u32, MapError> {
+    let mut by_mask: HashMap<Vec<bool>, usize> = HashMap::new();
+    for n in dfg.nodes() {
+        let mask: Vec<bool> = (0..spec.len())
+            .map(|t| spec.tile_supports(t, n.op))
+            .collect();
+        if !mask.iter().any(|&b| b) {
+            return Err(MapError::NoCapableTile(n.op));
+        }
+        *by_mask.entry(mask).or_insert(0) += 1;
+    }
+    let mut bound = dfg.len().div_ceil(spec.len()) as u32;
+    for (mask, count) in by_mask {
+        let tiles = mask.iter().filter(|&&b| b).count();
+        bound = bound.max(count.div_ceil(tiles) as u32);
+    }
+    Ok(bound.max(1))
+}
+
+/// `MII = max(RecMII, ResMII)` — the II the search starts from.
+pub fn min_ii(dfg: &Dfg, spec: &CgraSpec) -> Result<u32, MapError> {
+    Ok(res_mii(dfg, spec)?.max(dfg.rec_mii()))
+}
+
+struct State<'a> {
+    spec: &'a CgraSpec,
+    ii: u32,
+    /// compute occupancy: (tile, slot) -> taken
+    compute: Vec<bool>,
+    /// routing occupancy counts: (tile, slot)
+    routing: Vec<u32>,
+}
+
+impl<'a> State<'a> {
+    fn new(spec: &'a CgraSpec, ii: u32) -> State<'a> {
+        State {
+            spec,
+            ii,
+            compute: vec![false; spec.len() * ii as usize],
+            routing: vec![0; spec.len() * ii as usize],
+        }
+    }
+
+    fn idx(&self, tile: usize, time: u32) -> usize {
+        tile * self.ii as usize + (time % self.ii) as usize
+    }
+
+    /// Row-first L-shaped path between two tiles, excluding both endpoints.
+    fn path(&self, from: usize, to: usize) -> Vec<usize> {
+        let (fr, fc) = self.spec.coords(from);
+        let (tr, tc) = self.spec.coords(to);
+        let mut tiles = Vec::new();
+        let mut c = fc;
+        while c != tc {
+            c = if c < tc { c + 1 } else { c - 1 };
+            tiles.push(fr * self.spec.cols + c);
+        }
+        let mut r = fr;
+        while r != tr {
+            r = if r < tr { r + 1 } else { r - 1 };
+            tiles.push(r * self.spec.cols + tc);
+        }
+        tiles.pop(); // drop destination
+        tiles
+    }
+
+    /// Checks that the operand leaving `from` at `depart` can be routed to
+    /// `to` (arriving at `depart + hops`).
+    fn route_free(&self, from: usize, to: usize, depart: u32) -> bool {
+        for (k, &tile) in self.path(from, to).iter().enumerate() {
+            if self.routing[self.idx(tile, depart + k as u32 + 1)] >= ROUTE_CAP {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn route_commit(&mut self, from: usize, to: usize, depart: u32) {
+        for (k, tile) in self.path(from, to).into_iter().enumerate() {
+            let i = self.idx(tile, depart + k as u32 + 1);
+            self.routing[i] += 1;
+        }
+    }
+}
+
+/// Scheduling priority per node: the ASAP level, except that φ-class nodes
+/// are deferred to just before their earliest same-iteration consumer.
+///
+/// A φ has no same-iteration inputs, so its ASAP level is 0 — but in modulo
+/// scheduling the φ of a reduction must execute just before its update (which
+/// may sit behind a long chain, e.g. the exp pipeline feeding a softmax sum).
+/// Scheduling the φ at time 0 would force `II ≥ chain length` through the
+/// recurrence constraint; deferring it keeps RecMII achievable.
+fn priorities(dfg: &Dfg) -> Vec<u32> {
+    let levels = dfg.asap_levels();
+    let mut prio = levels.clone();
+    for node in dfg.nodes() {
+        if !matches!(node.op, Opcode::Phi | Opcode::FusedPhiAdd | Opcode::FusedPhiAddAdd) {
+            continue;
+        }
+        // earliest same-iteration consumer
+        let mut min_consumer: Option<u32> = None;
+        for c in dfg.nodes() {
+            if c.inputs.iter().any(|e| e.distance == 0 && e.from == node.id) {
+                let l = levels[c.id.0];
+                min_consumer = Some(min_consumer.map_or(l, |m: u32| m.min(l)));
+            }
+        }
+        if let Some(l) = min_consumer {
+            prio[node.id.0] = l.saturating_sub(node.op.latency());
+        }
+    }
+    prio
+}
+
+fn is_phi_class(op: Opcode) -> bool {
+    matches!(op, Opcode::Phi | Opcode::FusedPhiAdd | Opcode::FusedPhiAddAdd)
+}
+
+fn try_place(dfg: &Dfg, spec: &CgraSpec, ii: u32, rng: &mut StdRng) -> Option<Vec<Placement>> {
+    let n = dfg.len();
+    let levels = priorities(dfg);
+    // priority: deferred level asc; within a level, φ nodes go last so the
+    // *other* inputs of their consumers are already placed when the φ's
+    // dynamic start time is computed; random tiebreak otherwise.
+    let mut order: Vec<usize> = (0..n).collect();
+    let jitter: Vec<u32> = (0..n).map(|_| rng.gen_range(0..1000)).collect();
+    order.sort_by_key(|&i| (levels[i], is_phi_class(dfg.nodes()[i].op), jitter[i]));
+
+    // same-iteration consumers: producer -> consumer ids
+    let mut consumers_of: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for node in dfg.nodes() {
+        for e in &node.inputs {
+            if e.distance == 0 {
+                consumers_of[e.from.0].push(node.id.0);
+            }
+        }
+    }
+
+    // carried consumers: producer -> [(consumer, distance)]
+    let mut carried_out: Vec<Vec<(usize, u32)>> = vec![Vec::new(); n];
+    for node in dfg.nodes() {
+        for e in &node.inputs {
+            if e.distance > 0 {
+                carried_out[e.from.0].push((node.id.0, e.distance));
+            }
+        }
+    }
+
+    let mut st = State::new(spec, ii);
+    let mut placed: Vec<Option<Placement>> = vec![None; n];
+
+    for &v in &order {
+        let node = &dfg.nodes()[v];
+        // earliest start from same-iteration predecessors (per-tile addend
+        // for hops is applied per candidate below).
+        let preds: Vec<(usize, u32)> = node
+            .inputs
+            .iter()
+            .filter(|e| e.distance == 0)
+            .map(|e| {
+                let p = placed[e.from.0].expect("topological order");
+                (p.tile, p.time + dfg.nodes()[e.from.0].op.latency())
+            })
+            .collect();
+
+        // Dynamic start for source nodes (φ, const, invariant loads): align
+        // with the actual times of their consumers' other inputs, so the φ of
+        // a reduction sits right where its update will fire, not at time 0.
+        let dynamic_floor = if preds.is_empty() {
+            let mut floor = levels[v];
+            for &c in &consumers_of[v] {
+                for e in &dfg.nodes()[c].inputs {
+                    if e.distance == 0 && e.from.0 != v {
+                        if let Some(p) = placed[e.from.0] {
+                            let rdy = p.time + dfg.nodes()[e.from.0].op.latency();
+                            floor = floor.max(rdy.saturating_sub(node.op.latency()));
+                        }
+                    }
+                }
+            }
+            floor
+        } else {
+            0
+        };
+
+        let mut tiles: Vec<usize> = (0..spec.len())
+            .filter(|&t| spec.tile_supports(t, node.op))
+            .collect();
+        tiles.shuffle(rng);
+
+        let mut placed_here = false;
+        'tile: for &tile in &tiles {
+            let earliest = preds
+                .iter()
+                .map(|&(pt, rdy)| rdy + spec.hops(pt, tile))
+                .max()
+                .unwrap_or(dynamic_floor);
+            for dt in 0..ii {
+                let t = earliest + dt;
+                if st.compute[st.idx(tile, t)] {
+                    continue;
+                }
+                // routing from each predecessor
+                let routes_ok = preds.iter().all(|&(pt, rdy)| {
+                    // operand departs when ready; slack waits at source reg
+                    let depart = t - spec.hops(pt, tile); // arrive exactly at t
+                    depart >= rdy && st.route_free(pt, tile, depart)
+                });
+                if !routes_ok {
+                    continue;
+                }
+                // carried-consumer deadlines (consumers already placed)
+                let deadlines_ok = carried_out[v].iter().all(|&(c, d)| {
+                    match placed[c] {
+                        Some(pc) => {
+                            t + node.op.latency() + spec.hops(tile, pc.tile)
+                                <= pc.time + d * ii
+                        }
+                        None => true,
+                    }
+                });
+                if !deadlines_ok {
+                    continue;
+                }
+                // commit
+                let i = st.idx(tile, t);
+                st.compute[i] = true;
+                for &(pt, _) in &preds {
+                    let depart = t - spec.hops(pt, tile);
+                    st.route_commit(pt, tile, depart);
+                }
+                placed[v] = Some(Placement { node: NodeId(v), tile, time: t });
+                placed_here = true;
+                break 'tile;
+            }
+        }
+        if !placed_here {
+            if std::env::var_os("PICACHU_MAP_DEBUG").is_some() {
+                eprintln!(
+                    "  [map-debug] II={ii}: no slot for {} ({}), prio={}",
+                    node.id, node.op, levels[v]
+                );
+            }
+            return None;
+        }
+    }
+
+    // final recurrence verification (covers consumer-placed-after-producer)
+    for node in dfg.nodes() {
+        for e in &node.inputs {
+            if e.distance > 0 {
+                let pu = placed[e.from.0].unwrap();
+                let pv = placed[node.id.0].unwrap();
+                let lat = dfg.nodes()[e.from.0].op.latency();
+                if pu.time + lat + spec.hops(pu.tile, pv.tile) > pv.time + e.distance * ii {
+                    if std::env::var_os("PICACHU_MAP_DEBUG").is_some() {
+                        eprintln!(
+                            "  [map-debug] II={ii}: recurrence {} -> {} violated (tu={} tv={})",
+                            e.from, node.id, pu.time, pv.time
+                        );
+                    }
+                    return None;
+                }
+            }
+        }
+    }
+
+    Some(placed.into_iter().map(|p| p.unwrap()).collect())
+}
+
+/// Maps a DFG onto the fabric, minimizing II.
+///
+/// # Errors
+/// Returns [`MapError::NoCapableTile`] if the fabric cannot execute some
+/// opcode at all (e.g. fused nodes on the homogeneous baseline), or
+/// [`MapError::IiLimitExceeded`] when no schedule is found within the search
+/// window.
+pub fn map_dfg(dfg: &Dfg, spec: &CgraSpec, seed: u64) -> Result<Mapping, MapError> {
+    assert!(!dfg.is_empty(), "cannot map an empty DFG");
+    let mii = min_ii(dfg, spec)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    for ii in mii..=mii + II_SLACK {
+        for _ in 0..ATTEMPTS_PER_II {
+            if let Some(placements) = try_place(dfg, spec, ii, &mut rng) {
+                let schedule_len = placements
+                    .iter()
+                    .map(|p| p.time + dfg.nodes()[p.node.0].op.latency())
+                    .max()
+                    .unwrap_or(0);
+                return Ok(Mapping { ii, placements, schedule_len });
+            }
+        }
+    }
+    Err(MapError::IiLimitExceeded { tried: mii + II_SLACK })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::{fuse_patterns, lower_special_ops, unroll};
+    use picachu_ir::kernels::{kernel_library, relu_kernel, softmax_kernel};
+
+    fn picachu() -> CgraSpec {
+        CgraSpec::picachu(4, 4)
+    }
+
+    #[test]
+    fn relu_maps_at_low_ii() {
+        let k = relu_kernel();
+        let fused = fuse_patterns(&k.loops[0].dfg);
+        let m = map_dfg(&fused, &picachu(), 1).unwrap();
+        assert!(m.ii <= 2, "relu fused II = {}", m.ii);
+    }
+
+    #[test]
+    fn all_fused_kernels_map_on_picachu() {
+        for k in kernel_library(4) {
+            for l in &k.loops {
+                let fused = fuse_patterns(&l.dfg);
+                let m = map_dfg(&fused, &picachu(), 7).unwrap_or_else(|e| {
+                    panic!("{} failed to map: {e}", l.label)
+                });
+                assert!(m.ii >= 1 && m.ii <= 16, "{}: II {}", l.label, m.ii);
+            }
+        }
+    }
+
+    #[test]
+    fn all_lowered_kernels_map_on_baseline() {
+        let base = CgraSpec::homogeneous(4, 4);
+        for k in kernel_library(4) {
+            for l in &k.loops {
+                let low = lower_special_ops(&l.dfg);
+                let m = map_dfg(&low, &base, 7).unwrap_or_else(|e| {
+                    panic!("{} failed on baseline: {e}", l.label)
+                });
+                assert!(m.ii >= 2, "{}: baseline II {} below RecMII", l.label, m.ii);
+            }
+        }
+    }
+
+    #[test]
+    fn fused_beats_baseline_on_exp_loop() {
+        // the headline Fig. 7a effect on one kernel
+        let k = softmax_kernel(4);
+        let l = &k.loops[1];
+        let base = map_dfg(&lower_special_ops(&l.dfg), &CgraSpec::homogeneous(4, 4), 3).unwrap();
+        let ours = map_dfg(&fuse_patterns(&l.dfg), &picachu(), 3).unwrap();
+        assert!(
+            ours.ii <= base.ii,
+            "fused II {} should not exceed baseline II {}",
+            ours.ii,
+            base.ii
+        );
+    }
+
+    #[test]
+    fn fused_nodes_rejected_by_baseline() {
+        let k = relu_kernel();
+        let fused = fuse_patterns(&k.loops[0].dfg);
+        let err = map_dfg(&fused, &CgraSpec::homogeneous(4, 4), 1).unwrap_err();
+        assert!(matches!(err, MapError::NoCapableTile(_)));
+    }
+
+    #[test]
+    fn placements_respect_capabilities_and_slots() {
+        let k = softmax_kernel(4);
+        let fused = fuse_patterns(&k.loops[1].dfg);
+        let spec = picachu();
+        let m = map_dfg(&fused, &spec, 11).unwrap();
+        let mut slots = std::collections::HashSet::new();
+        for p in &m.placements {
+            let op = fused.nodes()[p.node.0].op;
+            assert!(spec.tile_supports(p.tile, op), "{op} on tile {}", p.tile);
+            assert!(slots.insert((p.tile, p.time % m.ii)), "slot conflict");
+        }
+    }
+
+    #[test]
+    fn dependences_satisfied_in_schedule() {
+        let k = softmax_kernel(6);
+        let fused = fuse_patterns(&k.loops[1].dfg);
+        let spec = picachu();
+        let m = map_dfg(&fused, &spec, 5).unwrap();
+        for node in fused.nodes() {
+            let pv = m.placements[node.id.0];
+            for e in &node.inputs {
+                let pu = m.placements[e.from.0];
+                let lat = fused.nodes()[e.from.0].op.latency();
+                let hops = spec.hops(pu.tile, pv.tile);
+                assert!(
+                    pu.time + lat + hops <= pv.time + e.distance * m.ii,
+                    "edge {} -> {} violated",
+                    e.from,
+                    node.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unrolled_kernels_map_with_bounded_ii_growth() {
+        let k = relu_kernel();
+        let base = map_dfg(&fuse_patterns(&k.loops[0].dfg), &picachu(), 2).unwrap();
+        let u4 = unroll(&k.loops[0].dfg, 4);
+        let m4 = map_dfg(&fuse_patterns(&u4), &picachu(), 2).unwrap();
+        // 4 elements per II: per-element cost must drop
+        let per_elem_base = base.ii as f64;
+        let per_elem_u4 = m4.ii as f64 / 4.0;
+        assert!(
+            per_elem_u4 < per_elem_base,
+            "UF4 per-element {per_elem_u4} !< base {per_elem_base}"
+        );
+    }
+
+    #[test]
+    fn cycles_for_iterations() {
+        let k = relu_kernel();
+        let m = map_dfg(&fuse_patterns(&k.loops[0].dfg), &picachu(), 1).unwrap();
+        assert_eq!(m.cycles_for(0), 0);
+        assert_eq!(m.cycles_for(1), m.schedule_len as u64);
+        assert_eq!(m.cycles_for(101), m.schedule_len as u64 + 100 * m.ii as u64);
+    }
+
+    #[test]
+    fn mapping_is_deterministic_per_seed() {
+        let k = softmax_kernel(4);
+        let fused = fuse_patterns(&k.loops[0].dfg);
+        let a = map_dfg(&fused, &picachu(), 42).unwrap();
+        let b = map_dfg(&fused, &picachu(), 42).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn res_mii_accounts_for_memory_ports() {
+        // a graph of 12 loads on a fabric with 8 mem tiles: ResMII >= 2
+        let mut g = picachu_ir::Dfg::new("loads");
+        for _ in 0..12 {
+            g.push(Opcode::Load, vec![]);
+        }
+        assert!(res_mii(&g, &picachu()).unwrap() >= 2);
+    }
+}

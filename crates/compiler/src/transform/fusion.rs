@@ -1,0 +1,483 @@
+//! Table 4 pattern fusion.
+//!
+//! The DFG-tuning pass collapses the recurring instruction chains of Table 4
+//! into single fused nodes executable in one cycle by the matching tile class.
+//! Fusion both shrinks the DFG (lower ResMII) and breaks the
+//! `phi → add → phi` recurrences of induction variables and accumulators
+//! (RecMII 2 → 1), which is where most of Fig. 7a's speedup originates.
+
+use picachu_ir::dfg::{Dfg, Edge, Node, NodeId};
+use picachu_ir::opcode::{FusedPattern, Opcode};
+use std::collections::HashMap;
+
+/// Occurrences of each Table 4 pattern found in one DFG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PatternCounts {
+    /// `phi+add+add` (full three-node chains).
+    pub phi_add_add: usize,
+    /// `phi+add` (two-node accumulator/induction chains).
+    pub phi_add: usize,
+    /// `add+add`.
+    pub add_add: usize,
+    /// `cmp+select`.
+    pub cmp_select: usize,
+    /// `mul+add+add`.
+    pub mul_add_add: usize,
+    /// `mul+add`.
+    pub mul_add: usize,
+    /// `cmp+br`.
+    pub cmp_br: usize,
+}
+
+impl PatternCounts {
+    /// Whether the DFG exhibits the given Table 4 pattern family at all.
+    pub fn has(self, p: FusedPattern) -> bool {
+        match p {
+            FusedPattern::PhiAddAdd => self.phi_add_add + self.phi_add > 0,
+            FusedPattern::AddAdd => self.add_add > 0,
+            FusedPattern::CmpSelect => self.cmp_select > 0,
+            FusedPattern::MulAddAdd => self.mul_add_add + self.mul_add > 0,
+            FusedPattern::CmpBr => self.cmp_br > 0,
+        }
+    }
+
+    /// Total fused nodes that fusion would create.
+    pub fn total(self) -> usize {
+        self.phi_add_add
+            + self.phi_add
+            + self.add_add
+            + self.cmp_select
+            + self.mul_add_add
+            + self.mul_add
+            + self.cmp_br
+    }
+}
+
+struct Analysis {
+    /// consumers[i] = nodes with a same-iteration edge from i
+    consumers: Vec<Vec<usize>>,
+    /// carried_consumers[i] = nodes with a loop-carried edge from i
+    carried_consumers: Vec<Vec<usize>>,
+}
+
+fn analyze(dfg: &Dfg) -> Analysis {
+    let n = dfg.len();
+    let mut consumers = vec![Vec::new(); n];
+    let mut carried = vec![Vec::new(); n];
+    for node in dfg.nodes() {
+        for e in &node.inputs {
+            if e.distance == 0 {
+                consumers[e.from.0].push(node.id.0);
+            } else {
+                carried[e.from.0].push(node.id.0);
+            }
+        }
+    }
+    Analysis { consumers, carried_consumers: carried }
+}
+
+/// One fusion group: constituent node indices (in chain order) and the fused
+/// opcode they become.
+#[derive(Debug, Clone)]
+struct Group {
+    members: Vec<usize>,
+    fused: Opcode,
+}
+
+fn find_groups(dfg: &Dfg, a: &Analysis) -> Vec<Group> {
+    let nodes = dfg.nodes();
+    let mut taken = vec![false; nodes.len()];
+    let mut groups = Vec::new();
+    let op = |i: usize| nodes[i].op;
+    let single_consumer = |i: usize| a.consumers[i].len() == 1 && a.carried_consumers[i].is_empty();
+
+    // helper: all same-iteration inputs of `i` (excluding group members) must
+    // precede `first` so the fused node can sit at `first`'s position.
+    let inputs_precede = |i: usize, first: usize, members: &[usize]| {
+        nodes[i].inputs.iter().all(|e| {
+            e.distance > 0 || members.contains(&e.from.0) || e.from.0 < first
+        })
+    };
+
+    // 1. induction / accumulator fusion: phi whose carried producer is an add
+    //    that consumes the phi -> phi+add; absorb one extra add consumer of
+    //    the phi -> phi+add+add.
+    for p in 0..nodes.len() {
+        if taken[p] || op(p) != Opcode::Phi {
+            continue;
+        }
+        // carried producer
+        let carried_from: Vec<usize> = nodes[p]
+            .inputs
+            .iter()
+            .filter(|e| e.distance > 0)
+            .map(|e| e.from.0)
+            .collect();
+        let Some(&add) = carried_from.iter().find(|&&u| {
+            op(u) == Opcode::Add
+                && !taken[u]
+                && nodes[u].inputs.iter().any(|e| e.distance == 0 && e.from.0 == p)
+        }) else {
+            continue;
+        };
+        // extra add consuming the phi (address computation) — but never the
+        // head of an add→add chain, which the add+add fusion claims instead
+        let extra = a.consumers[p]
+            .iter()
+            .find(|&&c| {
+                c != add
+                    && op(c) == Opcode::Add
+                    && !taken[c]
+                    && inputs_precede(c, p, &[p, add])
+                    && !a.consumers[c].iter().any(|&cc| op(cc) == Opcode::Add)
+            })
+            .copied();
+        let (members, fused) = match extra {
+            Some(b) => (vec![p, add, b], Opcode::FusedPhiAddAdd),
+            None => (vec![p, add], Opcode::FusedPhiAdd),
+        };
+        if members.iter().all(|&m| inputs_precede(m, p, &members)) {
+            for &m in &members {
+                taken[m] = true;
+            }
+            groups.push(Group { members, fused });
+        }
+    }
+
+    // 2. mul+add(+add) chains.
+    for m in 0..nodes.len() {
+        if taken[m] || op(m) != Opcode::Mul || !single_consumer(m) {
+            continue;
+        }
+        let a1 = a.consumers[m][0];
+        if taken[a1] || op(a1) != Opcode::Add || !inputs_precede(a1, m, &[m, a1]) {
+            continue;
+        }
+        let mut members = vec![m, a1];
+        let mut fused = Opcode::FusedMulAdd;
+        if single_consumer(a1) {
+            let a2 = a.consumers[a1][0];
+            if !taken[a2]
+                && op(a2) == Opcode::Add
+                && inputs_precede(a2, m, &[m, a1, a2])
+            {
+                members.push(a2);
+                fused = Opcode::FusedMulAddAdd;
+            }
+        }
+        for &x in &members {
+            taken[x] = true;
+        }
+        groups.push(Group { members, fused });
+    }
+
+    // 3. add+add chains.
+    for x in 0..nodes.len() {
+        if taken[x] || op(x) != Opcode::Add || !single_consumer(x) {
+            continue;
+        }
+        let y = a.consumers[x][0];
+        if !taken[y] && op(y) == Opcode::Add && inputs_precede(y, x, &[x, y]) {
+            taken[x] = true;
+            taken[y] = true;
+            groups.push(Group { members: vec![x, y], fused: Opcode::FusedAddAdd });
+        }
+    }
+
+    // 4. cmp+select.
+    for c in 0..nodes.len() {
+        if taken[c] || op(c) != Opcode::Cmp || !single_consumer(c) {
+            continue;
+        }
+        let s = a.consumers[c][0];
+        if !taken[s] && op(s) == Opcode::Select && inputs_precede(s, c, &[c, s]) {
+            taken[c] = true;
+            taken[s] = true;
+            groups.push(Group { members: vec![c, s], fused: Opcode::FusedCmpSelect });
+        }
+    }
+
+    // 5. cmp+br.
+    for c in 0..nodes.len() {
+        if taken[c] || op(c) != Opcode::Cmp || !single_consumer(c) {
+            continue;
+        }
+        let b = a.consumers[c][0];
+        if !taken[b] && op(b) == Opcode::Br && inputs_precede(b, c, &[c, b]) {
+            taken[c] = true;
+            taken[b] = true;
+            groups.push(Group { members: vec![c, b], fused: Opcode::FusedCmpBr });
+        }
+    }
+
+    groups
+}
+
+/// Counts Table 4 pattern occurrences in a DFG without rewriting it.
+pub fn count_patterns(dfg: &Dfg) -> PatternCounts {
+    let a = analyze(dfg);
+    let groups = find_groups(dfg, &a);
+    let mut c = PatternCounts::default();
+    for g in groups {
+        match g.fused {
+            Opcode::FusedPhiAddAdd => c.phi_add_add += 1,
+            Opcode::FusedPhiAdd => c.phi_add += 1,
+            Opcode::FusedAddAdd => c.add_add += 1,
+            Opcode::FusedCmpSelect => c.cmp_select += 1,
+            Opcode::FusedMulAddAdd => c.mul_add_add += 1,
+            Opcode::FusedMulAdd => c.mul_add += 1,
+            Opcode::FusedCmpBr => c.cmp_br += 1,
+            _ => unreachable!("fusion produced non-fused opcode"),
+        }
+    }
+    c
+}
+
+/// Default immediate per primitive opcode, used to pad fused-node immediate
+/// lists to exactly `fused_width` entries in chain order (so the interpreter
+/// can attribute each slot to its member). `NaN` marks an absent `select`
+/// fallback — the fused compare-select then takes the max of its inputs.
+fn default_imm(op: Opcode) -> f32 {
+    match op {
+        Opcode::Mul => 1.0,
+        Opcode::Select => f32::NAN,
+        _ => 0.0,
+    }
+}
+
+/// Applies Table 4 fusion, returning the tuned DFG.
+///
+/// Fusion groups are placed at their first constituent's position; internal
+/// edges disappear; external producers/consumers of any constituent are
+/// rewired to the fused node. Loop-carried edges whose endpoints join a group
+/// follow their endpoints (self-recurrences are legal on fused φ nodes).
+/// Immediates of the members are carried on the fused node in chain order.
+pub fn fuse_patterns(dfg: &Dfg) -> Dfg {
+    let a = analyze(dfg);
+    let groups = find_groups(dfg, &a);
+
+    // member -> (group index, is_first)
+    let mut group_of: HashMap<usize, usize> = HashMap::new();
+    for (gi, g) in groups.iter().enumerate() {
+        for &m in &g.members {
+            group_of.insert(m, gi);
+        }
+    }
+
+    // New id assignment: walk original order; a group emits at its first
+    // member, other members emit nothing.
+    let mut new_id: Vec<Option<usize>> = vec![None; dfg.len()];
+    let mut emitted_group: Vec<Option<usize>> = vec![None; groups.len()];
+    let mut next = 0usize;
+    for i in 0..dfg.len() {
+        match group_of.get(&i) {
+            Some(&gi) => {
+                if emitted_group[gi].is_none() {
+                    emitted_group[gi] = Some(next);
+                    next += 1;
+                }
+                new_id[i] = emitted_group[gi];
+            }
+            None => {
+                new_id[i] = Some(next);
+                next += 1;
+            }
+        }
+    }
+
+    // Build nodes.
+    let mut out: Vec<Node> = Vec::with_capacity(next);
+    let mut seen_group = vec![false; groups.len()];
+    for i in 0..dfg.len() {
+        let node = &dfg.nodes()[i];
+        let (op, sources): (Opcode, Vec<&Node>) = match group_of.get(&i) {
+            Some(&gi) => {
+                if seen_group[gi] {
+                    continue;
+                }
+                seen_group[gi] = true;
+                (
+                    groups[gi].fused,
+                    groups[gi]
+                        .members
+                        .iter()
+                        .map(|&m| &dfg.nodes()[m])
+                        .collect(),
+                )
+            }
+            None => (node.op, vec![node]),
+        };
+        let gi = group_of.get(&i).copied();
+        let imms: Vec<f32> = if sources.len() > 1 {
+            sources
+                .iter()
+                .map(|s| s.imms.first().copied().unwrap_or(default_imm(s.op)))
+                .collect()
+        } else {
+            sources[0].imms.clone()
+        };
+        let mut inputs: Vec<Edge> = Vec::new();
+        let mut member_inputs: Vec<u8> = Vec::new();
+        for src in &sources {
+            let mut contributed = 0u8;
+            for e in &src.inputs {
+                // drop intra-group edges
+                if let Some(gi) = gi {
+                    if e.distance == 0 && groups[gi].members.contains(&e.from.0) {
+                        continue;
+                    }
+                }
+                let from = NodeId(new_id[e.from.0].expect("id assigned"));
+                let edge = Edge { from, distance: e.distance };
+                // drop same-iteration self-edges created by the merge; keep
+                // carried self-edges (recurrences)
+                let self_id = NodeId(new_id[i].expect("id assigned"));
+                if edge.distance == 0 && from == self_id {
+                    continue;
+                }
+                if edge.distance == 0 {
+                    contributed += 1;
+                }
+                inputs.push(edge);
+            }
+            member_inputs.push(contributed);
+        }
+        if sources.len() == 1 {
+            member_inputs.clear(); // primitives carry no routing metadata
+        }
+        out.push(Node {
+            id: NodeId(new_id[i].expect("id assigned")),
+            op,
+            inputs,
+            imms,
+            member_inputs,
+        });
+    }
+
+    let mut result = Dfg::new(dfg.name.clone());
+    for n in &out {
+        debug_assert_eq!(n.id.0, result.len());
+        result.push_node(n.clone());
+    }
+    debug_assert!(
+        result.validate().is_ok(),
+        "fusion broke invariants on '{}': {:?}",
+        dfg.name,
+        result.validate()
+    );
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use picachu_ir::kernels::{kernel_library, relu_kernel, softmax_kernel};
+    use picachu_ir::DfgBuilder;
+
+    #[test]
+    fn fusion_shrinks_every_kernel() {
+        for k in kernel_library(4) {
+            for l in &k.loops {
+                let fused = fuse_patterns(&l.dfg);
+                assert!(fused.len() < l.dfg.len(), "{} did not shrink", l.label);
+                assert!(fused.validate().is_ok(), "{}", l.label);
+            }
+        }
+    }
+
+    #[test]
+    fn fusion_conserves_primitive_ops() {
+        for k in kernel_library(4) {
+            for l in &k.loops {
+                let fused = fuse_patterns(&l.dfg);
+                assert_eq!(
+                    fused.primitive_op_count(),
+                    l.dfg.primitive_op_count(),
+                    "{} lost work",
+                    l.label
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn induction_fusion_breaks_recurrence() {
+        let mut b = DfgBuilder::new("ctl");
+        b.loop_control();
+        let g = b.finish();
+        assert_eq!(g.rec_mii(), 2);
+        let fused = fuse_patterns(&g);
+        assert_eq!(fused.rec_mii(), 1, "{fused}");
+        // phi+add fused with the cmp+br: 2 nodes remain
+        assert_eq!(fused.len(), 2);
+    }
+
+    #[test]
+    fn accumulator_fusion() {
+        let mut b = DfgBuilder::new("acc");
+        let i = b.loop_control();
+        let x = b.load_elem(i);
+        b.accumulate(x);
+        let g = b.finish();
+        let fused = fuse_patterns(&g);
+        assert_eq!(fused.rec_mii(), 1);
+        let phi_adds = fused
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, Opcode::FusedPhiAdd | Opcode::FusedPhiAddAdd))
+            .count();
+        assert_eq!(phi_adds, 2, "induction + accumulator:\n{fused}");
+    }
+
+    #[test]
+    fn every_loop_has_cmp_br_and_phi_add() {
+        for k in kernel_library(4) {
+            for l in &k.loops {
+                let c = count_patterns(&l.dfg);
+                assert!(c.cmp_br >= 1, "{} lacks cmp+br", l.label);
+                assert!(c.phi_add + c.phi_add_add >= 1, "{} lacks phi+add", l.label);
+            }
+        }
+    }
+
+    #[test]
+    fn exp_heavy_loops_have_mul_chains() {
+        let k = softmax_kernel(4);
+        let c = count_patterns(&k.loops[1].dfg);
+        assert!(c.mul_add + c.mul_add_add >= 3, "horner chains: {c:?}");
+    }
+
+    #[test]
+    fn relu_has_cmp_select() {
+        let k = relu_kernel();
+        let c = count_patterns(&k.loops[0].dfg);
+        assert!(c.cmp_select >= 1);
+    }
+
+    #[test]
+    fn fused_graph_has_no_primitive_pattern_left() {
+        // re-running fusion on a fused graph must be a no-op
+        for k in kernel_library(4) {
+            for l in &k.loops {
+                let once = fuse_patterns(&l.dfg);
+                let twice = fuse_patterns(&once);
+                assert_eq!(once.len(), twice.len(), "{} refused", l.label);
+            }
+        }
+    }
+
+    #[test]
+    fn carried_edges_survive() {
+        let k = softmax_kernel(4);
+        for l in &k.loops {
+            let fused = fuse_patterns(&l.dfg);
+            let carried: usize = fused
+                .nodes()
+                .iter()
+                .flat_map(|n| &n.inputs)
+                .filter(|e| e.distance > 0)
+                .count();
+            assert!(carried >= 1, "{} lost recurrences", l.label);
+        }
+    }
+}

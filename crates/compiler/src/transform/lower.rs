@@ -1,0 +1,168 @@
+//! Lowering of special operations for CGRAs without PICACHU's dedicated
+//! functional units (the §5.3.2 baseline).
+//!
+//! A conventional homogeneous CGRA has no FP2FX splitter, no exponent
+//! constructor and no LUT, so the same kernels must emulate them with
+//! primitive operations:
+//!
+//! * `fp2fx`  → fixed-point scale, truncate, convert back, subtract;
+//! * `pow2i`  → exponent-field assembly: bias add, shift, pack;
+//! * `lut`    → software interpolated table: index add, table load, delta
+//!   multiply, base add (and it consumes a memory port).
+
+use picachu_ir::dfg::{Dfg, Edge, NodeId};
+use picachu_ir::opcode::Opcode;
+
+/// Replaces every special operation with its primitive emulation sequence.
+/// Fused opcodes are left untouched (the baseline flow lowers *before*
+/// fusion and never fuses, so fused inputs indicate misuse).
+///
+/// # Panics
+/// Panics if the input contains fused opcodes.
+pub fn lower_special_ops(dfg: &Dfg) -> Dfg {
+    for n in dfg.nodes() {
+        assert!(
+            !n.op.is_fused(),
+            "lower_special_ops must run on unfused DFGs, found {}",
+            n.op
+        );
+    }
+    let mut out = Dfg::new(format!("{}-lowered", dfg.name));
+    // map[orig] = new id of the value consumers should read
+    let mut map: Vec<usize> = vec![usize::MAX; dfg.len()];
+    for n in dfg.nodes() {
+        let ins = |map: &[usize], skip_carried: bool| -> Vec<Edge> {
+            n.inputs
+                .iter()
+                .filter(|e| !skip_carried || e.distance == 0)
+                .map(|e| Edge { from: NodeId(map[e.from.0]), distance: e.distance })
+                .collect()
+        };
+        match n.op {
+            Opcode::Fp2Fx => {
+                // scale to fixed point, truncate, convert back, subtract:
+                // what a scalar tile without the conversion unit must do.
+                let base_in = ins(&map, false);
+                let scaled = out.push(Opcode::Mul, base_in.clone());
+                let trunc = out.push(Opcode::Shift, vec![Edge { from: scaled, distance: 0 }]);
+                let back = out.push(Opcode::Mul, vec![Edge { from: trunc, distance: 0 }]);
+                let sub_inputs = {
+                    let mut v = base_in;
+                    v.push(Edge { from: back, distance: 0 });
+                    v
+                };
+                let frac = out.push(Opcode::Sub, sub_inputs);
+                map[n.id.0] = frac.0;
+            }
+            Opcode::Pow2i => {
+                // exponent-field assembly: bias add, field shift, sign mask.
+                let base_in = ins(&map, false);
+                let bias = out.push(Opcode::Add, base_in);
+                let shl = out.push(Opcode::Shift, vec![Edge { from: bias, distance: 0 }]);
+                let packed = out.push(Opcode::Add, vec![Edge { from: shl, distance: 0 }]);
+                map[n.id.0] = packed.0;
+            }
+            Opcode::LutRead => {
+                let base_in = ins(&map, false);
+                let idx = out.push(Opcode::Add, base_in.clone());
+                let tbl = out.push(Opcode::Load, vec![Edge { from: idx, distance: 0 }]);
+                let scaled =
+                    out.push(Opcode::Mul, vec![Edge { from: tbl, distance: 0 }]);
+                let val = out.push(
+                    Opcode::Add,
+                    vec![Edge { from: tbl, distance: 0 }, Edge { from: scaled, distance: 0 }],
+                );
+                map[n.id.0] = val.0;
+            }
+            _ => {
+                // carried edges may reference nodes not yet emitted; emit the
+                // node now and fix carried edges afterwards.
+                let same_iter: Vec<Edge> = n
+                    .inputs
+                    .iter()
+                    .filter(|e| e.distance == 0)
+                    .map(|e| Edge { from: NodeId(map[e.from.0]), distance: 0 })
+                    .collect();
+                let id = out.push_imm(n.op, same_iter, n.imms.clone());
+                map[n.id.0] = id.0;
+            }
+        }
+    }
+    // Re-attach carried edges for primitive nodes.
+    for n in dfg.nodes() {
+        if matches!(n.op, Opcode::Fp2Fx | Opcode::Pow2i | Opcode::LutRead) {
+            continue; // special ops never carry recurrences in our kernels
+        }
+        for e in &n.inputs {
+            if e.distance > 0 {
+                out.add_loop_edge(NodeId(map[n.id.0]), NodeId(map[e.from.0]), e.distance);
+            }
+        }
+    }
+    debug_assert!(
+        out.validate().is_ok(),
+        "lowering broke invariants on '{}': {:?}",
+        dfg.name,
+        out.validate()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use picachu_ir::kernels::{gelu_lut_kernel, kernel_library, softmax_kernel};
+
+    #[test]
+    fn lowering_removes_special_ops() {
+        for k in kernel_library(4) {
+            for l in &k.loops {
+                let low = lower_special_ops(&l.dfg);
+                let specials = low
+                    .nodes()
+                    .iter()
+                    .filter(|n| n.op.needs_special_unit() && n.op != Opcode::Div)
+                    .count();
+                assert_eq!(specials, 0, "{}", l.label);
+            }
+        }
+    }
+
+    #[test]
+    fn lowering_grows_exp_kernels() {
+        let k = softmax_kernel(4);
+        let base = &k.loops[1].dfg;
+        let low = lower_special_ops(base);
+        // fp2fx -> 4 nodes (+3), pow2i -> 3 nodes (+2)
+        assert_eq!(low.len(), base.len() + 5);
+    }
+
+    #[test]
+    fn lut_lowering_adds_memory_traffic() {
+        let k = gelu_lut_kernel();
+        let base = &k.loops[0].dfg;
+        let low = lower_special_ops(base);
+        assert_eq!(low.memory_nodes(), base.memory_nodes() + 1);
+        assert_eq!(low.len(), base.len() + 3);
+    }
+
+    #[test]
+    fn lowered_graphs_validate_and_keep_recurrences() {
+        for k in kernel_library(6) {
+            for l in &k.loops {
+                let low = lower_special_ops(&l.dfg);
+                assert!(low.validate().is_ok(), "{}", l.label);
+                assert_eq!(low.rec_mii(), l.dfg.rec_mii(), "{}", l.label);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unfused")]
+    fn rejects_fused_input() {
+        use crate::transform::fusion::fuse_patterns;
+        let k = softmax_kernel(4);
+        let fused = fuse_patterns(&k.loops[0].dfg);
+        lower_special_ops(&fused);
+    }
+}

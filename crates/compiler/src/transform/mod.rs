@@ -1,0 +1,20 @@
+//! Loop transformations and DFG tuning (§4.3).
+//!
+//! * [`fusion`] — Table 4 pattern fusion ("DFG Tuning"): collapse recurring
+//!   `phi+add(+add)`, `add+add`, `cmp+select`, `mul+add(+add)` and `cmp+br`
+//!   chains into single-cycle fused nodes;
+//! * [`unroll()`] — loop unrolling to grow DFGs and improve fabric utilization;
+//! * [`vectorize()`] — INT16 4-lane vectorization, splitting non-vectorizable
+//!   operations (division) into per-lane nodes as §4.3 describes;
+//! * [`lower`] — lowering of the special operations (FP2FX, Pow2i, LUT) to
+//!   primitive sequences for baseline CGRAs without the dedicated units.
+
+pub mod fusion;
+pub mod lower;
+pub mod unroll;
+pub mod vectorize;
+
+pub use fusion::{count_patterns, fuse_patterns, PatternCounts};
+pub use lower::lower_special_ops;
+pub use unroll::unroll;
+pub use vectorize::{vectorize, VectorizedDfg};

@@ -1,0 +1,201 @@
+//! Loop unrolling (§4.3 "Loop Transformations").
+//!
+//! Unrolling replicates the loop body to enlarge the DFG, improving CGRA
+//! utilization: with unroll factor `F` one steady-state iteration produces
+//! `F` elements, so the per-element cost is `II/F`. Reduction recurrences are
+//! chained within the unrolled body (copy *k* accumulates onto copy *k−1*),
+//! keeping a single φ per reduction whose carried edge comes from the last
+//! copy.
+
+use picachu_ir::dfg::{Dfg, Edge, NodeId};
+use picachu_ir::opcode::Opcode;
+
+/// Unrolls a loop-body DFG by `factor`.
+///
+/// The loop-control group (the `br`, its `cmp`, the increment `add` and the
+/// induction `phi`) is emitted once — the increment constant simply becomes
+/// `factor`. All other nodes are replicated per copy; φ nodes are kept single
+/// with their recurrence re-targeted to the final copy, and same-iteration
+/// consumers of a φ in copy `k > 0` read the previous copy's carried producer
+/// instead (reduction chaining).
+///
+/// # Panics
+/// Panics if `factor == 0` or the DFG has no `br` node (not a loop body).
+pub fn unroll(dfg: &Dfg, factor: usize) -> Dfg {
+    assert!(factor >= 1, "unroll factor must be >= 1");
+    if factor == 1 {
+        return dfg.clone();
+    }
+    let nodes = dfg.nodes();
+
+    // Identify the control group via the branch.
+    let br = nodes
+        .iter()
+        .find(|n| n.op == Opcode::Br)
+        .expect("loop body must contain a br")
+        .id
+        .0;
+    let cmp = nodes[br]
+        .inputs
+        .iter()
+        .find(|e| e.distance == 0)
+        .map(|e| e.from.0)
+        .expect("br must consume a cmp");
+    let inc = nodes[cmp]
+        .inputs
+        .iter()
+        .find(|e| e.distance == 0 && nodes[e.from.0].op == Opcode::Add)
+        .map(|e| e.from.0)
+        .expect("cmp must consume the increment add");
+    let ind_phi = nodes[inc]
+        .inputs
+        .iter()
+        .find(|e| e.distance == 0 && nodes[e.from.0].op == Opcode::Phi)
+        .map(|e| e.from.0)
+        .expect("increment must consume the induction phi");
+    let control = [ind_phi, inc, cmp, br];
+
+    // Reduction phis: every other phi; map phi -> carried producer.
+    let reduction_phis: Vec<(usize, usize)> = nodes
+        .iter()
+        .filter(|n| n.op == Opcode::Phi && n.id.0 != ind_phi)
+        .map(|n| {
+            let prod = n
+                .inputs
+                .iter()
+                .find(|e| e.distance > 0)
+                .map(|e| e.from.0)
+                .expect("reduction phi must have a carried producer");
+            (n.id.0, prod)
+        })
+        .collect();
+
+    let mut out = Dfg::new(format!("{}xUF{}", dfg.name, factor));
+    // new ids: control nodes once, body nodes per copy
+    // map[(orig, copy)] = new id
+    let mut map = vec![vec![usize::MAX; factor]; nodes.len()];
+
+    // Copy 0..factor of body nodes in original order to preserve topology:
+    // emit per original index: control at copy 0 only; body per copy, but
+    // copies must be interleaved so chained reductions stay topologically
+    // ordered. Emit copy-major: for copy k, all body nodes in order. Control
+    // nodes are emitted within copy 0.
+    for k in 0..factor {
+        for n in nodes {
+            let i = n.id.0;
+            let is_control = control.contains(&i);
+            if is_control && k > 0 {
+                // later copies reference copy 0's control nodes
+                map[i][k] = map[i][0];
+                continue;
+            }
+            let is_red_phi = reduction_phis.iter().any(|&(p, _)| p == i);
+            if is_red_phi && k > 0 {
+                // consumers in copy k read copy k-1's producer instead
+                let (_, prod) = reduction_phis.iter().find(|&&(p, _)| p == i).unwrap();
+                map[i][k] = map[*prod][k - 1];
+                continue;
+            }
+            // emit a fresh node; translate inputs
+            let mut inputs = Vec::with_capacity(n.inputs.len());
+            for e in &n.inputs {
+                if e.distance > 0 {
+                    // recurrences re-attached after all copies exist
+                    continue;
+                }
+                inputs.push(Edge { from: NodeId(map[e.from.0][k]), distance: 0 });
+            }
+            let id = out.push_node(picachu_ir::Node {
+                id: picachu_ir::NodeId(0), // assigned by push_node
+                op: n.op,
+                inputs,
+                imms: n.imms.clone(),
+                member_inputs: n.member_inputs.clone(),
+            });
+            map[i][k] = id.0;
+        }
+    }
+
+    // Recurrences: induction phi <- increment (distance 1); reduction phis
+    // <- last copy's producer.
+    out.add_loop_edge(NodeId(map[ind_phi][0]), NodeId(map[inc][0]), 1);
+    for &(p, prod) in &reduction_phis {
+        out.add_loop_edge(NodeId(map[p][0]), NodeId(map[prod][factor - 1]), 1);
+    }
+
+    debug_assert!(
+        out.validate().is_ok(),
+        "unroll broke invariants on '{}': {:?}",
+        dfg.name,
+        out.validate()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use picachu_ir::kernels::{kernel_library, relu_kernel, softmax_kernel};
+
+    #[test]
+    fn factor_one_is_identity() {
+        let k = relu_kernel();
+        let u = unroll(&k.loops[0].dfg, 1);
+        assert_eq!(u.len(), k.loops[0].dfg.len());
+    }
+
+    #[test]
+    fn unroll_grows_body_not_control() {
+        let k = relu_kernel();
+        let base = k.loops[0].dfg.len(); // 10: 4 control + 6 body
+        let u2 = unroll(&k.loops[0].dfg, 2);
+        let u4 = unroll(&k.loops[0].dfg, 4);
+        assert_eq!(u2.len(), 4 + 2 * (base - 4));
+        assert_eq!(u4.len(), 4 + 4 * (base - 4));
+    }
+
+    #[test]
+    fn all_kernels_unroll_validly() {
+        for k in kernel_library(4) {
+            for l in &k.loops {
+                for f in [2usize, 3, 4] {
+                    let u = unroll(&l.dfg, f);
+                    assert!(u.validate().is_ok(), "{} UF{f}", l.label);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduction_chains_through_copies() {
+        // softmax(2) has a sum accumulator; after UF2 the recurrence spans
+        // both copies so RecMII stays at the single-add latency budget.
+        let k = softmax_kernel(4);
+        let u = unroll(&k.loops[1].dfg, 2);
+        // accumulator cycle now contains 2 adds + phi: RecMII = 3 unfused
+        assert_eq!(u.rec_mii(), 3);
+        // one phi for induction + one for the sum
+        let phis = u.nodes().iter().filter(|n| n.op == Opcode::Phi).count();
+        assert_eq!(phis, 2);
+    }
+
+    #[test]
+    fn memory_ops_replicate() {
+        let k = relu_kernel();
+        let u = unroll(&k.loops[0].dfg, 4);
+        assert_eq!(u.memory_nodes(), 4 * k.loops[0].dfg.memory_nodes());
+    }
+
+    #[test]
+    fn unrolled_fusion_composes() {
+        use crate::transform::fusion::fuse_patterns;
+        for k in kernel_library(4) {
+            for l in &k.loops {
+                let u = unroll(&l.dfg, 4);
+                let f = fuse_patterns(&u);
+                assert!(f.validate().is_ok(), "{}", l.label);
+                assert!(f.len() < u.len(), "{} fused after unroll", l.label);
+            }
+        }
+    }
+}

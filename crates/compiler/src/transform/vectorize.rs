@@ -1,0 +1,153 @@
+//! INT16 lane vectorization (§4.2.2, §4.3, evaluated in Fig. 7d).
+//!
+//! In INT16 mode each tile's four 16-bit lanes process four elements per
+//! cycle, so a vectorizable node keeps its single DFG slot but carries four
+//! lanes of data. Operations the lanes cannot replicate — division (the CoT
+//! divider is scalar) — are **split into one node per lane**, as §4.3's DFG
+//! tuning describes; φ/control nodes stay scalar. The achieved speedup is
+//! therefore below the theoretical 4× whenever split or scalar nodes raise
+//! the II.
+
+use picachu_ir::dfg::{Dfg, Edge, NodeId};
+use picachu_ir::opcode::Opcode;
+
+/// Result of vectorization: the transformed DFG plus the lane count it
+/// processes per steady-state iteration.
+#[derive(Debug, Clone)]
+pub struct VectorizedDfg {
+    /// The transformed graph.
+    pub dfg: Dfg,
+    /// Elements produced per iteration (the vector factor).
+    pub factor: usize,
+}
+
+/// Vectorizes a loop-body DFG for `factor` INT16 lanes.
+///
+/// Every vectorizable node stays single (it now denotes a 4-lane operation);
+/// every non-vectorizable *computation* node that is not loop control
+/// (division, primarily) is replicated `factor` times, all lanes consuming
+/// the same vector producers and feeding the same vector consumers.
+///
+/// # Panics
+/// Panics if `factor == 0`.
+pub fn vectorize(dfg: &Dfg, factor: usize) -> VectorizedDfg {
+    assert!(factor >= 1, "vector factor must be >= 1");
+    if factor == 1 {
+        return VectorizedDfg { dfg: dfg.clone(), factor: 1 };
+    }
+    let nodes = dfg.nodes();
+    // Split set: non-vectorizable, non-control, non-phi compute nodes.
+    let must_split = |op: Opcode| {
+        !op.is_vectorizable() && !op.is_control() && !matches!(op, Opcode::Phi | Opcode::FusedPhiAdd | Opcode::FusedPhiAddAdd)
+    };
+
+    let mut out = Dfg::new(format!("{}xV{}", dfg.name, factor));
+    // map[orig] = list of new ids (len 1 for vector nodes, `factor` for split)
+    let mut map: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    for n in nodes {
+        let copies = if must_split(n.op) { factor } else { 1 };
+        for lane in 0..copies {
+            let mut inputs = Vec::new();
+            for e in &n.inputs {
+                if e.distance > 0 {
+                    continue; // reattached below
+                }
+                let srcs = &map[e.from.0];
+                // a split node reads lane `lane` of a split producer, or the
+                // single vector producer; a vector node reads all lanes of a
+                // split producer (gather) or the single producer.
+                if srcs.len() == 1 {
+                    inputs.push(Edge { from: NodeId(srcs[0]), distance: 0 });
+                } else if copies > 1 {
+                    inputs.push(Edge { from: NodeId(srcs[lane]), distance: 0 });
+                } else {
+                    for &s in srcs {
+                        inputs.push(Edge { from: NodeId(s), distance: 0 });
+                    }
+                }
+            }
+            let id = out.push_node(picachu_ir::Node {
+                id: picachu_ir::NodeId(0), // assigned by push_node
+                op: n.op,
+                inputs,
+                imms: n.imms.clone(),
+                member_inputs: n.member_inputs.clone(),
+            });
+            map[n.id.0].push(id.0);
+        }
+    }
+    // Recurrences: target lane 0 / single node; source lane-0 equivalent.
+    for n in nodes {
+        for e in &n.inputs {
+            if e.distance > 0 {
+                let target = NodeId(map[n.id.0][0]);
+                let from = NodeId(map[e.from.0][0]);
+                out.add_loop_edge(target, from, e.distance);
+            }
+        }
+    }
+    debug_assert!(
+        out.validate().is_ok(),
+        "vectorize broke invariants on '{}': {:?}",
+        dfg.name,
+        out.validate()
+    );
+    VectorizedDfg { dfg: out, factor }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use picachu_ir::kernels::{kernel_library, relu_kernel, softmax_kernel};
+
+    #[test]
+    fn factor_one_identity() {
+        let k = relu_kernel();
+        let v = vectorize(&k.loops[0].dfg, 1);
+        assert_eq!(v.dfg.len(), k.loops[0].dfg.len());
+        assert_eq!(v.factor, 1);
+    }
+
+    #[test]
+    fn relu_vectorizes_without_splits() {
+        // relu has no division: node count unchanged, 4 elements per iteration.
+        let k = relu_kernel();
+        let v = vectorize(&k.loops[0].dfg, 4);
+        assert_eq!(v.dfg.len(), k.loops[0].dfg.len());
+        assert_eq!(v.factor, 4);
+    }
+
+    #[test]
+    fn division_splits_into_lanes() {
+        let k = softmax_kernel(4);
+        let base = &k.loops[2].dfg; // divide loop
+        let v = vectorize(base, 4);
+        let base_divs = base.nodes().iter().filter(|n| n.op == Opcode::Div).count();
+        let vec_divs = v.dfg.nodes().iter().filter(|n| n.op == Opcode::Div).count();
+        assert_eq!(vec_divs, 4 * base_divs);
+        assert_eq!(v.dfg.len(), base.len() + 3 * base_divs);
+    }
+
+    #[test]
+    fn all_kernels_vectorize_validly() {
+        for k in kernel_library(4) {
+            for l in &k.loops {
+                let v = vectorize(&l.dfg, 4);
+                assert!(v.dfg.validate().is_ok(), "{}", l.label);
+                assert!(v.dfg.rec_mii() >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn vectorize_composes_with_fusion() {
+        use crate::transform::fusion::fuse_patterns;
+        for k in kernel_library(4) {
+            for l in &k.loops {
+                let fused = fuse_patterns(&l.dfg);
+                let v = vectorize(&fused, 4);
+                assert!(v.dfg.validate().is_ok(), "{}", l.label);
+            }
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Design-space exploration (the §2.2 CGRA-DSE tradition: OpenCGRA, Aurora,
+//! APEX — here applied to the PICACHU configuration knobs).
+//!
+//! Sweeps fabric geometry × Shared Buffer size × data format for a target
+//! model, evaluating end-to-end latency with the engine and silicon cost
+//! with the calibrated model, and returns the Pareto frontier of
+//! (latency, area) points — the tool a deployment team would use to pick a
+//! model-specific PICACHU instance (§5.3.5's closing suggestion).
+
+use crate::engine::{EngineConfig, PicachuEngine};
+use picachu_cgra::cost::CostModel;
+use picachu_compiler::arch::CgraSpec;
+use picachu_llm::ModelConfig;
+use picachu_num::DataFormat;
+use std::fmt;
+
+/// One evaluated design point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignPoint {
+    /// CGRA rows.
+    pub cgra_rows: usize,
+    /// CGRA cols.
+    pub cgra_cols: usize,
+    /// Shared Buffer KB.
+    pub buffer_kb: usize,
+    /// Data format.
+    pub format: DataFormat,
+    /// End-to-end latency in cycles for the target workload.
+    pub latency: f64,
+    /// CGRA + buffer area in mm² (the systolic array is fixed).
+    pub area_mm2: f64,
+}
+
+impl DesignPoint {
+    /// Latency × area — the single-number figure of merit.
+    pub fn latency_area_product(&self) -> f64 {
+        self.latency * self.area_mm2
+    }
+}
+
+impl fmt::Display for DesignPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}x{} CGRA, {} KB, {}: {:.3e} cycles, {:.2} mm2",
+            self.cgra_rows, self.cgra_cols, self.buffer_kb, self.format, self.latency, self.area_mm2
+        )
+    }
+}
+
+/// The sweep configuration.
+#[derive(Debug, Clone)]
+pub struct DseSweep {
+    /// Fabric geometries to try.
+    pub fabrics: Vec<(usize, usize)>,
+    /// Buffer sizes (KB) to try.
+    pub buffers: Vec<usize>,
+    /// Formats to try.
+    pub formats: Vec<DataFormat>,
+    /// Evaluation sequence length.
+    pub seq: usize,
+}
+
+impl Default for DseSweep {
+    fn default() -> DseSweep {
+        DseSweep {
+            fabrics: vec![(3, 3), (4, 4), (5, 5)],
+            buffers: vec![20, 40, 80],
+            formats: vec![DataFormat::Fp16, DataFormat::Int16],
+            seq: 512,
+        }
+    }
+}
+
+/// Runs the sweep for a model, returning every evaluated point sorted by
+/// latency-area product (best first).
+pub fn explore(model: &ModelConfig, sweep: &DseSweep) -> Vec<DesignPoint> {
+    let cost = CostModel::default();
+    let mut points = Vec::new();
+    for &(r, c) in &sweep.fabrics {
+        for &kb in &sweep.buffers {
+            for &fmt in &sweep.formats {
+                let mut engine = PicachuEngine::new(EngineConfig {
+                    cgra_rows: r,
+                    cgra_cols: c,
+                    buffer_kb: kb,
+                    format: fmt,
+                    ..EngineConfig::default()
+                });
+                let latency = engine.execute_model(model, sweep.seq).total();
+                let area = cost.cgra_cost(&CgraSpec::picachu(r, c), 0.7).area_mm2
+                    + cost.sram_cost(kb as f64).area_mm2;
+                points.push(DesignPoint {
+                    cgra_rows: r,
+                    cgra_cols: c,
+                    buffer_kb: kb,
+                    format: fmt,
+                    latency,
+                    area_mm2: area,
+                });
+            }
+        }
+    }
+    points.sort_by(|a, b| {
+        a.latency_area_product()
+            .partial_cmp(&b.latency_area_product())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    points
+}
+
+/// Filters a point set to its Pareto frontier (no other point is both faster
+/// and smaller), sorted by latency.
+pub fn pareto_frontier(points: &[DesignPoint]) -> Vec<DesignPoint> {
+    let mut frontier: Vec<DesignPoint> = Vec::new();
+    for p in points {
+        let dominated = points.iter().any(|q| {
+            (q.latency < p.latency && q.area_mm2 <= p.area_mm2)
+                || (q.latency <= p.latency && q.area_mm2 < p.area_mm2)
+        });
+        if !dominated {
+            frontier.push(p.clone());
+        }
+    }
+    frontier.sort_by(|a, b| a.latency.partial_cmp(&b.latency).unwrap_or(std::cmp::Ordering::Equal));
+    frontier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_sweep() -> DseSweep {
+        DseSweep {
+            fabrics: vec![(3, 3), (4, 4)],
+            buffers: vec![20, 40],
+            formats: vec![DataFormat::Fp16, DataFormat::Int16],
+            seq: 128,
+        }
+    }
+
+    #[test]
+    fn sweep_covers_grid() {
+        let pts = explore(&ModelConfig::gpt2(), &small_sweep());
+        assert_eq!(pts.len(), 2 * 2 * 2);
+    }
+
+    #[test]
+    fn pareto_frontier_is_subset_and_nondominated() {
+        let pts = explore(&ModelConfig::gpt2(), &small_sweep());
+        let front = pareto_frontier(&pts);
+        assert!(!front.is_empty() && front.len() <= pts.len());
+        for (i, a) in front.iter().enumerate() {
+            for (j, b) in front.iter().enumerate() {
+                if i != j {
+                    assert!(
+                        !(b.latency < a.latency && b.area_mm2 < a.area_mm2),
+                        "{b} dominates {a}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn int16_dominates_fp16_at_same_geometry() {
+        // same silicon, faster execution: FP16 points of identical geometry
+        // can never appear on the frontier ahead of INT16.
+        let pts = explore(&ModelConfig::llama2_7b(), &small_sweep());
+        for p in &pts {
+            if p.format == DataFormat::Int16 {
+                let twin = pts.iter().find(|q| {
+                    q.format == DataFormat::Fp16
+                        && q.cgra_rows == p.cgra_rows
+                        && q.cgra_cols == p.cgra_cols
+                        && q.buffer_kb == p.buffer_kb
+                });
+                let twin = twin.expect("paired point");
+                assert!(p.latency <= twin.latency, "{p} vs {twin}");
+            }
+        }
+    }
+
+    #[test]
+    fn best_point_sorted_first() {
+        let pts = explore(&ModelConfig::gpt2(), &small_sweep());
+        for w in pts.windows(2) {
+            assert!(w[0].latency_area_product() <= w[1].latency_area_product());
+        }
+    }
+}

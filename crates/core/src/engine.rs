@@ -1,0 +1,469 @@
+//! The PICACHU end-to-end execution engine.
+//!
+//! Composes the whole system: the compiler maps each nonlinear kernel loop
+//! onto the CGRA (picking the best unroll factor, and the INT16 vector
+//! factor when the user selects that format), the systolic array model times
+//! the GEMMs, and the Shared Buffer applies the §4.2.4 dataflow cases —
+//! element-wise ops stream against the systolic array (Case 1), reductions
+//! round-trip DRAM channel-by-channel under double buffering (Case 2) or
+//! stay buffer-resident when they fit (Case 3). The result is the latency
+//! breakdown and energy the Figs. 7c, 8, 9 experiments report.
+
+use picachu_baselines::Breakdown;
+use picachu_cgra::cost::CostModel;
+use picachu_compiler::arch::CgraSpec;
+use picachu_compiler::mapper::{map_dfg, Mapping};
+use picachu_compiler::transform::{fuse_patterns, unroll, vectorize};
+use picachu_ir::kernels as klib;
+use picachu_llm::trace::TraceOp;
+use picachu_llm::ModelConfig;
+use picachu_nonlinear::{LoopKind, NonlinearOp};
+use picachu_num::DataFormat;
+use picachu_systolic::{DmaModel, SharedBuffer, SystolicArray};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Engine configuration (defaults reproduce the paper's evaluation setup:
+/// 4×4 CGRA + 32×32 systolic array + 40 KB Shared Buffer at 1 GHz).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineConfig {
+    /// CGRA grid rows.
+    pub cgra_rows: usize,
+    /// CGRA grid columns.
+    pub cgra_cols: usize,
+    /// Systolic array rows.
+    pub systolic_rows: usize,
+    /// Systolic array columns.
+    pub systolic_cols: usize,
+    /// Shared Buffer size in KB.
+    pub buffer_kb: usize,
+    /// Kernel data format (INT16 enables 4-lane vectorization).
+    pub format: DataFormat,
+    /// Taylor terms for the exp/sin hardware kernels.
+    pub taylor_terms: usize,
+    /// Unroll factors the compiler tries per kernel loop.
+    pub unroll_candidates: Vec<usize>,
+    /// Mapper seed.
+    pub seed: u64,
+    /// Double buffering in the Shared Buffer (§4.2.3). Off = serialized
+    /// fills/drains (ablation knob).
+    pub double_buffering: bool,
+    /// Streaming overlap with the systolic array (Case 1). Off = every
+    /// element-wise op fully exposed (ablation knob).
+    pub streaming: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            cgra_rows: 4,
+            cgra_cols: 4,
+            systolic_rows: 32,
+            systolic_cols: 32,
+            buffer_kb: 40,
+            // FP16 storage with FP32 intermediates, the paper's default
+            format: DataFormat::Fp16,
+            taylor_terms: 4,
+            unroll_candidates: vec![1, 2, 4, 8],
+            seed: 0x71CA,
+            double_buffering: true,
+            streaming: true,
+        }
+    }
+}
+
+/// One compiled kernel loop: its mapping plus the unroll/vector factors.
+#[derive(Debug, Clone)]
+pub struct CompiledLoop {
+    /// Loop label (e.g. `"softmax(2)"`).
+    pub label: String,
+    /// Reduction or element-wise.
+    pub kind: LoopKind,
+    /// The chosen mapping.
+    pub mapping: Mapping,
+    /// Unroll factor.
+    pub uf: usize,
+    /// Vector factor (4 for INT16, else 1).
+    pub vf: usize,
+}
+
+impl CompiledLoop {
+    /// Elements produced per initiation interval.
+    pub fn elements_per_ii(&self) -> usize {
+        self.uf * self.vf
+    }
+
+    /// Cycles to process `elements` elements in steady state.
+    pub fn cycles(&self, elements: u64) -> u64 {
+        let iters = elements.div_ceil(self.elements_per_ii() as u64);
+        self.mapping.cycles_for(iters)
+    }
+}
+
+/// The engine: owns the fabric, substrate models and kernel cache.
+#[derive(Debug)]
+pub struct PicachuEngine {
+    /// Configuration.
+    pub config: EngineConfig,
+    spec: CgraSpec,
+    systolic: SystolicArray,
+    buffer: SharedBuffer,
+    dma: DmaModel,
+    cost: CostModel,
+    cache: HashMap<NonlinearOp, Vec<CompiledLoop>>,
+}
+
+impl PicachuEngine {
+    /// Builds an engine (the CGRA and substrate models come up immediately;
+    /// kernels are compiled lazily on first use).
+    pub fn new(config: EngineConfig) -> PicachuEngine {
+        let spec = CgraSpec::picachu(config.cgra_rows, config.cgra_cols);
+        let systolic = SystolicArray::new(config.systolic_rows, config.systolic_cols);
+        let buffer = SharedBuffer {
+            double_buffered: config.double_buffering,
+            ..SharedBuffer::new_kb(config.buffer_kb)
+        };
+        PicachuEngine {
+            spec,
+            systolic,
+            buffer,
+            dma: DmaModel::default(),
+            cost: CostModel::default(),
+            config,
+            cache: HashMap::new(),
+        }
+    }
+
+    /// The CGRA fabric specification in use.
+    pub fn spec(&self) -> &CgraSpec {
+        &self.spec
+    }
+
+    /// The systolic array model in use.
+    pub fn systolic(&self) -> &SystolicArray {
+        &self.systolic
+    }
+
+    /// Compiles (or returns cached) loops for a nonlinear operation: builds
+    /// the kernel, then per loop picks the unroll factor minimizing the
+    /// per-element II.
+    ///
+    /// # Panics
+    /// Panics if a kernel loop fails to map on the fabric at every candidate
+    /// unroll factor — a fabric misconfiguration, not a runtime condition.
+    pub fn compile_op(&mut self, op: NonlinearOp) -> &[CompiledLoop] {
+        if !self.cache.contains_key(&op) {
+            let compiled = self.compile_uncached(op);
+            self.cache.insert(op, compiled);
+        }
+        &self.cache[&op]
+    }
+
+    fn compile_uncached(&self, op: NonlinearOp) -> Vec<CompiledLoop> {
+        let kernel = kernel_for(op, self.config.taylor_terms);
+        let vf_global = self.config.format.vector_factor();
+        let mut out = Vec::new();
+        for (i, l) in kernel.loops.iter().enumerate() {
+            let kind = match l.class {
+                klib::LoopClass::Reduction => LoopKind::Reduction,
+                klib::LoopClass::ElementWise => LoopKind::ElementWise,
+            };
+            // reductions vectorize with per-lane partial accumulators (the
+            // vector φ holds four lane partials; the cross-lane combine runs
+            // once per channel and is negligible), so every loop gets the
+            // format's vector factor.
+            let vf = vf_global;
+            let mut best: Option<CompiledLoop> = None;
+            for &uf in &self.config.unroll_candidates {
+                let mut dfg = fuse_patterns(&unroll(&l.dfg, uf));
+                if vf > 1 {
+                    dfg = vectorize(&dfg, vf).dfg;
+                }
+                let Ok(mapping) = map_dfg(&dfg, &self.spec, self.config.seed ^ (i as u64) << 8)
+                else {
+                    continue;
+                };
+                let per_elem =
+                    mapping.ii as f64 / (uf * vf) as f64;
+                let better = match &best {
+                    None => true,
+                    Some(b) => per_elem < b.mapping.ii as f64 / b.elements_per_ii() as f64,
+                };
+                if better {
+                    best = Some(CompiledLoop {
+                        label: l.label.clone(),
+                        kind,
+                        mapping,
+                        uf,
+                        vf,
+                    });
+                }
+            }
+            out.push(best.unwrap_or_else(|| {
+                panic!("kernel loop '{}' failed to map on the fabric", l.label)
+            }));
+        }
+        out
+    }
+
+    /// Raw CGRA compute cycles for one nonlinear trace op (no memory-system
+    /// effects) — the quantity the kernel-level figures use.
+    pub fn nonlinear_compute_cycles(&mut self, op: NonlinearOp, rows: usize, channel: usize) -> u64 {
+        let loops: Vec<CompiledLoop> = self.compile_op(op).to_vec();
+        let elems = (rows * channel) as u64;
+        loops.iter().map(|l| l.cycles(elems)).sum()
+    }
+
+    /// Executes a full operator trace with the §4.2.4 dataflow cases,
+    /// returning the exposed-latency breakdown.
+    pub fn execute_trace(&mut self, trace: &[TraceOp]) -> Breakdown {
+        let mut b = Breakdown::default();
+        let mut pending_gemm: u64 = 0; // cycles of the producing GEMM
+        let elem_bytes = self.config.format.byte_width();
+        for t in trace {
+            match *t {
+                TraceOp::Gemm { m, k, n, count } => {
+                    let c = self.systolic.gemm_cycles(m, k, n) * count as u64;
+                    b.gemm += c as f64;
+                    pending_gemm = c;
+                }
+                TraceOp::Nonlinear { op, rows, channel } => {
+                    let compute = self.nonlinear_compute_cycles(op, rows, channel);
+                    match op.category() {
+                        picachu_nonlinear::OpCategory::ElementWise => {
+                            // Case 1: stream against the producing GEMM; only
+                            // the excess over the producer is exposed.
+                            let exposed = if self.config.streaming {
+                                compute.saturating_sub(pending_gemm)
+                            } else {
+                                compute
+                            };
+                            b.nonlinear += exposed as f64;
+                            pending_gemm = 0;
+                        }
+                        picachu_nonlinear::OpCategory::ReductionElementWise => {
+                            let channel_bytes = channel * elem_bytes;
+                            let per_channel = (compute as f64 / rows as f64).ceil() as u64;
+                            if op == NonlinearOp::Softmax {
+                                // the first loop overlaps with the scores
+                                // GEMM; account the remaining two loops.
+                                let loops: Vec<CompiledLoop> = self.compile_op(op).to_vec();
+                                let overlap: u64 =
+                                    loops[0].cycles(channel as u64) * rows as u64;
+                                let exposed_first = if self.config.streaming {
+                                    overlap.saturating_sub(pending_gemm)
+                                } else {
+                                    overlap
+                                };
+                                pending_gemm = 0;
+                                let rest = compute - overlap;
+                                if self.buffer.channel_fits(channel, elem_bytes) {
+                                    // Case 3: resident until statistics done.
+                                    b.nonlinear += (exposed_first + rest) as f64;
+                                } else {
+                                    // Case 2 on the remaining loops.
+                                    let total = self.buffer.pipelined_cycles(
+                                        rows as u64,
+                                        channel_bytes,
+                                        ((rest as f64) / rows as f64).ceil() as u64,
+                                        &self.dma,
+                                    );
+                                    b.nonlinear += (exposed_first + rest) as f64;
+                                    b.data_movement += (total.saturating_sub(rest)) as f64;
+                                }
+                            } else if self.buffer.channel_fits(channel, elem_bytes) {
+                                // Case 2 with double buffering: DMA hidden
+                                // when compute-bound, exposed otherwise.
+                                let total = self.buffer.pipelined_cycles(
+                                    rows as u64,
+                                    channel_bytes,
+                                    per_channel,
+                                    &self.dma,
+                                );
+                                b.nonlinear += compute as f64;
+                                b.data_movement += total.saturating_sub(compute) as f64;
+                            } else {
+                                // channel exceeds the working set: chunked
+                                // two-pass execution (statistics, then apply).
+                                let working = self.buffer.working_bytes().max(1);
+                                let chunks =
+                                    rows as u64 * (channel_bytes.div_ceil(working)) as u64;
+                                let per_chunk = ((2 * compute) as f64 / chunks as f64).ceil() as u64;
+                                let total = self.buffer.pipelined_cycles(
+                                    chunks,
+                                    working,
+                                    per_chunk,
+                                    &self.dma,
+                                );
+                                b.nonlinear += (2 * compute) as f64;
+                                b.data_movement += total.saturating_sub(2 * compute) as f64;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        b
+    }
+
+    /// End-to-end evaluation of a model at a sequence length.
+    pub fn execute_model(&mut self, cfg: &ModelConfig, seq: usize) -> Breakdown {
+        self.execute_trace(&picachu_llm::model_trace(cfg, seq))
+    }
+
+    /// Energy in nJ for an exposed breakdown at 1 GHz: systolic + SRAM power
+    /// over GEMM time, CGRA + buffer power over nonlinear time, DMA/glue
+    /// over data movement.
+    pub fn energy_nj(&self, b: &Breakdown) -> f64 {
+        let cgra = self.cost.cgra_cost(&self.spec, 0.7);
+        let sys = self
+            .cost
+            .systolic_cost(self.config.systolic_rows, self.config.systolic_cols, 0.8);
+        let sram = self.cost.sram_cost(225.0 + self.config.buffer_kb as f64);
+        let glue = self.cost.glue_cost();
+        self.cost.energy_nj(sys.power_mw + sram.power_mw, b.gemm as u64)
+            + self.cost.energy_nj(cgra.power_mw + sram.power_mw * 0.3, b.nonlinear as u64)
+            + self.cost.energy_nj(glue.power_mw + sram.power_mw * 0.2, b.data_movement as u64)
+    }
+}
+
+impl fmt::Display for PicachuEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "PICACHU engine: {}x{} CGRA + {}x{} systolic + {} KB buffer ({})",
+            self.config.cgra_rows,
+            self.config.cgra_cols,
+            self.config.systolic_rows,
+            self.config.systolic_cols,
+            self.config.buffer_kb,
+            self.config.format
+        )
+    }
+}
+
+/// Maps an operation to its kernel.
+fn kernel_for(op: NonlinearOp, terms: usize) -> klib::Kernel {
+    match op {
+        NonlinearOp::Softmax => klib::softmax_kernel(terms),
+        NonlinearOp::Relu => klib::relu_kernel(),
+        NonlinearOp::Gelu => klib::gelu_kernel(terms),
+        NonlinearOp::Geglu => klib::geglu_kernel(terms),
+        NonlinearOp::Silu => klib::silu_kernel(terms),
+        NonlinearOp::Swiglu => klib::swiglu_kernel(terms),
+        NonlinearOp::LayerNorm => klib::layernorm_kernel(),
+        NonlinearOp::RmsNorm => klib::rmsnorm_kernel(),
+        NonlinearOp::Rope => klib::rope_kernel(terms),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> PicachuEngine {
+        PicachuEngine::new(EngineConfig::default())
+    }
+
+    #[test]
+    fn compile_caches() {
+        let mut e = engine();
+        let a = e.compile_op(NonlinearOp::Gelu).len();
+        let b = e.compile_op(NonlinearOp::Gelu).len();
+        assert_eq!(a, b);
+        assert_eq!(a, 1);
+        assert_eq!(e.compile_op(NonlinearOp::Softmax).len(), 3);
+    }
+
+    #[test]
+    fn int16_vectorizes_elementwise_loops() {
+        let mut e = PicachuEngine::new(EngineConfig {
+            format: DataFormat::Int16,
+            ..EngineConfig::default()
+        });
+        let loops = e.compile_op(NonlinearOp::Gelu);
+        assert_eq!(loops[0].vf, 4);
+        let softmax = e.compile_op(NonlinearOp::Softmax).to_vec();
+        assert_eq!(softmax[0].vf, 4, "max reduction uses 4 lane partials");
+        assert_eq!(softmax[2].vf, 4, "divide loop vectorizes");
+    }
+
+    #[test]
+    fn end_to_end_faster_than_gemmini_on_llama() {
+        let mut e = engine();
+        let cfg = ModelConfig::llama2_13b();
+        let ours = e.execute_model(&cfg, 256).total();
+        let sys = SystolicArray::new(32, 32);
+        let gem = picachu_baselines::common::evaluate_model(
+            &picachu_baselines::GemminiModel::default(),
+            &sys,
+            &cfg,
+            256,
+        )
+        .total();
+        assert!(ours < gem, "PICACHU {ours} should beat Gemmini {gem} on LLaMA2");
+    }
+
+    #[test]
+    fn nonlinear_share_drops_vs_gpu_profile() {
+        // Fig. 9b: nonlinear latency share falls to ~20% on PICACHU.
+        let mut e = engine();
+        let b = e.execute_model(&ModelConfig::llama2_7b(), 256);
+        let share = (b.nonlinear + b.data_movement) / b.total();
+        assert!(share < 0.45, "share {share}");
+        assert!(b.gemm > 0.0 && b.nonlinear > 0.0);
+    }
+
+    #[test]
+    fn energy_positive_and_monotone() {
+        let e = engine();
+        let small = Breakdown { gemm: 1e6, nonlinear: 1e5, data_movement: 0.0 };
+        let big = Breakdown { gemm: 2e6, nonlinear: 2e5, data_movement: 1e4 };
+        assert!(e.energy_nj(&small) > 0.0);
+        assert!(e.energy_nj(&big) > e.energy_nj(&small));
+    }
+
+    #[test]
+    fn decode_trace_executes() {
+        let mut e = engine();
+        let trace = picachu_llm::decode_trace(&ModelConfig::llama2_7b(), 512);
+        let b = e.execute_trace(&trace);
+        assert!(b.total() > 0.0);
+        // decode is GEMV-bound on the systolic array; nonlinear stays small
+        assert!(b.gemm > b.nonlinear, "{b}");
+    }
+
+    #[test]
+    fn streaming_off_is_never_faster() {
+        let total = |streaming: bool| {
+            let mut e = PicachuEngine::new(EngineConfig { streaming, ..EngineConfig::default() });
+            e.execute_model(&ModelConfig::gpt2(), 256).total()
+        };
+        assert!(total(true) <= total(false));
+    }
+
+    #[test]
+    fn double_buffering_off_is_never_faster() {
+        let total = |double_buffering: bool| {
+            let mut e = PicachuEngine::new(EngineConfig {
+                double_buffering,
+                ..EngineConfig::default()
+            });
+            e.execute_model(&ModelConfig::llama2_7b(), 128).total()
+        };
+        assert!(total(true) <= total(false));
+    }
+
+    #[test]
+    fn bigger_buffer_never_slower() {
+        let mk = |kb: usize| {
+            let mut e = PicachuEngine::new(EngineConfig { buffer_kb: kb, ..EngineConfig::default() });
+            e.execute_model(&ModelConfig::llama2_7b(), 128).total()
+        };
+        let t10 = mk(10);
+        let t40 = mk(40);
+        let t80 = mk(80);
+        assert!(t40 <= t10, "40KB {t40} vs 10KB {t10}");
+        assert!(t80 <= t40 * 1.001, "80KB {t80} vs 40KB {t40} (plateau)");
+    }
+}

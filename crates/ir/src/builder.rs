@@ -1,0 +1,264 @@
+//! SSA-style builder for loop-body DFGs, with helpers for the structures
+//! every nonlinear kernel shares: loop control, element loads/stores, and the
+//! Table 3 operator chains.
+//!
+//! Nodes carry **immediate operands** (the constants the compiler folds into
+//! instructions: Taylor coefficients, `log2(e)`, `1/π`, …), so the kernel
+//! library is *functionally executable* by [`crate::interp`], not just a
+//! structural sketch — the Table 3 chains compute the real mathematics.
+
+use crate::dfg::{Dfg, Edge, NodeId};
+use crate::opcode::Opcode;
+
+/// Builds a [`Dfg`] incrementally.
+///
+/// ```
+/// use picachu_ir::{DfgBuilder, Opcode};
+///
+/// let mut b = DfgBuilder::new("demo");
+/// let x = b.op(Opcode::Load, &[]);
+/// let y = b.op_imm(Opcode::Mul, &[x], 2.0); // y = 2x
+/// b.op(Opcode::Store, &[y]);
+/// let dfg = b.finish();
+/// assert_eq!(dfg.len(), 3);
+/// ```
+#[derive(Debug)]
+pub struct DfgBuilder {
+    dfg: Dfg,
+}
+
+impl DfgBuilder {
+    /// Starts an empty graph with the given kernel-loop label.
+    pub fn new(name: impl Into<String>) -> DfgBuilder {
+        DfgBuilder { dfg: Dfg::new(name) }
+    }
+
+    /// Appends a node with same-iteration inputs.
+    pub fn op(&mut self, op: Opcode, inputs: &[NodeId]) -> NodeId {
+        let edges = inputs
+            .iter()
+            .map(|&from| Edge { from, distance: 0 })
+            .collect();
+        self.dfg.push(op, edges)
+    }
+
+    /// Appends a node with same-iteration inputs and one immediate.
+    pub fn op_imm(&mut self, op: Opcode, inputs: &[NodeId], imm: f32) -> NodeId {
+        let edges = inputs
+            .iter()
+            .map(|&from| Edge { from, distance: 0 })
+            .collect();
+        self.dfg.push_imm(op, edges, vec![imm])
+    }
+
+    /// Appends a constant node.
+    pub fn constant(&mut self, value: f32) -> NodeId {
+        self.op_imm(Opcode::Const, &[], value)
+    }
+
+    /// Appends a loop-invariant parameter read (`params[idx]` at run time).
+    pub fn param(&mut self, idx: usize) -> NodeId {
+        self.op_imm(Opcode::Param, &[], idx as f32)
+    }
+
+    /// Appends a φ node with initial value `init` (its recurrence is closed
+    /// later with [`DfgBuilder::close_recurrence`]).
+    pub fn phi_init(&mut self, init: f32) -> NodeId {
+        self.dfg.push_imm(Opcode::Phi, vec![], vec![init])
+    }
+
+    /// Appends a φ node with initial value 0.
+    pub fn phi(&mut self) -> NodeId {
+        self.phi_init(0.0)
+    }
+
+    /// Closes a recurrence: `target` receives `from`'s value from `distance`
+    /// iterations earlier.
+    ///
+    /// # Panics
+    /// Panics if `distance == 0` or either node is missing.
+    pub fn close_recurrence(&mut self, target: NodeId, from: NodeId, distance: u32) {
+        self.dfg.add_loop_edge(target, from, distance);
+    }
+
+    /// Finishes and validates the graph.
+    ///
+    /// # Panics
+    /// Panics if the graph violates DFG invariants — builder misuse is a bug
+    /// in the kernel library, not a runtime condition.
+    pub fn finish(self) -> Dfg {
+        if let Err(e) = self.dfg.validate() {
+            panic!("invalid DFG from builder: {e}");
+        }
+        self.dfg
+    }
+
+    // ---- kernel-construction helpers ----
+
+    /// Emits the loop-control prologue every single-level loop carries:
+    /// induction φ, increment, exit compare and back-branch. Returns the
+    /// induction variable.
+    pub fn loop_control(&mut self) -> NodeId {
+        let i = self.phi();
+        let inc = self.op_imm(Opcode::Add, &[i], 1.0);
+        self.close_recurrence(i, inc, 1);
+        let cmp = self.op(Opcode::Cmp, &[inc]);
+        self.op(Opcode::Br, &[cmp]);
+        i
+    }
+
+    /// Emits an element load `x[base + i]`: the GEP-style two-add address
+    /// chain (base + scaled index, + field offset) followed by the load.
+    pub fn load_elem(&mut self, i: NodeId) -> NodeId {
+        let addr = self.op(Opcode::Add, &[i]);
+        let addr = self.op(Opcode::Add, &[addr]);
+        self.op(Opcode::Load, &[addr])
+    }
+
+    /// Emits an element store `y[base + i] = v` with the same address chain.
+    pub fn store_elem(&mut self, i: NodeId, v: NodeId) {
+        let addr = self.op(Opcode::Add, &[i]);
+        let addr = self.op(Opcode::Add, &[addr]);
+        self.op(Opcode::Store, &[addr, v]);
+    }
+
+    /// Emits a running-sum reduction `acc += v`; returns the add node.
+    pub fn accumulate(&mut self, v: NodeId) -> NodeId {
+        let acc = self.phi_init(0.0);
+        let add = self.op(Opcode::Add, &[acc, v]);
+        self.close_recurrence(acc, add, 1);
+        add
+    }
+
+    /// Emits a running-max reduction via `cmp`+`select`; returns the select.
+    pub fn reduce_max(&mut self, v: NodeId) -> NodeId {
+        let m = self.phi_init(f32::NEG_INFINITY);
+        let cmp = self.op(Opcode::Cmp, &[m, v]);
+        let sel = self.op(Opcode::Select, &[cmp, m, v]);
+        self.close_recurrence(m, sel, 1);
+        sel
+    }
+
+    /// Emits the Table 3 exponential chain computing `exp(sign·x)` with
+    /// `terms` Taylor terms: `t = sign·log2(e)·x` (mul), FP2FX split into
+    /// integer/fraction, `2^i` by exponent construction, `z = ln2·f`, a
+    /// Horner evaluation of `e^z` over `[0, ln2)` with folded coefficients,
+    /// and the recombining multiply. Returns the result node.
+    pub fn exp_chain(&mut self, x: NodeId, terms: usize, sign: f32) -> NodeId {
+        let t = self.op_imm(Opcode::Mul, &[x], sign * std::f32::consts::LOG2_E);
+        let frac = self.op(Opcode::Fp2Fx, &[t]); // f = t - floor(t)
+        let p2i = self.op(Opcode::Pow2i, &[t, frac]); // 2^(t - f)
+        let z = self.op_imm(Opcode::Mul, &[frac], std::f32::consts::LN_2);
+        // Horner for e^z = sum z^k / k!: acc = c_{T-1}; acc = acc*z + c_k
+        let coeff = |k: usize| 1.0f32 / (1..=k).product::<usize>() as f32;
+        let mut acc = self.constant(coeff(terms - 1));
+        for k in (0..terms - 1).rev() {
+            let m = self.op(Opcode::Mul, &[acc, z]);
+            acc = self.op_imm(Opcode::Add, &[m], coeff(k));
+        }
+        self.op(Opcode::Mul, &[acc, p2i])
+    }
+
+    /// Emits the Table 3 sine (or cosine) chain with `terms` Taylor terms:
+    /// range reduction `r = π·frac(x/π)` via the FP2FX unit, then the
+    /// odd (sine) or even (cosine) Horner series in `r²`.
+    ///
+    /// Functional domain note: the folded reduction is exact for
+    /// `x ∈ [0, π)`; outside it the structural cost is identical but the
+    /// interpreter's value carries the quadrant sign ambiguity (the hardware
+    /// FP2FX tracks the parity bit the scalar immediate cannot express).
+    pub fn sin_chain(&mut self, x: NodeId, terms: usize, cosine: bool) -> NodeId {
+        let k = self.op_imm(Opcode::Mul, &[x], std::f32::consts::FRAC_1_PI);
+        let frac = self.op(Opcode::Fp2Fx, &[k]);
+        let r = self.op_imm(Opcode::Mul, &[frac], std::f32::consts::PI);
+        let t2 = self.op(Opcode::Mul, &[r, r]);
+        // sin(r) = r * sum (-1)^k r^{2k} / (2k+1)!
+        // cos(r) =     sum (-1)^k r^{2k} / (2k)!
+        let coeff = |k: usize| {
+            let fact: usize = (1..=(2 * k + usize::from(!cosine))).product::<usize>().max(1);
+            (if k.is_multiple_of(2) { 1.0 } else { -1.0 }) / fact as f32
+        };
+        let mut acc = self.constant(coeff(terms - 1));
+        for k in (0..terms - 1).rev() {
+            let m = self.op(Opcode::Mul, &[acc, t2]);
+            acc = self.op_imm(Opcode::Add, &[m], coeff(k));
+        }
+        if cosine {
+            acc
+        } else {
+            self.op(Opcode::Mul, &[acc, r])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loop_control_shape() {
+        let mut b = DfgBuilder::new("lc");
+        b.loop_control();
+        let g = b.finish();
+        assert_eq!(g.len(), 4);
+        // induction recurrence: phi <- add at distance 1 => RecMII 2 unfused
+        assert_eq!(g.rec_mii(), 2);
+    }
+
+    #[test]
+    fn accumulate_recurrence() {
+        let mut b = DfgBuilder::new("acc");
+        let i = b.loop_control();
+        let x = b.load_elem(i);
+        b.accumulate(x);
+        let g = b.finish();
+        assert_eq!(g.rec_mii(), 2);
+        assert_eq!(g.memory_nodes(), 1);
+    }
+
+    #[test]
+    fn reduce_max_has_cmp_select() {
+        let mut b = DfgBuilder::new("max");
+        let i = b.loop_control();
+        let x = b.load_elem(i);
+        b.reduce_max(x);
+        let g = b.finish();
+        let has_sel = g.nodes().iter().any(|n| n.op == Opcode::Select);
+        assert!(has_sel);
+        // phi -> cmp -> select -> phi: 3-cycle latency 3 over distance 1 => 3
+        assert_eq!(g.rec_mii(), 3);
+    }
+
+    #[test]
+    fn exp_chain_node_count() {
+        let mut b = DfgBuilder::new("exp");
+        let x = b.op(Opcode::Load, &[]);
+        b.exp_chain(x, 4, 1.0);
+        let g = b.finish();
+        // load + (mul,fp2fx,pow2i,mul) + const + 3*(mul,add) + final mul
+        assert_eq!(g.len(), 1 + 4 + 1 + 6 + 1);
+    }
+
+    #[test]
+    fn phi_carries_init_imm() {
+        let mut b = DfgBuilder::new("init");
+        let m = b.phi_init(f32::NEG_INFINITY);
+        let g = {
+            let s = b.op(Opcode::Select, &[m]);
+            b.close_recurrence(m, s, 1);
+            b.finish()
+        };
+        assert_eq!(g.nodes()[0].imms, vec![f32::NEG_INFINITY]);
+    }
+
+    #[test]
+    fn builder_panics_on_zero_distance_recurrence() {
+        let mut b = DfgBuilder::new("bad");
+        let p = b.phi();
+        let a = b.op(Opcode::Add, &[p]);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            b.close_recurrence(p, a, 0)
+        }));
+        assert!(result.is_err());
+    }
+}

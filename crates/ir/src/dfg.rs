@@ -1,0 +1,455 @@
+//! Data-flow graphs with loop-carried edges.
+//!
+//! A [`Dfg`] represents the body of one single-level loop in steady state:
+//! each node is one instruction, intra-iteration dependences are edges with
+//! distance 0, and loop-carried dependences (φ back-edges) carry distance ≥ 1.
+//! The two analyses the compiler and the motivation study need live here:
+//! the recurrence-constrained minimum II (`RecMII`) and the §3.1
+//! computational-intensity metric.
+
+use crate::opcode::Opcode;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Index of a node within its [`Dfg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A dependence edge: `from` produces a value consumed by the owning node,
+/// `distance` iterations later (0 = same iteration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Edge {
+    /// Producer node.
+    pub from: NodeId,
+    /// Loop-carried dependence distance in iterations.
+    pub distance: u32,
+}
+
+/// One instruction of the loop body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    /// This node's id (equal to its index in [`Dfg::nodes`]).
+    pub id: NodeId,
+    /// Operation.
+    pub op: Opcode,
+    /// Input dependences.
+    pub inputs: Vec<Edge>,
+    /// Immediate operands (folded constants). Primitive nodes use at most
+    /// one; fused nodes carry their members' immediates in chain order.
+    /// Semantics per opcode are defined by [`crate::interp`].
+    pub imms: Vec<f32>,
+    /// For fused nodes: how many external inputs each member contributed,
+    /// in chain order (the operand routing inside the fused FU). Empty for
+    /// primitive nodes.
+    pub member_inputs: Vec<u8>,
+}
+
+/// The data-flow graph of one loop body.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Dfg {
+    /// Kernel-loop label, e.g. `"softmax(2)"`.
+    pub name: String,
+    nodes: Vec<Node>,
+}
+
+impl Dfg {
+    /// Creates an empty DFG with the given label.
+    pub fn new(name: impl Into<String>) -> Dfg {
+        Dfg {
+            name: name.into(),
+            nodes: Vec::new(),
+        }
+    }
+
+    /// Appends a node and returns its id. Structural invariants (edge
+    /// targets in range, topological ordering of same-iteration edges) are
+    /// checked by [`Dfg::validate`], which the builder runs on `finish`.
+    pub fn push(&mut self, op: Opcode, inputs: Vec<Edge>) -> NodeId {
+        self.push_imm(op, inputs, Vec::new())
+    }
+
+    /// [`Dfg::push`] with immediate operands.
+    pub fn push_imm(&mut self, op: Opcode, inputs: Vec<Edge>, imms: Vec<f32>) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node { id, op, inputs, imms, member_inputs: Vec::new() });
+        id
+    }
+
+    /// Appends a fully-specified node (used by the fusion pass, which also
+    /// sets the per-member operand routing). The node's `id` is assigned
+    /// here.
+    pub fn push_node(&mut self, mut node: Node) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        node.id = id;
+        self.nodes.push(node);
+        id
+    }
+
+    /// All nodes in insertion order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Node lookup.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Adds a loop-carried dependence edge after both endpoints exist
+    /// (recurrences cannot be expressed at `push` time because the producer
+    /// is created after the φ that consumes it).
+    ///
+    /// # Panics
+    /// Panics if either node is missing or `distance == 0`.
+    pub fn add_loop_edge(&mut self, target: NodeId, from: NodeId, distance: u32) {
+        assert!(distance > 0, "loop edges need distance >= 1");
+        assert!(target.0 < self.nodes.len() && from.0 < self.nodes.len());
+        self.nodes[target.0].inputs.push(Edge { from, distance });
+    }
+
+    /// Replaces the node list wholesale (used by the fusion/vectorization
+    /// transforms, which rebuild graphs).
+    pub fn replace_nodes(&mut self, nodes: Vec<Node>) {
+        for (i, n) in nodes.iter().enumerate() {
+            assert_eq!(n.id.0, i, "node ids must equal indices after rebuild");
+        }
+        self.nodes = nodes;
+    }
+
+    /// Successor lists (same-iteration and loop-carried).
+    pub fn successors(&self) -> Vec<Vec<NodeId>> {
+        let mut succ = vec![Vec::new(); self.nodes.len()];
+        for n in &self.nodes {
+            for e in &n.inputs {
+                succ[e.from.0].push(n.id);
+            }
+        }
+        succ
+    }
+
+    /// Count of memory-access nodes (loads + stores).
+    pub fn memory_nodes(&self) -> usize {
+        self.nodes.iter().filter(|n| n.op.is_memory()).count()
+    }
+
+    /// Count of computation nodes.
+    pub fn compute_nodes(&self) -> usize {
+        self.nodes.iter().filter(|n| n.op.is_compute()).count()
+    }
+
+    /// §3.1 computational intensity: compute nodes / memory nodes.
+    ///
+    /// Returns `f64::INFINITY` for graphs without memory accesses.
+    pub fn computational_intensity(&self) -> f64 {
+        let mem = self.memory_nodes();
+        if mem == 0 {
+            f64::INFINITY
+        } else {
+            self.compute_nodes() as f64 / mem as f64
+        }
+    }
+
+    /// The recurrence-constrained minimum initiation interval:
+    /// `RecMII = max over cycles ⌈Σ latency / Σ distance⌉`.
+    ///
+    /// Computed by the standard iterative algorithm: binary search over II is
+    /// unnecessary at these graph sizes, so we use Floyd–Warshall on the
+    /// constraint graph (longest path with latency weights minus `II·distance`
+    /// must admit no positive cycle). Returns 1 for acyclic graphs.
+    pub fn rec_mii(&self) -> u32 {
+        let n = self.nodes.len();
+        if n == 0 {
+            return 1;
+        }
+        // Try increasing II until no positive-weight cycle exists.
+        'outer: for ii in 1..=(n as u32 * 4 + 4) {
+            // dist[i][j] = max over paths of (sum latency - ii*sum distance)
+            const NEG: i64 = i64::MIN / 4;
+            let mut d = vec![vec![NEG; n]; n];
+            for node in &self.nodes {
+                for e in &node.inputs {
+                    let w = self.nodes[e.from.0].op.latency() as i64
+                        - (ii as i64) * e.distance as i64;
+                    let cell = &mut d[e.from.0][node.id.0];
+                    *cell = (*cell).max(w);
+                }
+            }
+            for k in 0..n {
+                for i in 0..n {
+                    if d[i][k] == NEG {
+                        continue;
+                    }
+                    for j in 0..n {
+                        if d[k][j] == NEG {
+                            continue;
+                        }
+                        let via = d[i][k] + d[k][j];
+                        if via > d[i][j] {
+                            d[i][j] = via;
+                        }
+                    }
+                }
+            }
+            for i in 0..n {
+                if d[i][i] > 0 {
+                    continue 'outer;
+                }
+            }
+            return ii;
+        }
+        n as u32 * 4 + 4
+    }
+
+    /// ASAP (as-soon-as-possible) schedule levels ignoring loop-carried
+    /// edges; the critical path length is `max(level) + latency`.
+    pub fn asap_levels(&self) -> Vec<u32> {
+        let n = self.nodes.len();
+        let mut level = vec![0u32; n];
+        let mut indeg = vec![0usize; n];
+        for node in &self.nodes {
+            indeg[node.id.0] = node.inputs.iter().filter(|e| e.distance == 0).count();
+        }
+        let mut queue: VecDeque<usize> =
+            (0..n).filter(|&i| indeg[i] == 0).collect();
+        let succ = self.successors();
+        let mut seen = 0usize;
+        while let Some(i) = queue.pop_front() {
+            seen += 1;
+            for &s in &succ[i] {
+                // only same-iteration edges advance the schedule
+                let node = &self.nodes[s.0];
+                let carried = node
+                    .inputs
+                    .iter()
+                    .any(|e| e.from.0 == i && e.distance == 0);
+                if !carried {
+                    continue;
+                }
+                let cand = level[i] + self.nodes[i].op.latency();
+                if cand > level[s.0] {
+                    level[s.0] = cand;
+                }
+                indeg[s.0] -= 1;
+                if indeg[s.0] == 0 {
+                    queue.push_back(s.0);
+                }
+            }
+        }
+        assert_eq!(seen, n, "same-iteration subgraph of '{}' has a cycle", self.name);
+        level
+    }
+
+    /// Critical-path length over same-iteration edges.
+    pub fn critical_path(&self) -> u32 {
+        self.nodes
+            .iter()
+            .map(|n| self.asap_levels()[n.id.0] + n.op.latency())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Validates structural invariants: edge targets in range, same-iteration
+    /// edges only point backwards in insertion order (so the steady-state
+    /// subgraph is a DAG), and only φ-class nodes carry loop distance.
+    ///
+    /// # Errors
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        for node in &self.nodes {
+            for e in &node.inputs {
+                if e.from.0 >= self.nodes.len() {
+                    return Err(format!("{}: edge from missing node {}", self.name, e.from));
+                }
+                if e.distance == 0 && e.from.0 >= node.id.0 {
+                    return Err(format!(
+                        "{}: same-iteration edge {} -> {} not topologically ordered",
+                        self.name, e.from, node.id
+                    ));
+                }
+                if e.distance > 0
+                    && !matches!(
+                        node.op,
+                        Opcode::Phi | Opcode::FusedPhiAdd | Opcode::FusedPhiAddAdd | Opcode::FusedCmpSelect
+                    )
+                {
+                    return Err(format!(
+                        "{}: loop-carried edge into non-phi node {} ({})",
+                        self.name, node.id, node.op
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Sum of primitive operations represented (fused nodes count their
+    /// width) — lets tests check fusion conserves work.
+    pub fn primitive_op_count(&self) -> usize {
+        self.nodes.iter().map(|n| n.op.fused_width()).sum()
+    }
+}
+
+impl fmt::Display for Dfg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "dfg '{}' ({} nodes):", self.name, self.nodes.len())?;
+        for n in &self.nodes {
+            let ins: Vec<String> = n
+                .inputs
+                .iter()
+                .map(|e| {
+                    if e.distance > 0 {
+                        format!("{}@{}", e.from, e.distance)
+                    } else {
+                        e.from.to_string()
+                    }
+                })
+                .collect();
+            writeln!(f, "  {} = {} [{}]", n.id, n.op, ins.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge(from: NodeId) -> Edge {
+        Edge { from, distance: 0 }
+    }
+
+    fn carried(from: NodeId) -> Edge {
+        Edge { from, distance: 1 }
+    }
+
+    /// A minimal accumulation loop: phi <- phi + load.
+    fn accum_dfg() -> Dfg {
+        let mut g = Dfg::new("accum");
+        let ld = g.push(Opcode::Load, vec![]);
+        let phi = g.push(Opcode::Phi, vec![]);
+        let add = g.push(Opcode::Add, vec![edge(phi), edge(ld)]);
+        // close the recurrence: phi takes add from previous iteration
+        let nodes = {
+            let mut ns = g.nodes().to_vec();
+            ns[phi.0].inputs.push(carried(add));
+            ns
+        };
+        g.replace_nodes(nodes);
+        g
+    }
+
+    #[test]
+    fn push_and_lookup() {
+        let g = accum_dfg();
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.node(NodeId(2)).op, Opcode::Add);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn recurrence_ii_of_accumulator() {
+        // phi(1) -> add(1) cycle with distance 1 => RecMII = 2.
+        assert_eq!(accum_dfg().rec_mii(), 2);
+    }
+
+    #[test]
+    fn fused_accumulator_halves_recmii() {
+        // phi+add fused: self-loop latency 1, distance 1 => RecMII 1.
+        let mut g = Dfg::new("fused-accum");
+        let ld = g.push(Opcode::Load, vec![]);
+        let acc = g.push(Opcode::FusedPhiAdd, vec![edge(ld)]);
+        let mut ns = g.nodes().to_vec();
+        ns[acc.0].inputs.push(carried(acc));
+        g.replace_nodes(ns);
+        assert_eq!(g.rec_mii(), 1);
+    }
+
+    #[test]
+    fn acyclic_graph_recmii_one() {
+        let mut g = Dfg::new("straight");
+        let a = g.push(Opcode::Load, vec![]);
+        let b = g.push(Opcode::Mul, vec![edge(a)]);
+        g.push(Opcode::Store, vec![edge(b)]);
+        assert_eq!(g.rec_mii(), 1);
+    }
+
+    #[test]
+    fn intensity_counts() {
+        let g = accum_dfg();
+        assert_eq!(g.memory_nodes(), 1);
+        assert_eq!(g.compute_nodes(), 2);
+        assert!((g.computational_intensity() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intensity_infinite_without_memory() {
+        let mut g = Dfg::new("pure");
+        g.push(Opcode::Const, vec![]);
+        assert_eq!(g.computational_intensity(), f64::INFINITY);
+    }
+
+    #[test]
+    fn critical_path_chain() {
+        let mut g = Dfg::new("chain");
+        let a = g.push(Opcode::Load, vec![]);
+        let b = g.push(Opcode::Mul, vec![edge(a)]);
+        let c = g.push(Opcode::Add, vec![edge(b)]);
+        g.push(Opcode::Store, vec![edge(c)]);
+        assert_eq!(g.critical_path(), 4);
+    }
+
+    #[test]
+    fn div_latency_lengthens_path() {
+        let mut g = Dfg::new("divchain");
+        let a = g.push(Opcode::Load, vec![]);
+        let b = g.push(Opcode::Div, vec![edge(a)]);
+        g.push(Opcode::Store, vec![edge(b)]);
+        assert_eq!(g.critical_path(), 1 + 4 + 1);
+    }
+
+    #[test]
+    fn validate_rejects_forward_edge() {
+        let mut g = Dfg::new("bad");
+        g.push(Opcode::Add, vec![Edge { from: NodeId(1), distance: 0 }]);
+        g.push(Opcode::Add, vec![]);
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_carried_into_non_phi() {
+        let mut g = Dfg::new("bad2");
+        let a = g.push(Opcode::Add, vec![]);
+        let b = g.push(Opcode::Mul, vec![]);
+        let mut ns = g.nodes().to_vec();
+        ns[a.0].inputs.push(carried(b));
+        g.replace_nodes(ns);
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn primitive_conservation() {
+        let mut g = Dfg::new("fused");
+        g.push(Opcode::FusedMulAddAdd, vec![]);
+        g.push(Opcode::Add, vec![]);
+        assert_eq!(g.primitive_op_count(), 4);
+    }
+}

@@ -1,0 +1,434 @@
+//! Functional interpreter for kernel DFGs.
+//!
+//! Executes a loop-body DFG on real data, iteration by iteration, in
+//! dataflow order — the functional twin of the cycle-level timing simulator.
+//! It serves two purposes a hardware project needs:
+//!
+//! 1. **algorithm ↔ hardware agreement** — a mapped kernel's DFG computes the
+//!    same values the software implementation in `picachu-nonlinear` does;
+//! 2. **transform correctness** — fusion and unrolling are semantics-
+//!    preserving, checked by interpreting before/after graphs on the same
+//!    inputs.
+//!
+//! Memory is modelled as positional streams: the *k*-th `load` node of the
+//! graph reads stream *k* (element `iter` for unrolled copy 0, offset for
+//! later copies), the *k*-th `store` writes stream *k*. Address arithmetic
+//! remains in the graph (the mapper and cost models see it) but the
+//! interpreter binds accesses positionally. Loop-invariant runtime values
+//! (the softmax max, a normalization 1/σ, the RoPE position) enter through
+//! `Param` nodes.
+
+use crate::dfg::{Dfg, Node};
+use crate::opcode::Opcode;
+use std::collections::HashMap;
+
+/// Result of interpreting a loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterpResult {
+    /// One output vector per `store` node, in node order.
+    pub outputs: Vec<Vec<f32>>,
+    /// Final values of loop-carried state (φ-class nodes), keyed by the
+    /// *carried producer's* final value — i.e. the reduction results.
+    pub reductions: Vec<f32>,
+}
+
+/// Interpretation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// A load stream was missing or too short.
+    MissingInput {
+        /// Stream index.
+        stream: usize,
+    },
+    /// A `Param` index was out of range.
+    MissingParam {
+        /// Parameter index.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for InterpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InterpError::MissingInput { stream } => write!(f, "input stream {stream} missing/short"),
+            InterpError::MissingParam { index } => write!(f, "param {index} not provided"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+fn imm(n: &Node, idx: usize, default: f32) -> f32 {
+    n.imms.get(idx).copied().unwrap_or(default)
+}
+
+/// Interprets `iterations` steady-state iterations of a loop-body DFG.
+///
+/// `inputs[k]` feeds the k-th `load` node; each load consumes one element
+/// per iteration, so every stream needs at least `iterations` elements
+/// (unrolled graphs consume `copies` elements per iteration per original
+/// stream — supply streams sized accordingly and lay copies out in the
+/// natural interleaved order: the unroller emits copy-major loads, so the
+/// k-th load of copy `c` reads element `iter·copies + c'`, handled here by
+/// giving each load node its own cursor advanced once per iteration and
+/// interleaving at binding time).
+///
+/// # Errors
+/// Returns [`InterpError`] if an input stream or parameter is missing.
+pub fn interpret(
+    dfg: &Dfg,
+    iterations: usize,
+    inputs: &[&[f32]],
+    params: &[f32],
+) -> Result<InterpResult, InterpError> {
+    let nodes = dfg.nodes();
+    // load/store node orderings
+    let loads: Vec<usize> = nodes.iter().filter(|n| n.op == Opcode::Load).map(|n| n.id.0).collect();
+    let stores: Vec<usize> = nodes.iter().filter(|n| n.op == Opcode::Store).map(|n| n.id.0).collect();
+    let load_slot: HashMap<usize, usize> =
+        loads.iter().enumerate().map(|(k, &id)| (id, k)).collect();
+    let store_slot: HashMap<usize, usize> =
+        stores.iter().enumerate().map(|(k, &id)| (id, k)).collect();
+
+    let mut outputs: Vec<Vec<f32>> = vec![Vec::with_capacity(iterations); stores.len()];
+    let mut values = vec![0.0f32; nodes.len()];
+    let mut prev = vec![0.0f32; nodes.len()];
+
+    for iter in 0..iterations {
+        for n in nodes {
+            let inv = |k: usize| -> f32 {
+                n.inputs
+                    .iter()
+                    .filter(|e| e.distance == 0)
+                    .nth(k)
+                    .map(|e| values[e.from.0])
+                    .unwrap_or(f32::NAN)
+            };
+            let same_iter_inputs: Vec<f32> = n
+                .inputs
+                .iter()
+                .filter(|e| e.distance == 0)
+                .map(|e| values[e.from.0])
+                .collect();
+            let carried: Option<f32> = n
+                .inputs
+                .iter()
+                .find(|e| e.distance > 0)
+                .map(|e| prev[e.from.0]);
+
+            let v = match n.op {
+                Opcode::Phi => {
+                    if iter == 0 {
+                        imm(n, 0, 0.0)
+                    } else {
+                        carried.unwrap_or(imm(n, 0, 0.0))
+                    }
+                }
+                Opcode::Add => same_iter_inputs.iter().sum::<f32>() + imm(n, 0, 0.0),
+                Opcode::Sub => {
+                    let a = inv(0);
+                    let b = if same_iter_inputs.len() > 1 { inv(1) } else { 0.0 };
+                    a - b - imm(n, 0, 0.0)
+                }
+                Opcode::Mul => same_iter_inputs.iter().product::<f32>() * imm(n, 0, 1.0),
+                Opcode::Div => {
+                    if same_iter_inputs.len() >= 2 {
+                        inv(0) / inv(1)
+                    } else {
+                        imm(n, 0, 1.0) / inv(0)
+                    }
+                }
+                Opcode::Cmp => {
+                    let rhs = if same_iter_inputs.len() > 1 { inv(1) } else { imm(n, 0, 0.0) };
+                    if inv(0) > rhs {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                }
+                Opcode::Select => {
+                    let c = inv(0) > 0.5;
+                    let a = inv(1);
+                    let b = if same_iter_inputs.len() > 2 { inv(2) } else { imm(n, 0, 0.0) };
+                    if c {
+                        a
+                    } else {
+                        b
+                    }
+                }
+                Opcode::Br | Opcode::Shift => 0.0,
+                Opcode::Const => imm(n, 0, 0.0),
+                Opcode::Param => {
+                    let idx = imm(n, 0, 0.0) as usize;
+                    *params.get(idx).ok_or(InterpError::MissingParam { index: idx })?
+                }
+                Opcode::Load => {
+                    let slot = load_slot[&n.id.0];
+                    let stream = inputs.get(slot).ok_or(InterpError::MissingInput { stream: slot })?;
+                    *stream.get(iter).ok_or(InterpError::MissingInput { stream: slot })?
+                }
+                Opcode::Store => {
+                    let v = *same_iter_inputs.last().unwrap_or(&f32::NAN);
+                    outputs[store_slot[&n.id.0]].push(v);
+                    v
+                }
+                Opcode::Fp2Fx => {
+                    let t = inv(0);
+                    t - t.floor()
+                }
+                Opcode::Pow2i => {
+                    // 2^(t - f): exponent construction from the FP2FX pair
+                    let t = inv(0);
+                    let f = inv(1);
+                    (t - f).exp2()
+                }
+                Opcode::LutRead => gaussian_cdf(inv(0)),
+                // fused nodes: member immediates in chain order
+                Opcode::FusedPhiAdd | Opcode::FusedPhiAddAdd => {
+                    let state = if iter == 0 {
+                        imm(n, 0, 0.0)
+                    } else {
+                        carried.unwrap_or(imm(n, 0, 0.0))
+                    };
+                    let extra: f32 = (1..n.op.fused_width()).map(|k| imm(n, k, 0.0)).sum();
+                    state + same_iter_inputs.iter().sum::<f32>() + extra
+                }
+                Opcode::FusedAddAdd => {
+                    same_iter_inputs.iter().sum::<f32>() + imm(n, 0, 0.0) + imm(n, 1, 0.0)
+                }
+                Opcode::FusedMulAdd | Opcode::FusedMulAddAdd => {
+                    // member 0 (the multiply) contributed the first
+                    // `member_inputs[0]` operands; the rest are addends
+                    let mul_arity = n
+                        .member_inputs
+                        .first()
+                        .map(|&a| a as usize)
+                        .unwrap_or(same_iter_inputs.len());
+                    let prod: f32 =
+                        same_iter_inputs[..mul_arity.min(same_iter_inputs.len())]
+                            .iter()
+                            .product::<f32>()
+                            * imm(n, 0, 1.0);
+                    let addends: f32 = same_iter_inputs
+                        [mul_arity.min(same_iter_inputs.len())..]
+                        .iter()
+                        .sum();
+                    let imm_adds: f32 = (1..n.op.fused_width()).map(|k| imm(n, k, 0.0)).sum();
+                    prod + addends + imm_adds
+                }
+                Opcode::FusedCmpSelect => {
+                    // max semantics; a non-NaN select immediate is the relu
+                    // fallback operand
+                    let mut m = f32::NEG_INFINITY;
+                    for (k, e) in n.inputs.iter().enumerate() {
+                        let v = if e.distance > 0 {
+                            if iter == 0 {
+                                continue;
+                            }
+                            prev[e.from.0]
+                        } else {
+                            same_iter_inputs[n
+                                .inputs
+                                .iter()
+                                .take(k)
+                                .filter(|x| x.distance == 0)
+                                .count()]
+                        };
+                        m = m.max(v);
+                    }
+                    let fallback = imm(n, 1, f32::NAN);
+                    if !fallback.is_nan() {
+                        m = m.max(fallback);
+                    }
+                    m
+                }
+                Opcode::FusedCmpBr => 0.0,
+            };
+            values[n.id.0] = v;
+        }
+        prev.copy_from_slice(&values);
+    }
+
+    // reduction results: carried producers of φ-class nodes, final values
+    let mut reductions = Vec::new();
+    for n in nodes {
+        if matches!(n.op, Opcode::Phi) {
+            if let Some(e) = n.inputs.iter().find(|e| e.distance > 0) {
+                reductions.push(values[e.from.0]);
+            }
+        } else if matches!(n.op, Opcode::FusedPhiAdd | Opcode::FusedPhiAddAdd | Opcode::FusedCmpSelect)
+            && n.inputs.iter().any(|e| e.distance > 0 && e.from == n.id)
+        {
+            reductions.push(values[n.id.0]);
+        }
+    }
+    Ok(InterpResult { outputs, reductions })
+}
+
+/// Gaussian CDF for the LUT semantics (Abramowitz–Stegun erf).
+fn gaussian_cdf(x: f32) -> f32 {
+    let x = x as f64 / std::f64::consts::SQRT_2;
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let ax = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * ax);
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    let erf = sign * (1.0 - poly * (-ax * ax).exp());
+    (0.5 * (1.0 + erf)) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::*;
+
+    fn ramp(n: usize, scale: f32, offset: f32) -> Vec<f32> {
+        (0..n).map(|i| ((i as f32 * 0.37).sin() * scale + offset)).collect()
+    }
+
+    #[test]
+    fn relu_kernel_is_exact() {
+        let k = relu_kernel();
+        let x = ramp(64, 3.0, 0.0);
+        let r = interpret(&k.loops[0].dfg, 64, &[&x], &[]).unwrap();
+        for (i, (&xi, &yi)) in x.iter().zip(&r.outputs[0]).enumerate() {
+            assert_eq!(yi, xi.max(0.0), "elem {i}");
+        }
+    }
+
+    #[test]
+    fn softmax_kernel_matches_reference() {
+        let k = softmax_kernel(8);
+        let x = ramp(128, 6.0, -1.0);
+        // loop 1: running max
+        let r1 = interpret(&k.loops[0].dfg, 128, &[&x], &[]).unwrap();
+        let max = r1.reductions[1]; // induction φ is reduction 0
+        let expect_max = x.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        assert_eq!(max, expect_max);
+        // loop 2: exp + sum
+        let r2 = interpret(&k.loops[1].dfg, 128, &[&x], &[max]).unwrap();
+        let exps = &r2.outputs[0];
+        let sum = r2.reductions[1];
+        for (i, (&xi, &ei)) in x.iter().zip(exps).enumerate() {
+            let expect = (xi - max).exp();
+            assert!((ei - expect).abs() < 2e-6 * (1.0 + expect), "elem {i}: {ei} vs {expect}");
+        }
+        assert!((sum - exps.iter().sum::<f32>()).abs() < 1e-3);
+        // loop 3: divide
+        let r3 = interpret(&k.loops[2].dfg, 128, &[exps], &[sum]).unwrap();
+        let total: f32 = r3.outputs[0].iter().sum();
+        assert!((total - 1.0).abs() < 1e-5, "softmax sums to {total}");
+    }
+
+    #[test]
+    fn gelu_kernel_matches_reference() {
+        let k = gelu_kernel(8);
+        let x = ramp(256, 3.0, 0.0);
+        let r = interpret(&k.loops[0].dfg, 256, &[&x], &[]).unwrap();
+        for (i, (&xi, &yi)) in x.iter().zip(&r.outputs[0]).enumerate() {
+            let c = (2.0f64 / std::f64::consts::PI).sqrt();
+            let xd = xi as f64;
+            let expect = 0.5 * xd * (1.0 + (c * (xd + 0.044715 * xd * xd * xd)).tanh());
+            assert!((yi as f64 - expect).abs() < 1e-4, "elem {i}: {yi} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn silu_and_swiglu_kernels_match_reference() {
+        let k = silu_kernel(8);
+        let x = ramp(256, 4.0, 0.0);
+        let r = interpret(&k.loops[0].dfg, 256, &[&x], &[]).unwrap();
+        for (&xi, &yi) in x.iter().zip(&r.outputs[0]) {
+            let expect = xi as f64 / (1.0 + (-(xi as f64)).exp());
+            assert!((yi as f64 - expect).abs() < 1e-4, "{yi} vs {expect}");
+        }
+        let k = swiglu_kernel(8);
+        let u = ramp(64, 2.0, 0.5);
+        let v = ramp(64, 1.0, -0.2);
+        let r = interpret(&k.loops[0].dfg, 64, &[&u, &v], &[]).unwrap();
+        for i in 0..64 {
+            let expect = (u[i] as f64 / (1.0 + (-(u[i] as f64)).exp())) * v[i] as f64;
+            assert!((r.outputs[0][i] as f64 - expect).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn layernorm_kernel_matches_reference() {
+        let k = layernorm_kernel();
+        let x = ramp(512, 2.0, 0.7);
+        let n = x.len() as f32;
+        let r1 = interpret(&k.loops[0].dfg, 512, &[&x], &[]).unwrap();
+        // reductions: induction φ, Σx, Σx²
+        let (s, s2) = (r1.reductions[1], r1.reductions[2]);
+        let mu = s / n;
+        let var = (s2 / n - mu * mu).max(0.0);
+        let inv = 1.0 / (var + 1e-5).sqrt();
+        let r2 = interpret(&k.loops[1].dfg, 512, &[&x], &[mu, inv]).unwrap();
+        let y = &r2.outputs[0];
+        let mean_out: f32 = y.iter().sum::<f32>() / n;
+        let var_out: f32 = y.iter().map(|v| (v - mean_out).powi(2)).sum::<f32>() / n;
+        assert!(mean_out.abs() < 1e-4, "mean {mean_out}");
+        assert!((var_out - 1.0).abs() < 1e-2, "var {var_out}");
+    }
+
+    #[test]
+    fn rmsnorm_kernel_matches_reference() {
+        let k = rmsnorm_kernel();
+        let x = ramp(256, 3.0, 0.0);
+        let gain = vec![1.0f32; 256];
+        let n = x.len() as f32;
+        let r1 = interpret(&k.loops[0].dfg, 256, &[&x], &[]).unwrap();
+        let inv = 1.0 / (r1.reductions[1] / n + 1e-5).sqrt();
+        let r2 = interpret(&k.loops[1].dfg, 256, &[&x, &gain], &[inv]).unwrap();
+        let ms: f32 = r2.outputs[0].iter().map(|v| v * v).sum::<f32>() / n;
+        assert!((ms - 1.0).abs() < 1e-2, "rms {ms}");
+    }
+
+    #[test]
+    fn rope_kernel_matches_reference_on_first_quadrant() {
+        // folded range reduction is exact for angles in [0, π)
+        let k = rope_kernel(8);
+        let d = 32usize;
+        let x0 = ramp(d, 1.0, 0.3);
+        let x1 = ramp(d, 1.0, -0.4);
+        let theta: Vec<f32> = (0..d).map(|i| 0.003 * (i as f32 + 1.0)).collect();
+        let m = 20.0f32; // angles up to 20*0.096 ≈ 1.9 < π
+        let r = interpret(&k.loops[0].dfg, d, &[&x0, &x1, &theta], &[m]).unwrap();
+        for i in 0..d {
+            let a = (m * theta[i]) as f64;
+            let (s, c) = a.sin_cos();
+            let e0 = x0[i] as f64 * c - x1[i] as f64 * s;
+            let e1 = x0[i] as f64 * s + x1[i] as f64 * c;
+            assert!((r.outputs[0][i] as f64 - e0).abs() < 1e-3, "y0[{i}]");
+            assert!((r.outputs[1][i] as f64 - e1).abs() < 1e-3, "y1[{i}]");
+        }
+    }
+
+    #[test]
+    fn gelu_lut_kernel_uses_phi_table() {
+        let k = gelu_lut_kernel();
+        let x = ramp(64, 2.0, 0.0);
+        let r = interpret(&k.loops[0].dfg, 64, &[&x], &[]).unwrap();
+        for (&xi, &yi) in x.iter().zip(&r.outputs[0]) {
+            let expect = xi * gaussian_cdf(xi);
+            assert!((yi - expect).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn missing_param_is_an_error() {
+        let k = softmax_kernel(4);
+        let x = ramp(8, 1.0, 0.0);
+        let err = interpret(&k.loops[1].dfg, 8, &[&x], &[]).unwrap_err();
+        assert_eq!(err, InterpError::MissingParam { index: 0 });
+    }
+
+    #[test]
+    fn short_stream_is_an_error() {
+        let k = relu_kernel();
+        let x = ramp(4, 1.0, 0.0);
+        let err = interpret(&k.loops[0].dfg, 8, &[&x], &[]).unwrap_err();
+        assert_eq!(err, InterpError::MissingInput { stream: 0 });
+    }
+}

@@ -1,0 +1,443 @@
+//! The predefined kernel library (§4.3 "Lowering to LLVM IR"): every Table 1
+//! nonlinear operation expressed as a [`Kernel`] of single-level loop DFGs,
+//! exactly the decomposition of §3.1 — EO ops are one loop, Softmax is three,
+//! normalizations are two.
+//!
+//! The DFGs here are **unfused** (primitive opcodes only) and **functionally
+//! executable**: nodes carry the folded constants (Taylor coefficients,
+//! `log2 e`, …) and loop-invariant values enter through `Param` reads, so
+//! [`crate::interp`] can run a kernel on real data and match the reference
+//! mathematics. The compiler's DFG tuning pass performs the Table 4 fusion.
+
+use crate::builder::DfgBuilder;
+use crate::dfg::Dfg;
+use crate::opcode::Opcode;
+use std::fmt;
+
+/// Loop classification used by the engine's dataflow cases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LoopClass {
+    /// Produces a scalar statistic; cannot stream its consumers.
+    Reduction,
+    /// One output per element; streams against the systolic array (Case 1).
+    ElementWise,
+}
+
+/// One single-level loop of a kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelLoop {
+    /// Label, e.g. `"softmax(2)"` as in Fig. 7a.
+    pub label: String,
+    /// Reduction or element-wise.
+    pub class: LoopClass,
+    /// The loop-body DFG (one iteration, steady state).
+    pub dfg: Dfg,
+}
+
+/// A nonlinear operation as the compiler sees it: a name plus its loops.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel {
+    /// Operation name matching `picachu_nonlinear::NonlinearOp::name()`.
+    pub name: &'static str,
+    /// The single-level loops, in execution order.
+    pub loops: Vec<KernelLoop>,
+}
+
+impl Kernel {
+    /// Total node count across loops.
+    pub fn total_nodes(&self) -> usize {
+        self.loops.iter().map(|l| l.dfg.len()).sum()
+    }
+
+    /// Whole-operation computational intensity (§3.1): compute nodes over
+    /// memory nodes, summed across loops.
+    pub fn computational_intensity(&self) -> f64 {
+        let mem: usize = self.loops.iter().map(|l| l.dfg.memory_nodes()).sum();
+        let comp: usize = self.loops.iter().map(|l| l.dfg.compute_nodes()).sum();
+        if mem == 0 {
+            f64::INFINITY
+        } else {
+            comp as f64 / mem as f64
+        }
+    }
+}
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "kernel '{}' ({} loops, {} nodes)",
+            self.name,
+            self.loops.len(),
+            self.total_nodes()
+        )
+    }
+}
+
+fn el(label: &str, dfg: Dfg) -> KernelLoop {
+    KernelLoop { label: label.to_string(), class: LoopClass::ElementWise, dfg }
+}
+
+fn red(label: &str, dfg: Dfg) -> KernelLoop {
+    KernelLoop { label: label.to_string(), class: LoopClass::Reduction, dfg }
+}
+
+/// Softmax: max-reduction, exp+sum reduction (`param 0` = running max),
+/// element-wise divide (`param 0` = the sum).
+pub fn softmax_kernel(terms: usize) -> Kernel {
+    // Loop 1: running max.
+    let mut b = DfgBuilder::new("softmax(1)");
+    let i = b.loop_control();
+    let x = b.load_elem(i);
+    b.reduce_max(x);
+    let l1 = b.finish();
+
+    // Loop 2: exp(x - u) stored, sum accumulated.
+    let mut b = DfgBuilder::new("softmax(2)");
+    let i = b.loop_control();
+    let x = b.load_elem(i);
+    let u = b.param(0);
+    let d = b.op(Opcode::Sub, &[x, u]);
+    let e = b.exp_chain(d, terms, 1.0);
+    b.accumulate(e);
+    b.store_elem(i, e);
+    let l2 = b.finish();
+
+    // Loop 3: divide by the sum.
+    let mut b = DfgBuilder::new("softmax(3)");
+    let i = b.loop_control();
+    let e = b.load_elem(i);
+    let s = b.param(0);
+    let q = b.op(Opcode::Div, &[e, s]);
+    b.store_elem(i, q);
+    let l3 = b.finish();
+
+    Kernel {
+        name: "softmax",
+        loops: vec![red("softmax(1)", l1), red("softmax(2)", l2), el("softmax(3)", l3)],
+    }
+}
+
+/// ReLU: one compare-select per element.
+pub fn relu_kernel() -> Kernel {
+    let mut b = DfgBuilder::new("relu");
+    let i = b.loop_control();
+    let x = b.load_elem(i);
+    let c = b.op_imm(Opcode::Cmp, &[x], 0.0); // x > 0
+    let y = b.op_imm(Opcode::Select, &[c, x], 0.0); // c ? x : 0
+    b.store_elem(i, y);
+    Kernel { name: "relu", loops: vec![el("relu", b.finish())] }
+}
+
+/// Emits the GeLU tanh-form arithmetic on `x`, returning the result node.
+fn gelu_body(b: &mut DfgBuilder, x: crate::dfg::NodeId, terms: usize) -> crate::dfg::NodeId {
+    let c = (2.0f32 / std::f32::consts::PI).sqrt();
+    let x2 = b.op(Opcode::Mul, &[x, x]);
+    let x3 = b.op(Opcode::Mul, &[x2, x]);
+    let m = b.op_imm(Opcode::Mul, &[x3], 0.044715);
+    let a = b.op(Opcode::Add, &[x, m]);
+    // tanh(v) = (e^{2v} - 1) / (e^{2v} + 1): fold the 2 into the scale
+    let t = b.op_imm(Opcode::Mul, &[a], 2.0 * c);
+    let e = b.exp_chain(t, terms, 1.0);
+    let num = b.op_imm(Opcode::Sub, &[e], 1.0); // e - 1
+    let den = b.op_imm(Opcode::Add, &[e], 1.0); // e + 1
+    let th = b.op(Opcode::Div, &[num, den]);
+    let one_plus = b.op_imm(Opcode::Add, &[th], 1.0);
+    let half_x = b.op_imm(Opcode::Mul, &[x], 0.5);
+    b.op(Opcode::Mul, &[half_x, one_plus])
+}
+
+/// GeLU via the tanh form: cubic, exp chain, rational combine.
+pub fn gelu_kernel(terms: usize) -> Kernel {
+    let mut b = DfgBuilder::new("gelu");
+    let i = b.loop_control();
+    let x = b.load_elem(i);
+    let y = gelu_body(&mut b, x, terms);
+    b.store_elem(i, y);
+    Kernel { name: "gelu", loops: vec![el("gelu", b.finish())] }
+}
+
+/// GeLU via the Compute-Tile Φ LUT: table read + multiply.
+pub fn gelu_lut_kernel() -> Kernel {
+    let mut b = DfgBuilder::new("gelu-lut");
+    let i = b.loop_control();
+    let x = b.load_elem(i);
+    let phi = b.op(Opcode::LutRead, &[x]);
+    let y = b.op(Opcode::Mul, &[x, phi]);
+    b.store_elem(i, y);
+    Kernel { name: "gelu-lut", loops: vec![el("gelu-lut", b.finish())] }
+}
+
+/// Emits the SiLU arithmetic `x·σ(x)` on `x`.
+fn silu_body(b: &mut DfgBuilder, x: crate::dfg::NodeId, terms: usize) -> crate::dfg::NodeId {
+    let e = b.exp_chain(x, terms, -1.0); // e^{-x}
+    let den = b.op_imm(Opcode::Add, &[e], 1.0); // 1 + e^{-x}
+    let sig = b.op_imm(Opcode::Div, &[den], 1.0); // 1 / den
+    b.op(Opcode::Mul, &[x, sig])
+}
+
+/// SiLU: sigmoid from the exp chain, then gate multiply.
+pub fn silu_kernel(terms: usize) -> Kernel {
+    let mut b = DfgBuilder::new("silu");
+    let i = b.loop_control();
+    let x = b.load_elem(i);
+    let y = silu_body(&mut b, x, terms);
+    b.store_elem(i, y);
+    Kernel { name: "silu", loops: vec![el("silu", b.finish())] }
+}
+
+/// SwiGLU: SiLU on the first gate, multiply by the second.
+pub fn swiglu_kernel(terms: usize) -> Kernel {
+    let mut b = DfgBuilder::new("swiglu");
+    let i = b.loop_control();
+    let u = b.load_elem(i);
+    let v = b.load_elem(i);
+    let s = silu_body(&mut b, u, terms);
+    let y = b.op(Opcode::Mul, &[s, v]);
+    b.store_elem(i, y);
+    Kernel { name: "swiglu", loops: vec![el("swiglu", b.finish())] }
+}
+
+/// GeGLU: GeLU on the first gate, multiply by the second.
+pub fn geglu_kernel(terms: usize) -> Kernel {
+    let mut b = DfgBuilder::new("geglu");
+    let i = b.loop_control();
+    let u = b.load_elem(i);
+    let v = b.load_elem(i);
+    let g = gelu_body(&mut b, u, terms);
+    let y = b.op(Opcode::Mul, &[g, v]);
+    b.store_elem(i, y);
+    Kernel { name: "geglu", loops: vec![el("geglu", b.finish())] }
+}
+
+/// LayerNorm: one fused reduction loop (Σx and Σx²), one element-wise loop
+/// (`param 0` = μ, `param 1` = γ/σ).
+pub fn layernorm_kernel() -> Kernel {
+    let mut b = DfgBuilder::new("layernorm(1)");
+    let i = b.loop_control();
+    let x = b.load_elem(i);
+    b.accumulate(x); // Σx
+    let sq = b.op(Opcode::Mul, &[x, x]);
+    b.accumulate(sq); // Σx²
+    let l1 = b.finish();
+
+    let mut b = DfgBuilder::new("layernorm(2)");
+    let i = b.loop_control();
+    let x = b.load_elem(i);
+    let mu = b.param(0);
+    let c = b.op(Opcode::Sub, &[x, mu]);
+    let inv = b.param(1);
+    let s = b.op(Opcode::Mul, &[c, inv]); // · γ/σ
+    let y = b.op_imm(Opcode::Add, &[s], 0.0); // + β (folded)
+    b.store_elem(i, y);
+    let l2 = b.finish();
+
+    Kernel {
+        name: "layernorm",
+        loops: vec![red("layernorm(1)", l1), el("layernorm(2)", l2)],
+    }
+}
+
+/// RMSNorm: sum-of-squares reduction, element-wise rescale
+/// (`param 0` = 1/σ; the per-channel gain comes from memory).
+pub fn rmsnorm_kernel() -> Kernel {
+    let mut b = DfgBuilder::new("rmsnorm(1)");
+    let i = b.loop_control();
+    let x = b.load_elem(i);
+    let sq = b.op(Opcode::Mul, &[x, x]);
+    b.accumulate(sq);
+    let l1 = b.finish();
+
+    let mut b = DfgBuilder::new("rmsnorm(2)");
+    let i = b.loop_control();
+    let x = b.load_elem(i);
+    let g = b.load_elem(i); // per-channel gain weight
+    let inv = b.param(0);
+    let s = b.op(Opcode::Mul, &[x, inv]);
+    let y = b.op(Opcode::Mul, &[s, g]);
+    b.store_elem(i, y);
+    let l2 = b.finish();
+
+    Kernel {
+        name: "rmsnorm",
+        loops: vec![red("rmsnorm(1)", l1), el("rmsnorm(2)", l2)],
+    }
+}
+
+/// RoPE: per pair, the precomputed `θ_i` is loaded from memory, the angle is
+/// `m·θ_i` (`param 0` = position `m`), and two sine/cosine chains feed a
+/// 2×2 rotation.
+pub fn rope_kernel(terms: usize) -> Kernel {
+    let mut b = DfgBuilder::new("rope");
+    let i = b.loop_control();
+    let x0 = b.load_elem(i);
+    let x1 = b.load_elem(i);
+    let theta = b.load_elem(i);
+    let m = b.param(0);
+    let angle = b.op(Opcode::Mul, &[theta, m]);
+    let s = b.sin_chain(angle, terms, false);
+    let c = b.sin_chain(angle, terms, true);
+    let a = b.op(Opcode::Mul, &[x0, c]);
+    let bb = b.op(Opcode::Mul, &[x1, s]);
+    let y0 = b.op(Opcode::Sub, &[a, bb]);
+    let d = b.op(Opcode::Mul, &[x0, s]);
+    let e = b.op(Opcode::Mul, &[x1, c]);
+    let y1 = b.op(Opcode::Add, &[d, e]);
+    b.store_elem(i, y0);
+    b.store_elem(i, y1);
+    Kernel { name: "rope", loops: vec![el("rope", b.finish())] }
+}
+
+/// The full kernel library with `terms` Taylor terms for the exp/sin chains.
+/// Order follows Table 1.
+pub fn kernel_library(terms: usize) -> Vec<Kernel> {
+    vec![
+        softmax_kernel(terms),
+        relu_kernel(),
+        gelu_kernel(terms),
+        geglu_kernel(terms),
+        silu_kernel(terms),
+        swiglu_kernel(terms),
+        layernorm_kernel(),
+        rmsnorm_kernel(),
+        rope_kernel(terms),
+    ]
+}
+
+/// Looks a kernel up by name in a library slice.
+pub fn find_kernel<'a>(lib: &'a [Kernel], name: &str) -> Option<&'a Kernel> {
+    lib.iter().find(|k| k.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_covers_table1() {
+        let lib = kernel_library(4);
+        assert_eq!(lib.len(), 9);
+        for k in &lib {
+            for l in &k.loops {
+                assert!(l.dfg.validate().is_ok(), "{}: {:?}", k.name, l.dfg.validate());
+                assert!(l.dfg.len() >= 8, "{} suspiciously small", l.label);
+            }
+        }
+    }
+
+    #[test]
+    fn loop_structure_matches_section_3_1() {
+        let lib = kernel_library(4);
+        let softmax = find_kernel(&lib, "softmax").unwrap();
+        assert_eq!(softmax.loops.len(), 3);
+        assert_eq!(softmax.loops[0].class, LoopClass::Reduction);
+        assert_eq!(softmax.loops[1].class, LoopClass::Reduction);
+        assert_eq!(softmax.loops[2].class, LoopClass::ElementWise);
+        let ln = find_kernel(&lib, "layernorm").unwrap();
+        assert_eq!(ln.loops.len(), 2);
+        assert_eq!(ln.loops[0].class, LoopClass::Reduction);
+        for name in ["relu", "gelu", "silu", "swiglu", "geglu", "rope"] {
+            assert_eq!(find_kernel(&lib, name).unwrap().loops.len(), 1, "{name}");
+        }
+    }
+
+    #[test]
+    fn intensity_shape_matches_motivation() {
+        // §3.1: all operations except ReLU exceed ~5, max ~14.5.
+        let lib = kernel_library(6);
+        let relu = find_kernel(&lib, "relu").unwrap().computational_intensity();
+        let mut max_int: f64 = 0.0;
+        for k in &lib {
+            let ci = k.computational_intensity();
+            assert!(ci.is_finite(), "{}", k.name);
+            max_int = max_int.max(ci);
+            if k.name != "relu" && k.name != "gelu-lut" && k.name != "rmsnorm" {
+                assert!(ci > relu, "{} ({ci}) should exceed relu ({relu})", k.name);
+            }
+        }
+        assert!(relu < 5.3, "relu intensity {relu}");
+        assert!(max_int > 10.0 && max_int < 25.0, "max intensity {max_int}");
+    }
+
+    #[test]
+    fn exp_terms_grow_kernels() {
+        let small = softmax_kernel(3).total_nodes();
+        let large = softmax_kernel(8).total_nodes();
+        assert!(large > small);
+        assert_eq!(large - small, 2 * 5); // 2 nodes per extra term in loop 2
+    }
+
+    #[test]
+    fn every_elementwise_loop_stores() {
+        for k in kernel_library(4) {
+            for l in &k.loops {
+                if l.class == LoopClass::ElementWise {
+                    let stores = l.dfg.nodes().iter().filter(|n| n.op == Opcode::Store).count();
+                    assert!(stores >= 1, "{} has no store", l.label);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reductions_have_recurrences() {
+        for k in kernel_library(4) {
+            for l in &k.loops {
+                if l.class == LoopClass::Reduction {
+                    assert!(l.dfg.rec_mii() >= 2, "{} unfused RecMII", l.label);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gelu_lut_is_tiny_vs_taylor_gelu() {
+        let lut = gelu_lut_kernel().total_nodes();
+        let taylor = gelu_kernel(6).total_nodes();
+        assert!(lut * 2 < taylor, "LUT kernel {lut} vs Taylor {taylor}");
+    }
+
+    #[test]
+    fn softmax2_node_count_formula() {
+        // control 4 + load 3 + param 1 + sub 1 + exp (2T+4) + accum 2 + store 3
+        for t in [3usize, 4, 6, 8] {
+            assert_eq!(softmax_kernel(t).loops[1].dfg.len(), 2 * t + 18);
+        }
+    }
+
+    #[test]
+    fn kernels_carry_real_constants() {
+        // the exp chain's first multiply folds log2(e)
+        let k = softmax_kernel(4);
+        let has_log2e = k.loops[1]
+            .dfg
+            .nodes()
+            .iter()
+            .any(|n| n.imms.first().is_some_and(|&v| (v - std::f32::consts::LOG2_E).abs() < 1e-6));
+        assert!(has_log2e, "exp chain must fold log2(e)");
+        // reduce_max φ starts at -inf
+        let max_phi = k.loops[0]
+            .dfg
+            .nodes()
+            .iter()
+            .any(|n| n.op == Opcode::Phi && n.imms.first() == Some(&f32::NEG_INFINITY));
+        assert!(max_phi, "max reduction φ must start at -inf");
+    }
+
+    #[test]
+    fn params_mark_loop_invariants() {
+        let lib = kernel_library(4);
+        for (name, loop_idx, params) in
+            [("softmax", 1usize, 1usize), ("softmax", 2, 1), ("layernorm", 1, 2), ("rmsnorm", 1, 1), ("rope", 0, 1)]
+        {
+            let k = find_kernel(&lib, name).unwrap();
+            let count = k.loops[loop_idx]
+                .dfg
+                .nodes()
+                .iter()
+                .filter(|n| n.op == Opcode::Param)
+                .count();
+            assert_eq!(count, params, "{name}({loop_idx})");
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # picachu-ir — kernel IR and data-flow graphs for the PICACHU compiler
+//!
+//! The paper's toolchain lowers nonlinear operations to LLVM IR, converts each
+//! instruction into a DFG node (control flow becomes data flow through partial
+//! predication), and maps the DFG onto the CGRA (§4.3). This crate provides:
+//!
+//! * [`opcode`] — the instruction vocabulary (LLVM-like basic ops, the
+//!   special `fp2fx`/`lut`/`pow2i` operations backed by the Compute Tiles'
+//!   special functional units, and the fused opcodes of Table 4);
+//! * [`dfg`] — the data-flow graph with loop-carried edges, recurrence (II
+//!   lower bound) analysis and the §3.1 computational-intensity metric;
+//! * [`builder`] — an SSA-style builder for loop bodies;
+//! * [`kernels`] — the predefined kernel library: every Table 1 operation
+//!   expressed as one [`kernels::Kernel`] of single-level loops, exactly the
+//!   "predefined kernel codes written in C++, parameterizable in tensor
+//!   shapes" of §4.3.
+//!
+//! ```
+//! use picachu_ir::kernels::kernel_library;
+//!
+//! let lib = kernel_library(4); // 4 Taylor terms in hardware loops
+//! let softmax = lib.iter().find(|k| k.name == "softmax").unwrap();
+//! assert_eq!(softmax.loops.len(), 3);
+//! ```
+
+pub mod builder;
+pub mod dfg;
+pub mod interp;
+pub mod kernels;
+pub mod opcode;
+
+pub use builder::DfgBuilder;
+pub use dfg::{Dfg, Edge, Node, NodeId};
+pub use interp::{interpret, InterpResult};
+pub use opcode::{FusedPattern, Opcode};

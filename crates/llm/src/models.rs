@@ -1,0 +1,294 @@
+//! Transformer model configurations (the evaluation workloads of §5).
+//!
+//! Dimensions follow the public model cards; what matters to PICACHU is the
+//! *nonlinear mix* (Table 1): which normalization, which activation, and
+//! whether positions are rotary.
+
+use picachu_nonlinear::NonlinearOp;
+use std::fmt;
+
+/// Normalization flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NormKind {
+    /// LayerNorm (GPT-2, OPT, BERT, BigBird).
+    LayerNorm,
+    /// RMSNorm (LLaMA family).
+    RmsNorm,
+}
+
+/// FFN activation flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ActKind {
+    /// GeLU (GPT-2, BERT, BigBird).
+    Gelu,
+    /// ReLU (OPT).
+    Relu,
+    /// SwiGLU — gated SiLU with two up-projections (LLaMA).
+    SwiGlu,
+    /// GeGLU — gated GeLU (LaMDA/GLM class).
+    GeGlu,
+}
+
+/// Positional-embedding flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PosKind {
+    /// Learned/absolute embeddings — no runtime nonlinearity.
+    Learned,
+    /// Rotary embeddings — sine/cosine at runtime (LLaMA).
+    Rope,
+}
+
+/// One transformer model configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModelConfig {
+    /// Model name as used in the paper's figures.
+    pub name: &'static str,
+    /// Decoder layers.
+    pub layers: usize,
+    /// Hidden (embedding) dimension.
+    pub d_model: usize,
+    /// Attention heads.
+    pub n_heads: usize,
+    /// FFN intermediate dimension (per gate for gated activations).
+    pub d_ff: usize,
+    /// Normalization flavour.
+    pub norm: NormKind,
+    /// Activation flavour.
+    pub activation: ActKind,
+    /// Positional embedding flavour.
+    pub pos: PosKind,
+    /// Attended keys per query when the model uses sparse attention
+    /// (BigBird's block-sparse pattern); `None` = dense.
+    pub attn_span: Option<usize>,
+}
+
+impl ModelConfig {
+    /// GPT2-XL: 48×1600, GeLU, LayerNorm.
+    pub fn gpt2_xl() -> ModelConfig {
+        ModelConfig {
+            name: "GPT2-XL",
+            layers: 48,
+            d_model: 1600,
+            n_heads: 25,
+            d_ff: 6400,
+            norm: NormKind::LayerNorm,
+            activation: ActKind::Gelu,
+            pos: PosKind::Learned,
+            attn_span: None,
+        }
+    }
+
+    /// GPT-2 (small, 124M): the Fig. 8b workload.
+    pub fn gpt2() -> ModelConfig {
+        ModelConfig {
+            name: "GPT2",
+            layers: 12,
+            d_model: 768,
+            n_heads: 12,
+            d_ff: 3072,
+            norm: NormKind::LayerNorm,
+            activation: ActKind::Gelu,
+            pos: PosKind::Learned,
+            attn_span: None,
+        }
+    }
+
+    /// BERT-base: the other Fig. 8b workload.
+    pub fn bert_base() -> ModelConfig {
+        ModelConfig {
+            name: "BERT",
+            layers: 12,
+            d_model: 768,
+            n_heads: 12,
+            d_ff: 3072,
+            norm: NormKind::LayerNorm,
+            activation: ActKind::Gelu,
+            pos: PosKind::Learned,
+            attn_span: None,
+        }
+    }
+
+    /// BigBird (RoBERTa-base backbone): Fig. 1 workload. Block-sparse
+    /// attention attends ~512 keys per query regardless of sequence length.
+    pub fn bigbird() -> ModelConfig {
+        ModelConfig {
+            name: "BigBird",
+            layers: 12,
+            d_model: 768,
+            n_heads: 12,
+            d_ff: 3072,
+            norm: NormKind::LayerNorm,
+            activation: ActKind::Gelu,
+            pos: PosKind::Learned,
+            attn_span: Some(512),
+        }
+    }
+
+    /// OPT-6.7B: ReLU + LayerNorm.
+    pub fn opt_6_7b() -> ModelConfig {
+        ModelConfig {
+            name: "OPT-6.7B",
+            layers: 32,
+            d_model: 4096,
+            n_heads: 32,
+            d_ff: 16384,
+            norm: NormKind::LayerNorm,
+            activation: ActKind::Relu,
+            pos: PosKind::Learned,
+            attn_span: None,
+        }
+    }
+
+    /// OPT-13B.
+    pub fn opt_13b() -> ModelConfig {
+        ModelConfig {
+            name: "OPT-13B",
+            layers: 40,
+            d_model: 5120,
+            n_heads: 40,
+            d_ff: 20480,
+            norm: NormKind::LayerNorm,
+            activation: ActKind::Relu,
+            pos: PosKind::Learned,
+            attn_span: None,
+        }
+    }
+
+    /// LLaMA-7B: SwiGLU + RMSNorm + RoPE.
+    pub fn llama_7b() -> ModelConfig {
+        ModelConfig {
+            name: "LLaMA-7B",
+            layers: 32,
+            d_model: 4096,
+            n_heads: 32,
+            d_ff: 11008,
+            norm: NormKind::RmsNorm,
+            activation: ActKind::SwiGlu,
+            pos: PosKind::Rope,
+            attn_span: None,
+        }
+    }
+
+    /// LLaMA-13B.
+    pub fn llama_13b() -> ModelConfig {
+        ModelConfig {
+            name: "LLaMA-13B",
+            layers: 40,
+            d_model: 5120,
+            n_heads: 40,
+            d_ff: 13824,
+            norm: NormKind::RmsNorm,
+            activation: ActKind::SwiGlu,
+            pos: PosKind::Rope,
+            attn_span: None,
+        }
+    }
+
+    /// LLaMA2-7B (same geometry as LLaMA-7B).
+    pub fn llama2_7b() -> ModelConfig {
+        ModelConfig { name: "LLaMA2-7B", ..ModelConfig::llama_7b() }
+    }
+
+    /// LLaMA2-13B.
+    pub fn llama2_13b() -> ModelConfig {
+        ModelConfig { name: "LLaMA2-13B", ..ModelConfig::llama_13b() }
+    }
+
+    /// The Fig. 1a/8a workload set.
+    pub fn evaluation_set() -> Vec<ModelConfig> {
+        vec![
+            ModelConfig::gpt2_xl(),
+            ModelConfig::opt_6_7b(),
+            ModelConfig::opt_13b(),
+            ModelConfig::llama2_7b(),
+            ModelConfig::llama2_13b(),
+        ]
+    }
+
+    /// Head dimension.
+    pub fn d_head(&self) -> usize {
+        self.d_model / self.n_heads
+    }
+
+    /// The nonlinear operations this model exercises (Table 1's rightmost
+    /// column, inverted).
+    pub fn nonlinear_ops(&self) -> Vec<NonlinearOp> {
+        let mut ops = vec![NonlinearOp::Softmax];
+        ops.push(match self.norm {
+            NormKind::LayerNorm => NonlinearOp::LayerNorm,
+            NormKind::RmsNorm => NonlinearOp::RmsNorm,
+        });
+        ops.push(match self.activation {
+            ActKind::Gelu => NonlinearOp::Gelu,
+            ActKind::Relu => NonlinearOp::Relu,
+            ActKind::SwiGlu => NonlinearOp::Swiglu,
+            ActKind::GeGlu => NonlinearOp::Geglu,
+        });
+        if self.pos == PosKind::Rope {
+            ops.push(NonlinearOp::Rope);
+        }
+        ops
+    }
+
+    /// Approximate parameter count (embeddings excluded) — sanity metric.
+    pub fn approx_params(&self) -> u64 {
+        let d = self.d_model as u64;
+        let ff = self.d_ff as u64;
+        let attn = 4 * d * d;
+        let ffn = match self.activation {
+            ActKind::SwiGlu | ActKind::GeGlu => 3 * d * ff,
+            _ => 2 * d * ff,
+        };
+        self.layers as u64 * (attn + ffn)
+    }
+}
+
+impl fmt::Display for ModelConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}L, d={}, h={}, ff={}, {:?}/{:?}/{:?})",
+            self.name, self.layers, self.d_model, self.n_heads, self.d_ff,
+            self.norm, self.activation, self.pos
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_counts_sane() {
+        // known ballparks (embeddings excluded, so slightly under)
+        let opt = ModelConfig::opt_6_7b().approx_params();
+        assert!((6.0e9..7.0e9).contains(&(opt as f64)), "OPT-6.7B {opt}");
+        let llama = ModelConfig::llama2_7b().approx_params();
+        assert!((6.0e9..7.0e9).contains(&(llama as f64)), "LLaMA2-7B {llama}");
+        let gpt = ModelConfig::gpt2_xl().approx_params();
+        assert!((1.3e9..1.7e9).contains(&(gpt as f64)), "GPT2-XL {gpt}");
+    }
+
+    #[test]
+    fn head_dims() {
+        assert_eq!(ModelConfig::gpt2_xl().d_head(), 64);
+        assert_eq!(ModelConfig::llama2_7b().d_head(), 128);
+    }
+
+    #[test]
+    fn nonlinear_mix_matches_table1() {
+        use picachu_nonlinear::NonlinearOp::*;
+        let llama = ModelConfig::llama2_7b().nonlinear_ops();
+        assert!(llama.contains(&Softmax) && llama.contains(&RmsNorm));
+        assert!(llama.contains(&Swiglu) && llama.contains(&Rope));
+        let opt = ModelConfig::opt_6_7b().nonlinear_ops();
+        assert!(opt.contains(&Relu) && opt.contains(&LayerNorm));
+        assert!(!opt.contains(&Rope));
+    }
+
+    #[test]
+    fn evaluation_set_names() {
+        let names: Vec<_> = ModelConfig::evaluation_set().iter().map(|m| m.name).collect();
+        assert_eq!(names, vec!["GPT2-XL", "OPT-6.7B", "OPT-13B", "LLaMA2-7B", "LLaMA2-13B"]);
+    }
+}

@@ -1,0 +1,267 @@
+//! Integer polynomial evaluation on quantized inputs (§4.1).
+//!
+//! Managing INT addition with mismatched scale factors is the hard part of
+//! integer nonlinear kernels. The paper adopts I-BERT's **completing the
+//! square**: `a + b·x + c·x² = c·(x + b/2c)² + (a − b²/4c)`, which turns a
+//! quadratic on a quantized input `x = q·s` into a pure integer computation
+//! `(q + q_b)² + q_c` with a single output scale `c·s²`. Higher-degree Taylor
+//! polynomials are evaluated by integer Horner steps with dyadic requantization
+//! between stages, and the exponential's `2^f` series gets a dedicated
+//! fixed-point evaluator used by the INT Softmax/GeLU/SiLU kernels.
+
+use picachu_num::fixed::round_shift_right;
+use picachu_num::DyadicScale;
+
+/// A quadratic `a + b·x + c·x²` evaluated on quantized inputs via completing
+/// the square.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuadPoly {
+    /// Constant coefficient.
+    pub a: f64,
+    /// Linear coefficient.
+    pub b: f64,
+    /// Quadratic coefficient (must be nonzero).
+    pub c: f64,
+}
+
+impl QuadPoly {
+    /// Reference evaluation in `f64`.
+    pub fn eval_f64(&self, x: f64) -> f64 {
+        self.a + self.b * x + self.c * x * x
+    }
+
+    /// Integer evaluation of the quadratic on `q` with input scale `s`
+    /// (`x = q·s`), returning `(q_out, s_out)` with `x ≈ q_out · s_out`.
+    ///
+    /// Implements I-BERT's scheme exactly: `q_b = ⌊b/(2·c·s)⌋`,
+    /// `q_c = ⌊(a − b²/4c) / (c·s²)⌋`, `q_out = (q + q_b)² + q_c`,
+    /// `s_out = c·s²`.
+    ///
+    /// # Panics
+    /// Panics if `c == 0` or `s <= 0`.
+    pub fn eval_int(&self, q: i32, s: f64) -> (i64, f64) {
+        assert!(self.c != 0.0, "completing the square requires c != 0");
+        assert!(s > 0.0, "input scale must be positive, got {s}");
+        let q_b = (self.b / (2.0 * self.c * s)).floor() as i64;
+        let s_out = self.c * s * s;
+        let q_c = ((self.a - self.b * self.b / (4.0 * self.c)) / s_out).floor() as i64;
+        let t = q as i64 + q_b;
+        (t * t + q_c, s_out)
+    }
+}
+
+/// Integer Horner evaluation of `Σ coeffs[k]·x^k` on a quantized input.
+///
+/// Each Horner step computes `acc ← acc·x + coeff` entirely in integers:
+/// the accumulator is requantized back to `acc_bits` fractional bits after the
+/// widening multiply, and the coefficient is quantized to the same grid.
+/// Returns the result as a real number reconstructed from the fixed-point
+/// accumulator (callers that need the raw integer use [`exp2_frac_q`]).
+///
+/// # Panics
+/// Panics if `coeffs` is empty or `acc_bits > 30`.
+pub fn horner_int(coeffs: &[f64], q: i32, s: f64, acc_bits: u32) -> f64 {
+    assert!(!coeffs.is_empty(), "polynomial needs at least one coefficient");
+    assert!(acc_bits <= 30, "accumulator fraction bits must be <= 30");
+    let one = 1i64 << acc_bits;
+    // x in fixed point.
+    let x_q = ((q as f64 * s) * one as f64).round() as i64;
+    let mut acc = (coeffs[coeffs.len() - 1] * one as f64).round() as i64;
+    for &c in coeffs.iter().rev().skip(1) {
+        let prod = round_shift_right(acc.saturating_mul(x_q), acc_bits);
+        acc = prod + (c * one as f64).round() as i64;
+    }
+    acc as f64 / one as f64
+}
+
+/// Fixed-point evaluation of `2^f` for `f ∈ [0,1)` given as a Q`frac_bits`
+/// integer; returns a Q`frac_bits` integer in `[2^frac_bits, 2^(frac_bits+1))`.
+///
+/// This is the integer twin of [`crate::ops::pow2_frac`] and the core of the
+/// INT Softmax kernel: after max subtraction the exponent split gives a
+/// non-positive integer part (a pure shift) and this fraction.
+///
+/// # Panics
+/// Panics if `f_q` is out of `[0, 2^frac_bits)` or `frac_bits` not in `4..=28`.
+pub fn exp2_frac_q(f_q: i32, frac_bits: u32, terms: usize) -> i32 {
+    assert!((4..=28).contains(&frac_bits), "frac_bits must be in 4..=28");
+    let one = 1i64 << frac_bits;
+    assert!(
+        (0..one).contains(&(f_q as i64)),
+        "f_q={f_q} outside [0, 2^{frac_bits})"
+    );
+    // z = ln2 · f in fixed point.
+    let ln2_q = (std::f64::consts::LN_2 * one as f64).round() as i64;
+    let z = round_shift_right(ln2_q * f_q as i64, frac_bits);
+    // Horner: acc = 1 + z/1·(1 + z/2·(1 + z/3·(…)))
+    let mut acc = one;
+    for k in (1..terms).rev() {
+        // acc ← 1 + (z/k)·acc
+        let scaled = round_shift_right(z * acc, frac_bits) / k as i64;
+        acc = one + scaled;
+    }
+    acc.clamp(0, i32::MAX as i64) as i32
+}
+
+/// Integer exponential used by the INT Softmax/GeLU kernels.
+///
+/// Input: quantized `q` with scale `s`, assumed **non-positive real value**
+/// (as produced by the max-subtraction step). Output: a Q`frac_bits`
+/// fixed-point value of `exp(q·s)` in `[0, 2^frac_bits]`.
+///
+/// Pipeline (all integer): dyadic multiply by `log2(e)·s` into Q`frac_bits`,
+/// split integer/fraction by shift/mask, `2^f` via [`exp2_frac_q`], then an
+/// arithmetic right shift by `-i`.
+pub fn exp_int_q(q: i32, s: f64, frac_bits: u32, terms: usize) -> i32 {
+    let one = 1i64 << frac_bits;
+    // t = log2(e) · x in Q(frac_bits), via a single dyadic multiply.
+    let dy = DyadicScale::from_real(std::f64::consts::LOG2_E * s * one as f64);
+    let t = dy.apply(q) as i64;
+    if t >= 0 {
+        // exp(0) == 1 after max subtraction; positive t can only arise from
+        // rounding, clamp to 1.0.
+        return one as i32;
+    }
+    let i = t >> frac_bits; // arithmetic shift = floor division
+    let f_q = (t - (i << frac_bits)) as i32; // in [0, 2^frac_bits)
+    let pow2_f = exp2_frac_q(f_q, frac_bits, terms) as i64;
+    let shift = (-i) as u32;
+    if shift >= 63 {
+        return 0;
+    }
+    round_shift_right(pow2_f, shift).clamp(0, i32::MAX as i64) as i32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn quad_completing_square_matches_float() {
+        // I-BERT's i-exp quadratic: 0.3585(x + 1.353)^2 + 0.344 expanded.
+        let p = QuadPoly {
+            a: 0.3585 * 1.353 * 1.353 + 0.344,
+            b: 0.3585 * 2.0 * 1.353,
+            c: 0.3585,
+        };
+        let s = 0.01;
+        for q in [-200i32, -50, 0, 37, 150] {
+            let x = q as f64 * s;
+            let (qo, so) = p.eval_int(q, s);
+            let approx = qo as f64 * so;
+            assert!(
+                (approx - p.eval_f64(x)).abs() < 0.02,
+                "q={q}: {approx} vs {}",
+                p.eval_f64(x)
+            );
+        }
+    }
+
+    #[test]
+    fn quad_int_is_shift_invariant_in_q() {
+        // The integer output must be computable from q alone given the
+        // precomputed q_b, q_c — check consistency across calls.
+        let p = QuadPoly { a: 1.0, b: -2.0, c: 0.5 };
+        let (q1, s1) = p.eval_int(100, 0.05);
+        let (q2, s2) = p.eval_int(100, 0.05);
+        assert_eq!((q1, s1.to_bits()), (q2, s2.to_bits()));
+    }
+
+    #[test]
+    fn horner_matches_float_poly() {
+        // p(x) = 1 + x + x^2/2 + x^3/6 (exp Taylor prefix)
+        let coeffs = [1.0, 1.0, 0.5, 1.0 / 6.0];
+        let s = 1.0 / 128.0;
+        for q in -128..=128 {
+            let x = q as f64 * s;
+            let reference: f64 = coeffs
+                .iter()
+                .enumerate()
+                .map(|(k, c)| c * x.powi(k as i32))
+                .sum();
+            let got = horner_int(&coeffs, q, s, 24);
+            assert!((got - reference).abs() < 1e-4, "q={q}");
+        }
+    }
+
+    #[test]
+    fn exp2_frac_endpoints() {
+        let fb = 20;
+        let one = 1i32 << fb;
+        // f = 0 -> 1.0
+        assert_eq!(exp2_frac_q(0, fb, 6), one);
+        // f -> 1: 2^f -> 2
+        let near_one = one - 1;
+        let v = exp2_frac_q(near_one, fb, 8) as f64 / one as f64;
+        assert!((v - 2.0).abs() < 1e-4, "2^~1 = {v}");
+    }
+
+    #[test]
+    fn exp2_frac_accuracy() {
+        let fb = 20;
+        let one = 1i64 << fb;
+        for i in 0..1000 {
+            let f = i as f64 / 1000.0;
+            let f_q = (f * one as f64) as i32;
+            let got = exp2_frac_q(f_q, fb, 7) as f64 / one as f64;
+            let reference = 2f64.powf(f_q as f64 / one as f64);
+            assert!((got - reference).abs() < 1e-4, "f={f}: {got} vs {reference}");
+        }
+    }
+
+    #[test]
+    fn exp_int_matches_reference_on_softmax_domain() {
+        let fb = 20;
+        let one = (1i64 << fb) as f64;
+        let s = 20.0 / 32767.0; // INT16 quantization of logits in [-20, 0]
+        for q in (-32767i32..=0).step_by(97) {
+            let x = q as f64 * s;
+            let got = exp_int_q(q, s, fb, 7) as f64 / one;
+            assert!(
+                (got - x.exp()).abs() < 5e-4,
+                "x={x}: got {got} vs {}",
+                x.exp()
+            );
+        }
+    }
+
+    #[test]
+    fn exp_int_zero_is_one() {
+        let fb = 16;
+        assert_eq!(exp_int_q(0, 0.001, fb, 6), 1 << fb);
+    }
+
+    #[test]
+    fn exp_int_deep_negative_underflows_to_zero() {
+        assert_eq!(exp_int_q(-32767, 0.01, 20, 6), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn exp_int_monotone(q1 in -30000i32..0, d in 1i32..1000) {
+            let q2 = (q1 + d).min(0);
+            let s = 15.0 / 32767.0;
+            let a = exp_int_q(q1, s, 20, 7);
+            let b = exp_int_q(q2, s, 20, 7);
+            prop_assert!(a <= b + 1, "exp must be monotone: q1={q1} -> {a}, q2={q2} -> {b}");
+        }
+
+        #[test]
+        fn exp2_frac_in_range(f_q in 0i32..(1 << 20)) {
+            let v = exp2_frac_q(f_q, 20, 7);
+            let one = 1 << 20;
+            prop_assert!(v >= one - 1 && v <= 2 * one + 1);
+        }
+
+        #[test]
+        fn horner_bounded_error(q in -1000i32..1000, bits in 16u32..26) {
+            let coeffs = [0.25, -0.5, 0.125];
+            let s = 1.0 / 1024.0;
+            let x = q as f64 * s;
+            let reference = 0.25 - 0.5 * x + 0.125 * x * x;
+            let got = horner_int(&coeffs, q, s, bits);
+            prop_assert!((got - reference).abs() < 1e-3);
+        }
+    }
+}

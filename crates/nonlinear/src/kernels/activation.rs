@@ -1,0 +1,289 @@
+//! Activation functions — element-wise operations of Table 1: ReLU, GeLU
+//! (tanh form and the Φ-LUT form enabled by the Compute Tiles' lookup
+//! tables), SiLU, and the gated variants GeGLU / SwiGLU.
+
+use crate::ops::{sigmoid_approx, tanh_approx, ApproxConfig};
+use picachu_num::lut::gaussian_cdf;
+use picachu_num::{DyadicScale, Lut, QuantParams};
+
+/// Reference ReLU.
+pub fn relu_ref(x: f64) -> f64 {
+    x.max(0.0)
+}
+
+/// ReLU on the CGRA is a single compare-select; it is exact in every format.
+pub fn relu(x: f32) -> f32 {
+    x.max(0.0)
+}
+
+/// Reference GeLU in the paper's tanh form:
+/// `0.5·x·(1 + tanh(√(2/π)·(x + 0.044715·x³)))`.
+pub fn gelu_tanh_ref(x: f64) -> f64 {
+    let c = (2.0 / std::f64::consts::PI).sqrt();
+    0.5 * x * (1.0 + (c * (x + 0.044715 * x * x * x)).tanh())
+}
+
+/// Reference "exact" GeLU `x·Φ(x)` via the Gaussian CDF.
+pub fn gelu_phi_ref(x: f64) -> f64 {
+    x * gaussian_cdf(x)
+}
+
+/// PICACHU FP GeLU via the tanh form, with tanh built from the range-reduced
+/// exponential (Table 3) plus the divider FU.
+pub fn gelu_fp(x: f32, cfg: &ApproxConfig) -> f32 {
+    let c = (2.0f32 / std::f32::consts::PI).sqrt();
+    0.5 * x * (1.0 + tanh_approx(c * (x + 0.044715 * x * x * x), cfg))
+}
+
+/// Builds the Φ LUT a Compute Tile stores for GeLU (§4.2.1 "Special function
+/// support"). 512 entries over `[-6, 6]` reach FP16-level accuracy.
+pub fn phi_lut(entries: usize) -> Lut {
+    Lut::tabulate("phi", -6.0, 6.0, entries, gaussian_cdf)
+}
+
+/// PICACHU GeLU via the Φ LUT: one table read plus one multiply per element.
+pub fn gelu_lut(x: f32, lut: &Lut) -> f32 {
+    x * lut.eval(x)
+}
+
+/// PICACHU FP SiLU: `x·sigmoid(x)` from the exponential + divider FUs.
+pub fn silu_fp(x: f32, cfg: &ApproxConfig) -> f32 {
+    x * sigmoid_approx(x, cfg)
+}
+
+/// Reference SiLU.
+pub fn silu_ref(x: f64) -> f64 {
+    x / (1.0 + (-x).exp())
+}
+
+/// SwiGLU gate: `SiLU(u) ⊙ v` where `u = xW+b`, `v = xV+c` are produced by
+/// the systolic array; the CGRA only runs this element-wise kernel.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn swiglu_fp(u: &[f32], v: &[f32], cfg: &ApproxConfig) -> Vec<f32> {
+    assert_eq!(u.len(), v.len(), "swiglu gates must have equal length");
+    u.iter()
+        .zip(v.iter())
+        .map(|(&a, &b)| silu_fp(a, cfg) * b)
+        .collect()
+}
+
+/// Reference SwiGLU.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn swiglu_ref(u: &[f64], v: &[f64]) -> Vec<f64> {
+    assert_eq!(u.len(), v.len(), "swiglu gates must have equal length");
+    u.iter().zip(v.iter()).map(|(&a, &b)| silu_ref(a) * b).collect()
+}
+
+/// GeGLU gate: `GeLU(u) ⊙ v`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn geglu_fp(u: &[f32], v: &[f32], cfg: &ApproxConfig) -> Vec<f32> {
+    assert_eq!(u.len(), v.len(), "geglu gates must have equal length");
+    u.iter()
+        .zip(v.iter())
+        .map(|(&a, &b)| gelu_fp(a, cfg) * b)
+        .collect()
+}
+
+/// Reference GeGLU.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn geglu_ref(u: &[f64], v: &[f64]) -> Vec<f64> {
+    assert_eq!(u.len(), v.len(), "geglu gates must have equal length");
+    u.iter()
+        .zip(v.iter())
+        .map(|(&a, &b)| gelu_tanh_ref(a) * b)
+        .collect()
+}
+
+/// PICACHU integer GeLU: the Compute Tile LUT is re-indexed by the quantized
+/// integer directly (`q → Φ(q·s)`), so the kernel is one table read, one
+/// integer multiply and one dyadic requantization per element.
+///
+/// Returns dequantized outputs for accuracy comparison.
+pub fn gelu_int(x: &[f32], bits: u32, lut_entries: usize) -> Vec<f32> {
+    let params = QuantParams::calibrate(x, bits);
+    // Φ saturates outside ±8, so the table covers the fixed real domain
+    // [-8, 8] in Q15; inputs beyond it clamp to the saturated entries.
+    const DOMAIN: f64 = 8.0;
+    let lut: Vec<i32> = (0..lut_entries)
+        .map(|i| {
+            let x = -DOMAIN + 2.0 * DOMAIN * i as f64 / (lut_entries - 1) as f64;
+            (gaussian_cdf(x) * 32768.0).round() as i32
+        })
+        .collect();
+    // index = (x + 8) / 16 * (entries-1), computed from q by one dyadic mul
+    let idx_scale = DyadicScale::from_real(
+        params.scale / (2.0 * DOMAIN) * (lut_entries - 1) as f64,
+    );
+    let half = (lut_entries - 1) as i64 / 2;
+    let out = DyadicScale::from_real(1.0 / 32768.0);
+    x.iter()
+        .map(|&v| {
+            let q = params.quantize(v as f64);
+            let idx = (idx_scale.apply(q) as i64 + half).clamp(0, lut_entries as i64 - 1);
+            let prod = q as i64 * lut[idx as usize] as i64;
+            let q_out = out.apply(prod.clamp(i32::MIN as i64, i32::MAX as i64) as i32);
+            params.dequantize(q_out) as f32
+        })
+        .collect()
+}
+
+/// PICACHU integer SiLU via a sigmoid LUT, same structure as [`gelu_int`].
+pub fn silu_int(x: &[f32], bits: u32, lut_entries: usize) -> Vec<f32> {
+    let params = QuantParams::calibrate(x, bits);
+    // sigmoid saturates outside ±16: fixed-domain Q15 table as in gelu_int.
+    const DOMAIN: f64 = 16.0;
+    let lut: Vec<i32> = (0..lut_entries)
+        .map(|i| {
+            let x = -DOMAIN + 2.0 * DOMAIN * i as f64 / (lut_entries - 1) as f64;
+            ((1.0 / (1.0 + (-x).exp())) * 32768.0).round() as i32
+        })
+        .collect();
+    let idx_scale = DyadicScale::from_real(
+        params.scale / (2.0 * DOMAIN) * (lut_entries - 1) as f64,
+    );
+    let half = (lut_entries - 1) as i64 / 2;
+    let out = DyadicScale::from_real(1.0 / 32768.0);
+    x.iter()
+        .map(|&v| {
+            let q = params.quantize(v as f64);
+            let idx = (idx_scale.apply(q) as i64 + half).clamp(0, lut_entries as i64 - 1);
+            let prod = q as i64 * lut[idx as usize] as i64;
+            let q_out = out.apply(prod.clamp(i32::MIN as i64, i32::MAX as i64) as i32);
+            params.dequantize(q_out) as f32
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use picachu_num::ErrorStats;
+    use proptest::prelude::*;
+
+    fn cfg() -> ApproxConfig {
+        ApproxConfig::default()
+    }
+
+    #[test]
+    fn relu_basics() {
+        assert_eq!(relu(-3.0), 0.0);
+        assert_eq!(relu(2.5), 2.5);
+        assert_eq!(relu(0.0), 0.0);
+    }
+
+    #[test]
+    fn gelu_fp_matches_ref() {
+        let s = ErrorStats::sweep(-8.0, 8.0, 20_000, |x| gelu_fp(x as f32, &cfg()) as f64, gelu_tanh_ref);
+        assert!(s.max_abs < 1e-5, "{s}");
+    }
+
+    #[test]
+    fn gelu_tanh_vs_phi_forms_close() {
+        // The tanh form is itself an approximation of x·Φ(x): max gap ~1e-3.
+        let s = ErrorStats::sweep(-6.0, 6.0, 10_000, gelu_tanh_ref, gelu_phi_ref);
+        assert!(s.max_abs < 3e-3, "{s}");
+    }
+
+    #[test]
+    fn gelu_lut_matches_phi_ref() {
+        let lut = phi_lut(512);
+        let s = ErrorStats::sweep(-6.0, 6.0, 10_000, |x| gelu_lut(x as f32, &lut) as f64, gelu_phi_ref);
+        assert!(s.max_abs < 2e-3, "{s}");
+    }
+
+    #[test]
+    fn gelu_asymptotes() {
+        assert!((gelu_fp(10.0, &cfg()) - 10.0).abs() < 1e-4);
+        assert!(gelu_fp(-10.0, &cfg()).abs() < 1e-4);
+        assert_eq!(gelu_fp(0.0, &cfg()), 0.0);
+    }
+
+    #[test]
+    fn silu_matches_ref() {
+        let s = ErrorStats::sweep(-20.0, 20.0, 20_000, |x| silu_fp(x as f32, &cfg()) as f64, silu_ref);
+        assert!(s.max_abs < 1e-4, "{s}");
+    }
+
+    #[test]
+    fn swiglu_matches_ref() {
+        let u: Vec<f32> = (0..256).map(|i| (i as f32 * 0.37).sin() * 4.0).collect();
+        let v: Vec<f32> = (0..256).map(|i| (i as f32 * 0.11).cos() * 2.0).collect();
+        let ud: Vec<f64> = u.iter().map(|&x| x as f64).collect();
+        let vd: Vec<f64> = v.iter().map(|&x| x as f64).collect();
+        let reference = swiglu_ref(&ud, &vd);
+        let got: Vec<f64> = swiglu_fp(&u, &v, &cfg()).iter().map(|&x| x as f64).collect();
+        let s = ErrorStats::compare(&got, &reference);
+        assert!(s.max_abs < 1e-4, "{s}");
+    }
+
+    #[test]
+    fn geglu_matches_ref() {
+        let u: Vec<f32> = (0..256).map(|i| (i as f32 * 0.29).sin() * 3.0).collect();
+        let v: Vec<f32> = (0..256).map(|i| (i as f32 * 0.17).cos()).collect();
+        let ud: Vec<f64> = u.iter().map(|&x| x as f64).collect();
+        let vd: Vec<f64> = v.iter().map(|&x| x as f64).collect();
+        let reference = geglu_ref(&ud, &vd);
+        let got: Vec<f64> = geglu_fp(&u, &v, &cfg()).iter().map(|&x| x as f64).collect();
+        let s = ErrorStats::compare(&got, &reference);
+        assert!(s.max_abs < 1e-4, "{s}");
+    }
+
+    #[test]
+    fn gelu_int16_accuracy() {
+        let x: Vec<f32> = (0..2000).map(|i| -6.0 + 12.0 * i as f32 / 1999.0).collect();
+        let reference: Vec<f64> = x.iter().map(|&v| gelu_phi_ref(v as f64)).collect();
+        let got: Vec<f64> = gelu_int(&x, 16, 1024).iter().map(|&v| v as f64).collect();
+        let s = ErrorStats::compare(&got, &reference);
+        // INT16 quantization grid over [-6,6] has step ~3.7e-4
+        assert!(s.max_abs < 5e-3, "{s}");
+    }
+
+    #[test]
+    fn silu_int16_accuracy() {
+        let x: Vec<f32> = (0..2000).map(|i| -8.0 + 16.0 * i as f32 / 1999.0).collect();
+        let reference: Vec<f64> = x.iter().map(|&v| silu_ref(v as f64)).collect();
+        let got: Vec<f64> = silu_int(&x, 16, 1024).iter().map(|&v| v as f64).collect();
+        let s = ErrorStats::compare(&got, &reference);
+        // bounded by the 1024-entry sigmoid table's step over [-16, 16]
+        assert!(s.max_abs < 8e-3, "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn swiglu_length_mismatch_panics() {
+        swiglu_fp(&[1.0], &[1.0, 2.0], &cfg());
+    }
+
+    proptest! {
+        #[test]
+        fn relu_idempotent(x in -100.0f32..100.0) {
+            prop_assert_eq!(relu(relu(x)), relu(x));
+        }
+
+        #[test]
+        fn gelu_between_zero_and_x_for_positive(x in 0.0f32..20.0) {
+            let y = gelu_fp(x, &cfg());
+            prop_assert!(y >= -1e-5 && y <= x + 1e-5);
+        }
+
+        #[test]
+        fn gelu_bounded_below(x in -30.0f32..0.0) {
+            // min of GeLU is about -0.17
+            prop_assert!(gelu_fp(x, &cfg()) >= -0.2);
+        }
+
+        #[test]
+        fn silu_bounded_below(x in -50.0f32..50.0) {
+            // min of SiLU is about -0.278
+            prop_assert!(silu_fp(x, &cfg()) >= -0.3);
+        }
+    }
+}

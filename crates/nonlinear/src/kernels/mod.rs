@@ -1,0 +1,246 @@
+//! The Table 1 nonlinear operations and their loop structure.
+//!
+//! PICACHU classifies every nonlinear operation in LLMs into two dataflow
+//! classes (§3.1):
+//!
+//! * **EO** — element-wise operations: one loop over a flattened 1-D tensor
+//!   (ReLU, GeLU, GeGLU, SiLU/SwiGLU, RoPE);
+//! * **RE** — a reduction followed by element-wise work: Softmax (three
+//!   single-level loops, the first two reductions) and the normalizations
+//!   (two loops, the first a reduction).
+//!
+//! Each submodule provides a reference `f64` implementation, the PICACHU
+//! floating-point implementation built from the [`crate::ops`] primitives, and
+//! an integer implementation built from [`crate::intpoly`].
+
+pub mod activation;
+pub mod norm;
+pub mod rope;
+pub mod softmax;
+
+use std::fmt;
+
+/// Dataflow class of a nonlinear operation (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpCategory {
+    /// Element-wise: a single loop, overlappable with systolic-array output
+    /// streaming (Shared Buffer Case 1).
+    ElementWise,
+    /// Reduction followed by element-wise loops (Shared Buffer Cases 2/3).
+    ReductionElementWise,
+}
+
+/// The role of one single-level loop inside an operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LoopKind {
+    /// Produces a scalar statistic (max, sum, sum of squares).
+    Reduction,
+    /// Produces one output element per input element.
+    ElementWise,
+}
+
+/// One loop of an operation, as seen by the compiler and the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LoopPhase {
+    /// Reduction or element-wise.
+    pub kind: LoopKind,
+    /// Human-readable label, e.g. `"softmax(2)"` following Fig. 7a's naming.
+    pub label: &'static str,
+}
+
+/// The nonlinear operations PICACHU supports (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum NonlinearOp {
+    /// `exp(x_i - max) / Σ exp(x_j - max)` — used by every LLM.
+    Softmax,
+    /// `max(0, x)` — OPT, T5.
+    Relu,
+    /// `0.5·x·(1 + tanh(√(2/π)(x + 0.044715·x³)))` — GPT family, BLOOM, ….
+    Gelu,
+    /// `GeLU(u) ⊙ v` on the two gate projections — LaMDA, GLM-130B.
+    Geglu,
+    /// `x·sigmoid(x)` — building block of SwiGLU.
+    Silu,
+    /// `SiLU(u) ⊙ v` — PaLM, LLaMA, Qwen, DeepSeek, ….
+    Swiglu,
+    /// `(x - μ)/σ` — GPT family, BERT, OPT.
+    LayerNorm,
+    /// `x/σ` with `σ = √(mean(x²)+ε)` — LLaMA, T5, Mistral.
+    RmsNorm,
+    /// Rotary positional embedding — LLaMA, PaLM, GPT-NeoX.
+    Rope,
+}
+
+impl NonlinearOp {
+    /// All operations, in Table 1 order.
+    pub const ALL: [NonlinearOp; 9] = [
+        NonlinearOp::Softmax,
+        NonlinearOp::Relu,
+        NonlinearOp::Gelu,
+        NonlinearOp::Geglu,
+        NonlinearOp::Silu,
+        NonlinearOp::Swiglu,
+        NonlinearOp::LayerNorm,
+        NonlinearOp::RmsNorm,
+        NonlinearOp::Rope,
+    ];
+
+    /// Short lower-case name used across tables, figures and kernel labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            NonlinearOp::Softmax => "softmax",
+            NonlinearOp::Relu => "relu",
+            NonlinearOp::Gelu => "gelu",
+            NonlinearOp::Geglu => "geglu",
+            NonlinearOp::Silu => "silu",
+            NonlinearOp::Swiglu => "swiglu",
+            NonlinearOp::LayerNorm => "layernorm",
+            NonlinearOp::RmsNorm => "rmsnorm",
+            NonlinearOp::Rope => "rope",
+        }
+    }
+
+    /// EO vs RE classification (§3.1, Table 1 colouring).
+    pub fn category(self) -> OpCategory {
+        match self {
+            NonlinearOp::Softmax | NonlinearOp::LayerNorm | NonlinearOp::RmsNorm => {
+                OpCategory::ReductionElementWise
+            }
+            _ => OpCategory::ElementWise,
+        }
+    }
+
+    /// The single-level loops the operation decomposes into. Softmax has
+    /// three (two reductions), normalizations two (one reduction), EO ops one.
+    pub fn loops(self) -> &'static [LoopPhase] {
+        use LoopKind::*;
+        match self {
+            NonlinearOp::Softmax => &[
+                LoopPhase { kind: Reduction, label: "softmax(1)" },
+                LoopPhase { kind: Reduction, label: "softmax(2)" },
+                LoopPhase { kind: ElementWise, label: "softmax(3)" },
+            ],
+            NonlinearOp::LayerNorm => &[
+                LoopPhase { kind: Reduction, label: "layernorm(1)" },
+                LoopPhase { kind: ElementWise, label: "layernorm(2)" },
+            ],
+            NonlinearOp::RmsNorm => &[
+                LoopPhase { kind: Reduction, label: "rmsnorm(1)" },
+                LoopPhase { kind: ElementWise, label: "rmsnorm(2)" },
+            ],
+            NonlinearOp::Relu => &[LoopPhase { kind: ElementWise, label: "relu" }],
+            NonlinearOp::Gelu => &[LoopPhase { kind: ElementWise, label: "gelu" }],
+            NonlinearOp::Geglu => &[LoopPhase { kind: ElementWise, label: "geglu" }],
+            NonlinearOp::Silu => &[LoopPhase { kind: ElementWise, label: "silu" }],
+            NonlinearOp::Swiglu => &[LoopPhase { kind: ElementWise, label: "swiglu" }],
+            NonlinearOp::Rope => &[LoopPhase { kind: ElementWise, label: "rope" }],
+        }
+    }
+
+    /// The basic mathematical operators the operation needs (Table 1,
+    /// "Mathematical Operator" column).
+    pub fn math_operators(self) -> &'static [MathOperator] {
+        use MathOperator::*;
+        match self {
+            NonlinearOp::Softmax => &[Division, Exponential, Maximum],
+            NonlinearOp::Relu => &[Maximum],
+            NonlinearOp::Gelu | NonlinearOp::Geglu => &[Division, Exponential],
+            NonlinearOp::Silu | NonlinearOp::Swiglu => &[Division, Exponential],
+            NonlinearOp::LayerNorm | NonlinearOp::RmsNorm => &[InvSqrt],
+            NonlinearOp::Rope => &[Sine, Cosine],
+        }
+    }
+
+    /// Whether the element-wise loop benefits from INT16 4-lane vectorization
+    /// (Fig. 7d lists only vectorizable kernels; gated ops and RoPE vectorize,
+    /// ReLU is a pure `max` that is trivially vectorized too, while the
+    /// reduction loops are limited by their cross-iteration dependence).
+    pub fn is_vectorizable(self) -> bool {
+        !matches!(self.category(), OpCategory::ReductionElementWise) || self == NonlinearOp::Softmax
+    }
+
+    /// Number of distinct input tensors (gated ops read two projections).
+    pub fn input_arity(self) -> usize {
+        match self {
+            NonlinearOp::Geglu | NonlinearOp::Swiglu => 2,
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for NonlinearOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loop_counts_match_paper() {
+        assert_eq!(NonlinearOp::Softmax.loops().len(), 3);
+        assert_eq!(NonlinearOp::LayerNorm.loops().len(), 2);
+        assert_eq!(NonlinearOp::RmsNorm.loops().len(), 2);
+        assert_eq!(NonlinearOp::Gelu.loops().len(), 1);
+    }
+
+    #[test]
+    fn softmax_first_two_loops_are_reductions() {
+        let loops = NonlinearOp::Softmax.loops();
+        assert_eq!(loops[0].kind, LoopKind::Reduction);
+        assert_eq!(loops[1].kind, LoopKind::Reduction);
+        assert_eq!(loops[2].kind, LoopKind::ElementWise);
+    }
+
+    #[test]
+    fn category_partition() {
+        use OpCategory::*;
+        let re: Vec<_> = NonlinearOp::ALL
+            .iter()
+            .filter(|o| o.category() == ReductionElementWise)
+            .collect();
+        assert_eq!(re.len(), 3); // softmax + two norms
+    }
+
+    #[test]
+    fn math_operators_match_table1() {
+        assert!(NonlinearOp::Rope.math_operators().contains(&MathOperator::Sine));
+        assert!(NonlinearOp::LayerNorm.math_operators().contains(&MathOperator::InvSqrt));
+        assert!(NonlinearOp::Softmax.math_operators().contains(&MathOperator::Exponential));
+    }
+
+    #[test]
+    fn gated_ops_take_two_inputs() {
+        assert_eq!(NonlinearOp::Swiglu.input_arity(), 2);
+        assert_eq!(NonlinearOp::Geglu.input_arity(), 2);
+        assert_eq!(NonlinearOp::Gelu.input_arity(), 1);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = NonlinearOp::ALL.iter().map(|o| o.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), NonlinearOp::ALL.len());
+    }
+}
+
+/// The small set of basic nonlinear mathematical operators (§3.1: "nonlinear
+/// functions in LLMs consist of a limited set of basic functions").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MathOperator {
+    /// Pipelined FP division.
+    Division,
+    /// Range-reduced exponential.
+    Exponential,
+    /// Max (compare-select).
+    Maximum,
+    /// Inverse square root (outside the hot loops).
+    InvSqrt,
+    /// Range-reduced sine.
+    Sine,
+    /// Range-reduced cosine.
+    Cosine,
+}

@@ -1,0 +1,290 @@
+//! Normalization — RE operations with two single-level loops (§3.1): the
+//! first reduces the channel statistics (mean/variance for LayerNorm, mean
+//! square for RMSNorm), the second applies the element-wise rescale. The
+//! inverse square root runs once per channel *outside* the loops, using the
+//! GNU-libc-style method (§4.1), so its cost is negligible.
+
+use crate::ops::{invsqrt_approx, ApproxConfig};
+use picachu_num::{DyadicScale, Fp16, QuantParams};
+
+/// Numerical-stability epsilon used by all normalizations, matching common
+/// LLM configurations.
+pub const EPS: f64 = 1e-5;
+
+/// Reference LayerNorm `(x - μ)/σ` in `f64`.
+///
+/// # Panics
+/// Panics if `x` is empty.
+pub fn layernorm_ref(x: &[f64]) -> Vec<f64> {
+    assert!(!x.is_empty(), "layernorm input must be non-empty");
+    let n = x.len() as f64;
+    let mu = x.iter().sum::<f64>() / n;
+    let var = x.iter().map(|&v| (v - mu) * (v - mu)).sum::<f64>() / n;
+    let sigma = (var + EPS).sqrt();
+    x.iter().map(|&v| (v - mu) / sigma).collect()
+}
+
+/// Reference RMSNorm `x/σ` with `σ = √(mean(x²)+ε)`.
+///
+/// # Panics
+/// Panics if `x` is empty.
+pub fn rmsnorm_ref(x: &[f64]) -> Vec<f64> {
+    assert!(!x.is_empty(), "rmsnorm input must be non-empty");
+    let n = x.len() as f64;
+    let ms = x.iter().map(|&v| v * v).sum::<f64>() / n;
+    let sigma = (ms + EPS).sqrt();
+    x.iter().map(|&v| v / sigma).collect()
+}
+
+/// PICACHU FP LayerNorm: loop 1 reduces `Σx` and `Σx²` in one pass; the
+/// per-channel `1/σ` comes from [`invsqrt_approx`]; loop 2 is a fused
+/// multiply-add per element.
+///
+/// # Panics
+/// Panics if `x` is empty.
+pub fn layernorm_fp(x: &[f32], cfg: &ApproxConfig) -> Vec<f32> {
+    assert!(!x.is_empty(), "layernorm input must be non-empty");
+    let n = x.len() as f32;
+    // Loop 1 (reduction): sum and sum of squares.
+    let (mut s, mut s2) = (0.0f32, 0.0f32);
+    for &v in x {
+        s += v;
+        s2 += v * v;
+    }
+    let mu = s / n;
+    let var = (s2 / n - mu * mu).max(0.0);
+    // Outside the loops: inverse square root.
+    let inv_sigma = invsqrt_approx(var + EPS as f32, cfg);
+    // Loop 2 (element-wise): (x - mu) * inv_sigma.
+    x.iter().map(|&v| (v - mu) * inv_sigma).collect()
+}
+
+/// PICACHU FP RMSNorm: single-statistic version of [`layernorm_fp`].
+///
+/// # Panics
+/// Panics if `x` is empty.
+pub fn rmsnorm_fp(x: &[f32], cfg: &ApproxConfig) -> Vec<f32> {
+    assert!(!x.is_empty(), "rmsnorm input must be non-empty");
+    let n = x.len() as f32;
+    let s2: f32 = x.iter().map(|&v| v * v).sum();
+    let inv_sigma = invsqrt_approx(s2 / n + EPS as f32, cfg);
+    x.iter().map(|&v| v * inv_sigma).collect()
+}
+
+/// PICACHU FP16-storage LayerNorm (FP32 intermediates).
+pub fn layernorm_fp16(x: &[f32], cfg: &ApproxConfig) -> Vec<f32> {
+    let x16: Vec<f32> = x.iter().map(|&v| Fp16::round_trip(v)).collect();
+    layernorm_fp(&x16, cfg)
+        .into_iter()
+        .map(Fp16::round_trip)
+        .collect()
+}
+
+/// PICACHU FP16-storage RMSNorm (FP32 intermediates).
+pub fn rmsnorm_fp16(x: &[f32], cfg: &ApproxConfig) -> Vec<f32> {
+    let x16: Vec<f32> = x.iter().map(|&v| Fp16::round_trip(v)).collect();
+    rmsnorm_fp(&x16, cfg)
+        .into_iter()
+        .map(Fp16::round_trip)
+        .collect()
+}
+
+/// PICACHU integer LayerNorm.
+///
+/// Loop 1 accumulates `Σq` and `Σq²` in 64-bit integers; the statistics and
+/// the single inverse square root are computed once per channel; loop 2 is an
+/// integer subtract followed by one dyadic requantization per element.
+/// Outputs are returned dequantized (the normalized output is re-quantized to
+/// the same bit width with a fixed `[-8, 8]` range, which always covers a
+/// normalized distribution).
+///
+/// # Panics
+/// Panics if `x` is empty.
+pub fn layernorm_int(x: &[f32], bits: u32, cfg: &ApproxConfig) -> Vec<f32> {
+    assert!(!x.is_empty(), "layernorm input must be non-empty");
+    let n = x.len() as f64;
+    let params = QuantParams::calibrate(x, bits);
+    let q: Vec<i64> = x.iter().map(|&v| params.quantize(v as f64) as i64).collect();
+    // Loop 1: integer reductions.
+    let s: i64 = q.iter().sum();
+    let s2: i64 = q.iter().map(|&v| v * v).sum();
+    // Per-channel statistics (integer means in the q domain).
+    let mu_q = s as f64 / n;
+    let var_q = (s2 as f64 / n - mu_q * mu_q).max(0.0);
+    let var = var_q * params.scale * params.scale;
+    let inv_sigma = invsqrt_approx((var + EPS) as f32, cfg) as f64;
+    // Output quantization: normalized values live well inside [-8, 8].
+    let out = QuantParams::from_max_abs(8.0, bits);
+    let dy = DyadicScale::from_real(params.scale * inv_sigma / out.scale);
+    let mu_int = mu_q.round() as i64;
+    // Loop 2: integer subtract + dyadic multiply.
+    q.iter()
+        .map(|&v| {
+            let centered = (v - mu_int).clamp(i32::MIN as i64, i32::MAX as i64) as i32;
+            out.dequantize(dy.apply(centered)) as f32
+        })
+        .collect()
+}
+
+/// PICACHU integer RMSNorm, same structure as [`layernorm_int`] without the
+/// mean subtraction.
+///
+/// # Panics
+/// Panics if `x` is empty.
+pub fn rmsnorm_int(x: &[f32], bits: u32, cfg: &ApproxConfig) -> Vec<f32> {
+    assert!(!x.is_empty(), "rmsnorm input must be non-empty");
+    let n = x.len() as f64;
+    let params = QuantParams::calibrate(x, bits);
+    let q: Vec<i64> = x.iter().map(|&v| params.quantize(v as f64) as i64).collect();
+    let s2: i64 = q.iter().map(|&v| v * v).sum();
+    let ms = s2 as f64 / n * params.scale * params.scale;
+    let inv_sigma = invsqrt_approx((ms + EPS) as f32, cfg) as f64;
+    let out = QuantParams::from_max_abs(8.0, bits);
+    let dy = DyadicScale::from_real(params.scale * inv_sigma / out.scale);
+    q.iter()
+        .map(|&v| out.dequantize(dy.apply(v as i32)) as f32)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use picachu_num::ErrorStats;
+    use proptest::prelude::*;
+
+    fn channel(n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| (i as f32 * 0.613).sin() * 3.0 + 0.5 * (i as f32 * 0.17).cos())
+            .collect()
+    }
+
+    #[test]
+    fn layernorm_ref_zero_mean_unit_var() {
+        let x: Vec<f64> = (0..1024).map(|i| (i as f64 * 0.37).sin() * 5.0 + 2.0).collect();
+        let y = layernorm_ref(&x);
+        let mu: f64 = y.iter().sum::<f64>() / y.len() as f64;
+        let var: f64 = y.iter().map(|&v| (v - mu) * (v - mu)).sum::<f64>() / y.len() as f64;
+        assert!(mu.abs() < 1e-10);
+        assert!((var - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn layernorm_fp_matches_ref() {
+        let x = channel(4096);
+        let xd: Vec<f64> = x.iter().map(|&v| v as f64).collect();
+        let reference = layernorm_ref(&xd);
+        let got: Vec<f64> = layernorm_fp(&x, &ApproxConfig::default())
+            .iter()
+            .map(|&v| v as f64)
+            .collect();
+        let s = ErrorStats::compare(&got, &reference);
+        assert!(s.max_abs < 1e-3, "{s}");
+    }
+
+    #[test]
+    fn rmsnorm_fp_matches_ref() {
+        let x = channel(4096);
+        let xd: Vec<f64> = x.iter().map(|&v| v as f64).collect();
+        let reference = rmsnorm_ref(&xd);
+        let got: Vec<f64> = rmsnorm_fp(&x, &ApproxConfig::default())
+            .iter()
+            .map(|&v| v as f64)
+            .collect();
+        let s = ErrorStats::compare(&got, &reference);
+        assert!(s.max_abs < 1e-3, "{s}");
+    }
+
+    #[test]
+    fn layernorm_constant_input() {
+        // Variance zero: epsilon keeps it finite, outputs all zero.
+        let y = layernorm_fp(&[5.0; 64], &ApproxConfig::default());
+        assert!(y.iter().all(|&v| v.abs() < 1e-3));
+    }
+
+    #[test]
+    fn layernorm_int16_close() {
+        let x = channel(2048);
+        let xd: Vec<f64> = x.iter().map(|&v| v as f64).collect();
+        let reference = layernorm_ref(&xd);
+        let got: Vec<f64> = layernorm_int(&x, 16, &ApproxConfig::default())
+            .iter()
+            .map(|&v| v as f64)
+            .collect();
+        let s = ErrorStats::compare(&got, &reference);
+        assert!(s.max_abs < 5e-3, "{s}");
+    }
+
+    #[test]
+    fn rmsnorm_int16_close() {
+        let x = channel(2048);
+        let xd: Vec<f64> = x.iter().map(|&v| v as f64).collect();
+        let reference = rmsnorm_ref(&xd);
+        let got: Vec<f64> = rmsnorm_int(&x, 16, &ApproxConfig::default())
+            .iter()
+            .map(|&v| v as f64)
+            .collect();
+        let s = ErrorStats::compare(&got, &reference);
+        assert!(s.max_abs < 5e-3, "{s}");
+    }
+
+    #[test]
+    fn fp16_storage_error_bounded() {
+        let x = channel(1024);
+        let xd: Vec<f64> = x.iter().map(|&v| v as f64).collect();
+        let reference = layernorm_ref(&xd);
+        let got: Vec<f64> = layernorm_fp16(&x, &ApproxConfig::default())
+            .iter()
+            .map(|&v| v as f64)
+            .collect();
+        let s = ErrorStats::compare(&got, &reference);
+        assert!(s.max_abs < 5e-3, "{s}");
+    }
+
+    #[test]
+    fn rmsnorm_scale_invariance() {
+        // RMSNorm(k·x) == RMSNorm(x) for k > 0 (up to eps effects).
+        let x = channel(512);
+        let scaled: Vec<f32> = x.iter().map(|&v| v * 7.0).collect();
+        let a = rmsnorm_fp(&x, &ApproxConfig::default());
+        let b = rmsnorm_fp(&scaled, &ApproxConfig::default());
+        for (u, v) in a.iter().zip(b.iter()) {
+            assert!((u - v).abs() < 1e-3);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn layernorm_output_statistics(x in proptest::collection::vec(-10.0f32..10.0, 16..512)) {
+            // skip degenerate near-constant inputs
+            let spread = x.iter().cloned().fold(f32::MIN, f32::max) - x.iter().cloned().fold(f32::MAX, f32::min);
+            prop_assume!(spread > 0.5);
+            let y = layernorm_fp(&x, &ApproxConfig::default());
+            let n = y.len() as f32;
+            let mu: f32 = y.iter().sum::<f32>() / n;
+            let var: f32 = y.iter().map(|&v| (v - mu) * (v - mu)).sum::<f32>() / n;
+            prop_assert!(mu.abs() < 1e-3);
+            prop_assert!((var - 1.0).abs() < 0.05);
+        }
+
+        #[test]
+        fn rmsnorm_unit_rms(x in proptest::collection::vec(-10.0f32..10.0, 16..512)) {
+            let energy: f32 = x.iter().map(|&v| v * v).sum();
+            prop_assume!(energy / x.len() as f32 > 0.1);
+            let y = rmsnorm_fp(&x, &ApproxConfig::default());
+            let ms: f32 = y.iter().map(|&v| v * v).sum::<f32>() / y.len() as f32;
+            prop_assert!((ms - 1.0).abs() < 0.05);
+        }
+
+        #[test]
+        fn layernorm_shift_invariance(x in proptest::collection::vec(-5.0f32..5.0, 16..128), shift in -100.0f32..100.0) {
+            let spread = x.iter().cloned().fold(f32::MIN, f32::max) - x.iter().cloned().fold(f32::MAX, f32::min);
+            prop_assume!(spread > 0.5);
+            let shifted: Vec<f32> = x.iter().map(|&v| v + shift).collect();
+            let a = layernorm_fp(&x, &ApproxConfig::default());
+            let b = layernorm_fp(&shifted, &ApproxConfig::default());
+            for (u, v) in a.iter().zip(b.iter()) {
+                prop_assert!((u - v).abs() < 0.02);
+            }
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Rotary positional embedding (RoPE) — an element-wise operation over pairs:
+//! `(x₂ᵢ₋₁, x₂ᵢ) → (x₂ᵢ₋₁·cos(mθᵢ) − x₂ᵢ·sin(mθᵢ), x₂ᵢ₋₁·sin(mθᵢ) + x₂ᵢ·cos(mθᵢ))`
+//! with `θᵢ = 10000^(−2(i−1)/d)` (Table 1). The sines/cosines come from the
+//! range-reduced Taylor operators of Table 3.
+
+use crate::ops::{cos_approx, sin_approx, ApproxConfig};
+use picachu_num::{DyadicScale, QuantParams};
+
+/// The RoPE angle `θ_i` for pair index `i ∈ 0..d/2` and head dimension `d`.
+pub fn rope_theta(i: usize, d: usize) -> f64 {
+    10000f64.powf(-2.0 * i as f64 / d as f64)
+}
+
+/// Reference RoPE in `f64` for one token at position `m`.
+///
+/// # Panics
+/// Panics if `x.len()` is odd or zero.
+pub fn rope_ref(x: &[f64], m: usize) -> Vec<f64> {
+    assert!(!x.is_empty() && x.len().is_multiple_of(2), "RoPE needs an even-length vector");
+    let d = x.len();
+    let mut out = vec![0.0; d];
+    for i in 0..d / 2 {
+        let angle = m as f64 * rope_theta(i, d);
+        let (s, c) = angle.sin_cos();
+        out[2 * i] = x[2 * i] * c - x[2 * i + 1] * s;
+        out[2 * i + 1] = x[2 * i] * s + x[2 * i + 1] * c;
+    }
+    out
+}
+
+/// PICACHU FP RoPE using the Taylor sine/cosine operators.
+///
+/// # Panics
+/// Panics if `x.len()` is odd or zero.
+pub fn rope_fp(x: &[f32], m: usize, cfg: &ApproxConfig) -> Vec<f32> {
+    assert!(!x.is_empty() && x.len().is_multiple_of(2), "RoPE needs an even-length vector");
+    let d = x.len();
+    let mut out = vec![0.0f32; d];
+    for i in 0..d / 2 {
+        let angle = (m as f64 * rope_theta(i, d)) as f32;
+        let s = sin_approx(angle, cfg);
+        let c = cos_approx(angle, cfg);
+        out[2 * i] = x[2 * i] * c - x[2 * i + 1] * s;
+        out[2 * i + 1] = x[2 * i] * s + x[2 * i + 1] * c;
+    }
+    out
+}
+
+/// PICACHU integer RoPE: the rotation coefficients are computed once per
+/// `(m, i)` with the FP operators, quantized to Q15, and applied to the
+/// quantized activations with integer multiply-adds and one dyadic
+/// requantization per output.
+///
+/// # Panics
+/// Panics if `x.len()` is odd or zero.
+pub fn rope_int(x: &[f32], m: usize, bits: u32, cfg: &ApproxConfig) -> Vec<f32> {
+    assert!(!x.is_empty() && x.len().is_multiple_of(2), "RoPE needs an even-length vector");
+    let d = x.len();
+    let params = QuantParams::calibrate(x, bits);
+    let q: Vec<i64> = x.iter().map(|&v| params.quantize(v as f64) as i64).collect();
+    // Rotation is norm-preserving; outputs fit the input quantization grid
+    // with one extra bit of headroom folded into the dyadic rescale.
+    let dy = DyadicScale::from_real(1.0 / 32768.0);
+    let mut out = vec![0.0f32; d];
+    for i in 0..d / 2 {
+        let angle = (m as f64 * rope_theta(i, d)) as f32;
+        let s_q = (sin_approx(angle, cfg) as f64 * 32768.0).round() as i64;
+        let c_q = (cos_approx(angle, cfg) as f64 * 32768.0).round() as i64;
+        let a = q[2 * i];
+        let b = q[2 * i + 1];
+        let r0 = (a * c_q - b * s_q).clamp(i32::MIN as i64, i32::MAX as i64) as i32;
+        let r1 = (a * s_q + b * c_q).clamp(i32::MIN as i64, i32::MAX as i64) as i32;
+        out[2 * i] = params.dequantize(dy.apply(r0)) as f32;
+        out[2 * i + 1] = params.dequantize(dy.apply(r1)) as f32;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use picachu_num::ErrorStats;
+    use proptest::prelude::*;
+
+    fn vector(d: usize) -> Vec<f32> {
+        (0..d).map(|i| (i as f32 * 0.531).sin() * 2.0).collect()
+    }
+
+    #[test]
+    fn position_zero_is_identity() {
+        let x = vector(128);
+        let y = rope_fp(&x, 0, &ApproxConfig::default());
+        for (a, b) in x.iter().zip(y.iter()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn fp_matches_ref() {
+        let x = vector(128);
+        let xd: Vec<f64> = x.iter().map(|&v| v as f64).collect();
+        for m in [1usize, 17, 511, 2047, 4095] {
+            let reference = rope_ref(&xd, m);
+            let got: Vec<f64> = rope_fp(&x, m, &ApproxConfig::default())
+                .iter()
+                .map(|&v| v as f64)
+                .collect();
+            let s = ErrorStats::compare(&got, &reference);
+            assert!(s.max_abs < 2e-3, "m={m}: {s}");
+        }
+    }
+
+    #[test]
+    fn norm_preserved() {
+        // Rotation preserves the L2 norm of each pair.
+        let x = vector(64);
+        let y = rope_fp(&x, 1234, &ApproxConfig::default());
+        for i in 0..32 {
+            let n_in = x[2 * i] * x[2 * i] + x[2 * i + 1] * x[2 * i + 1];
+            let n_out = y[2 * i] * y[2 * i] + y[2 * i + 1] * y[2 * i + 1];
+            assert!((n_in - n_out).abs() < 1e-3, "pair {i}");
+        }
+    }
+
+    #[test]
+    fn int16_matches_ref() {
+        let x = vector(128);
+        let xd: Vec<f64> = x.iter().map(|&v| v as f64).collect();
+        let reference = rope_ref(&xd, 777);
+        let got: Vec<f64> = rope_int(&x, 777, 16, &ApproxConfig::default())
+            .iter()
+            .map(|&v| v as f64)
+            .collect();
+        let s = ErrorStats::compare(&got, &reference);
+        assert!(s.max_abs < 5e-3, "{s}");
+    }
+
+    #[test]
+    fn theta_decreases_with_index() {
+        let d = 128;
+        for i in 1..d / 2 {
+            assert!(rope_theta(i, d) < rope_theta(i - 1, d));
+        }
+        assert_eq!(rope_theta(0, d), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "even-length")]
+    fn odd_length_panics() {
+        rope_fp(&[1.0, 2.0, 3.0], 1, &ApproxConfig::default());
+    }
+
+    proptest! {
+        #[test]
+        fn relative_position_property(m in 0usize..1000, delta in 0usize..100) {
+            // RoPE encodes relative position: <RoPE(q, m), RoPE(k, m+delta)>
+            // depends only on delta. Check with fixed q, k vectors.
+            let d = 16;
+            let q: Vec<f64> = (0..d).map(|i| ((i * 7 % 5) as f64 - 2.0) * 0.5).collect();
+            let k: Vec<f64> = (0..d).map(|i| ((i * 3 % 7) as f64 - 3.0) * 0.4).collect();
+            let dot = |a: &[f64], b: &[f64]| a.iter().zip(b).map(|(x, y)| x * y).sum::<f64>();
+            let d1 = dot(&rope_ref(&q, m), &rope_ref(&k, m + delta));
+            let d2 = dot(&rope_ref(&q, m + 31), &rope_ref(&k, m + 31 + delta));
+            prop_assert!((d1 - d2).abs() < 1e-9);
+        }
+
+        #[test]
+        fn fp_error_bounded_random(m in 0usize..4096) {
+            let x = vector(64);
+            let xd: Vec<f64> = x.iter().map(|&v| v as f64).collect();
+            let reference = rope_ref(&xd, m);
+            let got: Vec<f64> = rope_fp(&x, m, &ApproxConfig::default())
+                .iter().map(|&v| v as f64).collect();
+            let s = ErrorStats::compare(&got, &reference);
+            prop_assert!(s.max_abs < 5e-3);
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Softmax — the RE operation with three single-level loops (§3.1):
+//! loop 1 reduces the running maximum, loop 2 computes `exp(x−u)` and reduces
+//! the sum, loop 3 divides every exponential by the sum.
+
+use crate::intpoly::exp_int_q;
+use crate::ops::{exp_approx, ApproxConfig};
+use picachu_num::{Fp16, QuantParams};
+
+/// Reference softmax in `f64` with max subtraction.
+///
+/// # Panics
+/// Panics if `x` is empty.
+pub fn softmax_ref(x: &[f64]) -> Vec<f64> {
+    assert!(!x.is_empty(), "softmax input must be non-empty");
+    let u = x.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = x.iter().map(|&v| (v - u).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.iter().map(|&e| e / sum).collect()
+}
+
+/// PICACHU FP32 softmax: the three loops execute the paper's exp algorithm
+/// per element and a pipelined divide in the final loop.
+///
+/// # Panics
+/// Panics if `x` is empty.
+pub fn softmax_fp(x: &[f32], cfg: &ApproxConfig) -> Vec<f32> {
+    assert!(!x.is_empty(), "softmax input must be non-empty");
+    // Loop 1: running max reduction.
+    let u = x.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    // Loop 2: exp + sum reduction.
+    let exps: Vec<f32> = x.iter().map(|&v| exp_approx(v - u, cfg)).collect();
+    let sum: f32 = exps.iter().sum();
+    // Loop 3: element-wise division.
+    exps.iter().map(|&e| e / sum).collect()
+}
+
+/// PICACHU softmax with FP16 storage: inputs/outputs round-trip through
+/// binary16 while intermediates stay in FP32, per §4.2.1.
+pub fn softmax_fp16(x: &[f32], cfg: &ApproxConfig) -> Vec<f32> {
+    let x16: Vec<f32> = x.iter().map(|&v| Fp16::round_trip(v)).collect();
+    softmax_fp(&x16, cfg)
+        .into_iter()
+        .map(Fp16::round_trip)
+        .collect()
+}
+
+/// PICACHU integer softmax.
+///
+/// Inputs are symmetric-quantized to `bits` (16 or 32); the three loops run
+/// entirely on integers: max reduction on `q`, the range-reduced integer
+/// exponential of [`crate::intpoly::exp_int_q`] accumulated into a 64-bit
+/// fixed-point sum, and a final integer divide producing Q15 outputs.
+/// Returns dequantized `f32` for comparison.
+///
+/// # Panics
+/// Panics if `x` is empty.
+pub fn softmax_int(x: &[f32], bits: u32, cfg: &ApproxConfig) -> Vec<f32> {
+    assert!(!x.is_empty(), "softmax input must be non-empty");
+    const FRAC_BITS: u32 = 20;
+    let params = QuantParams::calibrate(x, bits);
+    let q: Vec<i32> = x.iter().map(|&v| params.quantize(v as f64)).collect();
+    // Loop 1: integer max reduction.
+    let qmax = q.iter().copied().max().expect("non-empty");
+    // Loop 2: integer exp + sum.
+    let exps: Vec<i32> = q
+        .iter()
+        .map(|&qi| exp_int_q(qi - qmax, params.scale, FRAC_BITS, cfg.exp_terms + 1))
+        .collect();
+    let sum: i64 = exps.iter().map(|&e| e as i64).sum();
+    // Loop 3: integer divide into Q15 outputs.
+    exps.iter()
+        .map(|&e| {
+            let q15 = ((e as i64) << 15) / sum.max(1);
+            q15 as f32 / 32768.0
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use picachu_num::ErrorStats;
+    use proptest::prelude::*;
+
+    fn logits(n: usize, spread: f32) -> Vec<f32> {
+        (0..n)
+            .map(|i| ((i as f32 * 0.713).sin() * spread) - 0.3 * (i as f32 % 7.0))
+            .collect()
+    }
+
+    #[test]
+    fn ref_sums_to_one() {
+        let p = softmax_ref(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn fp_matches_ref() {
+        let x = logits(256, 8.0);
+        let xd: Vec<f64> = x.iter().map(|&v| v as f64).collect();
+        let reference = softmax_ref(&xd);
+        let got: Vec<f64> = softmax_fp(&x, &ApproxConfig::default())
+            .iter()
+            .map(|&v| v as f64)
+            .collect();
+        let s = ErrorStats::compare(&got, &reference);
+        assert!(s.max_abs < 1e-5, "{s}");
+    }
+
+    #[test]
+    fn fp_handles_extreme_logits() {
+        // Max subtraction must prevent overflow even for huge logits.
+        let x = vec![1e4f32, 1e4 - 1.0, 0.0];
+        let p = softmax_fp(&x, &ApproxConfig::default());
+        assert!(p.iter().all(|v| v.is_finite()));
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn fp_uniform_input() {
+        let p = softmax_fp(&[3.0; 10], &ApproxConfig::default());
+        for v in p {
+            assert!((v - 0.1).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn int16_close_to_ref() {
+        let x = logits(512, 10.0);
+        let xd: Vec<f64> = x.iter().map(|&v| v as f64).collect();
+        let reference = softmax_ref(&xd);
+        let got: Vec<f64> = softmax_int(&x, 16, &ApproxConfig::default())
+            .iter()
+            .map(|&v| v as f64)
+            .collect();
+        let s = ErrorStats::compare(&got, &reference);
+        // Q15 output resolution bounds the error.
+        assert!(s.max_abs < 1e-3, "{s}");
+    }
+
+    #[test]
+    fn int_sums_near_one() {
+        let x = logits(128, 5.0);
+        let p = softmax_int(&x, 16, &ApproxConfig::default());
+        let sum: f32 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 0.01, "sum={sum}");
+    }
+
+    #[test]
+    fn fp16_storage_error_small() {
+        let x = logits(64, 6.0);
+        let xd: Vec<f64> = x.iter().map(|&v| v as f64).collect();
+        let reference = softmax_ref(&xd);
+        let got: Vec<f64> = softmax_fp16(&x, &ApproxConfig::default())
+            .iter()
+            .map(|&v| v as f64)
+            .collect();
+        let s = ErrorStats::compare(&got, &reference);
+        assert!(s.max_abs < 1e-3, "{s}");
+    }
+
+    proptest! {
+        #[test]
+        fn fp_output_is_distribution(x in proptest::collection::vec(-50.0f32..50.0, 1..200)) {
+            let p = softmax_fp(&x, &ApproxConfig::default());
+            prop_assert!(p.iter().all(|&v| (0.0..=1.0001).contains(&v)));
+            prop_assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-3);
+        }
+
+        #[test]
+        fn fp_preserves_argmax(x in proptest::collection::vec(-20.0f32..20.0, 2..100)) {
+            let p = softmax_fp(&x, &ApproxConfig::default());
+            let arg_in = x.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+            let arg_out = p.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+            // ties can flip the index; compare values instead
+            prop_assert!((p[arg_in] - p[arg_out]).abs() < 1e-6);
+        }
+
+        #[test]
+        fn int_monotonicity_preserved(x in proptest::collection::vec(-15.0f32..15.0, 2..64)) {
+            let p = softmax_int(&x, 16, &ApproxConfig::default());
+            for i in 0..x.len() {
+                for j in 0..x.len() {
+                    if x[i] > x[j] + 0.1 {
+                        prop_assert!(p[i] >= p[j] - 2e-3);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # picachu-nonlinear — PICACHU's nonlinear-operation algorithms
+//!
+//! This crate implements §4.1 of the paper end to end:
+//!
+//! * [`ops`] — the Table 3 calculation methods for the basic nonlinear
+//!   mathematical operators (`exp`, `log`, `sin`, `cos`, division, inverse
+//!   square root) using range reduction through the FP2FX unit followed by
+//!   user-adjustable Taylor expansion;
+//! * [`kernels`] — the Table 1 nonlinear *operations* (Softmax, ReLU, GeLU,
+//!   GeGLU, SiLU/SwiGLU, LayerNorm, RMSNorm, RoPE) in reference `f64`,
+//!   PICACHU FP (FP32/FP16-storage) and PICACHU INT (INT32/INT16) variants,
+//!   with their element-wise (EO) vs reduction-then-element-wise (RE) loop
+//!   structure made explicit;
+//! * [`intpoly`] — I-BERT-style completing-the-square polynomial evaluation
+//!   on quantized inputs with dyadic rescaling;
+//! * [`baselines`] — the I-BERT and gemmlowp approximation schemes the paper
+//!   compares against in Table 2;
+//! * [`accuracy`] — the accuracy-evaluation harness behind Tables 2, 5, 6.
+//!
+//! ```
+//! use picachu_nonlinear::ops::{exp_approx, ApproxConfig};
+//!
+//! let cfg = ApproxConfig::default();
+//! let y = exp_approx(1.0, &cfg);
+//! assert!((y - std::f32::consts::E).abs() < 1e-5);
+//! ```
+
+pub mod accuracy;
+pub mod baselines;
+pub mod intpoly;
+pub mod kernels;
+pub mod ops;
+
+pub use kernels::{LoopKind, LoopPhase, NonlinearOp, OpCategory};
+pub use ops::ApproxConfig;

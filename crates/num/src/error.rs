@@ -1,0 +1,159 @@
+//! Error metrics used by the accuracy experiments (Tables 2, 5, 6).
+//!
+//! Every approximation scheme in the repo is scored against an `f64` reference
+//! with the same statistics: max/mean absolute error, max/mean relative error
+//! and RMSE. The experiments then report these alongside the toy-LM
+//! perplexity proxy.
+
+use std::fmt;
+
+/// Aggregate error statistics between an approximation and a reference.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ErrorStats {
+    /// Maximum absolute error.
+    pub max_abs: f64,
+    /// Mean absolute error.
+    pub mean_abs: f64,
+    /// Maximum relative error (elements with |ref| < `REL_FLOOR` are skipped).
+    pub max_rel: f64,
+    /// Mean relative error over the elements counted for `max_rel`.
+    pub mean_rel: f64,
+    /// Root-mean-square error.
+    pub rmse: f64,
+    /// Number of elements compared.
+    pub count: usize,
+}
+
+/// References smaller than this are excluded from relative-error statistics.
+pub const REL_FLOOR: f64 = 1e-30;
+
+impl ErrorStats {
+    /// Compares `approx` against `reference` element-wise.
+    ///
+    /// # Panics
+    /// Panics if the slices have different lengths or are empty.
+    pub fn compare(approx: &[f64], reference: &[f64]) -> ErrorStats {
+        assert_eq!(
+            approx.len(),
+            reference.len(),
+            "error comparison needs equal-length slices"
+        );
+        assert!(!approx.is_empty(), "error comparison needs data");
+        let mut s = ErrorStats {
+            count: approx.len(),
+            ..ErrorStats::default()
+        };
+        let mut sum_abs = 0.0;
+        let mut sum_sq = 0.0;
+        let mut sum_rel = 0.0;
+        let mut rel_count = 0usize;
+        for (&a, &r) in approx.iter().zip(reference.iter()) {
+            let abs = (a - r).abs();
+            s.max_abs = s.max_abs.max(abs);
+            sum_abs += abs;
+            sum_sq += abs * abs;
+            if r.abs() > REL_FLOOR {
+                let rel = abs / r.abs();
+                s.max_rel = s.max_rel.max(rel);
+                sum_rel += rel;
+                rel_count += 1;
+            }
+        }
+        s.mean_abs = sum_abs / approx.len() as f64;
+        s.rmse = (sum_sq / approx.len() as f64).sqrt();
+        if rel_count > 0 {
+            s.mean_rel = sum_rel / rel_count as f64;
+        }
+        s
+    }
+
+    /// Compares f32 slices (promoted to f64).
+    ///
+    /// # Panics
+    /// Panics under the same conditions as [`ErrorStats::compare`].
+    pub fn compare_f32(approx: &[f32], reference: &[f32]) -> ErrorStats {
+        let a: Vec<f64> = approx.iter().map(|&x| x as f64).collect();
+        let r: Vec<f64> = reference.iter().map(|&x| x as f64).collect();
+        ErrorStats::compare(&a, &r)
+    }
+
+    /// Scores a scalar function over uniformly spaced samples of `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics if `samples < 2` or `lo >= hi`.
+    pub fn sweep(
+        lo: f64,
+        hi: f64,
+        samples: usize,
+        approx: impl Fn(f64) -> f64,
+        reference: impl Fn(f64) -> f64,
+    ) -> ErrorStats {
+        assert!(samples >= 2, "sweep needs at least 2 samples");
+        assert!(lo < hi, "sweep range must be non-empty");
+        let step = (hi - lo) / (samples - 1) as f64;
+        let xs: Vec<f64> = (0..samples).map(|i| lo + step * i as f64).collect();
+        let a: Vec<f64> = xs.iter().map(|&x| approx(x)).collect();
+        let r: Vec<f64> = xs.iter().map(|&x| reference(x)).collect();
+        ErrorStats::compare(&a, &r)
+    }
+}
+
+impl fmt::Display for ErrorStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "max_abs={:.3e} mean_abs={:.3e} max_rel={:.3e} rmse={:.3e} (n={})",
+            self.max_abs, self.mean_abs, self.max_rel, self.rmse, self.count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_slices_zero_error() {
+        let x = vec![1.0, -2.0, 3.5];
+        let s = ErrorStats::compare(&x, &x);
+        assert_eq!(s.max_abs, 0.0);
+        assert_eq!(s.rmse, 0.0);
+        assert_eq!(s.count, 3);
+    }
+
+    #[test]
+    fn known_errors() {
+        let approx = vec![1.1, 2.0];
+        let reference = vec![1.0, 2.0];
+        let s = ErrorStats::compare(&approx, &reference);
+        assert!((s.max_abs - 0.1).abs() < 1e-12);
+        assert!((s.mean_abs - 0.05).abs() < 1e-12);
+        assert!((s.max_rel - 0.1).abs() < 1e-10);
+    }
+
+    #[test]
+    fn relative_skips_zero_reference() {
+        let s = ErrorStats::compare(&[0.5, 2.0], &[0.0, 2.0]);
+        assert_eq!(s.max_rel, 0.0); // only the zero-ref element had error
+        assert_eq!(s.max_abs, 0.5);
+    }
+
+    #[test]
+    fn sweep_quadratic_vs_linear() {
+        // approx(x) = x, ref(x) = x^2 on [0,1]: max err at... |x - x^2| max 0.25
+        let s = ErrorStats::sweep(0.0, 1.0, 1001, |x| x, |x| x * x);
+        assert!((s.max_abs - 0.25).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn mismatched_lengths_panic() {
+        ErrorStats::compare(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn f32_promotion() {
+        let s = ErrorStats::compare_f32(&[1.0f32, 2.5], &[1.0, 2.0]);
+        assert!((s.max_abs - 0.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,245 @@
+//! Fixed-point arithmetic in Q-format.
+//!
+//! The gemmlowp-style baselines (Table 2) and parts of the integer kernels
+//! compute on 32-bit fixed-point values with a compile-time number of
+//! fractional bits. `Fixed32` keeps the fractional-bit count as a runtime
+//! field so kernels can re-scale between stages, exactly as the fixed-point
+//! `exp` in gemmlowp does.
+
+use std::fmt;
+
+/// A 32-bit signed fixed-point value with `frac_bits` fractional bits.
+///
+/// ```
+/// use picachu_num::Fixed32;
+/// let a = Fixed32::from_f64(1.5, 16);
+/// let b = Fixed32::from_f64(2.0, 16);
+/// assert_eq!(a.mul(b).to_f64(), 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fixed32 {
+    raw: i32,
+    frac_bits: u32,
+}
+
+impl Fixed32 {
+    /// Creates a value from a raw integer representation.
+    ///
+    /// # Panics
+    /// Panics if `frac_bits > 31`.
+    pub fn from_raw(raw: i32, frac_bits: u32) -> Fixed32 {
+        assert!(frac_bits <= 31, "frac_bits must be <= 31, got {frac_bits}");
+        Fixed32 { raw, frac_bits }
+    }
+
+    /// Quantizes an `f64` with saturation.
+    ///
+    /// # Panics
+    /// Panics if `frac_bits > 31`.
+    pub fn from_f64(value: f64, frac_bits: u32) -> Fixed32 {
+        assert!(frac_bits <= 31, "frac_bits must be <= 31, got {frac_bits}");
+        let scaled = (value * (1i64 << frac_bits) as f64).round();
+        let clamped = scaled.clamp(i32::MIN as f64, i32::MAX as f64);
+        Fixed32 {
+            raw: clamped as i32,
+            frac_bits,
+        }
+    }
+
+    /// The raw integer representation.
+    pub fn raw(self) -> i32 {
+        self.raw
+    }
+
+    /// Number of fractional bits.
+    pub fn frac_bits(self) -> u32 {
+        self.frac_bits
+    }
+
+    /// Dequantizes to `f64`.
+    pub fn to_f64(self) -> f64 {
+        self.raw as f64 / (1i64 << self.frac_bits) as f64
+    }
+
+    /// One in this Q-format.
+    pub fn one(frac_bits: u32) -> Fixed32 {
+        Fixed32::from_raw(1i32 << frac_bits, frac_bits)
+    }
+
+    /// Saturating addition. Named methods rather than `std::ops` impls
+    /// because the format-matching contract panics — operator sugar would
+    /// hide that.
+    ///
+    /// # Panics
+    /// Panics if the operands have different `frac_bits`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, other: Fixed32) -> Fixed32 {
+        assert_eq!(
+            self.frac_bits, other.frac_bits,
+            "fixed-point add requires matching formats"
+        );
+        Fixed32 {
+            raw: self.raw.saturating_add(other.raw),
+            frac_bits: self.frac_bits,
+        }
+    }
+
+    /// Saturating subtraction.
+    ///
+    /// # Panics
+    /// Panics if the operands have different `frac_bits`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn sub(self, other: Fixed32) -> Fixed32 {
+        assert_eq!(
+            self.frac_bits, other.frac_bits,
+            "fixed-point sub requires matching formats"
+        );
+        Fixed32 {
+            raw: self.raw.saturating_sub(other.raw),
+            frac_bits: self.frac_bits,
+        }
+    }
+
+    /// Fixed-point multiplication producing a result in `self`'s format, with
+    /// rounding-half-away-from-zero of the discarded bits (the gemmlowp
+    /// "saturating rounding doubling high mul" family behaves equivalently for
+    /// in-range values).
+    #[allow(clippy::should_implement_trait)]
+    pub fn mul(self, other: Fixed32) -> Fixed32 {
+        let wide = self.raw as i64 * other.raw as i64;
+        let shift = other.frac_bits;
+        let rounded = round_shift_right(wide, shift);
+        Fixed32 {
+            raw: saturate_i64(rounded),
+            frac_bits: self.frac_bits,
+        }
+    }
+
+    /// Re-scales to a different number of fractional bits with rounding.
+    ///
+    /// # Panics
+    /// Panics if `frac_bits > 31`.
+    pub fn rescale(self, frac_bits: u32) -> Fixed32 {
+        assert!(frac_bits <= 31, "frac_bits must be <= 31, got {frac_bits}");
+        if frac_bits == self.frac_bits {
+            return self;
+        }
+        let raw = if frac_bits > self.frac_bits {
+            let shift = frac_bits - self.frac_bits;
+            saturate_i64((self.raw as i64) << shift)
+        } else {
+            let shift = self.frac_bits - frac_bits;
+            saturate_i64(round_shift_right(self.raw as i64, shift))
+        };
+        Fixed32 { raw, frac_bits }
+    }
+}
+
+impl fmt::Display for Fixed32 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}q{}", self.to_f64(), self.frac_bits)
+    }
+}
+
+/// Arithmetic right shift with round-half-away-from-zero, as used by
+/// gemmlowp's `RoundingDivideByPOT`.
+pub fn round_shift_right(value: i64, shift: u32) -> i64 {
+    if shift == 0 {
+        return value;
+    }
+    let half = 1i64 << (shift - 1);
+    if value >= 0 {
+        (value + half) >> shift
+    } else {
+        -((-value + half) >> shift)
+    }
+}
+
+fn saturate_i64(v: i64) -> i32 {
+    v.clamp(i32::MIN as i64, i32::MAX as i64) as i32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_trip_basics() {
+        let x = Fixed32::from_f64(3.25, 8);
+        assert_eq!(x.to_f64(), 3.25);
+        assert_eq!(Fixed32::one(20).to_f64(), 1.0);
+    }
+
+    #[test]
+    fn add_sub_mul() {
+        let a = Fixed32::from_f64(1.5, 16);
+        let b = Fixed32::from_f64(0.25, 16);
+        assert_eq!(a.add(b).to_f64(), 1.75);
+        assert_eq!(a.sub(b).to_f64(), 1.25);
+        assert_eq!(a.mul(b).to_f64(), 0.375);
+    }
+
+    #[test]
+    fn mul_mixed_formats() {
+        // a in Q8, b in Q24: result keeps a's format.
+        let a = Fixed32::from_f64(2.0, 8);
+        let b = Fixed32::from_f64(0.5, 24);
+        assert_eq!(a.mul(b).to_f64(), 1.0);
+        assert_eq!(a.mul(b).frac_bits(), 8);
+    }
+
+    #[test]
+    fn saturation() {
+        let big = Fixed32::from_raw(i32::MAX, 0);
+        assert_eq!(big.add(Fixed32::from_raw(1, 0)).raw(), i32::MAX);
+        assert_eq!(Fixed32::from_f64(1e20, 16).raw(), i32::MAX);
+        assert_eq!(Fixed32::from_f64(-1e20, 16).raw(), i32::MIN);
+    }
+
+    #[test]
+    fn rescale_rounding() {
+        let x = Fixed32::from_raw(3, 2); // 0.75 in Q2
+        let y = x.rescale(1); // 0.75 -> raw 1.5 rounds away from zero to 2 -> 1.0
+        assert_eq!(y.raw(), 2);
+        assert_eq!(y.to_f64(), 1.0);
+        let up = x.rescale(4);
+        assert_eq!(up.raw(), 12);
+    }
+
+    #[test]
+    fn round_shift_negative() {
+        assert_eq!(round_shift_right(-3, 1), -2); // -1.5 rounds away from zero
+        assert_eq!(round_shift_right(-5, 1), -3);
+        assert_eq!(round_shift_right(5, 1), 3);
+        assert_eq!(round_shift_right(7, 0), 7);
+    }
+
+    proptest! {
+        #[test]
+        fn quantization_error_bounded(x in -100.0f64..100.0, bits in 8u32..24) {
+            // keep x * 2^bits within i32 so saturation doesn't kick in
+            let q = Fixed32::from_f64(x, bits);
+            let step = 1.0 / (1i64 << bits) as f64;
+            prop_assert!((q.to_f64() - x).abs() <= step / 2.0 + 1e-15);
+        }
+
+        #[test]
+        fn mul_matches_float(a in -100.0f64..100.0, b in -100.0f64..100.0) {
+            let fa = Fixed32::from_f64(a, 16);
+            let fb = Fixed32::from_f64(b, 16);
+            if (a * b).abs() < 30000.0 {
+                let err = (fa.mul(fb).to_f64() - a * b).abs();
+                // error from two quantizations + product rounding
+                prop_assert!(err < (a.abs() + b.abs() + 1.0) * 2.0 / 65536.0);
+            }
+        }
+
+        #[test]
+        fn rescale_round_trip_widening(raw in -100000i32..100000, bits in 4u32..16) {
+            let x = Fixed32::from_raw(raw, bits);
+            // widening then narrowing returns the original value exactly
+            prop_assert_eq!(x.rescale(bits + 8).rescale(bits).raw(), raw);
+        }
+    }
+}

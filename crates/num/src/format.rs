@@ -1,0 +1,135 @@
+//! Data formats supported by the PICACHU CGRA (§4.2.1, §4.2.2).
+//!
+//! Each CGRA tile contains four 16-bit integer lanes. The lanes compose:
+//! INT16 keeps all four lanes independent (vector factor 4); INT32 fuses two
+//! lanes for addition and all four for multiplication, and — to keep addition
+//! and multiplication aligned — only one 32-bit result is produced per cycle
+//! (vector factor 1). Floating-point inputs are converted to FP32 for
+//! intermediate computation, so FP16 and FP32 both run at vector factor 1 on
+//! the dedicated FP pipeline.
+
+use std::fmt;
+
+/// Input/output data format of an offloaded kernel.
+///
+/// ```
+/// use picachu_num::DataFormat;
+/// assert!(DataFormat::Fp32.is_float());
+/// assert_eq!(DataFormat::Int32.bit_width(), 32);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum DataFormat {
+    /// IEEE-754 binary32.
+    #[default]
+    Fp32,
+    /// IEEE-754 binary16 (converted to FP32 for intermediate computation).
+    Fp16,
+    /// 32-bit integer; two 16-bit lanes fuse for add, four for multiply.
+    Int32,
+    /// 16-bit integer; all four lanes operate independently.
+    Int16,
+}
+
+impl DataFormat {
+    /// All supported formats, in the order used by the evaluation tables.
+    pub const ALL: [DataFormat; 4] = [
+        DataFormat::Fp32,
+        DataFormat::Fp16,
+        DataFormat::Int32,
+        DataFormat::Int16,
+    ];
+
+    /// Returns `true` for the floating-point formats.
+    pub fn is_float(self) -> bool {
+        matches!(self, DataFormat::Fp32 | DataFormat::Fp16)
+    }
+
+    /// Returns `true` for the integer formats.
+    pub fn is_int(self) -> bool {
+        !self.is_float()
+    }
+
+    /// Storage width of one element in bits.
+    pub fn bit_width(self) -> u32 {
+        match self {
+            DataFormat::Fp32 | DataFormat::Int32 => 32,
+            DataFormat::Fp16 | DataFormat::Int16 => 16,
+        }
+    }
+
+    /// Storage width of one element in bytes.
+    pub fn byte_width(self) -> usize {
+        self.bit_width() as usize / 8
+    }
+
+    /// Elements processed per tile per cycle (§4.2.2 precision-awareness).
+    ///
+    /// INT16 composes the four 16-bit lanes into a 4-wide vector; every other
+    /// format produces one result per cycle.
+    pub fn vector_factor(self) -> usize {
+        match self {
+            DataFormat::Int16 => 4,
+            _ => 1,
+        }
+    }
+
+    /// Number of 16-bit lanes a single operation of this format occupies.
+    ///
+    /// In INT32 mode the tile could perform two 32-bit additions with its four
+    /// lanes, but the paper enables only half of them so that addition and
+    /// multiplication (which needs all four lanes) stay aligned.
+    pub fn lanes_per_op(self) -> usize {
+        match self {
+            DataFormat::Int16 => 1,
+            DataFormat::Int32 => 4,
+            // FP ops run on the dedicated FP pipeline, not the integer lanes.
+            DataFormat::Fp32 | DataFormat::Fp16 => 0,
+        }
+    }
+}
+
+impl fmt::Display for DataFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataFormat::Fp32 => "FP32",
+            DataFormat::Fp16 => "FP16",
+            DataFormat::Int32 => "INT32",
+            DataFormat::Int16 => "INT16",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_and_factors() {
+        assert_eq!(DataFormat::Fp32.bit_width(), 32);
+        assert_eq!(DataFormat::Fp16.bit_width(), 16);
+        assert_eq!(DataFormat::Int16.vector_factor(), 4);
+        assert_eq!(DataFormat::Int32.vector_factor(), 1);
+        assert_eq!(DataFormat::Fp32.vector_factor(), 1);
+        assert_eq!(DataFormat::Int32.byte_width(), 4);
+    }
+
+    #[test]
+    fn float_int_partition() {
+        for f in DataFormat::ALL {
+            assert_ne!(f.is_float(), f.is_int());
+        }
+    }
+
+    #[test]
+    fn display_matches_paper_names() {
+        assert_eq!(DataFormat::Fp16.to_string(), "FP16");
+        assert_eq!(DataFormat::Int16.to_string(), "INT16");
+    }
+
+    #[test]
+    fn int32_occupies_all_lanes_for_alignment() {
+        assert_eq!(DataFormat::Int32.lanes_per_op(), 4);
+        assert_eq!(DataFormat::Int16.lanes_per_op(), 1);
+    }
+}

@@ -1,0 +1,199 @@
+//! The FP2FX (floating-point → fixed-point) conversion module (§4.2.1).
+//!
+//! PICACHU's Compute Tiles contain a special functional unit that, in one
+//! cycle, splits a floating-point value into the components needed by the
+//! range-reduced operator algorithms of Table 3:
+//!
+//! * for `exp`: `t = log2(e)·x` is split into an integer part `i` and a
+//!   fractional part `f ∈ [0, 1)`, so that `2^t = 2^i · 2^f` where `2^i` is a
+//!   pure exponent manipulation and `2^f` is a short Taylor series;
+//! * for `log`: the IEEE-754 exponent `e` and mantissa `m ∈ [0, 1)` are
+//!   extracted so that `log(x) = ln2·(e + log2(1+m))`.
+//!
+//! This module models that unit bit-exactly on `f32`.
+
+/// Result of splitting a floating-point value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FpParts {
+    /// Integer component (floor for the int/frac split; unbiased exponent for
+    /// the exponent/mantissa split).
+    pub int_part: i32,
+    /// Fractional component, always in `[0, 1)` for finite normal inputs.
+    pub frac_part: f32,
+}
+
+/// Model of the FP2FX hardware unit.
+///
+/// ```
+/// use picachu_num::Fp2Fx;
+/// let parts = Fp2Fx::split_int_frac(3.75);
+/// assert_eq!(parts.int_part, 3);
+/// assert_eq!(parts.frac_part, 0.75);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fp2Fx;
+
+impl Fp2Fx {
+    /// Splits `x` into integer and fractional parts with `frac ∈ [0, 1)`.
+    ///
+    /// Uses floor semantics so that negative inputs still produce a
+    /// non-negative fraction, which keeps the Taylor series for `2^f`
+    /// evaluated on its accurate domain (exp Step 2 of Table 3).
+    pub fn split_int_frac(x: f32) -> FpParts {
+        let i = x.floor();
+        FpParts {
+            int_part: i as i32,
+            frac_part: x - i,
+        }
+    }
+
+    /// Extracts the unbiased exponent and the mantissa fraction `m ∈ [0, 1)`
+    /// such that `x = 2^e · (1 + m)` for normal positive inputs
+    /// (log Step 1 of Table 3).
+    ///
+    /// Subnormals are normalized first; this costs extra shifts in hardware
+    /// but keeps the downstream Taylor series on `[0, 1)`.
+    ///
+    /// # Panics
+    /// Panics if `x` is not a positive finite value (the hardware raises an
+    /// exception flag; logs of non-positive values never occur in the Table 1
+    /// operations because they are guarded upstream).
+    pub fn split_exp_mantissa(x: f32) -> FpParts {
+        assert!(
+            x.is_finite() && x > 0.0,
+            "split_exp_mantissa requires positive finite input, got {x}"
+        );
+        let bits = x.to_bits();
+        let raw_exp = ((bits >> 23) & 0xFF) as i32;
+        let raw_mant = bits & 0x007F_FFFF;
+        if raw_exp == 0 {
+            // Subnormal: x = mant * 2^-149. Normalize.
+            let lz = raw_mant.leading_zeros() - 9; // leading zeros within 23-bit field
+            let exp = -127 - lz as i32;
+            let mant_norm = (raw_mant << (lz + 1)) & 0x007F_FFFF;
+            FpParts {
+                int_part: exp,
+                frac_part: mant_norm as f32 / (1u32 << 23) as f32,
+            }
+        } else {
+            FpParts {
+                int_part: raw_exp - 127,
+                frac_part: raw_mant as f32 / (1u32 << 23) as f32,
+            }
+        }
+    }
+
+    /// Computes `2^i` by direct exponent construction (exp Step 3 of Table 3).
+    ///
+    /// Saturates to `f32::INFINITY` / `0.0` outside the representable range,
+    /// mirroring the hardware's saturating behaviour.
+    pub fn pow2_int(i: i32) -> f32 {
+        if i > 127 {
+            f32::INFINITY
+        } else if i >= -126 {
+            f32::from_bits(((i + 127) as u32) << 23)
+        } else if i >= -149 {
+            // Subnormal powers of two.
+            f32::from_bits(1u32 << (i + 149) as u32)
+        } else {
+            0.0
+        }
+    }
+
+    /// Reassembles `2^e · (1 + m)` — the inverse of
+    /// [`Fp2Fx::split_exp_mantissa`] for normal values.
+    pub fn combine_exp_mantissa(parts: FpParts) -> f32 {
+        Fp2Fx::pow2_int(parts.int_part) * (1.0 + parts.frac_part)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn int_frac_positive() {
+        let p = Fp2Fx::split_int_frac(5.25);
+        assert_eq!(p.int_part, 5);
+        assert_eq!(p.frac_part, 0.25);
+    }
+
+    #[test]
+    fn int_frac_negative_keeps_frac_nonnegative() {
+        let p = Fp2Fx::split_int_frac(-2.25);
+        assert_eq!(p.int_part, -3);
+        assert_eq!(p.frac_part, 0.75);
+    }
+
+    #[test]
+    fn int_frac_exact_integer() {
+        let p = Fp2Fx::split_int_frac(-7.0);
+        assert_eq!(p.int_part, -7);
+        assert_eq!(p.frac_part, 0.0);
+    }
+
+    #[test]
+    fn exp_mantissa_powers_of_two() {
+        for e in -10..10 {
+            let x = 2.0f32.powi(e);
+            let p = Fp2Fx::split_exp_mantissa(x);
+            assert_eq!(p.int_part, e);
+            assert_eq!(p.frac_part, 0.0);
+        }
+    }
+
+    #[test]
+    fn exp_mantissa_general() {
+        let p = Fp2Fx::split_exp_mantissa(6.0); // 6 = 2^2 * 1.5
+        assert_eq!(p.int_part, 2);
+        assert_eq!(p.frac_part, 0.5);
+    }
+
+    #[test]
+    fn exp_mantissa_subnormal() {
+        let x = f32::from_bits(1); // smallest subnormal = 2^-149
+        let p = Fp2Fx::split_exp_mantissa(x);
+        assert_eq!(p.int_part, -149);
+        assert_eq!(p.frac_part, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite")]
+    fn exp_mantissa_rejects_negative() {
+        Fp2Fx::split_exp_mantissa(-1.0);
+    }
+
+    #[test]
+    fn pow2_saturation() {
+        assert_eq!(Fp2Fx::pow2_int(0), 1.0);
+        assert_eq!(Fp2Fx::pow2_int(10), 1024.0);
+        assert_eq!(Fp2Fx::pow2_int(-1), 0.5);
+        assert_eq!(Fp2Fx::pow2_int(128), f32::INFINITY);
+        assert_eq!(Fp2Fx::pow2_int(-150), 0.0);
+        assert_eq!(Fp2Fx::pow2_int(-149), f32::from_bits(1));
+        assert_eq!(Fp2Fx::pow2_int(-127), 2.0f32.powi(-127));
+    }
+
+    proptest! {
+        #[test]
+        fn split_int_frac_invariants(x in -1e6f32..1e6) {
+            let p = Fp2Fx::split_int_frac(x);
+            prop_assert!((0.0..1.0).contains(&p.frac_part));
+            prop_assert!((p.int_part as f32 + p.frac_part - x).abs() <= x.abs() * 1e-6 + 1e-6);
+        }
+
+        #[test]
+        fn split_combine_round_trip(x in 1e-30f32..1e30) {
+            let p = Fp2Fx::split_exp_mantissa(x);
+            prop_assert!((0.0..1.0).contains(&p.frac_part));
+            let back = Fp2Fx::combine_exp_mantissa(p);
+            prop_assert!((back - x).abs() <= x * 1e-6);
+        }
+
+        #[test]
+        fn pow2_matches_std(i in -126i32..127) {
+            prop_assert_eq!(Fp2Fx::pow2_int(i), 2.0f32.powi(i));
+        }
+    }
+}

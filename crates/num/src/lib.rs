@@ -1,0 +1,39 @@
+//! # picachu-num — numeric-format substrate for the PICACHU reproduction
+//!
+//! PICACHU (ASPLOS '25) supports FP32/FP16 and INT32/INT16 inputs and outputs
+//! (§4.2.1 "Data Format") and relies on two special numeric mechanisms:
+//!
+//! * the **FP2FX** conversion module, which splits a floating-point value into
+//!   integer and fractional components (used by the range-reduced exponential
+//!   of Table 3), and
+//! * **LUT** storage of hard-to-compute functions such as the Gaussian CDF
+//!   `Φ(·)` used by GeLU.
+//!
+//! This crate provides those building blocks plus software FP16, fixed-point
+//! arithmetic, dyadic (integer multiplier + shift) requantization as used by
+//! I-BERT/gemmlowp-style integer pipelines, and error metrics used across the
+//! accuracy experiments.
+//!
+//! ```
+//! use picachu_num::{Fp16, DataFormat};
+//!
+//! let x = Fp16::from_f32(1.5);
+//! assert_eq!(x.to_f32(), 1.5);
+//! assert_eq!(DataFormat::Int16.vector_factor(), 4);
+//! ```
+
+pub mod error;
+pub mod fixed;
+pub mod format;
+pub mod fp16;
+pub mod fp2fx;
+pub mod lut;
+pub mod quant;
+
+pub use error::ErrorStats;
+pub use fixed::Fixed32;
+pub use format::DataFormat;
+pub use fp16::Fp16;
+pub use fp2fx::{Fp2Fx, FpParts};
+pub use lut::Lut;
+pub use quant::{DyadicScale, QuantParams, Quantized};

@@ -1,0 +1,251 @@
+//! Look-up tables for hard-to-compute functions (§4.2.1 "Special function
+//! support").
+//!
+//! PICACHU's Compute Tiles carry small LUTs storing pre-computed values of
+//! functions that are expensive to express with basic arithmetic — the paper's
+//! example is the Gaussian CDF `Φ(·)` used by GeLU. A LUT lookup costs one
+//! cycle. We model uniformly-sampled tables with either nearest-entry or
+//! linear-interpolated reads and clamped out-of-range behaviour; the hardware
+//! cost model charges area for the number of entries.
+
+use std::fmt;
+
+/// Read mode of a [`Lut`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LutMode {
+    /// Return the nearest stored entry (pure table read).
+    Nearest,
+    /// Linearly interpolate between the two surrounding entries (table read
+    /// plus one fused multiply-add, still a single tile operation).
+    #[default]
+    Linear,
+}
+
+/// A uniformly-sampled lookup table over `[lo, hi]`.
+///
+/// ```
+/// use picachu_num::Lut;
+/// let lut = Lut::tabulate("square", -2.0, 2.0, 257, |x| x * x);
+/// assert!((lut.eval(1.5) - 2.25).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lut {
+    name: String,
+    lo: f32,
+    hi: f32,
+    entries: Vec<f32>,
+    mode: LutMode,
+}
+
+impl Lut {
+    /// Builds a table by sampling `f` at `n` uniformly spaced points.
+    ///
+    /// # Panics
+    /// Panics if `n < 2` or `lo >= hi`.
+    pub fn tabulate(
+        name: impl Into<String>,
+        lo: f32,
+        hi: f32,
+        n: usize,
+        f: impl Fn(f64) -> f64,
+    ) -> Lut {
+        assert!(n >= 2, "LUT needs at least 2 entries, got {n}");
+        assert!(lo < hi, "LUT range must be non-empty: [{lo}, {hi}]");
+        let step = (hi as f64 - lo as f64) / (n - 1) as f64;
+        let entries = (0..n)
+            .map(|i| f(lo as f64 + step * i as f64) as f32)
+            .collect();
+        Lut {
+            name: name.into(),
+            lo,
+            hi,
+            entries,
+            mode: LutMode::Linear,
+        }
+    }
+
+    /// Returns a copy using the given read mode.
+    pub fn with_mode(mut self, mode: LutMode) -> Lut {
+        self.mode = mode;
+        self
+    }
+
+    /// The table's name (used by the cost model and kernel metadata).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the table has no entries (never constructible via
+    /// [`Lut::tabulate`], provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sampled domain `[lo, hi]`.
+    pub fn domain(&self) -> (f32, f32) {
+        (self.lo, self.hi)
+    }
+
+    /// Storage footprint in bytes (one FP32 word per entry).
+    pub fn size_bytes(&self) -> usize {
+        self.entries.len() * 4
+    }
+
+    /// Reads the table at `x`, clamping out-of-range inputs to the endpoints.
+    pub fn eval(&self, x: f32) -> f32 {
+        let n = self.entries.len();
+        if x.is_nan() {
+            return f32::NAN;
+        }
+        let t = (x - self.lo) / (self.hi - self.lo) * (n - 1) as f32;
+        if t <= 0.0 {
+            return self.entries[0];
+        }
+        if t >= (n - 1) as f32 {
+            return self.entries[n - 1];
+        }
+        match self.mode {
+            LutMode::Nearest => self.entries[(t + 0.5) as usize],
+            LutMode::Linear => {
+                let i = t as usize;
+                let frac = t - i as f32;
+                self.entries[i] + (self.entries[i + 1] - self.entries[i]) * frac
+            }
+        }
+    }
+
+    /// Maximum absolute error against `f` over `samples` uniformly spaced
+    /// probe points (used to size tables for an accuracy target).
+    pub fn max_abs_error(&self, f: impl Fn(f64) -> f64, samples: usize) -> f64 {
+        let step = (self.hi as f64 - self.lo as f64) / (samples - 1) as f64;
+        (0..samples)
+            .map(|i| {
+                let x = self.lo as f64 + step * i as f64;
+                (self.eval(x as f32) as f64 - f(x)).abs()
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+impl fmt::Display for Lut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "LUT '{}' [{}, {}] x{} ({:?})",
+            self.name,
+            self.lo,
+            self.hi,
+            self.entries.len(),
+            self.mode
+        )
+    }
+}
+
+/// The Gaussian CDF `Φ(x)`, computed from `erf` via Abramowitz–Stegun 7.1.26
+/// (max abs error ≈ 1.5e-7, well beyond FP16 resolution). This is the
+/// reference generator for the GeLU LUT the paper stores in Compute Tiles.
+pub fn gaussian_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Error function via the Abramowitz–Stegun rational approximation.
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn linear_interpolation_exact_on_linear_fn() {
+        let lut = Lut::tabulate("id", 0.0, 10.0, 11, |x| 3.0 * x + 1.0);
+        for x in [0.0f32, 0.5, 3.3, 9.99, 10.0] {
+            assert!((lut.eval(x) - (3.0 * x + 1.0)).abs() < 1e-5, "x={x}");
+        }
+    }
+
+    #[test]
+    fn clamping_out_of_range() {
+        let lut = Lut::tabulate("sq", -1.0, 1.0, 65, |x| x * x);
+        assert_eq!(lut.eval(-100.0), lut.eval(-1.0));
+        assert_eq!(lut.eval(100.0), lut.eval(1.0));
+    }
+
+    #[test]
+    fn nearest_mode() {
+        let lut = Lut::tabulate("step", 0.0, 4.0, 5, |x| x).with_mode(LutMode::Nearest);
+        assert_eq!(lut.eval(1.2), 1.0);
+        assert_eq!(lut.eval(1.6), 2.0);
+    }
+
+    #[test]
+    fn nan_propagates() {
+        let lut = Lut::tabulate("id", 0.0, 1.0, 2, |x| x);
+        assert!(lut.eval(f32::NAN).is_nan());
+    }
+
+    #[test]
+    fn gaussian_cdf_values() {
+        assert!((gaussian_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((gaussian_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!(gaussian_cdf(-8.0) < 1e-10);
+        assert!(gaussian_cdf(8.0) > 1.0 - 1e-10);
+    }
+
+    #[test]
+    fn erf_odd_symmetry() {
+        for x in [0.1f64, 0.7, 1.5, 3.0] {
+            assert!((erf(x) + erf(-x)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn phi_lut_accuracy_512_entries() {
+        // The accuracy the hardware LUT actually needs for GeLU in FP16.
+        let lut = Lut::tabulate("phi", -6.0, 6.0, 512, gaussian_cdf);
+        assert!(lut.max_abs_error(gaussian_cdf, 10_000) < 2e-4);
+    }
+
+    #[test]
+    fn size_accounting() {
+        let lut = Lut::tabulate("phi", -6.0, 6.0, 512, gaussian_cdf);
+        assert_eq!(lut.size_bytes(), 2048);
+        assert_eq!(lut.len(), 512);
+        assert!(!lut.is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn monotone_fn_gives_monotone_lut(a in -5.0f32..0.0, b in 0.1f32..5.0) {
+            let lut = Lut::tabulate("cdf", a, a + b, 128, gaussian_cdf);
+            let mut prev = f32::NEG_INFINITY;
+            for i in 0..200 {
+                let x = a + b * (i as f32 / 199.0);
+                let y = lut.eval(x);
+                prop_assert!(y >= prev - 1e-6);
+                prev = y;
+            }
+        }
+
+        #[test]
+        fn interpolation_within_entry_bounds(x in -2.0f32..2.0) {
+            let lut = Lut::tabulate("sq", -2.0, 2.0, 33, |v| v * v);
+            let y = lut.eval(x);
+            // result bounded by [min, max] of table since interpolation is convex
+            prop_assert!(y >= -1e-6 && y <= 4.0 + 1e-6);
+        }
+    }
+}

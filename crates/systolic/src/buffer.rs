@@ -1,0 +1,196 @@
+//! The Shared Buffer: streaming and double-buffering (§4.2.3) and the three
+//! dataflow cases of §4.2.4.
+//!
+//! The Shared Buffer is the systolic array's output SRAM, multiplexed as the
+//! CGRA's input/intermediate/output memory. Two techniques hide data
+//! movement:
+//!
+//! * **streaming** — CGRA execution overlaps tile-by-tile with producer
+//!   output (the systolic array) or DMA input;
+//! * **double-buffering** — two input + two output buffers let DMA fill one
+//!   half while the CGRA processes the other.
+//!
+//! [`SharedBuffer::pipelined_cycles`] implements the resulting overlap
+//! arithmetic: per chunk, the exposed cost is `max(compute, transfer)`, plus
+//! the un-overlappable first fill and last drain; without double buffering
+//! the costs serialize.
+
+use crate::dma::DmaModel;
+use std::fmt;
+
+/// The dataflow strategy an operation uses (§4.2.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataflowCase {
+    /// Case 1 — element-wise op streaming directly against systolic-array
+    /// output; no DRAM round trip, no intermediate statistics.
+    StreamFromSystolic,
+    /// Case 2 — reduction op whose tensor exceeds the buffer: channel-by-
+    /// channel DRAM round trips with double buffering.
+    ChannelFromDram,
+    /// Case 3 — reduction op whose working set fits the buffer
+    /// (FlashAttention-style): inputs stay resident until statistics are
+    /// ready, then the final loop streams as in Case 1.
+    ResidentInBuffer,
+}
+
+impl fmt::Display for DataflowCase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataflowCase::StreamFromSystolic => "case1-stream",
+            DataflowCase::ChannelFromDram => "case2-dram-channel",
+            DataflowCase::ResidentInBuffer => "case3-resident",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The Shared Buffer configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SharedBuffer {
+    /// Total capacity in bytes (the paper's sweep: 10–80 KB).
+    pub capacity_bytes: usize,
+    /// Whether double buffering is enabled (half the capacity per ping-pong
+    /// side when on).
+    pub double_buffered: bool,
+}
+
+impl SharedBuffer {
+    /// A buffer of `kb` kilobytes with double buffering on.
+    pub fn new_kb(kb: usize) -> SharedBuffer {
+        SharedBuffer { capacity_bytes: kb * 1024, double_buffered: true }
+    }
+
+    /// Usable bytes per ping-pong side: half the capacity when double
+    /// buffering (split again across the input and output pair).
+    pub fn working_bytes(&self) -> usize {
+        if self.double_buffered {
+            self.capacity_bytes / 4
+        } else {
+            self.capacity_bytes / 2
+        }
+    }
+
+    /// Whether one channel of `dim` elements of `elem_bytes` fits the
+    /// working set — the predicate that picks Case 2 vs Case 3 and drives
+    /// the Fig. 7c knee.
+    pub fn channel_fits(&self, dim: usize, elem_bytes: usize) -> bool {
+        dim * elem_bytes <= self.working_bytes()
+    }
+
+    /// Total cycles to process `chunks` of `chunk_bytes` each, when each
+    /// chunk needs `compute_cycles` of CGRA time and a DMA round trip
+    /// (read before, write after).
+    ///
+    /// With double buffering, transfer `i+1` overlaps compute `i`:
+    /// `first_fill + Σ max(compute, fill) + last_drain`. Without it,
+    /// everything serializes.
+    pub fn pipelined_cycles(
+        &self,
+        chunks: u64,
+        chunk_bytes: usize,
+        compute_cycles: u64,
+        dma: &DmaModel,
+    ) -> u64 {
+        if chunks == 0 {
+            return 0;
+        }
+        let fill = dma.transfer_cycles(chunk_bytes);
+        let drain = dma.transfer_cycles(chunk_bytes);
+        if self.double_buffered {
+            // steady state: each chunk exposes max(compute, fill + drain of
+            // the neighbour transfers sharing the channel)
+            let steady = compute_cycles.max(fill + drain);
+            fill + steady * (chunks - 1) + compute_cycles + drain
+        } else {
+            chunks * (fill + compute_cycles + drain)
+        }
+    }
+
+    /// Cycles for a Case 1 stream: compute fully overlaps the producer; the
+    /// exposed cost is the larger of the two plus one chunk of skew.
+    pub fn streamed_cycles(producer_cycles: u64, compute_cycles: u64, chunk_skew: u64) -> u64 {
+        producer_cycles.max(compute_cycles) + chunk_skew
+    }
+}
+
+impl fmt::Display for SharedBuffer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} KB shared buffer ({})",
+            self.capacity_bytes / 1024,
+            if self.double_buffered { "double-buffered" } else { "single" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn working_set_split() {
+        let b = SharedBuffer::new_kb(40);
+        assert_eq!(b.working_bytes(), 10 * 1024);
+        let single = SharedBuffer { capacity_bytes: 40 * 1024, double_buffered: false };
+        assert_eq!(single.working_bytes(), 20 * 1024);
+    }
+
+    #[test]
+    fn channel_fit_matches_section_5_3_5() {
+        // LLaMA2-7B: 4096-dim FP16 channel = 8 KB -> fits a 40 KB buffer,
+        // not a 20 KB one. GPT2-XL: 1600-dim = 3.2 KB -> fits 20 KB.
+        assert!(SharedBuffer::new_kb(40).channel_fits(4096, 2));
+        assert!(!SharedBuffer::new_kb(20).channel_fits(4096, 2));
+        assert!(SharedBuffer::new_kb(20).channel_fits(1600, 2));
+        assert!(!SharedBuffer::new_kb(10).channel_fits(1600, 2));
+    }
+
+    #[test]
+    fn double_buffering_hides_transfers_when_compute_bound() {
+        let dma = DmaModel::default();
+        let b = SharedBuffer::new_kb(40);
+        let chunk = 8 * 1024;
+        let fill = dma.transfer_cycles(chunk);
+        let compute = 4 * fill; // compute-bound
+        let db = b.pipelined_cycles(100, chunk, compute, &dma);
+        let serial =
+            SharedBuffer { double_buffered: false, ..b }.pipelined_cycles(100, chunk, compute, &dma);
+        assert!(db < serial);
+        // overlapped total ≈ chunks * compute + edges
+        assert!(db < 100 * compute + 3 * fill);
+    }
+
+    #[test]
+    fn transfer_bound_case_exposes_dma() {
+        let dma = DmaModel::default();
+        let b = SharedBuffer::new_kb(40);
+        let chunk = 8 * 1024;
+        let fill = dma.transfer_cycles(chunk);
+        let compute = 1; // transfer-bound
+        let total = b.pipelined_cycles(10, chunk, compute, &dma);
+        assert!(total >= 10 * 2 * fill, "DMA cost cannot be hidden");
+    }
+
+    #[test]
+    fn zero_chunks() {
+        let b = SharedBuffer::new_kb(40);
+        assert_eq!(b.pipelined_cycles(0, 1024, 100, &DmaModel::default()), 0);
+    }
+
+    #[test]
+    fn stream_overlap() {
+        assert_eq!(SharedBuffer::streamed_cycles(1000, 400, 16), 1016);
+        assert_eq!(SharedBuffer::streamed_cycles(400, 1000, 16), 1016);
+    }
+
+    #[test]
+    fn bigger_buffer_no_benefit_once_channel_fits() {
+        // the Fig. 7c plateau: once the channel fits, cycles stop improving
+        let dma = DmaModel::default();
+        let chunk = 4096 * 2;
+        let t40 = SharedBuffer::new_kb(40).pipelined_cycles(512, chunk, 1024, &dma);
+        let t80 = SharedBuffer::new_kb(80).pipelined_cycles(512, chunk, 1024, &dma);
+        assert_eq!(t40, t80);
+    }
+}

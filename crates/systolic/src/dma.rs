@@ -1,0 +1,80 @@
+//! DMA channel between off-chip DRAM and the Shared Buffer.
+//!
+//! The paper measures DMA latency on a Xilinx Alveo U280 (§5.4); we model
+//! the two parameters that matter for the streaming results: a fixed
+//! per-transfer setup latency and a sustained bandwidth. Defaults correspond
+//! to ~16 GB/s at 1 GHz with a ~200-cycle descriptor setup, typical of a
+//! measured PCIe-attached HBM path.
+
+use std::fmt;
+
+/// A DMA channel model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DmaModel {
+    /// Fixed per-transfer setup cycles (descriptor + handshake).
+    pub setup_cycles: u64,
+    /// Payload bytes moved per cycle once streaming.
+    pub bytes_per_cycle: f64,
+}
+
+impl Default for DmaModel {
+    fn default() -> DmaModel {
+        DmaModel { setup_cycles: 200, bytes_per_cycle: 16.0 }
+    }
+}
+
+impl DmaModel {
+    /// Cycles to move `bytes` in one transfer.
+    pub fn transfer_cycles(&self, bytes: usize) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        self.setup_cycles + (bytes as f64 / self.bytes_per_cycle).ceil() as u64
+    }
+
+    /// Effective bandwidth for a transfer of `bytes`, in bytes/cycle —
+    /// exposes the setup-amortization effect that makes channel-by-channel
+    /// streaming sensitive to chunk size.
+    pub fn effective_bandwidth(&self, bytes: usize) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        bytes as f64 / self.transfer_cycles(bytes) as f64
+    }
+}
+
+impl fmt::Display for DmaModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DMA: {} setup cycles, {:.0} B/cycle",
+            self.setup_cycles, self.bytes_per_cycle
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_arithmetic() {
+        let d = DmaModel::default();
+        assert_eq!(d.transfer_cycles(0), 0);
+        assert_eq!(d.transfer_cycles(16), 201);
+        assert_eq!(d.transfer_cycles(16 * 1000), 1200);
+    }
+
+    #[test]
+    fn big_transfers_amortize_setup() {
+        let d = DmaModel::default();
+        assert!(d.effective_bandwidth(1 << 20) > d.effective_bandwidth(1 << 10));
+        assert!(d.effective_bandwidth(1 << 22) > 15.0);
+    }
+
+    #[test]
+    fn rounding_up() {
+        let d = DmaModel { setup_cycles: 0, bytes_per_cycle: 16.0 };
+        assert_eq!(d.transfer_cycles(17), 2);
+    }
+}

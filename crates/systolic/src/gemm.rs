@@ -1,0 +1,170 @@
+//! Output-stationary systolic array (§2.3, §4.2.4).
+//!
+//! The timing model follows the classic output-stationary discipline the
+//! paper's offload pass assumes (§4.3: "tiled, output-stationary, with the
+//! same tiling factor as the nonlinear operations"): the `R×C` grid computes
+//! an `R×C` output tile by streaming `K` partial products through the grid,
+//! costing `K + R + C − 2` cycles per tile including skew fill/drain.
+
+use std::fmt;
+
+/// A weight/input/output systolic array of `rows × cols` MACs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SystolicArray {
+    /// Grid rows.
+    pub rows: usize,
+    /// Grid columns.
+    pub cols: usize,
+}
+
+impl SystolicArray {
+    /// Creates an array.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> SystolicArray {
+        assert!(rows > 0 && cols > 0, "array must be non-empty");
+        SystolicArray { rows, cols }
+    }
+
+    /// Cycles to execute an `m×k · k×n` GEMM, output-stationary.
+    pub fn gemm_cycles(&self, m: usize, k: usize, n: usize) -> u64 {
+        if m == 0 || k == 0 || n == 0 {
+            return 0;
+        }
+        let tiles_m = m.div_ceil(self.rows) as u64;
+        let tiles_n = n.div_ceil(self.cols) as u64;
+        let per_tile = k as u64 + self.rows as u64 + self.cols as u64 - 2;
+        tiles_m * tiles_n * per_tile
+    }
+
+    /// MAC operations an `m×k · k×n` GEMM performs.
+    pub fn gemm_macs(&self, m: usize, k: usize, n: usize) -> u64 {
+        m as u64 * k as u64 * n as u64
+    }
+
+    /// Average MAC utilization for the GEMM: useful work over
+    /// `cycles × rows × cols`.
+    pub fn utilization(&self, m: usize, k: usize, n: usize) -> f64 {
+        let cycles = self.gemm_cycles(m, k, n);
+        if cycles == 0 {
+            return 0.0;
+        }
+        self.gemm_macs(m, k, n) as f64 / (cycles as f64 * (self.rows * self.cols) as f64)
+    }
+
+    /// Functional GEMM: `out[m][n] = Σ_k a[m][k]·b[k][n]` on row-major
+    /// slices. Used by the examples and cross-checks, not the timing model.
+    ///
+    /// # Panics
+    /// Panics if slice lengths do not match the shapes.
+    pub fn gemm_f32(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        assert_eq!(a.len(), m * k, "lhs shape mismatch");
+        assert_eq!(b.len(), k * n, "rhs shape mismatch");
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for kk in 0..k {
+                let av = a[i * k + kk];
+                if av == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    out[i * n + j] += av * b[kk * n + j];
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for SystolicArray {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{} systolic array", self.rows, self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_tile_cycles() {
+        let a = SystolicArray::new(32, 32);
+        // one 32x32 output tile over k=128: 128 + 62 cycles
+        assert_eq!(a.gemm_cycles(32, 128, 32), 190);
+    }
+
+    #[test]
+    fn tiling_rounds_up() {
+        let a = SystolicArray::new(32, 32);
+        let exact = a.gemm_cycles(32, 64, 32);
+        assert_eq!(a.gemm_cycles(33, 64, 32), 2 * exact);
+        assert_eq!(a.gemm_cycles(33, 64, 33), 4 * exact);
+    }
+
+    #[test]
+    fn zero_dims() {
+        let a = SystolicArray::new(8, 8);
+        assert_eq!(a.gemm_cycles(0, 10, 10), 0);
+        assert_eq!(a.gemm_cycles(10, 0, 10), 0);
+    }
+
+    #[test]
+    fn utilization_improves_with_k() {
+        let a = SystolicArray::new(32, 32);
+        assert!(a.utilization(32, 1024, 32) > a.utilization(32, 32, 32));
+        assert!(a.utilization(32, 4096, 32) > 0.95);
+    }
+
+    #[test]
+    fn functional_gemm_identity() {
+        let n = 4;
+        let mut eye = vec![0.0f32; n * n];
+        for i in 0..n {
+            eye[i * n + i] = 1.0;
+        }
+        let b: Vec<f32> = (0..n * n).map(|i| i as f32).collect();
+        assert_eq!(SystolicArray::gemm_f32(&eye, &b, n, n, n), b);
+    }
+
+    #[test]
+    fn functional_gemm_known_product() {
+        // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [5.0, 6.0, 7.0, 8.0];
+        assert_eq!(
+            SystolicArray::gemm_f32(&a, &b, 2, 2, 2),
+            vec![19.0, 22.0, 43.0, 50.0]
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn cycles_monotone_in_shape(m in 1usize..256, k in 1usize..256, n in 1usize..256) {
+            let a = SystolicArray::new(32, 32);
+            prop_assert!(a.gemm_cycles(m + 32, k, n) >= a.gemm_cycles(m, k, n));
+            prop_assert!(a.gemm_cycles(m, k + 1, n) >= a.gemm_cycles(m, k, n));
+        }
+
+        #[test]
+        fn utilization_bounded(m in 1usize..300, k in 1usize..300, n in 1usize..300) {
+            let a = SystolicArray::new(16, 16);
+            let u = a.utilization(m, k, n);
+            prop_assert!(u > 0.0 && u <= 1.0);
+        }
+
+        #[test]
+        fn gemm_matches_naive(m in 1usize..8, k in 1usize..8, n in 1usize..8) {
+            let a: Vec<f32> = (0..m * k).map(|i| (i % 7) as f32 - 3.0).collect();
+            let b: Vec<f32> = (0..k * n).map(|i| (i % 5) as f32 - 2.0).collect();
+            let got = SystolicArray::gemm_f32(&a, &b, m, k, n);
+            for i in 0..m {
+                for j in 0..n {
+                    let expect: f32 = (0..k).map(|kk| a[i * k + kk] * b[kk * n + j]).sum();
+                    prop_assert!((got[i * n + j] - expect).abs() < 1e-4);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! # picachu-systolic — systolic array, SRAM and Shared Buffer substrate
+//!
+//! PICACHU plugs its CGRA into a systolic-array DNN accelerator (§4.2.4),
+//! multiplexing the array's output SRAM as the CGRA's **Shared Buffer** and
+//! reaching DRAM through DMA with streaming + double-buffering (§4.2.3).
+//! This crate models that substrate:
+//!
+//! * [`gemm`] — an output-stationary systolic-array timing model plus a
+//!   functional GEMM used by the examples and integration tests;
+//! * [`sram`] — on-chip SRAM capacity/occupancy accounting;
+//! * [`dma`] — the DRAM DMA channel (setup latency + bandwidth), standing in
+//!   for the paper's Alveo U280 measurement;
+//! * [`buffer`] — the Shared Buffer with the streaming / double-buffering
+//!   overlap arithmetic behind Fig. 7c.
+
+pub mod buffer;
+pub mod dma;
+pub mod gemm;
+pub mod sram;
+
+pub use buffer::SharedBuffer;
+pub use dma::DmaModel;
+pub use gemm::SystolicArray;
+pub use sram::Sram;

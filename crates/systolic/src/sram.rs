@@ -1,0 +1,143 @@
+//! On-chip SRAM accounting.
+//!
+//! The systolic array owns input, weight and output SRAMs; PICACHU
+//! multiplexes the output SRAM as the CGRA's Shared Buffer (§4.2.4). This
+//! module tracks capacity and occupancy (whether a tensor/channel fits —
+//! the predicate behind the §4.2.4 dataflow-case selection) and access
+//! counts for the energy model.
+
+use std::fmt;
+
+/// A single SRAM with byte-granular occupancy tracking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sram {
+    name: String,
+    capacity: usize,
+    used: usize,
+    reads: u64,
+    writes: u64,
+}
+
+impl Sram {
+    /// Creates an SRAM of `capacity` bytes.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(name: impl Into<String>, capacity: usize) -> Sram {
+        assert!(capacity > 0, "SRAM needs nonzero capacity");
+        Sram { name: name.into(), capacity, used: 0, reads: 0, writes: 0 }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    /// Bytes still free.
+    pub fn free(&self) -> usize {
+        self.capacity - self.used
+    }
+
+    /// Whether `bytes` more would fit.
+    pub fn fits(&self, bytes: usize) -> bool {
+        bytes <= self.free()
+    }
+
+    /// Allocates `bytes`.
+    ///
+    /// # Errors
+    /// Returns the shortfall if the allocation does not fit.
+    pub fn alloc(&mut self, bytes: usize) -> Result<(), usize> {
+        if self.fits(bytes) {
+            self.used += bytes;
+            Ok(())
+        } else {
+            Err(bytes - self.free())
+        }
+    }
+
+    /// Releases `bytes` (saturating).
+    pub fn release(&mut self, bytes: usize) {
+        self.used = self.used.saturating_sub(bytes);
+    }
+
+    /// Records `n` read accesses.
+    pub fn record_reads(&mut self, n: u64) {
+        self.reads += n;
+    }
+
+    /// Records `n` write accesses.
+    pub fn record_writes(&mut self, n: u64) {
+        self.writes += n;
+    }
+
+    /// Total accesses so far.
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+impl fmt::Display for Sram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SRAM '{}': {}/{} B used, {} reads, {} writes",
+            self.name, self.used, self.capacity, self.reads, self.writes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_release() {
+        let mut s = Sram::new("out", 40 * 1024);
+        assert!(s.alloc(16 * 1024).is_ok());
+        assert_eq!(s.free(), 24 * 1024);
+        assert!(s.alloc(32 * 1024).is_err());
+        s.release(16 * 1024);
+        assert_eq!(s.used(), 0);
+    }
+
+    #[test]
+    fn shortfall_reported() {
+        let mut s = Sram::new("buf", 1000);
+        assert_eq!(s.alloc(1500), Err(500));
+    }
+
+    #[test]
+    fn fits_predicate_matches_paper_sizing() {
+        // §5.3.5: a 40 KB buffer holds one 4096-wide FP16 channel twice over
+        // (double buffering needs 2 x 8 KB in + 2 x 8 KB out).
+        let s = Sram::new("shared", 40 * 1024);
+        let channel = 4096 * 2; // FP16 bytes
+        assert!(s.fits(4 * channel));
+        // a 20 KB buffer does not
+        let small = Sram::new("shared", 20 * 1024);
+        assert!(!small.fits(4 * channel));
+        // ...but it does hold GPT2-XL's 1600-wide channel
+        assert!(small.fits(4 * 1600 * 2));
+    }
+
+    #[test]
+    fn access_counters() {
+        let mut s = Sram::new("x", 64);
+        s.record_reads(10);
+        s.record_writes(5);
+        assert_eq!(s.accesses(), 15);
+    }
+
+    #[test]
+    fn release_saturates() {
+        let mut s = Sram::new("x", 64);
+        s.release(100);
+        assert_eq!(s.used(), 0);
+    }
+}

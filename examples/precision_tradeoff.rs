@@ -1,0 +1,53 @@
+//! The §3.2.3 / §5.3.3 user-defined-precision story: sweep the Taylor-term
+//! count and the data format, showing the accuracy/latency trade-off the
+//! precision-aware design exposes.
+//!
+//! Run with: `cargo run --release --example precision_tradeoff`
+
+use picachu::engine::{EngineConfig, PicachuEngine};
+use picachu_llm::ModelConfig;
+use picachu_nonlinear::accuracy::{Distribution, Scheme};
+use picachu_nonlinear::kernels::softmax::{softmax_fp, softmax_ref};
+use picachu_nonlinear::ApproxConfig;
+use picachu_num::{DataFormat, ErrorStats};
+
+fn main() {
+    // --- accuracy knob: Taylor terms ---
+    println!("{:<8} {:>14} {:>16}", "terms", "exp max rel", "softmax max abs");
+    let logits = Distribution::AttentionLogits.sample(4096, 3);
+    let reference = softmax_ref(&logits.iter().map(|&v| v as f64).collect::<Vec<_>>());
+    for terms in [2usize, 3, 4, 6, 8] {
+        let cfg = ApproxConfig { exp_terms: terms, ..ApproxConfig::default() };
+        let exp_err = ErrorStats::sweep(-20.0, 0.0, 10_000, |x| {
+            picachu_nonlinear::ops::exp_approx(x as f32, &cfg) as f64
+        }, f64::exp);
+        let got: Vec<f64> = softmax_fp(&logits, &cfg).iter().map(|&v| v as f64).collect();
+        let sm = ErrorStats::compare(&got, &reference);
+        println!("{:<8} {:>14.2e} {:>16.2e}", terms, exp_err.max_rel, sm.max_abs);
+    }
+
+    // --- performance knob: format (INT16 = 4-lane vectorization) ---
+    println!("\n{:<8} {:>14} {:>12}", "format", "LLaMA2-7B cyc", "vs FP32");
+    let mut base_total = 0.0;
+    for fmt in [DataFormat::Fp32, DataFormat::Fp16, DataFormat::Int32, DataFormat::Int16] {
+        let mut e = PicachuEngine::new(EngineConfig { format: fmt, ..EngineConfig::default() });
+        let t = e.execute_model(&ModelConfig::llama2_7b(), 512).total();
+        if fmt == DataFormat::Fp32 {
+            base_total = t;
+        }
+        println!("{:<8} {:>14.3e} {:>11.2}x", fmt.to_string(), t, base_total / t);
+    }
+
+    // --- the combined check: INT16 keeps model-level accuracy (Table 5) ---
+    let x = Distribution::LlamaWide.sample(8192, 9);
+    let ref64: Vec<f64> = {
+        let xd: Vec<f64> = x.iter().map(|&v| v as f64).collect();
+        picachu_nonlinear::kernels::norm::rmsnorm_ref(&xd)
+    };
+    let int16: Vec<f64> = Scheme::PicachuInt16.rmsnorm(&x).iter().map(|&v| v as f64).collect();
+    println!(
+        "\nINT16 RMSNorm on llama-wide activations: {}",
+        ErrorStats::compare(&int16, &ref64)
+    );
+    println!("faster format, same model accuracy — the §5.3.3 trade-off.");
+}

@@ -1,0 +1,65 @@
+//! Quickstart: the full PICACHU pipeline on one kernel.
+//!
+//! 1. approximate a nonlinear operation (softmax) with the Table 3 algorithm
+//!    and check its accuracy;
+//! 2. compile the kernel: fuse the Table 4 patterns and modulo-map it onto
+//!    the 4×4 heterogeneous CGRA;
+//! 3. simulate the mapped configuration cycle by cycle;
+//! 4. run an end-to-end model through the engine.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use picachu::engine::{EngineConfig, PicachuEngine};
+use picachu_cgra::{CgraConfig, CgraSimulator};
+use picachu_compiler::arch::CgraSpec;
+use picachu_compiler::mapper::map_dfg;
+use picachu_compiler::transform::fuse_patterns;
+use picachu_ir::kernels::softmax_kernel;
+use picachu_llm::ModelConfig;
+use picachu_nonlinear::kernels::softmax::{softmax_fp, softmax_ref};
+use picachu_nonlinear::ApproxConfig;
+use picachu_num::ErrorStats;
+
+fn main() {
+    // --- 1. the algorithm ---
+    let logits: Vec<f32> = (0..256).map(|i| ((i as f32) * 0.173).sin() * 8.0).collect();
+    let approx = softmax_fp(&logits, &ApproxConfig::default());
+    let reference = softmax_ref(&logits.iter().map(|&v| v as f64).collect::<Vec<_>>());
+    let approx64: Vec<f64> = approx.iter().map(|&v| v as f64).collect();
+    println!("softmax accuracy: {}", ErrorStats::compare(&approx64, &reference));
+
+    // --- 2. the compiler ---
+    let spec = CgraSpec::picachu(4, 4);
+    println!("\nfabric:\n{spec}");
+    let kernel = softmax_kernel(4);
+    for l in &kernel.loops {
+        let fused = fuse_patterns(&l.dfg);
+        let mapping = map_dfg(&fused, &spec, 42).expect("kernel maps");
+        println!(
+            "{:<12} {} nodes -> {} fused, II={} (util {:.0}%)",
+            l.label,
+            l.dfg.len(),
+            fused.len(),
+            mapping.ii,
+            100.0 * mapping.utilization(spec.len())
+        );
+
+        // --- 3. the simulator ---
+        let cfg = CgraConfig::from_mapping(&fused, &mapping, &spec);
+        let report = CgraSimulator::new(&spec, &fused, &cfg).run(1024);
+        println!("  simulated: {report}");
+    }
+
+    // the compiled artifact a hardware engineer would inspect
+    let fused = fuse_patterns(&kernel.loops[2].dfg);
+    let mapping = map_dfg(&fused, &spec, 42).expect("maps");
+    let cfg = CgraConfig::from_mapping(&fused, &mapping, &spec);
+    println!("
+{}", picachu_cgra::schedule::reservation_table(&cfg, &spec));
+
+    // --- 4. end to end ---
+    let mut engine = PicachuEngine::new(EngineConfig::default());
+    let b = engine.execute_model(&ModelConfig::gpt2(), 256);
+    println!("\nGPT-2 @256 on {engine}:\n  {b}");
+    println!("  energy: {:.1} uJ", engine.energy_nj(&b) / 1000.0);
+}

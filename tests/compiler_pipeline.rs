@@ -1,0 +1,110 @@
+//! Compiler-pipeline integration tests: every transform composition over the
+//! whole kernel library, with the cycle simulator as the dynamic checker of
+//! every static schedule (it asserts operand arrival internally).
+
+use picachu_cgra::{CgraConfig, CgraSimulator};
+use picachu_compiler::arch::CgraSpec;
+use picachu_compiler::mapper::{map_dfg, min_ii};
+use picachu_compiler::transform::{
+    count_patterns, fuse_patterns, lower_special_ops, unroll, vectorize,
+};
+use picachu_ir::kernels::kernel_library;
+
+/// unroll → fuse → vectorize → map → simulate, for every kernel loop and a
+/// grid of factors. The simulator panics on any dataflow violation, so this
+/// is a broad consistency sweep over the whole compilation space.
+#[test]
+fn transform_grid_maps_and_simulates() {
+    let spec = CgraSpec::picachu(4, 4);
+    for k in kernel_library(3) {
+        for l in &k.loops {
+            for uf in [1usize, 2] {
+                for vf in [1usize, 4] {
+                    let mut dfg = fuse_patterns(&unroll(&l.dfg, uf));
+                    if vf > 1 {
+                        dfg = vectorize(&dfg, vf).dfg;
+                    }
+                    let Ok(m) = map_dfg(&dfg, &spec, 21) else {
+                        panic!("{} UF{uf} VF{vf} failed to map", l.label);
+                    };
+                    let cfg = CgraConfig::from_mapping(&dfg, &m, &spec);
+                    let rep = CgraSimulator::new(&spec, &dfg, &cfg).run(32);
+                    assert_eq!(rep.iterations, 32, "{} UF{uf} VF{vf}", l.label);
+                }
+            }
+        }
+    }
+}
+
+/// Fusion + unrolling conserve the primitive work regardless of order of
+/// composition with lowering on the baseline path.
+#[test]
+fn work_conservation_across_paths() {
+    for k in kernel_library(4) {
+        for l in &k.loops {
+            let base_ops = l.dfg.primitive_op_count();
+            // PICACHU path: unrolling replicates the body but keeps the 4
+            // control ops and every reduction φ single
+            let reduction_phis = l
+                .dfg
+                .nodes()
+                .iter()
+                .filter(|n| n.op == picachu_ir::Opcode::Phi)
+                .count()
+                - 1; // minus the induction φ
+            for uf in [1usize, 2, 4] {
+                let u = unroll(&l.dfg, uf);
+                let f = fuse_patterns(&u);
+                let expected = base_ops + (uf - 1) * (base_ops - 4 - reduction_phis);
+                assert_eq!(u.primitive_op_count(), expected, "{} UF{uf}", l.label);
+                assert_eq!(f.primitive_op_count(), expected, "{} UF{uf} fused", l.label);
+            }
+            // baseline path only grows work (special-op emulation)
+            let low = lower_special_ops(&l.dfg);
+            assert!(low.primitive_op_count() >= base_ops, "{}", l.label);
+        }
+    }
+}
+
+/// Achieved II never beats the theoretical lower bound, and fusion never
+/// raises the lower bound.
+#[test]
+fn ii_respects_lower_bounds() {
+    let spec = CgraSpec::picachu(4, 4);
+    for k in kernel_library(4) {
+        for l in &k.loops {
+            let fused = fuse_patterns(&l.dfg);
+            let bound = min_ii(&fused, &spec).expect("mappable ops");
+            let m = map_dfg(&fused, &spec, 3).expect("maps");
+            assert!(m.ii >= bound, "{}: II {} < bound {bound}", l.label, m.ii);
+        }
+    }
+}
+
+/// The pattern counts reported by Table 4's experiment match what fusion
+/// actually fuses (counting is a dry run of the same grouping).
+#[test]
+fn count_and_fuse_agree() {
+    for k in kernel_library(4) {
+        for l in &k.loops {
+            let counts = count_patterns(&l.dfg);
+            let fused = fuse_patterns(&l.dfg);
+            let fused_nodes = fused.nodes().iter().filter(|n| n.op.is_fused()).count();
+            assert_eq!(counts.total(), fused_nodes, "{}", l.label);
+        }
+    }
+}
+
+/// Bigger fabrics never increase the resource-constrained lower bound.
+#[test]
+fn res_mii_monotone_in_fabric_size() {
+    use picachu_compiler::mapper::res_mii;
+    for k in kernel_library(4) {
+        for l in &k.loops {
+            let fused = fuse_patterns(&unroll(&l.dfg, 4));
+            let small = res_mii(&fused, &CgraSpec::picachu(3, 3)).expect("ok");
+            let big = res_mii(&fused, &CgraSpec::picachu(5, 5)).expect("ok");
+            assert!(big <= small, "{}: {big} > {small}", l.label);
+        }
+    }
+}

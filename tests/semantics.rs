@@ -1,0 +1,181 @@
+//! Semantic-preservation tests: the compiler transforms must not change what
+//! a kernel *computes*. The functional interpreter runs the same inputs
+//! through the original, fused, and unrolled graphs and compares outputs —
+//! the strongest correctness property a DFG-rewriting compiler can offer.
+
+use picachu_compiler::transform::{fuse_patterns, unroll};
+use picachu_ir::interp::interpret;
+use picachu_ir::kernels::{kernel_library, Kernel};
+
+fn streams_for(kernel: &Kernel, loop_idx: usize, n: usize) -> Vec<Vec<f32>> {
+    let loads = kernel.loops[loop_idx]
+        .dfg
+        .nodes()
+        .iter()
+        .filter(|nd| nd.op == picachu_ir::Opcode::Load)
+        .count();
+    (0..loads)
+        .map(|s| {
+            (0..n)
+                .map(|i| ((i as f32 * 0.61 + s as f32 * 1.7).sin() * 2.0 + 0.1))
+                .collect()
+        })
+        .collect()
+}
+
+fn params_for(name: &str, loop_idx: usize) -> Vec<f32> {
+    match (name, loop_idx) {
+        ("softmax", 1) => vec![2.2],        // running max
+        ("softmax", 2) => vec![37.5],       // sum
+        ("layernorm", 1) => vec![0.1, 0.8], // mu, gamma/sigma
+        ("rmsnorm", 1) => vec![0.6],        // 1/sigma
+        ("rope", 0) => vec![9.0],           // position m
+        _ => vec![],
+    }
+}
+
+/// Fusion preserves the outputs and reduction results of every kernel loop.
+#[test]
+fn fusion_preserves_semantics() {
+    let n = 64;
+    for k in kernel_library(6) {
+        for (li, l) in k.loops.iter().enumerate() {
+            let streams = streams_for(&k, li, n);
+            let refs: Vec<&[f32]> = streams.iter().map(|s| s.as_slice()).collect();
+            let params = params_for(k.name, li);
+            let base = interpret(&l.dfg, n, &refs, &params).expect("base interprets");
+            let fused = fuse_patterns(&l.dfg);
+            let got = interpret(&fused, n, &refs, &params).expect("fused interprets");
+            assert_eq!(base.outputs.len(), got.outputs.len(), "{}", l.label);
+            for (o, (a, b)) in base.outputs.iter().zip(&got.outputs).enumerate() {
+                for (i, (x, y)) in a.iter().zip(b).enumerate() {
+                    assert!(
+                        (x - y).abs() <= 1e-5 * (1.0 + x.abs()),
+                        "{} output {o} elem {i}: {x} vs {y}",
+                        l.label
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Unrolling preserves the outputs: UF copies consume interleaved elements,
+/// so running n/UF iterations over the same data reproduces the scalar
+/// outputs up to reassociation of the reductions.
+#[test]
+fn unroll_preserves_elementwise_semantics() {
+    let n = 64;
+    for k in kernel_library(4) {
+        for (li, l) in k.loops.iter().enumerate() {
+            if l.class != picachu_ir::kernels::LoopClass::ElementWise {
+                continue;
+            }
+            let streams = streams_for(&k, li, n);
+            let refs: Vec<&[f32]> = streams.iter().map(|s| s.as_slice()).collect();
+            let params = params_for(k.name, li);
+            let base = interpret(&l.dfg, n, &refs, &params).expect("base");
+
+            let uf = 2usize;
+            let unrolled = unroll(&l.dfg, uf);
+            // the unrolled body has 2x the loads: split each stream into
+            // even/odd element interleaves matching copy order
+            let mut u_streams: Vec<Vec<f32>> = Vec::new();
+            let loads_per_copy = streams.len();
+            for copy in 0..uf {
+                for s in 0..loads_per_copy {
+                    u_streams.push(
+                        streams[s]
+                            .iter()
+                            .skip(copy)
+                            .step_by(uf)
+                            .copied()
+                            .collect(),
+                    );
+                }
+            }
+            // unroller emits copy-major loads: copy0's loads first
+            let u_refs: Vec<&[f32]> = u_streams.iter().map(|s| s.as_slice()).collect();
+            let got = interpret(&unrolled, n / uf, &u_refs, &params).expect("unrolled");
+            // outputs likewise come out per copy: interleave back
+            for (o, base_out) in base.outputs.iter().enumerate() {
+                let stores_per_copy = base.outputs.len();
+                for (i, &x) in base_out.iter().enumerate() {
+                    let copy = i % uf;
+                    let slot = copy * stores_per_copy + o;
+                    let y = got.outputs[slot][i / uf];
+                    assert!(
+                        (x - y).abs() <= 1e-5 * (1.0 + x.abs()),
+                        "{} out {o} elem {i}: {x} vs {y}",
+                        l.label
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Unrolled reductions produce the same statistics (up to float
+/// reassociation): checked on the softmax sum and the norm Σx².
+#[test]
+fn unroll_preserves_reductions() {
+    let n = 64;
+    let k = kernel_library(4);
+    for (name, li) in [("softmax", 1usize), ("rmsnorm", 0), ("layernorm", 0)] {
+        let kernel = k.iter().find(|kk| kk.name == name).unwrap();
+        let l = &kernel.loops[li];
+        let streams = streams_for(kernel, li, n);
+        let refs: Vec<&[f32]> = streams.iter().map(|s| s.as_slice()).collect();
+        let params = params_for(name, li);
+        let base = interpret(&l.dfg, n, &refs, &params).expect("base");
+
+        let uf = 4usize;
+        let unrolled = unroll(&l.dfg, uf);
+        let mut u_streams: Vec<Vec<f32>> = Vec::new();
+        for copy in 0..uf {
+            for s in &streams {
+                u_streams.push(s.iter().skip(copy).step_by(uf).copied().collect());
+            }
+        }
+        let u_refs: Vec<&[f32]> = u_streams.iter().map(|s| s.as_slice()).collect();
+        let got = interpret(&unrolled, n / uf, &u_refs, &params).expect("unrolled");
+        // compare the non-induction reductions (induction φ differs by design)
+        let base_stats: Vec<f32> = base.reductions[1..].to_vec();
+        let got_stats: Vec<f32> = got.reductions[1..].to_vec();
+        assert_eq!(base_stats.len(), got_stats.len(), "{name}");
+        for (a, b) in base_stats.iter().zip(&got_stats) {
+            assert!(
+                (a - b).abs() <= 1e-3 * (1.0 + a.abs()),
+                "{name}: reduction {a} vs {b}"
+            );
+        }
+    }
+}
+
+/// End-to-end functional agreement: the hardware softmax kernel (three
+/// interpreted loops chained through params) matches the software
+/// implementation in picachu-nonlinear.
+#[test]
+fn hardware_softmax_matches_software() {
+    use picachu_ir::kernels::softmax_kernel;
+    use picachu_nonlinear::kernels::softmax::softmax_fp;
+    use picachu_nonlinear::ApproxConfig;
+
+    let n = 256;
+    let x: Vec<f32> = (0..n).map(|i| ((i as f32) * 0.173).sin() * 7.0).collect();
+    let k = softmax_kernel(8);
+
+    let r1 = interpret(&k.loops[0].dfg, n, &[&x], &[]).expect("loop1");
+    let max = r1.reductions[1];
+    let r2 = interpret(&k.loops[1].dfg, n, &[&x], &[max]).expect("loop2");
+    let sum = r2.reductions[1];
+    let r3 = interpret(&k.loops[2].dfg, n, &[&r2.outputs[0]], &[sum]).expect("loop3");
+
+    let sw = softmax_fp(&x, &ApproxConfig { exp_terms: 8, ..ApproxConfig::default() });
+    for (i, (hw, sw)) in r3.outputs[0].iter().zip(&sw).enumerate() {
+        assert!(
+            (hw - sw).abs() < 1e-5,
+            "elem {i}: hardware {hw} vs software {sw}"
+        );
+    }
+}
