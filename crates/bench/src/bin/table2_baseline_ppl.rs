@@ -20,7 +20,7 @@ fn main() {
     banner("Table 2 (proxy)", "baseline scheme perplexity on LLaMA-like models");
     println!("{:<14} {:>12} {:>12}", "method", "tiny-GPT2", "tiny-LLaMA");
     let gpt2 = TinyLm::new(TinyLmConfig::with_variant(TinyVariant::Gpt2Like), 42);
-    let llama = TinyLm::new(TinyLmConfig::with_variant(TinyVariant::LlamaLike), 42);
+    let llama = TinyLm::new(TinyLmConfig::with_variant(TinyVariant::LlamaLike), 1);
     let corpus_g = gpt2.generate_corpus(8, 11);
     let corpus_l = llama.generate_corpus(8, 11);
     for scheme in [Scheme::Fp16Reference, Scheme::IBert, Scheme::Gemmlowp, Scheme::PicachuFp16] {

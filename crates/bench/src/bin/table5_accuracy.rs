@@ -16,7 +16,7 @@ fn main() {
     println!("{:<14} {:>12} {:>12}", "method", "tiny-GPT2", "tiny-LLaMA");
     let models = [
         ("tiny-GPT2", TinyLm::new(TinyLmConfig::with_variant(TinyVariant::Gpt2Like), 42)),
-        ("tiny-LLaMA", TinyLm::new(TinyLmConfig::with_variant(TinyVariant::LlamaLike), 42)),
+        ("tiny-LLaMA", TinyLm::new(TinyLmConfig::with_variant(TinyVariant::LlamaLike), 1)),
     ];
     let corpora: Vec<_> = models.iter().map(|(_, m)| m.generate_corpus(8, 11)).collect();
     let base: Vec<f64> = models

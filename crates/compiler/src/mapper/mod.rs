@@ -23,9 +23,7 @@
 use crate::arch::CgraSpec;
 use picachu_ir::dfg::{Dfg, NodeId};
 use picachu_ir::opcode::Opcode;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use picachu_testkit::TestRng;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -236,7 +234,7 @@ fn is_phi_class(op: Opcode) -> bool {
     matches!(op, Opcode::Phi | Opcode::FusedPhiAdd | Opcode::FusedPhiAddAdd)
 }
 
-fn try_place(dfg: &Dfg, spec: &CgraSpec, ii: u32, rng: &mut StdRng) -> Option<Vec<Placement>> {
+fn try_place(dfg: &Dfg, spec: &CgraSpec, ii: u32, rng: &mut TestRng) -> Option<Vec<Placement>> {
     let n = dfg.len();
     let levels = priorities(dfg);
     // priority: deferred level asc; within a level, φ nodes go last so the
@@ -306,7 +304,7 @@ fn try_place(dfg: &Dfg, spec: &CgraSpec, ii: u32, rng: &mut StdRng) -> Option<Ve
         let mut tiles: Vec<usize> = (0..spec.len())
             .filter(|&t| spec.tile_supports(t, node.op))
             .collect();
-        tiles.shuffle(rng);
+        rng.shuffle(&mut tiles);
 
         let mut placed_here = false;
         'tile: for &tile in &tiles {
@@ -398,7 +396,7 @@ fn try_place(dfg: &Dfg, spec: &CgraSpec, ii: u32, rng: &mut StdRng) -> Option<Ve
 pub fn map_dfg(dfg: &Dfg, spec: &CgraSpec, seed: u64) -> Result<Mapping, MapError> {
     assert!(!dfg.is_empty(), "cannot map an empty DFG");
     let mii = min_ii(dfg, spec)?;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = TestRng::seed_from_u64(seed);
     for ii in mii..=mii + II_SLACK {
         for _ in 0..ATTEMPTS_PER_II {
             if let Some(placements) = try_place(dfg, spec, ii, &mut rng) {

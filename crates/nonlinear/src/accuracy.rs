@@ -14,8 +14,7 @@ use crate::baselines::{gemmlowp, ibert};
 use crate::kernels::{activation, norm, softmax};
 use crate::ops::ApproxConfig;
 use picachu_num::Fp16;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use picachu_testkit::TestRng;
 use std::fmt;
 
 /// A nonlinear-operation implementation scheme under accuracy evaluation.
@@ -184,13 +183,8 @@ pub enum Distribution {
 impl Distribution {
     /// Samples `n` activations with a fixed seed.
     pub fn sample(self, n: usize, seed: u64) -> Vec<f32> {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let gauss = |rng: &mut StdRng| {
-            // Box–Muller
-            let u1: f64 = rng.gen_range(1e-12..1.0);
-            let u2: f64 = rng.gen_range(0.0..1.0);
-            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
-        };
+        let mut rng = TestRng::seed_from_u64(seed);
+        let gauss = |rng: &mut TestRng| rng.normal();
         match self {
             Distribution::BertLike => (0..n).map(|_| (gauss(&mut rng) * 1.5) as f32).collect(),
             Distribution::AttentionLogits => (0..n)
@@ -262,14 +256,14 @@ impl ZeroShotTask {
     /// argmax. Labels are sampled from the exact-arithmetic pipeline with
     /// temperature noise so the task has an intrinsic error floor.
     pub fn evaluate(&self, scheme: Scheme, seed: u64) -> f64 {
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+        let mut rng = TestRng::seed_from_u64(seed ^ 0x5eed);
         // Frozen scorer weights.
         let w: Vec<f32> = (0..self.dim * self.classes)
             .map(|_| rng.gen_range(-1.0..1.0))
             .collect();
         let mut correct = 0usize;
         for ex in 0..self.examples {
-            let mut ex_rng = StdRng::seed_from_u64(seed.wrapping_mul(31).wrapping_add(ex as u64));
+            let mut ex_rng = TestRng::seed_from_u64(seed.wrapping_mul(31).wrapping_add(ex as u64));
             let x: Vec<f32> = (0..self.dim).map(|_| ex_rng.gen_range(-2.0f32..2.0)).collect();
 
             // Exact pipeline defines the signal label; task-intrinsic label

@@ -135,7 +135,7 @@ pub fn exp_int_q(q: i32, s: f64, frac_bits: u32, terms: usize) -> i32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use picachu_testkit::{prop_assert, prop_check};
 
     #[test]
     fn quad_completing_square_matches_float() {
@@ -237,31 +237,43 @@ mod tests {
         assert_eq!(exp_int_q(-32767, 0.01, 20, 6), 0);
     }
 
-    proptest! {
-        #[test]
-        fn exp_int_monotone(q1 in -30000i32..0, d in 1i32..1000) {
+    #[test]
+    fn exp_int_monotone() {
+        prop_check!(256, 0x17901, |g| {
+            let q1 = g.i32(-30000..0);
+            let d = g.i32(1..1000);
             let q2 = (q1 + d).min(0);
             let s = 15.0 / 32767.0;
             let a = exp_int_q(q1, s, 20, 7);
             let b = exp_int_q(q2, s, 20, 7);
             prop_assert!(a <= b + 1, "exp must be monotone: q1={q1} -> {a}, q2={q2} -> {b}");
-        }
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn exp2_frac_in_range(f_q in 0i32..(1 << 20)) {
+    #[test]
+    fn exp2_frac_in_range() {
+        prop_check!(256, 0x17902, |g| {
+            let f_q = g.i32(0..(1 << 20));
             let v = exp2_frac_q(f_q, 20, 7);
             let one = 1 << 20;
             prop_assert!(v >= one - 1 && v <= 2 * one + 1);
-        }
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn horner_bounded_error(q in -1000i32..1000, bits in 16u32..26) {
+    #[test]
+    fn horner_bounded_error() {
+        prop_check!(256, 0x17903, |g| {
+            let q = g.i32(-1000..1000);
+            let bits = g.u32(16..26);
             let coeffs = [0.25, -0.5, 0.125];
             let s = 1.0 / 1024.0;
             let x = q as f64 * s;
             let reference = 0.25 - 0.5 * x + 0.125 * x * x;
             let got = horner_int(&coeffs, q, s, bits);
             prop_assert!((got - reference).abs() < 1e-3);
-        }
+            Ok(())
+        });
     }
 }

@@ -271,7 +271,7 @@ pub fn sigmoid_approx(x: f32, cfg: &ApproxConfig) -> f32 {
 mod tests {
     use super::*;
     use picachu_num::ErrorStats;
-    use proptest::prelude::*;
+    use picachu_testkit::{prop_assert, prop_check};
 
     fn cfg() -> ApproxConfig {
         ApproxConfig::default()
@@ -383,50 +383,81 @@ mod tests {
         assert!(sf.max_rel > sd.max_rel * 10.0);
     }
 
-    proptest! {
-        #[test]
-        fn exp_always_nonnegative(x in -200.0f32..200.0) {
+    #[test]
+    fn exp_always_nonnegative() {
+        prop_check!(256, 0x0B501, |g| {
+            let x = g.f32(-200.0..200.0);
             prop_assert!(exp_approx(x, &cfg()) >= 0.0);
-        }
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn exp_monotone(a in -40.0f32..40.0, d in 0.01f32..10.0) {
+    #[test]
+    fn exp_monotone() {
+        prop_check!(256, 0x0B502, |g| {
+            let a = g.f32(-40.0..40.0);
+            let d = g.f32(0.01..10.0);
             prop_assert!(exp_approx(a + d, &cfg()) >= exp_approx(a, &cfg()));
-        }
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn ln_exp_inverse(x in -20.0f32..20.0) {
+    #[test]
+    fn ln_exp_inverse() {
+        prop_check!(256, 0x0B503, |g| {
+            let x = g.f32(-20.0..20.0);
             let y = ln_approx(exp_approx(x, &cfg()), &cfg());
             prop_assert!((y - x).abs() < 1e-3);
-        }
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn sin_bounded(x in -1000.0f32..1000.0) {
+    #[test]
+    fn sin_bounded() {
+        prop_check!(256, 0x0B504, |g| {
+            let x = g.f32(-1000.0..1000.0);
             let s = sin_approx(x, &cfg());
             prop_assert!((-1.0001..=1.0001).contains(&s));
-        }
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn pythagorean_identity(x in -50.0f32..50.0) {
+    #[test]
+    fn pythagorean_identity() {
+        prop_check!(256, 0x0B505, |g| {
+            let x = g.f32(-50.0..50.0);
             let s = sin_approx(x, &cfg());
             let c = cos_approx(x, &cfg());
             prop_assert!((s * s + c * c - 1.0).abs() < 1e-4);
-        }
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn sigmoid_in_unit_interval(x in -100.0f32..100.0) {
+    #[test]
+    fn sigmoid_in_unit_interval() {
+        prop_check!(256, 0x0B506, |g| {
+            let x = g.f32(-100.0..100.0);
             let y = sigmoid_approx(x, &cfg());
             prop_assert!((0.0..=1.0).contains(&y));
-        }
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn tanh_odd(x in -8.0f32..8.0) {
+    #[test]
+    fn tanh_odd() {
+        prop_check!(256, 0x0B507, |g| {
+            let x = g.f32(-8.0..8.0);
             prop_assert!((tanh_approx(x, &cfg()) + tanh_approx(-x, &cfg())).abs() < 1e-5);
-        }
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn invsqrt_positive(x in 1e-6f32..1e6) {
+    #[test]
+    fn invsqrt_positive() {
+        prop_check!(256, 0x0B508, |g| {
+            let x = g.f32(1e-6..1e6);
             prop_assert!(invsqrt_approx(x, &cfg()) > 0.0);
-        }
+            Ok(())
+        });
     }
 }

@@ -1,0 +1,205 @@
+//! Golden-value regression tests for the nonlinear kernels.
+//!
+//! The accuracy suite (`accuracy.rs`, Tables 2/5/6) samples random inputs and
+//! asserts *statistical* error bounds, so it is insensitive to small kernel
+//! changes as long as the aggregate stays under threshold. These tests pin the
+//! exact outputs of each kernel on one fixed input vector instead — any change
+//! to an approximation constant, LUT layout, rounding mode or requantization
+//! step shows up as a diff here even if Table 5's aggregate metric still
+//! passes. The values were produced by the kernels themselves at the revision
+//! that introduced this file and are compared bit-for-bit-ish (1e-7 absolute),
+//! independent of any PRNG.
+
+use picachu_nonlinear::kernels::{activation, norm, softmax};
+use picachu_nonlinear::ApproxConfig;
+
+/// Fixed probe vector: spans both GELU tails, softmax dynamic range, and a
+/// zero (exercises rmsnorm's zero-preservation and exp(0)).
+const X: [f32; 8] = [-4.0, -2.5, -1.0, -0.25, 0.0, 0.5, 1.75, 3.0];
+
+fn assert_pinned(name: &str, got: &[f32], want: &[f32]) {
+    assert_eq!(got.len(), want.len(), "{name}: length");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert!(
+            (g - w).abs() <= 1e-7,
+            "{name}[{i}] drifted: got {g:?}, pinned {w:?}"
+        );
+    }
+}
+
+#[test]
+fn golden_softmax_fp32() {
+    let got = softmax::softmax_fp(&X, &ApproxConfig::default());
+    assert_pinned(
+        "softmax_fp",
+        &got,
+        &[
+            0.00061594247,
+            0.0027604643,
+            0.012371542,
+            0.026190553,
+            0.03362934,
+            0.055445403,
+            0.19352347,
+            0.67546326,
+        ],
+    );
+}
+
+#[test]
+fn golden_softmax_int16() {
+    let got = softmax::softmax_int(&X, 16, &ApproxConfig::default());
+    assert_pinned(
+        "softmax_int16",
+        &got,
+        &[
+            0.00061035156,
+            0.002746582,
+            0.012359619,
+            0.026184082,
+            0.033599854,
+            0.055419922,
+            0.19351196,
+            0.67544556,
+        ],
+    );
+}
+
+#[test]
+fn golden_softmax_int8() {
+    let got = softmax::softmax_int(&X, 8, &ApproxConfig::default());
+    assert_pinned(
+        "softmax_int8",
+        &got,
+        &[
+            0.00061035156,
+            0.0027770996,
+            0.012298584,
+            0.026184082,
+            0.033691406,
+            0.055786133,
+            0.19668579,
+            0.6718445,
+        ],
+    );
+}
+
+#[test]
+fn golden_layernorm() {
+    let cfg = ApproxConfig::default();
+    assert_pinned(
+        "layernorm_fp",
+        &norm::layernorm_fp(&X, &cfg),
+        &[
+            -1.7669086,
+            -1.0481662,
+            -0.32942367,
+            0.029947605,
+            0.14973803,
+            0.38931885,
+            0.98827094,
+            1.587223,
+        ],
+    );
+    assert_pinned(
+        "layernorm_int16",
+        &norm::layernorm_int(&X, 16, &cfg),
+        &[
+            -1.7668996,
+            -1.0481277,
+            -0.32935575,
+            0.030030213,
+            0.14966278,
+            0.3894162,
+            0.9883114,
+            1.5872066,
+        ],
+    );
+}
+
+#[test]
+fn golden_rmsnorm() {
+    let cfg = ApproxConfig::default();
+    assert_pinned(
+        "rmsnorm_fp",
+        &norm::rmsnorm_fp(&X, &cfg),
+        &[
+            -1.8955142,
+            -1.1846964,
+            -0.47387856,
+            -0.11846964,
+            0.0,
+            0.23693928,
+            0.82928747,
+            1.4216356,
+        ],
+    );
+    assert_pinned(
+        "rmsnorm_int16",
+        &norm::rmsnorm_int(&X, 16, &cfg),
+        &[
+            -1.8955656,
+            -1.1846064,
+            -0.4738914,
+            -0.11841182,
+            0.0,
+            0.23706779,
+            0.82937104,
+            1.4216743,
+        ],
+    );
+}
+
+#[test]
+fn golden_gelu() {
+    let cfg = ApproxConfig::default();
+    let fp: Vec<f32> = X.iter().map(|&v| activation::gelu_fp(v, &cfg)).collect();
+    assert_pinned(
+        "gelu_fp",
+        &fp,
+        &[
+            -7.021427e-5,
+            -0.015084296,
+            -0.158808,
+            -0.100324646,
+            0.0,
+            0.345714,
+            1.6797954,
+            2.9963627,
+        ],
+    );
+    assert_pinned(
+        "gelu_int16",
+        &activation::gelu_int(&X, 16, 512),
+        &[
+            -0.00012207404,
+            -0.014648885,
+            -0.15442365,
+            -0.0987579,
+            0.0,
+            0.3431501,
+            1.6780298,
+            2.9958189,
+        ],
+    );
+}
+
+#[test]
+fn golden_silu() {
+    let cfg = ApproxConfig::default();
+    let fp: Vec<f32> = X.iter().map(|&v| activation::silu_fp(v, &cfg)).collect();
+    assert_pinned(
+        "silu_fp",
+        &fp,
+        &[
+            -0.071944855,
+            -0.18964545,
+            -0.26894143,
+            -0.109455876,
+            0.0,
+            0.31122968,
+            1.4909173,
+            2.8577223,
+        ],
+    );
+}

@@ -162,7 +162,7 @@ fn saturate_i64(v: i64) -> i32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use picachu_testkit::{prop_assert, prop_assert_eq, prop_check};
 
     #[test]
     fn round_trip_basics() {
@@ -215,17 +215,24 @@ mod tests {
         assert_eq!(round_shift_right(7, 0), 7);
     }
 
-    proptest! {
-        #[test]
-        fn quantization_error_bounded(x in -100.0f64..100.0, bits in 8u32..24) {
+    #[test]
+    fn quantization_error_bounded() {
+        prop_check!(256, 0xF1D01, |g| {
+            let x = g.f64(-100.0..100.0);
+            let bits = g.u32(8..24);
             // keep x * 2^bits within i32 so saturation doesn't kick in
             let q = Fixed32::from_f64(x, bits);
             let step = 1.0 / (1i64 << bits) as f64;
             prop_assert!((q.to_f64() - x).abs() <= step / 2.0 + 1e-15);
-        }
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn mul_matches_float(a in -100.0f64..100.0, b in -100.0f64..100.0) {
+    #[test]
+    fn mul_matches_float() {
+        prop_check!(256, 0xF1D02, |g| {
+            let a = g.f64(-100.0..100.0);
+            let b = g.f64(-100.0..100.0);
             let fa = Fixed32::from_f64(a, 16);
             let fb = Fixed32::from_f64(b, 16);
             if (a * b).abs() < 30000.0 {
@@ -233,13 +240,19 @@ mod tests {
                 // error from two quantizations + product rounding
                 prop_assert!(err < (a.abs() + b.abs() + 1.0) * 2.0 / 65536.0);
             }
-        }
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn rescale_round_trip_widening(raw in -100000i32..100000, bits in 4u32..16) {
+    #[test]
+    fn rescale_round_trip_widening() {
+        prop_check!(256, 0xF1D03, |g| {
+            let raw = g.i32(-100000..100000);
+            let bits = g.u32(4..16);
             let x = Fixed32::from_raw(raw, bits);
             // widening then narrowing returns the original value exactly
             prop_assert_eq!(x.rescale(bits + 8).rescale(bits).raw(), raw);
-        }
+            Ok(())
+        });
     }
 }

@@ -110,7 +110,7 @@ impl Fp2Fx {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use picachu_testkit::{prop_assert, prop_assert_eq, prop_check};
 
     #[test]
     fn int_frac_positive() {
@@ -175,25 +175,35 @@ mod tests {
         assert_eq!(Fp2Fx::pow2_int(-127), 2.0f32.powi(-127));
     }
 
-    proptest! {
-        #[test]
-        fn split_int_frac_invariants(x in -1e6f32..1e6) {
+    #[test]
+    fn split_int_frac_invariants() {
+        prop_check!(256, 0xF2F01, |g| {
+            let x = g.f32(-1e6..1e6);
             let p = Fp2Fx::split_int_frac(x);
             prop_assert!((0.0..1.0).contains(&p.frac_part));
             prop_assert!((p.int_part as f32 + p.frac_part - x).abs() <= x.abs() * 1e-6 + 1e-6);
-        }
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn split_combine_round_trip(x in 1e-30f32..1e30) {
+    #[test]
+    fn split_combine_round_trip() {
+        prop_check!(256, 0xF2F02, |g| {
+            let x = g.f32(1e-30..1e30);
             let p = Fp2Fx::split_exp_mantissa(x);
             prop_assert!((0.0..1.0).contains(&p.frac_part));
             let back = Fp2Fx::combine_exp_mantissa(p);
             prop_assert!((back - x).abs() <= x * 1e-6);
-        }
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn pow2_matches_std(i in -126i32..127) {
+    #[test]
+    fn pow2_matches_std() {
+        prop_check!(256, 0xF2F03, |g| {
+            let i = g.i32(-126..127);
             prop_assert_eq!(Fp2Fx::pow2_int(i), 2.0f32.powi(i));
-        }
+            Ok(())
+        });
     }
 }

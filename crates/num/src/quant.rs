@@ -180,7 +180,7 @@ impl fmt::Display for DyadicScale {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use picachu_testkit::{prop_assert, prop_check};
 
     #[test]
     fn quantize_round_trip() {
@@ -239,9 +239,11 @@ mod tests {
         assert!(d.multiplier >= (1 << 30), "multiplier {} not normalized", d.multiplier);
     }
 
-    proptest! {
-        #[test]
-        fn quantization_error_bound(data in proptest::collection::vec(-50.0f32..50.0, 1..100), bits in 8u32..17) {
+    #[test]
+    fn quantization_error_bound() {
+        prop_check!(256, 0x90A01, |g| {
+            let data: Vec<f32> = g.vec(-50.0f32..50.0, 1..100);
+            let bits = g.u32(8..17);
             let q = Quantized::quantize(&data, bits);
             let back = q.dequantize();
             let half_step = (q.params.scale / 2.0) as f32;
@@ -250,21 +252,31 @@ mod tests {
                 let slack = half_step + a.abs() * 4.0 * f32::EPSILON + 1e-6;
                 prop_assert!((a - b).abs() <= slack);
             }
-        }
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn dyadic_relative_error(scale in 1e-8f64..1e8) {
+    #[test]
+    fn dyadic_relative_error() {
+        prop_check!(256, 0x90A02, |g| {
+            let scale = g.f64(1e-8..1e8);
             let d = DyadicScale::from_real(scale);
             prop_assert!((d.to_real() - scale).abs() / scale < 1e-8);
-        }
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn dyadic_apply_error_bounded(scale in 1e-4f64..10.0, x in -1_000_000i32..1_000_000) {
+    #[test]
+    fn dyadic_apply_error_bounded() {
+        prop_check!(256, 0x90A03, |g| {
+            let scale = g.f64(1e-4..10.0);
+            let x = g.i32(-1_000_000..1_000_000);
             let d = DyadicScale::from_real(scale);
             let expect = x as f64 * scale;
             if expect.abs() < 2e9 {
                 prop_assert!((d.apply(x) as f64 - expect).abs() <= expect.abs() * 1e-6 + 1.0);
             }
-        }
+            Ok(())
+        });
     }
 }

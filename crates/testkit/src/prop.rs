@@ -1,0 +1,522 @@
+//! Minimal deterministic property-testing harness (the in-tree `proptest`
+//! replacement).
+//!
+//! A property is a closure `|g: &mut Gen| -> PropResult` that draws inputs
+//! from `g` and checks a predicate with [`prop_assert!`] /
+//! [`prop_assert_eq!`] (and may skip uninteresting inputs with
+//! [`prop_assume!`]). The [`prop_check!`] macro runs it for a fixed number of
+//! cases from a fixed base seed, so a suite run is bit-for-bit reproducible.
+//!
+//! On failure the harness:
+//! 1. greedily **shrinks** the recorded draws (toward zero / range minimum /
+//!    halving) while the property keeps failing, and
+//! 2. panics with the **failing case seed** — replaying that seed through
+//!    [`replay`] re-executes the identical un-shrunk case, which is what the
+//!    regression test in `tests/mapper_fuzz.rs` relies on.
+//!
+//! Draws are recorded as a flat value stream. During shrinking the property
+//! is re-run with the same case seed while selected stream positions are
+//! overridden (each override is clamped into the range requested at that
+//! draw site), so structured inputs — a `vec` is one length draw plus element
+//! draws — shrink without any per-type shrinker machinery.
+
+use crate::rng::{splitmix64, SampleRange, SampleUniform, TestRng};
+
+/// Why a single property case did not pass.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PropError {
+    /// An assertion failed; the payload is the formatted message.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; the case is discarded, not failed.
+    Discard,
+}
+
+/// Result of one property-case execution.
+pub type PropResult = Result<(), PropError>;
+
+/// A failing property run, as returned by [`check_result`].
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Index of the failing case (0-based).
+    pub case: usize,
+    /// Seed that reproduces the failing case via [`replay`].
+    pub case_seed: u64,
+    /// Assertion message from the original (un-shrunk) failure.
+    pub message: String,
+    /// Assertion message after shrinking (may differ from `message` when a
+    /// simpler input trips an earlier assertion).
+    pub shrunk_message: String,
+    /// The shrunk draw stream, rendered for the panic message.
+    pub shrunk_values: Vec<String>,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "property failed at case {} (replay seed {:#x}): {}\n  shrunk: [{}]\n  shrunk failure: {}",
+            self.case,
+            self.case_seed,
+            self.message,
+            self.shrunk_values.join(", "),
+            self.shrunk_message
+        )
+    }
+}
+
+/// One recorded draw: the value (widened to `f64`, exact for every type we
+/// sample) plus the bounds it must stay inside when overridden.
+#[derive(Debug, Clone, Copy)]
+struct Draw {
+    value: f64,
+    lo: f64,
+    hi: f64,
+    inclusive: bool,
+    is_int: bool,
+}
+
+/// Input source handed to a property closure.
+///
+/// Every `draw` both samples the underlying [`TestRng`] (keeping the stream
+/// aligned across replays) and records the produced value so the harness can
+/// shrink it.
+pub struct Gen {
+    rng: TestRng,
+    draws: Vec<Draw>,
+    overrides: Vec<Option<f64>>,
+    cursor: usize,
+}
+
+impl Gen {
+    /// A generator for one case seed with no overrides (normal execution).
+    pub fn from_seed(seed: u64) -> Gen {
+        Gen {
+            rng: TestRng::seed_from_u64(seed),
+            draws: Vec::new(),
+            overrides: Vec::new(),
+            cursor: 0,
+        }
+    }
+
+    fn with_overrides(seed: u64, overrides: Vec<Option<f64>>) -> Gen {
+        Gen { overrides, ..Gen::from_seed(seed) }
+    }
+
+    /// Draws one value uniformly from `range` (`lo..hi` or `lo..=hi`).
+    pub fn draw<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform + PropScalar,
+        R: SampleRange<T> + Clone,
+    {
+        let (lo, hi, inclusive) = range.bounds();
+        // Always consume the rng so later draw sites see the same underlying
+        // stream whether or not this site is overridden.
+        let sampled = self.rng.gen_range(range);
+        let idx = self.cursor;
+        self.cursor += 1;
+        let value = match self.overrides.get(idx).copied().flatten() {
+            Some(forced) => T::clamp_from_f64(forced, lo, hi, inclusive),
+            None => sampled,
+        };
+        self.draws.push(Draw {
+            value: value.to_f64(),
+            lo: lo.to_f64(),
+            hi: hi.to_f64(),
+            inclusive,
+            is_int: T::IS_INT,
+        });
+        value
+    }
+
+    /// Draws a `Vec` whose length comes from `len` and whose elements come
+    /// from `elem`. The length is itself a recorded draw, so shrinking
+    /// naturally tries shorter vectors first.
+    pub fn vec<T, R>(&mut self, elem: R, len: std::ops::Range<usize>) -> Vec<T>
+    where
+        T: SampleUniform + PropScalar,
+        R: SampleRange<T> + Clone,
+    {
+        let n: usize = self.draw(len);
+        (0..n).map(|_| self.draw(elem.clone())).collect()
+    }
+
+    /// Convenience typed draws (keep ported property bodies readable).
+    pub fn f32(&mut self, range: std::ops::Range<f32>) -> f32 {
+        self.draw(range)
+    }
+    /// Draws an `f64` from a half-open range.
+    pub fn f64(&mut self, range: std::ops::Range<f64>) -> f64 {
+        self.draw(range)
+    }
+    /// Draws an `i32` from a half-open range.
+    pub fn i32(&mut self, range: std::ops::Range<i32>) -> i32 {
+        self.draw(range)
+    }
+    /// Draws a `u32` from a half-open range.
+    pub fn u32(&mut self, range: std::ops::Range<u32>) -> u32 {
+        self.draw(range)
+    }
+    /// Draws a `usize` from a half-open range.
+    pub fn usize(&mut self, range: std::ops::Range<usize>) -> usize {
+        self.draw(range)
+    }
+}
+
+/// Scalar types the harness can record and shrink. Implemented for the
+/// primitive ints and floats; all values round-trip exactly through `f64`
+/// for the ranges used in tests.
+pub trait PropScalar: Copy {
+    /// Whether the type shrinks on the integer lattice.
+    const IS_INT: bool;
+    /// Widen to the recorded representation.
+    fn to_f64(self) -> f64;
+    /// Narrow an override back, clamped into the draw site's range.
+    fn clamp_from_f64(v: f64, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! impl_prop_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl PropScalar for $t {
+            const IS_INT: bool = true;
+            fn to_f64(self) -> f64 { self as f64 }
+            fn clamp_from_f64(v: f64, lo: Self, hi: Self, inclusive: bool) -> Self {
+                let top = if inclusive { hi as f64 } else { hi as f64 - 1.0 };
+                let c = v.round().clamp(lo as f64, top);
+                c as $t
+            }
+        }
+    )*};
+}
+impl_prop_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_prop_float {
+    ($($t:ty),* $(,)?) => {$(
+        impl PropScalar for $t {
+            const IS_INT: bool = false;
+            fn to_f64(self) -> f64 { self as f64 }
+            fn clamp_from_f64(v: f64, lo: Self, hi: Self, inclusive: bool) -> Self {
+                let mut c = (v as $t).clamp(lo, hi);
+                if !inclusive && c >= hi {
+                    // stay inside the half-open range
+                    c = if lo < hi { <$t>::from_bits(hi.to_bits().wrapping_sub(1)).max(lo) } else { lo };
+                }
+                c
+            }
+        }
+    )*};
+}
+impl_prop_float!(f32, f64);
+
+/// Runs `cases` property cases from `base_seed`, returning the first failure
+/// (after shrinking) or `Ok(())`. Discarded cases (`prop_assume!`) are
+/// retried with fresh seeds, up to `10 × cases` total attempts.
+pub fn check_result<F>(cases: usize, base_seed: u64, mut prop: F) -> Result<(), Failure>
+where
+    F: FnMut(&mut Gen) -> PropResult,
+{
+    let mut executed = 0usize;
+    let mut attempt = 0usize;
+    let max_attempts = cases.saturating_mul(10).max(cases + 16);
+    while executed < cases && attempt < max_attempts {
+        let case_seed = splitmix64(base_seed ^ (attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        attempt += 1;
+        let mut g = Gen::from_seed(case_seed);
+        match prop(&mut g) {
+            Ok(()) => executed += 1,
+            Err(PropError::Discard) => {}
+            Err(PropError::Fail(message)) => {
+                let (shrunk_message, shrunk) = shrink(case_seed, g.draws, &mut prop);
+                return Err(Failure {
+                    case: executed,
+                    case_seed,
+                    message,
+                    shrunk_message,
+                    shrunk_values: shrunk
+                        .iter()
+                        .map(|d| {
+                            if d.is_int {
+                                format!("{}", d.value as i64)
+                            } else {
+                                format!("{}", d.value)
+                            }
+                        })
+                        .collect(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs `cases` cases and panics with a reproducible report on failure.
+/// Prefer the [`prop_check!`] macro, which forwards here.
+pub fn check<F>(cases: usize, base_seed: u64, prop: F)
+where
+    F: FnMut(&mut Gen) -> PropResult,
+{
+    if let Err(failure) = check_result(cases, base_seed, prop) {
+        panic!("{failure}");
+    }
+}
+
+/// Re-executes exactly one case from its reported seed (no shrinking).
+/// A seed printed by a [`prop_check!`] failure reproduces the same draws and
+/// therefore the same failure.
+pub fn replay<F>(case_seed: u64, mut prop: F) -> PropResult
+where
+    F: FnMut(&mut Gen) -> PropResult,
+{
+    prop(&mut Gen::from_seed(case_seed))
+}
+
+/// Greedy shrink: repeatedly try simpler values for each recorded draw,
+/// keeping any override under which the property still fails. Bounded by a
+/// fixed re-execution budget so pathological properties terminate.
+fn shrink<F>(case_seed: u64, original: Vec<Draw>, prop: &mut F) -> (String, Vec<Draw>)
+where
+    F: FnMut(&mut Gen) -> PropResult,
+{
+    const BUDGET: usize = 400;
+    let mut best: Vec<Option<f64>> = vec![None; original.len()];
+    let mut best_draws = original.clone();
+    let mut best_message = String::new();
+    let mut runs = 0usize;
+
+    // Re-run with a candidate override set; Some(msg) if it still fails.
+    let mut still_fails = |overrides: &[Option<f64>], runs: &mut usize| -> Option<(String, Vec<Draw>)> {
+        *runs += 1;
+        let mut g = Gen::with_overrides(case_seed, overrides.to_vec());
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| prop(&mut g))) {
+            Ok(Err(PropError::Fail(m))) => Some((m, g.draws)),
+            // A panic inside the property body under a shrunk input still
+            // demonstrates failure; keep the shrink.
+            Err(payload) => {
+                let m = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "panic during shrinking".to_string());
+                Some((m, Vec::new()))
+            }
+            _ => None,
+        }
+    };
+
+    let mut improved = true;
+    while improved && runs < BUDGET {
+        improved = false;
+        for i in 0..original.len() {
+            let current = best[i].unwrap_or(original[i].value);
+            for candidate in shrink_candidates(&original[i], current) {
+                if candidate == current || runs >= BUDGET {
+                    continue;
+                }
+                let mut trial = best.clone();
+                trial[i] = Some(candidate);
+                if let Some((msg, draws)) = still_fails(&trial, &mut runs) {
+                    best = trial;
+                    best_message = msg;
+                    if !draws.is_empty() {
+                        best_draws = draws;
+                    }
+                    improved = true;
+                    break; // take the simplest winning candidate for this draw
+                }
+            }
+        }
+    }
+
+    if best_message.is_empty() {
+        // nothing shrank; re-derive the message from the original values
+        best_message = "(original failure — no shrink found)".to_string();
+    }
+    (best_message, best_draws)
+}
+
+/// Simpler-first candidate values for one draw: zero (clamped into range),
+/// the range minimum, then successive halvings toward zero.
+fn shrink_candidates(d: &Draw, current: f64) -> Vec<f64> {
+    let mut c = Vec::with_capacity(6);
+    let top = if d.inclusive || !d.is_int { d.hi } else { d.hi - 1.0 };
+    let clamp = |v: f64| v.clamp(d.lo, top);
+    c.push(clamp(0.0));
+    c.push(d.lo);
+    let mut v = current;
+    for _ in 0..3 {
+        v = if d.is_int { (v / 2.0).trunc() } else { v / 2.0 };
+        c.push(clamp(v));
+    }
+    if d.is_int && current > d.lo {
+        c.push(clamp(current - 1.0));
+    }
+    c.dedup();
+    c
+}
+
+/// Asserts a condition inside a property closure; on failure returns
+/// `Err(PropError::Fail(..))` with the formatted message and source location.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::prop::PropError::Fail(format!(
+                "[{}:{}] {}",
+                file!(),
+                line!(),
+                format!($($fmt)*)
+            )));
+        }
+    };
+}
+
+/// Asserts equality inside a property closure (see [`prop_assert!`]).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a == b,
+            "assertion failed: {} == {} (left: {:?}, right: {:?})",
+            stringify!($a),
+            stringify!($b),
+            a,
+            b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, $($fmt)*);
+    }};
+}
+
+/// Discards the current case when its inputs are uninteresting; the harness
+/// draws a fresh case instead of counting a failure.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::prop::PropError::Discard);
+        }
+    };
+}
+
+/// Runs a property for `cases` cases from `seed`, panicking with a
+/// reproducible, shrunk report on failure:
+///
+/// ```
+/// use picachu_testkit::{prop_check, prop_assert};
+/// prop_check!(64, 0xBEEF, |g| {
+///     let x = g.f32(-100.0..100.0);
+///     prop_assert!(x.abs() <= 100.0);
+///     Ok(())
+/// });
+/// ```
+#[macro_export]
+macro_rules! prop_check {
+    ($cases:expr, $seed:expr, $prop:expr) => {
+        $crate::prop::check($cases, $seed, $prop)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_passes() {
+        check(128, 1, |g| {
+            let x = g.f64(0.0..10.0);
+            prop_assert!(x >= 0.0 && x < 10.0);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn failure_reports_replayable_seed() {
+        let failure = check_result(256, 7, |g| {
+            let x = g.i32(0..1000);
+            prop_assert!(x < 900, "x = {x} too big");
+            Ok(())
+        })
+        .expect_err("property must fail within 256 cases");
+        // replaying the reported seed reproduces the same failure
+        let replayed = replay(failure.case_seed, |g| {
+            let x = g.i32(0..1000);
+            prop_assert!(x < 900, "x = {x} too big");
+            Ok(())
+        });
+        match replayed {
+            Err(PropError::Fail(msg)) => assert!(msg.contains("too big"), "{msg}"),
+            other => panic!("replay did not reproduce the failure: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shrinker_converges_to_boundary() {
+        // fails iff x >= 100: the shrinker should walk x down to the
+        // smallest failing value region (well below the typical sample).
+        let failure = check_result(200, 42, |g| {
+            let x = g.i32(0..1_000_000);
+            prop_assert!(x < 100, "x = {x}");
+            Ok(())
+        })
+        .expect_err("must fail");
+        let shrunk: i64 = failure.shrunk_values[0].parse().unwrap();
+        assert!(
+            (100..2000).contains(&shrunk),
+            "greedy shrink should land near the boundary, got {shrunk} ({failure})"
+        );
+    }
+
+    #[test]
+    fn shrinker_shortens_vectors() {
+        let failure = check_result(100, 3, |g| {
+            let v: Vec<f32> = g.vec(-10.0f32..10.0, 5..50);
+            prop_assert!(v.len() < 5, "vec of len {}", v.len());
+            Ok(())
+        })
+        .expect_err("must fail");
+        // first draw is the length; greedy shrinking clamps it to the minimum
+        let len: i64 = failure.shrunk_values[0].parse().unwrap();
+        assert_eq!(len, 5, "length should shrink to the range minimum");
+    }
+
+    #[test]
+    fn assume_discards_but_completes() {
+        let mut ran = 0;
+        check(64, 9, |g| {
+            let x = g.i32(0..100);
+            prop_assume!(x % 2 == 0);
+            ran += 1;
+            prop_assert!(x % 2 == 0);
+            Ok(())
+        });
+        assert!(ran >= 32, "enough even cases should run, got {ran}");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let collect = || {
+            let mut vals = Vec::new();
+            check(16, 1234, |g| {
+                vals.push(g.f64(0.0..1.0));
+                Ok(())
+            });
+            vals
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    fn overridden_draws_stay_in_range() {
+        // force absurd overrides; clamping must keep draws in range
+        let mut g = Gen::with_overrides(5, vec![Some(1e18), Some(-1e18)]);
+        let a: i32 = g.draw(0..10);
+        let b: f32 = g.draw(-2.0f32..2.0);
+        assert!((0..10).contains(&a));
+        assert!((-2.0..2.0).contains(&b));
+    }
+}

@@ -1,0 +1,344 @@
+//! Deterministic, dependency-free pseudo-random number generation.
+//!
+//! The workspace must build and test fully offline, so this module replaces
+//! the `rand` crate everywhere a seeded stream is needed (the simulated-
+//! annealing mapper, the tiny-LM weight initialisation, the activation
+//! distribution samplers, the fuzz tests). The generator is Xoshiro256++
+//! seeded through SplitMix64 — the standard construction recommended by the
+//! Xoshiro authors: SplitMix64 decorrelates arbitrary user seeds (including
+//! 0, 1, 2, ...) before they become generator state.
+//!
+//! Everything here is deterministic across platforms and Rust versions: the
+//! same seed always yields the same stream, which the replay machinery in
+//! [`crate::prop`] and the mapper's seeded restarts both rely on.
+
+use std::ops::{Range, RangeInclusive};
+
+/// SplitMix64: a tiny 64-bit PRNG used for seed expansion.
+///
+/// Passes BigCrush on its own; here it only stretches one `u64` seed into
+/// the 256-bit Xoshiro state (and derives per-case seeds in the property
+/// harness).
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates the stream for `seed`.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// One step of SplitMix64 as a pure function: mixes `x` into a
+/// well-distributed 64-bit value. Used to derive independent sub-seeds
+/// (e.g. per-case seeds in `prop_check!`) without constructing a generator.
+pub fn splitmix64(x: u64) -> u64 {
+    SplitMix64::new(x).next_u64()
+}
+
+/// Xoshiro256++ — the workspace's deterministic test RNG.
+///
+/// 256 bits of state, period 2^256 − 1, passes all known statistical test
+/// batteries. Construct with [`TestRng::seed_from_u64`]; identical seeds give
+/// identical streams forever.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Builds a generator whose 256-bit state is expanded from `seed` via
+    /// SplitMix64 (the construction the Xoshiro authors recommend).
+    pub fn seed_from_u64(seed: u64) -> TestRng {
+        let mut sm = SplitMix64::new(seed);
+        TestRng {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    /// Next raw 64-bit output (the Xoshiro256++ scrambler).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f32` in `[0, 1)` with 24 bits of precision.
+    pub fn next_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+
+    /// Uniform sample from `range` (half-open `lo..hi` or inclusive
+    /// `lo..=hi`), for all primitive integer and float types.
+    ///
+    /// # Panics
+    /// Panics on an empty range.
+    pub fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= p <= 1.0`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p={p} out of [0,1]");
+        self.next_f64() < p
+    }
+
+    /// In-place Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.bounded_u64((i + 1) as u64) as usize;
+            slice.swap(i, j);
+        }
+    }
+
+    /// Standard-normal sample (mean 0, variance 1) via Box–Muller.
+    pub fn normal(&mut self) -> f64 {
+        // u1 in (0, 1]: avoids ln(0).
+        let u1 = 1.0 - self.next_f64();
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Uniform integer in `[0, bound)` using the widening-multiply method
+    /// (bias below 2^-64 for every bound we use — negligible for tests).
+    fn bounded_u64(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// Types that can be sampled uniformly from a range by [`TestRng`].
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Samples uniformly from `[lo, hi)` (`inclusive = false`) or `[lo, hi]`
+    /// (`inclusive = true`).
+    fn sample_between(rng: &mut TestRng, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_between(rng: &mut TestRng, lo: Self, hi: Self, inclusive: bool) -> Self {
+                if inclusive {
+                    assert!(lo <= hi, "empty range {lo}..={hi}");
+                } else {
+                    assert!(lo < hi, "empty range {lo}..{hi}");
+                }
+                // Width as an unsigned 64-bit span; `inclusive` widens by 1
+                // (a full-domain inclusive range wraps to 0 = "all 2^64").
+                let span = (hi as $wide as u64)
+                    .wrapping_sub(lo as $wide as u64)
+                    .wrapping_add(inclusive as u64);
+                let off = if span == 0 { rng.next_u64() } else { rng.bounded_u64(span) };
+                ((lo as $wide as u64).wrapping_add(off)) as $wide as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+);
+
+macro_rules! impl_sample_float {
+    ($($t:ty, $unit:ident);* $(;)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_between(rng: &mut TestRng, lo: Self, hi: Self, _inclusive: bool) -> Self {
+                assert!(lo < hi, "empty range {lo}..{hi}");
+                assert!(lo.is_finite() && hi.is_finite(), "non-finite range bounds");
+                let v = lo + (hi - lo) * rng.$unit();
+                // guard against FP rounding pushing us onto hi
+                if v >= hi { lo } else { v }
+            }
+        }
+    )*};
+}
+
+impl_sample_float!(f32, next_f32; f64, next_f64);
+
+/// Range forms accepted by [`TestRng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one sample.
+    fn sample(self, rng: &mut TestRng) -> T;
+    /// The range bounds as `(lo, hi, inclusive)`.
+    fn bounds(&self) -> (T, T, bool);
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample(self, rng: &mut TestRng) -> T {
+        T::sample_between(rng, self.start, self.end, false)
+    }
+    fn bounds(&self) -> (T, T, bool) {
+        (self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample(self, rng: &mut TestRng) -> T {
+        T::sample_between(rng, *self.start(), *self.end(), true)
+    }
+    fn bounds(&self) -> (T, T, bool) {
+        (*self.start(), *self.end(), true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = TestRng::seed_from_u64(42);
+        let mut b = TestRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = TestRng::seed_from_u64(1);
+        let mut b = TestRng::seed_from_u64(2);
+        let sa: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let sb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn stream_is_pinned() {
+        // Golden values: any change to the generator alters every seeded
+        // test in the workspace, so the exact stream is pinned here.
+        let mut r = TestRng::seed_from_u64(0);
+        let got: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+        assert_eq!(
+            got,
+            vec![
+                5987356902031041503,
+                7051070477665621255,
+                6633766593972829180,
+                211316841551650330
+            ]
+        );
+    }
+
+    #[test]
+    fn gen_range_int_bounds() {
+        let mut r = TestRng::seed_from_u64(7);
+        for _ in 0..5000 {
+            let v: i32 = r.gen_range(-17..23);
+            assert!((-17..23).contains(&v));
+            let w: usize = r.gen_range(0..1usize.max(3));
+            assert!(w < 3);
+            let x: u16 = r.gen_range(0..=u16::MAX);
+            let _ = x; // full domain: any value is valid
+            let y: i64 = r.gen_range(5..=5);
+            assert_eq!(y, 5);
+        }
+    }
+
+    #[test]
+    fn gen_range_int_covers_endpoints() {
+        let mut r = TestRng::seed_from_u64(3);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[r.gen_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all of 0..4 should appear: {seen:?}");
+        let mut hit_max = false;
+        for _ in 0..1000 {
+            if r.gen_range(0u32..=3) == 3 {
+                hit_max = true;
+            }
+        }
+        assert!(hit_max, "inclusive upper bound must be reachable");
+    }
+
+    #[test]
+    fn gen_range_float_bounds() {
+        let mut r = TestRng::seed_from_u64(11);
+        for _ in 0..5000 {
+            let v: f32 = r.gen_range(-2.0f32..2.0);
+            assert!((-2.0..2.0).contains(&v));
+            let w: f64 = r.gen_range(1e-12..1.0);
+            assert!((1e-12..1.0).contains(&w));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        TestRng::seed_from_u64(0).gen_range(5..5);
+    }
+
+    #[test]
+    fn gen_bool_frequency() {
+        let mut r = TestRng::seed_from_u64(13);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2200..2800).contains(&hits), "p=0.25 gave {hits}/10000");
+        assert!(!(0..100).any(|_| r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_permutation_and_deterministic() {
+        let mut a: Vec<u32> = (0..50).collect();
+        let mut b = a.clone();
+        TestRng::seed_from_u64(99).shuffle(&mut a);
+        TestRng::seed_from_u64(99).shuffle(&mut b);
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(a, sorted, "50 elements should not shuffle to identity");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = TestRng::seed_from_u64(2024);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.normal()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance {var}");
+        assert!(samples.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn splitmix_pure_mix_differs_per_input() {
+        assert_ne!(splitmix64(0), splitmix64(1));
+        assert_ne!(splitmix64(1), splitmix64(2));
+    }
+}

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate. Everything runs --offline: the repo has zero
+# external dependencies (randomness, property testing and benchmarking all
+# come from the in-tree picachu-testkit crate), so a clean checkout must
+# build and test without network access.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release, offline) =="
+cargo build --release --offline
+
+echo "== test (workspace, offline) =="
+cargo test -q --offline
+
+echo "== bench smoke (one call per benchmark, offline) =="
+cargo bench -p picachu-bench --offline -- --smoke
+
+echo "verify: OK"

@@ -9,14 +9,14 @@ use picachu_compiler::arch::CgraSpec;
 use picachu_compiler::mapper::{map_dfg, min_ii};
 use picachu_compiler::transform::fuse_patterns;
 use picachu_ir::{Dfg, DfgBuilder, NodeId, Opcode};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use picachu_testkit::prop::{check_result, replay, PropError};
+use picachu_testkit::TestRng;
 
 /// Generates a random but well-formed loop body: loop control, 1–3 loads,
 /// a random arithmetic DAG (with optional exp chains, divisions and
 /// reductions), and 1–2 stores.
 fn random_loop(seed: u64) -> Dfg {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = TestRng::seed_from_u64(seed);
     let mut b = DfgBuilder::new(format!("fuzz-{seed}"));
     let i = b.loop_control();
     let n_loads = rng.gen_range(1..=3);
@@ -24,7 +24,7 @@ fn random_loop(seed: u64) -> Dfg {
 
     let body_ops = rng.gen_range(3..=20);
     for _ in 0..body_ops {
-        let pick = |rng: &mut StdRng, vs: &[NodeId]| vs[rng.gen_range(0..vs.len())];
+        let pick = |rng: &mut TestRng, vs: &[NodeId]| vs[rng.gen_range(0..vs.len())];
         let a = pick(&mut rng, &values);
         let v = match rng.gen_range(0..10) {
             0 => b.op_imm(Opcode::Add, &[a], rng.gen_range(-2.0..2.0)),
@@ -53,7 +53,7 @@ fn random_loop(seed: u64) -> Dfg {
 #[test]
 fn random_loops_map_and_simulate() {
     let spec = CgraSpec::picachu(4, 4);
-    for seed in 0..40u64 {
+    for seed in 0..64u64 {
         let dfg = random_loop(seed);
         assert!(dfg.validate().is_ok(), "seed {seed}");
         let fused = fuse_patterns(&dfg);
@@ -71,7 +71,7 @@ fn random_loops_map_and_simulate() {
 
 #[test]
 fn random_loops_map_on_every_fabric() {
-    for seed in 0..10u64 {
+    for seed in 0..16u64 {
         let dfg = fuse_patterns(&random_loop(seed));
         for (r, c) in [(3usize, 3usize), (4, 4), (5, 5), (4, 8)] {
             let spec = CgraSpec::picachu(r, c);
@@ -85,7 +85,7 @@ fn random_loops_map_on_every_fabric() {
 #[test]
 fn fusion_preserves_random_loop_semantics() {
     use picachu_ir::interp::interpret;
-    for seed in 0..25u64 {
+    for seed in 0..40u64 {
         let dfg = random_loop(seed);
         let loads = dfg.nodes().iter().filter(|n| n.op == Opcode::Load).count();
         let n = 32;
@@ -129,5 +129,35 @@ fn mapper_rejects_impossible_fabric_gracefully() {
             let msg = e.to_string();
             assert!(!msg.is_empty());
         }
+    }
+}
+
+#[test]
+fn failing_prop_seed_replays_to_same_failure() {
+    // The whole point of the deterministic harness is that a CI failure log
+    // ("failing case_seed = ...") can be replayed locally. Exercise that loop
+    // on a real property over the fuzz generator: deliberately assert a
+    // too-tight bound on DFG size so some generated loop violates it, then
+    // check the reported case seed reproduces the exact same failure.
+    let prop = |g: &mut picachu_testkit::Gen| -> picachu_testkit::PropResult {
+        let seed = g.draw(0u64..1 << 20);
+        let dfg = random_loop(seed);
+        if dfg.len() >= 12 {
+            return Err(PropError::Fail(format!(
+                "loop seed {seed} has {} nodes",
+                dfg.len()
+            )));
+        }
+        Ok(())
+    };
+    let failure = check_result(256, 0xFA112, prop).expect_err("bound must be violated");
+    let replayed = replay(failure.case_seed, prop);
+    match replayed {
+        Err(PropError::Fail(msg)) => assert_eq!(
+            msg, failure.message,
+            "replay of case_seed {:#x} diverged from original failure",
+            failure.case_seed
+        ),
+        other => panic!("replay did not fail: {other:?}"),
     }
 }
