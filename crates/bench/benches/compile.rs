@@ -1,0 +1,74 @@
+//! Parallel-compilation microbench: serial vs parallel (and cold vs warm
+//! shared-cache) wall-clock for the toolchain's dominant cost — modulo-
+//! scheduling the kernel library and evaluating a DSE sweep.
+//!
+//! Emits one JSON line per bench (median/p95) on the `picachu-testkit`
+//! harness; `scripts/verify.sh` redirects a full run to
+//! `results/BENCH_compile.json` so serial-vs-parallel trajectories are
+//! recorded per commit. The thread counts are pinned through the runtime
+//! override (serial = 1 thread, parallel = the machine's `PICACHU_THREADS` /
+//! hardware parallelism), and the shared compile cache is cleared inside
+//! every cold iteration so the mapper actually runs.
+
+use picachu::compile_cache;
+use picachu::dse::{explore, DseSweep};
+use picachu::engine::{EngineConfig, PicachuEngine};
+use picachu::runtime;
+use picachu_llm::ModelConfig;
+use picachu_nonlinear::NonlinearOp;
+use picachu_num::DataFormat;
+use picachu_testkit::{black_box, Bench};
+
+/// Compiles the full Table 1 kernel library on a fresh engine.
+fn compile_library() {
+    let mut e = PicachuEngine::new(EngineConfig::default());
+    for op in NonlinearOp::ALL {
+        black_box(e.compile_op(op).len());
+    }
+}
+
+fn small_sweep() -> DseSweep {
+    DseSweep {
+        fabrics: vec![(3, 3), (4, 4)],
+        buffers: vec![20, 40],
+        formats: vec![DataFormat::Fp16, DataFormat::Int16],
+        seq: 64,
+    }
+}
+
+fn main() {
+    let h = Bench::from_args();
+    let mut g = h.group("compile");
+    g.sample_size(5);
+
+    g.bench("kernel_library_cold_serial", || {
+        runtime::set_thread_override(Some(1));
+        compile_cache::clear();
+        compile_library();
+        runtime::set_thread_override(None);
+    });
+    g.bench("kernel_library_cold_parallel", || {
+        compile_cache::clear();
+        compile_library();
+    });
+    // repeated compile_op: a fresh engine against the warm process-wide
+    // cache — the DSE / figure-harness steady state.
+    g.bench("kernel_library_warm_cache", || {
+        compile_library();
+    });
+
+    g.bench("dse_sweep_cold_serial", || {
+        runtime::set_thread_override(Some(1));
+        compile_cache::clear();
+        black_box(explore(&ModelConfig::gpt2(), &small_sweep()).len());
+        runtime::set_thread_override(None);
+    });
+    g.bench("dse_sweep_cold_parallel", || {
+        compile_cache::clear();
+        black_box(explore(&ModelConfig::gpt2(), &small_sweep()).len());
+    });
+    g.bench("dse_sweep_warm_cache", || {
+        black_box(explore(&ModelConfig::gpt2(), &small_sweep()).len());
+    });
+    g.finish();
+}

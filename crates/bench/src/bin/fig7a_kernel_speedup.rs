@@ -16,30 +16,37 @@ fn main() {
         "{:<16} {:>10} {:>14} {:>6} {:>10}",
         "kernel", "base II", "ours cyc/elem", "UF", "speedup"
     );
-    let mut speedups = Vec::new();
-    for k in kernel_library(4) {
-        for l in &k.loops {
-            let base = map_dfg(&lower_special_ops(&l.dfg), &baseline, 9)
-                .expect("baseline maps");
-            let mut best = f64::MAX;
-            let mut best_uf = 1;
-            for uf in [1usize, 2, 4, 8] {
-                let dfg = fuse_patterns(&unroll(&l.dfg, uf));
-                if let Ok(m) = map_dfg(&dfg, &picachu, 9) {
-                    let per_elem = m.ii as f64 / uf as f64;
-                    if per_elem < best {
-                        best = per_elem;
-                        best_uf = uf;
-                    }
+    let loops: Vec<(String, picachu_ir::Dfg)> = kernel_library(4)
+        .into_iter()
+        .flat_map(|k| k.loops.into_iter().map(|l| (l.label.clone(), l.dfg)))
+        .collect();
+    // each loop is a baseline + 4-way unroll mapper portfolio — fan the loops
+    // across the pool (PICACHU_THREADS to override); rows print in kernel order
+    let rows = picachu_runtime::parallel_map(&loops, |_, (label, dfg)| {
+        let base = map_dfg(&lower_special_ops(dfg), &baseline, 9)
+            .expect("baseline maps");
+        let mut best = f64::MAX;
+        let mut best_uf = 1;
+        for uf in [1usize, 2, 4, 8] {
+            let unrolled = fuse_patterns(&unroll(dfg, uf));
+            if let Ok(m) = map_dfg(&unrolled, &picachu, 9) {
+                let per_elem = m.ii as f64 / uf as f64;
+                if per_elem < best {
+                    best = per_elem;
+                    best_uf = uf;
                 }
             }
-            let s = base.ii as f64 / best;
-            speedups.push(s);
-            println!(
-                "{:<16} {:>10} {:>14.2} {:>6} {:>9.2}x",
-                l.label, base.ii, best, best_uf, s
-            );
         }
+        (label.clone(), base.ii, best, best_uf)
+    });
+    let mut speedups = Vec::new();
+    for (label, base_ii, best, best_uf) in rows {
+        let s = base_ii as f64 / best;
+        speedups.push(s);
+        println!(
+            "{:<16} {:>10} {:>14.2} {:>6} {:>9.2}x",
+            label, base_ii, best, best_uf, s
+        );
     }
     println!(
         "\naverage (geomean) {:.2}x, max {:.2}x   (paper: average 2.95x, max 6.4x)",

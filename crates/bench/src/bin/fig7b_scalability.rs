@@ -11,18 +11,18 @@ use picachu_compiler::transform::{fuse_patterns, unroll};
 use picachu_ir::kernels::kernel_library;
 
 fn throughput(spec: &CgraSpec, dfgs: &[(String, picachu_ir::Dfg)]) -> Vec<f64> {
-    dfgs.iter()
-        .map(|(_, base)| {
-            let mut best = 0.0f64;
-            for uf in [1usize, 2, 4, 8] {
-                let dfg = fuse_patterns(&unroll(base, uf));
-                if let Ok(m) = map_dfg(&dfg, spec, 5) {
-                    best = best.max(uf as f64 / m.ii as f64);
-                }
+    // one mapper portfolio per kernel loop — fan the loops across the pool
+    // (PICACHU_THREADS to override); results stay in kernel order
+    picachu_runtime::parallel_map(dfgs, |_, (_, base)| {
+        let mut best = 0.0f64;
+        for uf in [1usize, 2, 4, 8] {
+            let dfg = fuse_patterns(&unroll(base, uf));
+            if let Ok(m) = map_dfg(&dfg, spec, 5) {
+                best = best.max(uf as f64 / m.ii as f64);
             }
-            best
-        })
-        .collect()
+        }
+        best
+    })
 }
 
 fn main() {

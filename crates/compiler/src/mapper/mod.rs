@@ -19,11 +19,15 @@
 //!
 //! Failed placements trigger randomized restarts; persistent failure
 //! increases the II, exactly the iterative modulo-scheduling discipline.
+//! The restarts form a deterministic portfolio: every `(II, attempt)` cell
+//! derives its own RNG stream, so the search fans out across the
+//! `picachu-runtime` thread pool and still returns the exact mapping the
+//! serial grid scan would.
 
 use crate::arch::CgraSpec;
 use picachu_ir::dfg::{Dfg, NodeId};
 use picachu_ir::opcode::Opcode;
-use picachu_testkit::TestRng;
+use picachu_testkit::{splitmix64, TestRng};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -386,7 +390,45 @@ fn try_place(dfg: &Dfg, spec: &CgraSpec, ii: u32, rng: &mut TestRng) -> Option<V
     Some(placed.into_iter().map(|p| p.unwrap()).collect())
 }
 
+/// The RNG seed of one `(II, attempt)` cell of the search grid. Each attempt
+/// owns an independent derived stream, so any cell can be evaluated on any
+/// worker thread (or serially, in grid order) with identical results.
+fn attempt_seed(seed: u64, ii: u32, attempt: usize) -> u64 {
+    splitmix64(splitmix64(seed).wrapping_add(((ii as u64) << 32) | attempt as u64))
+}
+
+/// Schedule length (prologue depth) of a finished placement: the first
+/// iteration completes only when every value has *landed* — a node's result
+/// is still in flight for `hops` cycles after `time + latency` on its way to
+/// each consumer, so the mesh routing of the final edges counts toward the
+/// prologue (distance-0 operands arrive exactly at their consumer's issue
+/// time, but loop-carried operands can land after the last issue).
+fn schedule_len_of(dfg: &Dfg, spec: &CgraSpec, placements: &[Placement]) -> u32 {
+    let mut len = placements
+        .iter()
+        .map(|p| p.time + dfg.nodes()[p.node.0].op.latency())
+        .max()
+        .unwrap_or(0);
+    for node in dfg.nodes() {
+        let pv = placements[node.id.0];
+        for e in &node.inputs {
+            let pu = placements[e.from.0];
+            let lat = dfg.nodes()[e.from.0].op.latency();
+            len = len.max(pu.time + lat + spec.hops(pu.tile, pv.tile));
+        }
+    }
+    len
+}
+
 /// Maps a DFG onto the fabric, minimizing II.
+///
+/// The search is a *portfolio*: the `(II, attempt)` grid — `ATTEMPTS_PER_II`
+/// randomized placement restarts for each candidate II from `MII` to
+/// `MII + II_SLACK` — is scanned for the first success in grid order. Every
+/// cell has its own [`attempt_seed`]-derived RNG stream, and the scan runs on
+/// the [`picachu_runtime`] pool (`PICACHU_THREADS` to override), which
+/// returns the success with the lowest grid index; the result is therefore
+/// bit-identical for any thread count, including the serial path.
 ///
 /// # Errors
 /// Returns [`MapError::NoCapableTile`] if the fabric cannot execute some
@@ -396,20 +438,20 @@ fn try_place(dfg: &Dfg, spec: &CgraSpec, ii: u32, rng: &mut TestRng) -> Option<V
 pub fn map_dfg(dfg: &Dfg, spec: &CgraSpec, seed: u64) -> Result<Mapping, MapError> {
     assert!(!dfg.is_empty(), "cannot map an empty DFG");
     let mii = min_ii(dfg, spec)?;
-    let mut rng = TestRng::seed_from_u64(seed);
-    for ii in mii..=mii + II_SLACK {
-        for _ in 0..ATTEMPTS_PER_II {
-            if let Some(placements) = try_place(dfg, spec, ii, &mut rng) {
-                let schedule_len = placements
-                    .iter()
-                    .map(|p| p.time + dfg.nodes()[p.node.0].op.latency())
-                    .max()
-                    .unwrap_or(0);
-                return Ok(Mapping { ii, placements, schedule_len });
-            }
+    let grid = (II_SLACK as usize + 1) * ATTEMPTS_PER_II;
+    let found = picachu_runtime::parallel_find_first(grid, |idx| {
+        let ii = mii + (idx / ATTEMPTS_PER_II) as u32;
+        let attempt = idx % ATTEMPTS_PER_II;
+        let mut rng = TestRng::seed_from_u64(attempt_seed(seed, ii, attempt));
+        try_place(dfg, spec, ii, &mut rng).map(|placements| (ii, placements))
+    });
+    match found {
+        Some((_, (ii, placements))) => {
+            let schedule_len = schedule_len_of(dfg, spec, &placements);
+            Ok(Mapping { ii, placements, schedule_len })
         }
+        None => Err(MapError::IiLimitExceeded { tried: mii + II_SLACK }),
     }
-    Err(MapError::IiLimitExceeded { tried: mii + II_SLACK })
 }
 
 #[cfg(test)]
@@ -547,6 +589,61 @@ mod tests {
         let a = map_dfg(&fused, &picachu(), 42).unwrap();
         let b = map_dfg(&fused, &picachu(), 42).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mapping_identical_across_thread_counts() {
+        // The portfolio search must be bit-identical for any pool size
+        // (lowest-grid-index success wins regardless of which worker finds
+        // a success first).
+        let k = softmax_kernel(4);
+        let spec = picachu();
+        let loops: Vec<_> = k.loops.iter().map(|l| fuse_patterns(&l.dfg)).collect();
+        let run = |threads: usize| {
+            picachu_runtime::set_thread_override(Some(threads));
+            let ms: Vec<Mapping> =
+                loops.iter().map(|d| map_dfg(d, &spec, 42).unwrap()).collect();
+            picachu_runtime::set_thread_override(None);
+            ms
+        };
+        let serial = run(1);
+        for t in [2, 8] {
+            assert_eq!(run(t), serial, "{t} threads diverged from serial");
+        }
+    }
+
+    #[test]
+    fn schedule_len_covers_in_flight_operands() {
+        // The prologue ends only when every value has landed: issue+latency
+        // of every node, plus mesh hops on each edge (loop-carried operands
+        // can still be in flight after the last issue).
+        let k = softmax_kernel(4);
+        let spec = picachu();
+        for l in &k.loops {
+            let fused = fuse_patterns(&l.dfg);
+            let m = map_dfg(&fused, &spec, 11).unwrap();
+            let issue_done = m
+                .placements
+                .iter()
+                .map(|p| p.time + fused.nodes()[p.node.0].op.latency())
+                .max()
+                .unwrap();
+            assert!(m.schedule_len >= issue_done, "{}", l.label);
+            for node in fused.nodes() {
+                let pv = m.placements[node.id.0];
+                for e in &node.inputs {
+                    let pu = m.placements[e.from.0];
+                    let lat = fused.nodes()[e.from.0].op.latency();
+                    assert!(
+                        pu.time + lat + spec.hops(pu.tile, pv.tile) <= m.schedule_len,
+                        "{}: edge {} -> {} still in flight at schedule_len",
+                        l.label,
+                        e.from,
+                        node.id
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,139 @@
+//! Process-wide compiled-mapping cache.
+//!
+//! Modulo-scheduling a kernel loop is by far the most expensive step of the
+//! toolchain (randomized placement restarts across a window of candidate
+//! IIs), and the compilation of a kernel is a pure function of the knobs in
+//! [`CompileKey`]. Historically every [`PicachuEngine`](crate::PicachuEngine)
+//! owned a private cache, so a DSE sweep or a figure harness that builds one
+//! engine per design point re-mapped identical `(op, fabric, format)` kernels
+//! from scratch at every point. This module hoists the cache to the process:
+//! a `RwLock<HashMap>` shared by every engine (and every worker thread of the
+//! parallel runtime), with hit/miss counters for the benches.
+//!
+//! The cache is semantically invisible: compilation is deterministic in the
+//! key, so a hit returns bit-identical loops to a fresh compile. Entries are
+//! `Arc`ed, so a hit is one map lookup plus a refcount bump.
+
+use crate::engine::CompiledLoop;
+use picachu_nonlinear::NonlinearOp;
+use picachu_num::DataFormat;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Everything the compiled loops of one nonlinear op depend on. The Shared
+/// Buffer size is deliberately absent: mapping happens on the CGRA fabric
+/// and never sees the buffer, which is what lets DSE points that differ only
+/// in `buffer_kb` share compilations.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CompileKey {
+    /// The nonlinear operation.
+    pub op: NonlinearOp,
+    /// CGRA fabric rows (the engine always builds `CgraSpec::picachu`, so
+    /// geometry fully determines the fabric).
+    pub cgra_rows: usize,
+    /// CGRA fabric columns.
+    pub cgra_cols: usize,
+    /// Kernel data format (drives the vector factor).
+    pub format: DataFormat,
+    /// Taylor terms of the exp/sin kernels.
+    pub taylor_terms: usize,
+    /// The unroll factors the compiler tries.
+    pub unroll_candidates: Vec<usize>,
+    /// Mapper seed.
+    pub seed: u64,
+}
+
+type Cache = RwLock<HashMap<CompileKey, Arc<Vec<CompiledLoop>>>>;
+
+fn cache() -> &'static Cache {
+    static CACHE: OnceLock<Cache> = OnceLock::new();
+    CACHE.get_or_init(|| RwLock::new(HashMap::new()))
+}
+
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Looks up a compiled kernel, counting a hit or miss.
+pub fn lookup(key: &CompileKey) -> Option<Arc<Vec<CompiledLoop>>> {
+    let got = cache().read().expect("compile cache poisoned").get(key).cloned();
+    if got.is_some() {
+        HITS.fetch_add(1, Ordering::Relaxed);
+    } else {
+        MISSES.fetch_add(1, Ordering::Relaxed);
+    }
+    got
+}
+
+/// Publishes a compiled kernel. Returns the canonical entry: if another
+/// thread published the same key first, its (bit-identical, by determinism)
+/// value wins and the duplicate work is dropped.
+pub fn publish(key: CompileKey, loops: Vec<CompiledLoop>) -> Arc<Vec<CompiledLoop>> {
+    let mut map = cache().write().expect("compile cache poisoned");
+    map.entry(key).or_insert_with(|| Arc::new(loops)).clone()
+}
+
+/// Number of cached kernels.
+pub fn len() -> usize {
+    cache().read().expect("compile cache poisoned").len()
+}
+
+/// Drops every entry and zeroes the counters (benches use this to measure
+/// cold compiles; engines re-populate lazily).
+pub fn clear() {
+    cache().write().expect("compile cache poisoned").clear();
+    HITS.store(0, Ordering::Relaxed);
+    MISSES.store(0, Ordering::Relaxed);
+}
+
+/// `(hits, misses)` since the last [`clear`].
+pub fn stats() -> (u64, u64) {
+    (HITS.load(Ordering::Relaxed), MISSES.load(Ordering::Relaxed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{EngineConfig, PicachuEngine};
+    use std::sync::Mutex;
+
+    /// The cache is process-global and these tests clear it; serialize them
+    /// so they cannot wipe each other's entries mid-assertion.
+    fn clear_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn engines_share_compilations() {
+        let _g = clear_lock();
+        clear();
+        let cfg = EngineConfig::default();
+        let mut a = PicachuEngine::new(cfg.clone());
+        a.compile_op(NonlinearOp::Silu);
+        let after_first = stats();
+        assert!(after_first.1 >= 1, "first compile must miss");
+        // a brand-new engine with the same knobs hits the shared cache
+        let mut b = PicachuEngine::new(cfg);
+        let loops = b.compile_op(NonlinearOp::Silu).to_vec();
+        let (hits, _) = stats();
+        assert!(hits >= 1, "second engine should hit the process cache");
+        assert_eq!(loops.len(), a.compile_op(NonlinearOp::Silu).len());
+    }
+
+    #[test]
+    fn different_geometry_is_a_different_key() {
+        let _g = clear_lock();
+        clear();
+        let mut a = PicachuEngine::new(EngineConfig::default());
+        a.compile_op(NonlinearOp::Relu);
+        let n1 = len();
+        let mut b = PicachuEngine::new(EngineConfig {
+            cgra_rows: 5,
+            cgra_cols: 5,
+            ..EngineConfig::default()
+        });
+        b.compile_op(NonlinearOp::Relu);
+        assert!(len() > n1, "5x5 fabric must not reuse the 4x4 entry");
+    }
+}

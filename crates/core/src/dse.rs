@@ -74,33 +74,36 @@ impl Default for DseSweep {
 
 /// Runs the sweep for a model, returning every evaluated point sorted by
 /// latency-area product (best first).
+///
+/// Design points are evaluated in parallel on the [`picachu_runtime`] pool
+/// (thread count from `PICACHU_THREADS` or the hardware), and every engine
+/// consults the process-wide [`crate::compile_cache`], so points differing
+/// only in `buffer_kb` share kernel compilations. Results are independent of
+/// the thread count: each point's engine is deterministic in its config, and
+/// the pool returns results in grid order (the final sort is stable).
 pub fn explore(model: &ModelConfig, sweep: &DseSweep) -> Vec<DesignPoint> {
     let cost = CostModel::default();
-    let mut points = Vec::new();
+    let mut grid = Vec::new();
     for &(r, c) in &sweep.fabrics {
         for &kb in &sweep.buffers {
             for &fmt in &sweep.formats {
-                let mut engine = PicachuEngine::new(EngineConfig {
-                    cgra_rows: r,
-                    cgra_cols: c,
-                    buffer_kb: kb,
-                    format: fmt,
-                    ..EngineConfig::default()
-                });
-                let latency = engine.execute_model(model, sweep.seq).total();
-                let area = cost.cgra_cost(&CgraSpec::picachu(r, c), 0.7).area_mm2
-                    + cost.sram_cost(kb as f64).area_mm2;
-                points.push(DesignPoint {
-                    cgra_rows: r,
-                    cgra_cols: c,
-                    buffer_kb: kb,
-                    format: fmt,
-                    latency,
-                    area_mm2: area,
-                });
+                grid.push((r, c, kb, fmt));
             }
         }
     }
+    let mut points = picachu_runtime::parallel_map(&grid, |_, &(r, c, kb, fmt)| {
+        let mut engine = PicachuEngine::new(EngineConfig {
+            cgra_rows: r,
+            cgra_cols: c,
+            buffer_kb: kb,
+            format: fmt,
+            ..EngineConfig::default()
+        });
+        let latency = engine.execute_model(model, sweep.seq).total();
+        let area = cost.cgra_cost(&CgraSpec::picachu(r, c), 0.7).area_mm2
+            + cost.sram_cost(kb as f64).area_mm2;
+        DesignPoint { cgra_rows: r, cgra_cols: c, buffer_kb: kb, format: fmt, latency, area_mm2: area }
+    });
     points.sort_by(|a, b| {
         a.latency_area_product()
             .partial_cmp(&b.latency_area_product())

@@ -33,11 +33,14 @@
 //! println!("GPT-2 @128: {breakdown}");
 //! ```
 
+pub mod compile_cache;
 pub mod dse;
 pub mod engine;
 
+pub use compile_cache::CompileKey;
 pub use dse::{explore, pareto_frontier, DesignPoint, DseSweep};
 pub use engine::{CompiledLoop, EngineConfig, PicachuEngine};
+pub use picachu_runtime as runtime;
 pub use picachu_baselines as baselines;
 pub use picachu_baselines::Breakdown;
 pub use picachu_cgra as cgra;

@@ -1,0 +1,300 @@
+//! # picachu-runtime
+//!
+//! A zero-dependency parallel runtime for the PICACHU toolchain, built on
+//! `std::thread::scope` and atomics. It exists because CGRA mapping time is
+//! the dominant wall-clock cost of every experiment binary (the modulo
+//! scheduler runs tens of randomized placement attempts per candidate II),
+//! and both the DSE sweep and the figure harnesses evaluate many independent
+//! design points / kernels.
+//!
+//! Two primitives cover every call site:
+//!
+//! * [`parallel_map`] — chunk-free dynamic work sharing over an indexed item
+//!   slice; results come back in input order, so callers observe exactly the
+//!   serial output regardless of thread count.
+//! * [`parallel_find_first`] — a deterministic *portfolio* search: run
+//!   fallible tasks `0..n` concurrently and return the success with the
+//!   **lowest index**. Workers claim indices in ascending order and skip any
+//!   index above the best success found so far, so the result is bit-identical
+//!   to a serial first-success scan while failures (the expensive part of a
+//!   modulo-scheduling search) burn in parallel.
+//!
+//! ## Thread-count policy
+//!
+//! The pool size is resolved per call as the first of:
+//!
+//! 1. the programmatic override ([`set_thread_override`] — used by the
+//!    determinism tests and the serial-vs-parallel benches);
+//! 2. the `PICACHU_THREADS` environment variable (parsed once per process);
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! Nested calls never oversubscribe: a `parallel_*` call made from inside a
+//! pool worker runs serially on that worker (the outer call already owns the
+//! machine). Because every primitive is deterministic, the thread count —
+//! and therefore nesting depth — can never change any result, only timing.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// `PICACHU_THREADS` parsed once per process (0 = unset/invalid).
+fn env_threads() -> usize {
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("PICACHU_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .unwrap_or(0)
+    })
+}
+
+/// Programmatic override; 0 = no override.
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// True inside a pool worker: nested parallel calls degrade to serial.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Forces every subsequent `parallel_*` call to use exactly `n` threads
+/// (`None` restores the env/hardware policy). Intended for determinism tests
+/// and serial-vs-parallel benchmarking; results never depend on this — only
+/// wall-clock does.
+pub fn set_thread_override(n: Option<usize>) {
+    OVERRIDE.store(n.unwrap_or(0).max(0), Ordering::SeqCst);
+}
+
+/// The number of worker threads a `parallel_*` call issued right now would
+/// use (override → `PICACHU_THREADS` → hardware parallelism, min 1).
+pub fn num_threads() -> usize {
+    let o = OVERRIDE.load(Ordering::SeqCst);
+    if o > 0 {
+        return o;
+    }
+    let e = env_threads();
+    if e > 0 {
+        return e;
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Whether the current thread is already a pool worker.
+pub fn in_worker() -> bool {
+    IN_WORKER.with(|w| w.get())
+}
+
+/// Applies `f` to every item, in parallel, returning results in input order.
+///
+/// `f` receives `(index, &item)`. Work is shared dynamically (an atomic
+/// next-index counter), so heavy-tailed workloads — one design point mapping
+/// far slower than the rest — still balance. With one thread, one item, or
+/// when called from inside another pool, this is a plain serial loop.
+///
+/// # Panics
+/// Propagates a panic from any worker.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = num_threads().min(n);
+    if threads <= 1 || in_worker() {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    {
+        let slot_refs: Vec<Mutex<&mut Option<R>>> =
+            slots.iter_mut().map(Mutex::new).collect();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    s.spawn(|| {
+                        IN_WORKER.with(|w| w.set(true));
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            let r = f(i, &items[i]);
+                            // each index is claimed exactly once, so the
+                            // lock is uncontended; it only exists to hand
+                            // the &mut slot across the thread boundary.
+                            **slot_refs[i].lock().expect("slot lock") = Some(r);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                if let Err(p) = h.join() {
+                    std::panic::resume_unwind(p);
+                }
+            }
+        });
+    }
+    slots
+        .into_iter()
+        .map(|r| r.expect("every index produced a result"))
+        .collect()
+}
+
+/// Runs fallible tasks `0..n` concurrently and returns `(index, result)` for
+/// the success with the **lowest index**, or `None` if every task fails.
+///
+/// Determinism contract: the returned index is identical to what a serial
+/// `(0..n).find_map(f)` would return. Workers claim indices in ascending
+/// order; once a success at index `b` is recorded, indices above `b` are
+/// skipped (a serial scan would never have reached them), while indices below
+/// `b` — all claimed before `b` was — still run to completion and may lower
+/// the winner.
+pub fn parallel_find_first<R, F>(n: usize, f: F) -> Option<(usize, R)>
+where
+    R: Send,
+    F: Fn(usize) -> Option<R> + Sync,
+{
+    let threads = num_threads().min(n);
+    if threads <= 1 || in_worker() {
+        return (0..n).find_map(|i| f(i).map(|r| (i, r)));
+    }
+    let next = AtomicUsize::new(0);
+    let best = AtomicUsize::new(usize::MAX);
+    let winner: Mutex<Option<(usize, R)>> = Mutex::new(None);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    IN_WORKER.with(|w| w.set(true));
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n || i > best.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        if let Some(r) = f(i) {
+                            let mut w = winner.lock().expect("winner lock");
+                            if i < best.load(Ordering::SeqCst) {
+                                best.store(i, Ordering::SeqCst);
+                                *w = Some((i, r));
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            if let Err(p) = h.join() {
+                std::panic::resume_unwind(p);
+            }
+        }
+    });
+    winner.into_inner().expect("winner lock")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serialize tests that touch the global override.
+    fn override_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn map_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = parallel_map(&items, |i, &x| {
+            assert_eq!(i as u64, x);
+            x * x
+        });
+        assert_eq!(out, items.iter().map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_matches_serial_at_any_thread_count() {
+        let _g = override_lock();
+        let items: Vec<u64> = (0..257).collect();
+        let run = |threads: usize| {
+            set_thread_override(Some(threads));
+            let r = parallel_map(&items, |_, &x| x.wrapping_mul(0x9E3779B9).rotate_left(7));
+            set_thread_override(None);
+            r
+        };
+        let serial = run(1);
+        for t in [2, 3, 8] {
+            assert_eq!(run(t), serial, "{t} threads");
+        }
+    }
+
+    #[test]
+    fn find_first_returns_lowest_success() {
+        let _g = override_lock();
+        // successes at 7, 13, 40: the winner must always be 7
+        for t in [1usize, 2, 4, 8] {
+            set_thread_override(Some(t));
+            let got = parallel_find_first(64, |i| {
+                if i == 7 || i == 13 || i == 40 {
+                    Some(i * 10)
+                } else {
+                    None
+                }
+            });
+            set_thread_override(None);
+            assert_eq!(got, Some((7, 70)), "{t} threads");
+        }
+    }
+
+    #[test]
+    fn find_first_none_when_all_fail() {
+        assert_eq!(parallel_find_first(32, |_| None::<u32>), None);
+        assert_eq!(parallel_find_first(0, |_| Some(1u32)), None);
+    }
+
+    #[test]
+    fn nested_calls_run_serially() {
+        let _g = override_lock();
+        set_thread_override(Some(4));
+        let items: Vec<usize> = (0..8).collect();
+        let out = parallel_map(&items, |_, &x| {
+            assert!(in_worker() || num_threads() == 1);
+            let inner: Vec<usize> = (0..4).collect();
+            parallel_map(&inner, |_, &y| x * 10 + y).iter().sum::<usize>()
+        });
+        set_thread_override(None);
+        let expect: Vec<usize> = (0..8).map(|x| (0..4).map(|y| x * 10 + y).sum()).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn override_wins_over_env() {
+        let _g = override_lock();
+        set_thread_override(Some(3));
+        assert_eq!(num_threads(), 3);
+        set_thread_override(None);
+        assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn map_empty_and_single() {
+        let empty: Vec<u8> = vec![];
+        assert!(parallel_map(&empty, |_, &x| x).is_empty());
+        assert_eq!(parallel_map(&[41u8], |_, &x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let _g = override_lock();
+        set_thread_override(Some(2));
+        let r = std::panic::catch_unwind(|| {
+            parallel_map(&[1, 2, 3, 4], |_, &x| {
+                if x == 3 {
+                    panic!("boom");
+                }
+                x
+            })
+        });
+        set_thread_override(None);
+        assert!(r.is_err());
+    }
+}

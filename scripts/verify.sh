@@ -12,7 +12,15 @@ cargo build --release --offline
 echo "== test (workspace, offline) =="
 cargo test -q --offline
 
+echo "== test (workspace, offline, PICACHU_THREADS=4) =="
+PICACHU_THREADS=4 cargo test -q --offline
+
 echo "== bench smoke (one call per benchmark, offline) =="
 cargo bench -p picachu-bench --offline -- --smoke
+
+echo "== parallel-compile microbench (serial vs parallel, median/p95) =="
+mkdir -p results
+cargo bench -p picachu-bench --bench compile --offline \
+  | tee results/BENCH_compile.json
 
 echo "verify: OK"

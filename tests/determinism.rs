@@ -1,0 +1,83 @@
+//! Thread-count determinism: the parallel compilation service must be
+//! semantically invisible. `PICACHU_THREADS=1` and `PICACHU_THREADS=8` (here
+//! driven through the runtime's programmatic override, which takes precedence
+//! over the environment) must produce bit-identical `Mapping`s for the full
+//! kernel library, bit-identical `Breakdown`s for end-to-end execution, and
+//! bit-identical design points for a `dse::explore` sweep.
+//!
+//! The compile cache is cleared between runs so every configuration actually
+//! re-compiles — otherwise the second run would trivially replay the first
+//! run's cached mappings and the test would prove nothing.
+
+use picachu::compile_cache;
+use picachu::compiler::mapper::Mapping;
+use picachu::dse::{explore, DesignPoint, DseSweep};
+use picachu::engine::{EngineConfig, PicachuEngine};
+use picachu::runtime;
+use picachu::Breakdown;
+use picachu_llm::ModelConfig;
+use picachu_nonlinear::NonlinearOp;
+use picachu_num::DataFormat;
+
+struct Snapshot {
+    mappings: Vec<(String, Mapping)>,
+    breakdown: Breakdown,
+    dse_points: Vec<DesignPoint>,
+}
+
+fn snapshot(threads: usize) -> Snapshot {
+    runtime::set_thread_override(Some(threads));
+    compile_cache::clear();
+
+    // full kernel library, both formats (FP16 scalar + INT16 vectorized)
+    let mut mappings = Vec::new();
+    for format in [DataFormat::Fp16, DataFormat::Int16] {
+        let mut engine =
+            PicachuEngine::new(EngineConfig { format, ..EngineConfig::default() });
+        for op in NonlinearOp::ALL {
+            for (i, l) in engine.compile_op(op).to_vec().into_iter().enumerate() {
+                mappings.push((format!("{format}/{op:?}/{i}"), l.mapping));
+            }
+        }
+    }
+
+    // end-to-end breakdown on a fresh engine (hits the cache warmed above)
+    let mut engine = PicachuEngine::new(EngineConfig::default());
+    let breakdown = engine.execute_model(&ModelConfig::gpt2(), 128);
+
+    // a DSE sweep (parallel over design points at `threads > 1`)
+    let sweep = DseSweep {
+        fabrics: vec![(3, 3), (4, 4)],
+        buffers: vec![20, 40],
+        formats: vec![DataFormat::Fp16, DataFormat::Int16],
+        seq: 64,
+    };
+    let dse_points = explore(&ModelConfig::gpt2(), &sweep);
+
+    runtime::set_thread_override(None);
+    Snapshot { mappings, breakdown, dse_points }
+}
+
+#[test]
+fn threads_1_and_8_are_bit_identical() {
+    let serial = snapshot(1);
+    let parallel = snapshot(8);
+
+    assert_eq!(serial.mappings.len(), parallel.mappings.len());
+    for ((name_s, m_s), (name_p, m_p)) in
+        serial.mappings.iter().zip(parallel.mappings.iter())
+    {
+        assert_eq!(name_s, name_p);
+        assert_eq!(m_s, m_p, "{name_s}: mapping diverged between 1 and 8 threads");
+    }
+
+    assert_eq!(
+        serial.breakdown, parallel.breakdown,
+        "end-to-end breakdown diverged between 1 and 8 threads"
+    );
+
+    assert_eq!(serial.dse_points.len(), parallel.dse_points.len());
+    for (a, b) in serial.dse_points.iter().zip(parallel.dse_points.iter()) {
+        assert_eq!(a, b, "DSE point diverged between 1 and 8 threads");
+    }
+}
