@@ -44,7 +44,8 @@ fn main() {
     // softmax on attention logits
     let x = Distribution::AttentionLogits.sample(4096, 3);
     let reference: Vec<f64> = softmax::softmax_ref(&x.iter().map(|&v| v as f64).collect::<Vec<_>>());
-    for (name, scheme_fp, scheme_int) in [("softmax", Scheme::PicachuFp16, Scheme::PicachuInt16)] {
+    {
+        let (name, scheme_fp, scheme_int) = ("softmax", Scheme::PicachuFp16, Scheme::PicachuInt16);
         let a: Vec<f64> = scheme_fp.softmax(&x).iter().map(|&v| v as f64).collect();
         let b: Vec<f64> = scheme_int.softmax(&x).iter().map(|&v| v as f64).collect();
         println!(

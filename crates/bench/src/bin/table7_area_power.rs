@@ -13,7 +13,7 @@ fn main() {
     let mac = m.systolic_cost(32, 32, 0.8);
     let cgra = m.cgra_cost(&CgraSpec::picachu(4, 4), 0.7);
     let glue = m.glue_cost();
-    let total = sram.add(mac).add(cgra).add(glue);
+    let total = sram + mac + cgra + glue;
 
     println!(
         "{:<22} {:>12} {:>12} {:>12} {:>12}",

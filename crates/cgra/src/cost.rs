@@ -19,9 +19,11 @@ pub struct FabricCost {
     pub power_mw: f64,
 }
 
-impl FabricCost {
+impl std::ops::Add for FabricCost {
+    type Output = FabricCost;
+
     /// Component-wise sum.
-    pub fn add(self, other: FabricCost) -> FabricCost {
+    fn add(self, other: FabricCost) -> FabricCost {
         FabricCost {
             area_mm2: self.area_mm2 + other.area_mm2,
             power_mw: self.power_mw + other.power_mw,
@@ -201,7 +203,7 @@ mod tests {
         let sram = m.sram_cost(265.0);
         let cgra = m.cgra_cost(&CgraSpec::picachu(4, 4), 1.0);
         let mac = m.systolic_cost(32, 32, 1.0);
-        let total = sram.add(cgra).add(mac).add(m.glue_cost());
+        let total = sram + cgra + mac + m.glue_cost();
         assert!(sram.area_mm2 / total.area_mm2 > 0.7, "SRAM share of area");
         assert!((sram.area_mm2 - 5.3).abs() < 0.01);
         assert!((mac.area_mm2 - 0.4).abs() < 1e-9);

@@ -21,6 +21,10 @@ pub struct SimReport {
     pub cycles: u64,
     /// Iterations executed.
     pub iterations: u64,
+    /// Initiation interval the configuration ran at.
+    pub ii: u64,
+    /// Length of one full schedule pass (the prologue depth).
+    pub schedule_len: u64,
     /// Busy cycles per tile.
     pub tile_busy: Vec<u64>,
     /// Number of firings per opcode.
@@ -90,6 +94,8 @@ impl<'a> CgraSimulator<'a> {
         let mut report = SimReport {
             cycles: 0,
             iterations,
+            ii,
+            schedule_len: self.config.schedule_len as u64,
             tile_busy: vec![0; self.spec.len()],
             activations: HashMap::new(),
             noc_hops: 0,
@@ -99,6 +105,16 @@ impl<'a> CgraSimulator<'a> {
             return report;
         }
 
+        // Representative probe iterations: steady state repeats with period
+        // II, so the first and last iteration suffice to catch wraparound
+        // bugs. A single-iteration run has only one distinct probe — the old
+        // `[0, iterations - 1]` pair verified iteration 0 twice.
+        let probes = if iterations == 1 {
+            vec![0u64]
+        } else {
+            vec![0u64, iterations - 1]
+        };
+
         // fire_time(node, iter) = first_time + iter * II — the modulo
         // schedule. Walk every firing in time order per tile and verify
         // operand arrival dynamically.
@@ -107,10 +123,8 @@ impl<'a> CgraSimulator<'a> {
                 let SlotAction::Execute { node, op, operands, first_time } = slot else {
                     continue;
                 };
-                // verify against each operand for a representative window of
-                // iterations (steady state repeats with period II, so two
-                // iterations suffice to catch wraparound bugs).
-                for iter in [0u64, iterations.saturating_sub(1)] {
+                // verify operand arrival at each probe iteration.
+                for &iter in &probes {
                     let t_fire = *first_time as u64 + iter * ii;
                     for o in operands {
                         // the producing firing is `distance` iterations back
@@ -251,6 +265,24 @@ mod tests {
         let r = CgraSimulator::new(&spec, &d, &cfg).run(0);
         assert_eq!(r.cycles, 0);
         assert_eq!(r.utilization(), 0.0);
+    }
+
+    #[test]
+    fn single_iteration_probes_once() {
+        let spec = CgraSpec::picachu(4, 4);
+        let d = fuse_patterns(&relu_kernel().loops[0].dfg);
+        let m = map_dfg(&d, &spec, 17).unwrap();
+        let cfg = CgraConfig::from_mapping(&d, &m, &spec);
+        let r = CgraSimulator::new(&spec, &d, &cfg).run(1);
+        // one iteration = exactly one schedule pass: the prologue depth
+        assert_eq!(r.cycles, cfg.schedule_len as u64);
+        assert_eq!(r.iterations, 1);
+        assert_eq!(r.ii, m.ii as u64);
+        assert_eq!(r.schedule_len, cfg.schedule_len as u64);
+        // per-node stats count each firing exactly once
+        let fired: u64 = r.activations.values().sum();
+        assert_eq!(fired, d.len() as u64);
+        assert_eq!(r.buffer_accesses, 2); // relu: 1 load + 1 store
     }
 
     #[test]

@@ -103,10 +103,18 @@ impl CgraSpec {
     /// columns, the two edges adjacent to the Shared Buffer's read and
     /// writeback sides.
     ///
+    /// Fabrics too narrow for the three-class column layout (`cols < 3`)
+    /// fall back to all-Universal tiles with ports everywhere: the
+    /// class-specific fused opcodes each live in exactly one class, so
+    /// dropping a class would make some kernels unmappable, not merely slow.
+    ///
     /// # Panics
-    /// Panics if `rows == 0` or `cols < 2`.
+    /// Panics if `rows == 0` or `cols == 0`.
     pub fn picachu(rows: usize, cols: usize) -> CgraSpec {
-        assert!(rows >= 1 && cols >= 2, "fabric needs at least {rows}x2 tiles");
+        assert!(rows >= 1 && cols >= 1, "fabric needs at least one tile");
+        if cols < 3 {
+            return CgraSpec::universal(rows, cols);
+        }
         let cot_cols = if cols >= 4 { 2 } else { 1 };
         let mut tiles = Vec::with_capacity(rows * cols);
         for _r in 0..rows {
@@ -131,9 +139,9 @@ impl CgraSpec {
     /// area/power cost (see `CostModel::tile_area`).
     ///
     /// # Panics
-    /// Panics if `rows == 0` or `cols < 2`.
+    /// Panics if `rows == 0` or `cols == 0`.
     pub fn universal(rows: usize, cols: usize) -> CgraSpec {
-        assert!(rows >= 1 && cols >= 2, "fabric needs at least {rows}x2 tiles");
+        assert!(rows >= 1 && cols >= 1, "fabric needs at least one tile");
         let mut tiles = Vec::with_capacity(rows * cols);
         for _r in 0..rows {
             for c in 0..cols {
@@ -151,9 +159,9 @@ impl CgraSpec {
     /// bandwidth as PICACHU for a fair comparison).
     ///
     /// # Panics
-    /// Panics if `rows == 0` or `cols < 2`.
+    /// Panics if `rows == 0` or `cols == 0`.
     pub fn homogeneous(rows: usize, cols: usize) -> CgraSpec {
-        assert!(rows >= 1 && cols >= 2, "fabric needs at least {rows}x2 tiles");
+        assert!(rows >= 1 && cols >= 1, "fabric needs at least one tile");
         let mut tiles = Vec::with_capacity(rows * cols);
         for _r in 0..rows {
             for c in 0..cols {
@@ -320,6 +328,22 @@ mod tests {
             assert_eq!(s.class_count(TileClass::Compute), r * cot_cols);
             assert_eq!(s.class_count(TileClass::Branch), r);
         }
+    }
+
+    #[test]
+    fn degenerate_fabrics_fall_back_to_universal() {
+        for (r, c) in [(1usize, 1usize), (1, 2), (4, 1), (2, 2)] {
+            let s = CgraSpec::picachu(r, c);
+            assert_eq!(s.len(), r * c, "{r}x{c}");
+            // every tile supports every opcode, including the fused ones
+            assert_eq!(s.class_count(TileClass::Universal), r * c);
+            assert_eq!(s.tiles_supporting(Opcode::FusedPhiAdd), r * c);
+            assert_eq!(s.tiles_supporting(Opcode::Load), r * c.min(2));
+        }
+        // 3 columns is the narrowest true three-class layout
+        let s = CgraSpec::picachu(2, 3);
+        assert_eq!(s.class_count(TileClass::Universal), 0);
+        assert_eq!(s.class_count(TileClass::Basic), 2);
     }
 
     #[test]

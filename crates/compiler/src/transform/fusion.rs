@@ -269,17 +269,17 @@ pub fn fuse_patterns(dfg: &Dfg) -> Dfg {
     let mut new_id: Vec<Option<usize>> = vec![None; dfg.len()];
     let mut emitted_group: Vec<Option<usize>> = vec![None; groups.len()];
     let mut next = 0usize;
-    for i in 0..dfg.len() {
+    for (i, slot) in new_id.iter_mut().enumerate() {
         match group_of.get(&i) {
             Some(&gi) => {
                 if emitted_group[gi].is_none() {
                     emitted_group[gi] = Some(next);
                     next += 1;
                 }
-                new_id[i] = emitted_group[gi];
+                *slot = emitted_group[gi];
             }
             None => {
-                new_id[i] = Some(next);
+                *slot = Some(next);
                 next += 1;
             }
         }

@@ -198,12 +198,8 @@ impl PicachuEngine {
             let vf = vf_global;
             let mut best: Option<CompiledLoop> = None;
             for &uf in &self.config.unroll_candidates {
-                let mut dfg = fuse_patterns(&unroll(&l.dfg, uf));
-                if vf > 1 {
-                    dfg = vectorize(&dfg, vf).dfg;
-                }
-                let Ok(mapping) = map_dfg(&dfg, &self.spec, self.config.seed ^ (i as u64) << 8)
-                else {
+                let dfg = self.lowered_dfg(op, i, uf, vf);
+                let Ok(mapping) = map_dfg(&dfg, &self.spec, self.loop_seed(i)) else {
                     continue;
                 };
                 let per_elem =
@@ -227,6 +223,33 @@ impl PicachuEngine {
             }));
         }
         out
+    }
+
+    /// Reconstructs the exact lowered DFG the mapper saw for loop
+    /// `loop_idx` of `op`: the kernel loop body after unrolling, pattern
+    /// fusion and (when `vf > 1`) lane vectorization. The differential
+    /// oracle replays this DFG on the cycle-level simulator against the
+    /// analytical accounting; `compile_uncached` goes through the same
+    /// method, so the two paths cannot drift.
+    pub fn lowered_dfg(
+        &self,
+        op: NonlinearOp,
+        loop_idx: usize,
+        uf: usize,
+        vf: usize,
+    ) -> picachu_ir::dfg::Dfg {
+        let kernel = kernel_for(op, self.config.taylor_terms);
+        let mut dfg = fuse_patterns(&unroll(&kernel.loops[loop_idx].dfg, uf));
+        if vf > 1 {
+            dfg = vectorize(&dfg, vf).dfg;
+        }
+        dfg
+    }
+
+    /// The mapper seed used for loop `loop_idx` (derived from the config
+    /// seed so that sibling loops explore independent placements).
+    pub fn loop_seed(&self, loop_idx: usize) -> u64 {
+        self.config.seed ^ (loop_idx as u64) << 8
     }
 
     /// Raw CGRA compute cycles for one nonlinear trace op (no memory-system
@@ -384,8 +407,9 @@ impl fmt::Display for PicachuEngine {
     }
 }
 
-/// Maps an operation to its kernel.
-fn kernel_for(op: NonlinearOp, terms: usize) -> klib::Kernel {
+/// Maps an operation to its kernel (public so the differential oracle can
+/// interpret the same loop bodies the engine compiles).
+pub fn kernel_for(op: NonlinearOp, terms: usize) -> klib::Kernel {
     match op {
         NonlinearOp::Softmax => klib::softmax_kernel(terms),
         NonlinearOp::Relu => klib::relu_kernel(),

@@ -209,10 +209,8 @@ impl Dfg {
                     }
                 }
             }
-            for i in 0..n {
-                if d[i][i] > 0 {
-                    continue 'outer;
-                }
+            if (0..n).any(|i| d[i][i] > 0) {
+                continue 'outer;
             }
             return ii;
         }

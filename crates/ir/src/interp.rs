@@ -284,7 +284,7 @@ mod tests {
     use crate::kernels::*;
 
     fn ramp(n: usize, scale: f32, offset: f32) -> Vec<f32> {
-        (0..n).map(|i| ((i as f32 * 0.37).sin() * scale + offset)).collect()
+        (0..n).map(|i| (i as f32 * 0.37).sin() * scale + offset).collect()
     }
 
     #[test]

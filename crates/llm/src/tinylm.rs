@@ -220,8 +220,8 @@ impl TinyLm {
                     let r = head * dh..(head + 1) * dh;
                     let qh = &q[pos][r.clone()];
                     let mut scores = Vec::with_capacity(pos + 1);
-                    for kpos in 0..=pos {
-                        let dot: f32 = qh.iter().zip(&k[kpos][r.clone()]).map(|(a, b)| a * b).sum();
+                    for krow in k.iter().take(pos + 1) {
+                        let dot: f32 = qh.iter().zip(&krow[r.clone()]).map(|(a, b)| a * b).sum();
                         scores.push(dot / (dh as f32).sqrt());
                     }
                     let probs = scheme.softmax(&scores);

@@ -251,7 +251,7 @@ mod tests {
             let lut = Lut::tabulate("sq", -2.0, 2.0, 33, |v| v * v);
             let y = lut.eval(x);
             // result bounded by [min, max] of table since interpolation is convex
-            prop_assert!(y >= -1e-6 && y <= 4.0 + 1e-6);
+            prop_assert!((-1e-6..=4.0 + 1e-6).contains(&y));
             Ok(())
         });
     }

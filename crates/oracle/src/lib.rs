@@ -1,0 +1,64 @@
+//! Differential oracle over the PICACHU accounting stack.
+//!
+//! Three independent models of the same hardware coexist in this repository:
+//! the **analytical** accounting (`Mapping::cycles_for`, the engine's
+//! dataflow cases), the **cycle-level simulator** (`picachu-cgra`), and the
+//! **functional interpreter** (`picachu-ir`). Each exists to check the
+//! others; this crate runs them against each other systematically:
+//!
+//! * [`timing`] replays every `CompiledLoop` the engine produces on the
+//!   cycle-level simulator and asserts the analytical cycles / II / NoC-hop
+//!   / buffer-access accounting matches the simulated report exactly (plus
+//!   one bounded utilization-convergence invariant);
+//! * [`numerics`] runs every nonlinear kernel through the IR interpreter
+//!   and cross-checks the results against the `f64` references in
+//!   `picachu-nonlinear`, reporting max-abs and ULP error per data format;
+//! * [`sweep`] drives both over a seeded grid of
+//!   (op, shape, format, fabric geometry) cases and collects a
+//!   machine-readable discrepancy report (JSON lines) in which every entry
+//!   names the case index that reproduces it:
+//!   `PICACHU_ORACLE_REPLAY=<case> cargo test -p picachu-oracle`.
+//!
+//! The invariants and their exact-vs-bounded classification are documented
+//! in `DESIGN.md` ("Differential-oracle invariants").
+
+pub mod numerics;
+pub mod report;
+pub mod sweep;
+pub mod timing;
+
+pub use report::{Discrepancy, NumericsSummary, OracleReport};
+pub use sweep::{run_sweep, SweepConfig, SweepTier};
+
+/// ULP distance between two `f32` values under the monotone bit mapping
+/// (sign-magnitude folded onto a single ordered integer line). NaNs are
+/// infinitely far from everything.
+pub fn ulp_distance(a: f32, b: f32) -> u64 {
+    if a.is_nan() || b.is_nan() {
+        return u64::MAX;
+    }
+    fn ordered(x: f32) -> i64 {
+        let bits = i64::from(x.to_bits() as i32);
+        if bits < 0 {
+            i64::from(i32::MIN) - bits
+        } else {
+            bits
+        }
+    }
+    ordered(a).abs_diff(ordered(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ulp_basics() {
+        assert_eq!(ulp_distance(1.0, 1.0), 0);
+        assert_eq!(ulp_distance(1.0, f32::from_bits(1.0f32.to_bits() + 1)), 1);
+        // symmetric across zero: -0.0 and +0.0 are adjacent-or-equal
+        assert!(ulp_distance(-0.0, 0.0) <= 1);
+        assert_eq!(ulp_distance(f32::NAN, 1.0), u64::MAX);
+        assert!(ulp_distance(1.0, 2.0) > 1_000_000);
+    }
+}

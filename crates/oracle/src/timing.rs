@@ -1,0 +1,159 @@
+//! Timing oracle: analytical accounting vs the cycle-level simulator.
+//!
+//! For every `CompiledLoop` the engine produces, the mapping is lowered to
+//! a `CgraConfig` and executed on `CgraSimulator`; the simulated report
+//! must reproduce the analytical quantities **exactly**:
+//!
+//! * `cycles(k) = schedule_len + (k−1)·II` for k ∈ {0, 1, 2, iters};
+//! * the derived II, `cycles(2) − cycles(1)`;
+//! * the prologue, `cycles(1) = schedule_len`;
+//! * NoC hops, `Σ_edges hops(tile_prod, tile_cons) · k`;
+//! * buffer accesses, `memory nodes · k`;
+//! * total busy slots, `nodes · k`;
+//! * the engine-level identities `CompiledLoop::cycles(elements)` and
+//!   `nonlinear_compute_cycles = Σ loops`.
+//!
+//! One invariant is **bounded** rather than exact: simulated utilization
+//! converges to the mapping's steady-state utilization only as iterations
+//! grow (the prologue contributes `schedule_len − II` non-amortized
+//! cycles), so it is checked at 100 000 iterations within 1% relative.
+//! A simulator panic (operand-arrival violation) is itself reported as a
+//! discrepancy rather than aborting the sweep.
+
+use crate::report::{CaseCtx, OracleReport};
+use picachu::engine::PicachuEngine;
+use picachu::Breakdown;
+use picachu_cgra::{CgraConfig, CgraSimulator, SimReport};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Iteration count for the bounded utilization-convergence check.
+const UTIL_ITERS: u64 = 100_000;
+
+/// Runs every timing invariant for one (op, shape) case on `engine`.
+pub fn check_case(report: &mut OracleReport, ctx: CaseCtx, engine: &mut PicachuEngine) {
+    let loops = engine.compile_op(ctx.op).to_vec();
+    let elems = (ctx.rows * ctx.channel) as u64;
+
+    // Engine-level: the op's raw compute cycles are exactly the per-loop sum.
+    let total = engine.nonlinear_compute_cycles(ctx.op, ctx.rows, ctx.channel);
+    let sum: u64 = loops.iter().map(|l| l.cycles(elems)).sum();
+    report.check_exact("timing", ctx, "", "nonlinear_compute_cycles", sum, total);
+
+    // Zero-element accounting must be exactly free.
+    report.check_exact(
+        "timing",
+        ctx,
+        "",
+        "cycles(elements=0)",
+        0,
+        loops.iter().map(|l| l.cycles(0)).sum(),
+    );
+
+    for (idx, l) in loops.iter().enumerate() {
+        let dfg = engine.lowered_dfg(ctx.op, idx, l.uf, l.vf);
+        let spec = engine.spec();
+        let cfg = CgraConfig::from_mapping(&dfg, &l.mapping, spec);
+        let sim = CgraSimulator::new(spec, &dfg, &cfg);
+        let m = &l.mapping;
+        let label = &l.label;
+
+        let run = |report: &mut OracleReport, k: u64| -> Option<SimReport> {
+            let r = catch_unwind(AssertUnwindSafe(|| sim.run(k))).ok();
+            if r.is_none() {
+                report.check_exact("timing", ctx, label, format!("sim-panic(iters={k})"), 0, 1);
+            }
+            r
+        };
+
+        if let Some(r0) = run(report, 0) {
+            report.check_exact("timing", ctx, label, "cycles(iters=0)", 0, r0.cycles);
+        }
+        let r1 = run(report, 1);
+        if let Some(r1) = &r1 {
+            report.check_exact(
+                "timing", ctx, label, "prologue:cycles(iters=1)",
+                m.schedule_len as u64, r1.cycles,
+            );
+            report.check_exact("timing", ctx, label, "report.ii", m.ii as u64, r1.ii);
+            report.check_exact(
+                "timing", ctx, label, "report.schedule_len",
+                m.schedule_len as u64, r1.schedule_len,
+            );
+        }
+        if let (Some(r1), Some(r2)) = (&r1, run(report, 2)) {
+            report.check_exact(
+                "timing", ctx, label, "derived-II:cycles(2)-cycles(1)",
+                m.ii as u64, r2.cycles - r1.cycles,
+            );
+        }
+
+        // The shape's actual iteration count (at least one probe even for
+        // degenerate shapes so every mapping gets simulated).
+        let iters = elems.div_ceil(l.elements_per_ii() as u64).max(1);
+        if let Some(rn) = run(report, iters) {
+            report.check_exact(
+                "timing", ctx, label, format!("cycles(iters={iters})"),
+                m.cycles_for(iters), rn.cycles,
+            );
+            if elems > 0 {
+                report.check_exact(
+                    "timing", ctx, label, format!("CompiledLoop::cycles({elems})"),
+                    l.cycles(elems), rn.cycles,
+                );
+            }
+
+            let hops_per_iter: u64 = dfg
+                .nodes()
+                .iter()
+                .map(|n| {
+                    let dst = m.placements[n.id.0].tile;
+                    n.inputs
+                        .iter()
+                        .map(|e| spec.hops(m.placements[e.from.0].tile, dst) as u64)
+                        .sum::<u64>()
+                })
+                .sum();
+            report.check_exact(
+                "timing", ctx, label, "noc_hops",
+                hops_per_iter * iters, rn.noc_hops,
+            );
+
+            let mem_nodes = dfg.nodes().iter().filter(|n| n.op.is_memory()).count() as u64;
+            report.check_exact(
+                "timing", ctx, label, "buffer_accesses",
+                mem_nodes * iters, rn.buffer_accesses,
+            );
+            report.check_exact(
+                "timing", ctx, label, "tile_busy_total",
+                dfg.len() as u64 * iters, rn.tile_busy.iter().sum(),
+            );
+        }
+
+        // Bounded: utilization convergence. sim.run is O(tiles·II) regardless
+        // of the iteration count, so a huge count costs nothing.
+        if let Some(rb) = run(report, UTIL_ITERS) {
+            let analytic = m.utilization(spec.len());
+            report.check_bounded(
+                "timing", ctx, label, "utilization@100k",
+                analytic, rb.utilization(), analytic * 0.01 + 1e-9,
+            );
+        }
+    }
+}
+
+/// Energy-accounting identities — checked once per engine configuration.
+///
+/// `energy_nj` is a power-×-time model, so it must be exactly zero on an
+/// empty breakdown, strictly positive on work, and (bounded, float
+/// arithmetic) homogeneous: doubling every component doubles the energy.
+pub fn check_energy(report: &mut OracleReport, ctx: CaseCtx, engine: &PicachuEngine) {
+    let zero = engine.energy_nj(&Breakdown::default());
+    report.check_bounded("timing", ctx, "", "energy(zero breakdown)", 0.0, zero, 0.0);
+
+    let b1 = Breakdown { gemm: 1e6, nonlinear: 2e5, data_movement: 3e4 };
+    let b2 = Breakdown { gemm: 2e6, nonlinear: 4e5, data_movement: 6e4 };
+    let (e1, e2) = (engine.energy_nj(&b1), engine.energy_nj(&b2));
+    let positive = e1 > 0.0 && e1.is_finite();
+    report.check_exact("timing", ctx, "", "energy positive+finite", 1, positive as u64);
+    report.check_bounded("timing", ctx, "", "energy homogeneity", 2.0 * e1, e2, 1e-6 * e2.abs());
+}

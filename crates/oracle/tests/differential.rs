@@ -1,0 +1,36 @@
+//! The tier-1 differential suite: run the full (or smoke) sweep and demand
+//! zero discrepancies. On failure the JSON-lines report prints, one
+//! replayable line per violation.
+
+use picachu_oracle::{run_sweep, SweepConfig};
+
+#[test]
+fn differential_oracle_is_green() {
+    let smoke = std::env::var("PICACHU_ORACLE_SMOKE").is_ok();
+    let cfg = if smoke { SweepConfig::smoke() } else { SweepConfig::full() };
+
+    let report = run_sweep(&cfg);
+    println!("{}", report.summary());
+    for s in &report.numerics {
+        println!("{}", s.to_json_line());
+    }
+    if !report.is_green() {
+        for d in &report.discrepancies {
+            println!("{}", d.to_json_line());
+        }
+        panic!(
+            "differential oracle found {} discrepancies (JSON lines above are replayable)",
+            report.discrepancies.len()
+        );
+    }
+
+    let replaying = std::env::var("PICACHU_ORACLE_REPLAY").is_ok();
+    if replaying {
+        assert_eq!(report.cases, 1, "replay runs exactly one case");
+    } else if smoke {
+        assert_eq!(report.cases, cfg.case_count());
+    } else {
+        assert!(report.cases >= 200, "sweep too small: {}", report.cases);
+        assert_eq!(report.cases, cfg.case_count());
+    }
+}

@@ -61,7 +61,7 @@ thread_local! {
 /// and serial-vs-parallel benchmarking; results never depend on this — only
 /// wall-clock does.
 pub fn set_thread_override(n: Option<usize>) {
-    OVERRIDE.store(n.unwrap_or(0).max(0), Ordering::SeqCst);
+    OVERRIDE.store(n.unwrap_or(0), Ordering::SeqCst);
 }
 
 /// The number of worker threads a `parallel_*` call issued right now would

@@ -25,11 +25,22 @@ impl Default for DmaModel {
 
 impl DmaModel {
     /// Cycles to move `bytes` in one transfer.
+    ///
+    /// Integral bandwidths (every shipped configuration) use exact integer
+    /// `div_ceil`: the old `(bytes as f64 / bpc).ceil()` loses integer
+    /// precision above 2⁵³ bytes, where `bytes as f64` rounds and the
+    /// division can come out a cycle short. Fractional bandwidths keep the
+    /// float path (their quotients are not representable exactly anyway).
     pub fn transfer_cycles(&self, bytes: usize) -> u64 {
         if bytes == 0 {
             return 0;
         }
-        self.setup_cycles + (bytes as f64 / self.bytes_per_cycle).ceil() as u64
+        let streaming = if self.bytes_per_cycle >= 1.0 && self.bytes_per_cycle.fract() == 0.0 {
+            (bytes as u64).div_ceil(self.bytes_per_cycle as u64)
+        } else {
+            (bytes as f64 / self.bytes_per_cycle).ceil() as u64
+        };
+        self.setup_cycles + streaming
     }
 
     /// Effective bandwidth for a transfer of `bytes`, in bytes/cycle —
@@ -76,5 +87,21 @@ mod tests {
     fn rounding_up() {
         let d = DmaModel { setup_cycles: 0, bytes_per_cycle: 16.0 };
         assert_eq!(d.transfer_cycles(17), 2);
+    }
+
+    /// Exactness beyond f64's 53-bit integer range: `(2^53 + 1) as f64`
+    /// rounds down to 2^53, so the old float path reported 2^49 cycles for
+    /// a payload that genuinely needs 2^49 + 1. Multi-GiB sizes in the same
+    /// family (odd remainders over an integral bandwidth) must round up.
+    #[test]
+    fn huge_transfers_use_exact_integer_math() {
+        let d = DmaModel { setup_cycles: 0, bytes_per_cycle: 16.0 };
+        assert_eq!(d.transfer_cycles((1usize << 53) + 1), (1u64 << 49) + 1);
+        // 4 GiB + 1 byte: one straggler cycle for the trailing byte.
+        assert_eq!(d.transfer_cycles((4usize << 30) + 1), (4u64 << 26) + 1);
+        // Fractional bandwidths still take the float path.
+        let f = DmaModel { setup_cycles: 0, bytes_per_cycle: 2.5 };
+        assert_eq!(f.transfer_cycles(5), 2);
+        assert_eq!(f.transfer_cycles(6), 3);
     }
 }

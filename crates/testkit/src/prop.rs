@@ -429,7 +429,7 @@ mod tests {
     fn passing_property_passes() {
         check(128, 1, |g| {
             let x = g.f64(0.0..10.0);
-            prop_assert!(x >= 0.0 && x < 10.0);
+            prop_assert!((0.0..10.0).contains(&x));
             Ok(())
         });
     }

@@ -259,7 +259,7 @@ mod tests {
         for _ in 0..5000 {
             let v: i32 = r.gen_range(-17..23);
             assert!((-17..23).contains(&v));
-            let w: usize = r.gen_range(0..1usize.max(3));
+            let w: usize = r.gen_range(0..3);
             assert!(w < 3);
             let x: u16 = r.gen_range(0..=u16::MAX);
             let _ = x; // full domain: any value is valid

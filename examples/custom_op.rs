@@ -4,9 +4,9 @@
 //!
 //! 1. implement it numerically from the Table 3 operator primitives
 //!    (two range-reduced exponentials + division) and verify accuracy;
-//! 2. build its loop-body DFG with the same builder the kernel library
-//!    uses; 3. fuse, map and simulate it on the unmodified 4×4 fabric —
-//! the flexibility claim of §3.2.2 made concrete.
+//! 2. build its loop-body DFG with the same builder the kernel library uses;
+//! 3. fuse, map and simulate it on the unmodified 4×4 fabric —
+//!    the flexibility claim of §3.2.2 made concrete.
 //!
 //! Run with: `cargo run --release --example custom_op`
 

@@ -9,8 +9,14 @@ cd "$(dirname "$0")/.."
 echo "== build (release, offline) =="
 cargo build --release --offline
 
+echo "== clippy (all targets, warnings are errors) =="
+cargo clippy --all-targets --offline -- -D warnings
+
 echo "== test (workspace, offline) =="
 cargo test -q --offline
+
+echo "== differential oracle (smoke grid) =="
+PICACHU_ORACLE_SMOKE=1 cargo test -q -p picachu-oracle --test differential --offline
 
 echo "== test (workspace, offline, PICACHU_THREADS=4) =="
 PICACHU_THREADS=4 cargo test -q --offline

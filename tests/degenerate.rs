@@ -1,0 +1,142 @@
+//! Degenerate-shape and degenerate-geometry coverage: 0-element ops,
+//! single-iteration loops, buffers smaller than one channel row, and 1×1
+//! fabric/systolic grids must produce sane zero-or-positive costs — never
+//! a panic, an underflow wraparound, or a NaN.
+
+use picachu::engine::{EngineConfig, PicachuEngine};
+use picachu_llm::trace::TraceOp;
+use picachu_cgra::{CgraConfig, CgraSimulator};
+use picachu_compiler::arch::CgraSpec;
+use picachu_compiler::mapper::map_dfg;
+use picachu_compiler::transform::fuse_patterns;
+use picachu_ir::kernels::relu_kernel;
+use picachu_nonlinear::NonlinearOp;
+use picachu_systolic::{DmaModel, SharedBuffer, SystolicArray};
+
+fn finite_and_nonnegative(b: &picachu::Breakdown) {
+    for (name, v) in [("gemm", b.gemm), ("nonlinear", b.nonlinear), ("dm", b.data_movement)] {
+        assert!(v.is_finite() && v >= 0.0, "{name} = {v}");
+    }
+}
+
+#[test]
+fn zero_element_ops_cost_nothing() {
+    let mut e = PicachuEngine::new(EngineConfig::default());
+    for op in NonlinearOp::ALL {
+        assert_eq!(e.nonlinear_compute_cycles(op, 0, 64), 0, "{op:?} rows=0");
+        assert_eq!(e.nonlinear_compute_cycles(op, 64, 0), 0, "{op:?} channel=0");
+        assert_eq!(e.nonlinear_compute_cycles(op, 0, 0), 0, "{op:?} empty");
+    }
+}
+
+#[test]
+fn zero_shape_traces_execute_cleanly() {
+    let mut e = PicachuEngine::new(EngineConfig::default());
+    for op in NonlinearOp::ALL {
+        for (rows, channel) in [(0usize, 64usize), (64, 0), (0, 0)] {
+            let trace = [
+                TraceOp::Gemm { m: rows, k: 16, n: channel, count: 1 },
+                TraceOp::Nonlinear { op, rows, channel },
+            ];
+            let b = e.execute_trace(&trace);
+            finite_and_nonnegative(&b);
+            assert_eq!(b.nonlinear, 0.0, "{op:?} {rows}x{channel} costs compute");
+        }
+    }
+}
+
+#[test]
+fn single_element_runs_one_iteration() {
+    // elements < elements_per_ii collapses to one iteration: exactly the
+    // prologue, on both the analytical and the simulated path.
+    let mut e = PicachuEngine::new(EngineConfig::default());
+    for op in NonlinearOp::ALL {
+        let loops = e.compile_op(op).to_vec();
+        for (i, l) in loops.iter().enumerate() {
+            assert_eq!(l.cycles(1), l.mapping.schedule_len as u64, "{}", l.label);
+            let dfg = e.lowered_dfg(op, i, l.uf, l.vf);
+            let cfg = CgraConfig::from_mapping(&dfg, &l.mapping, e.spec());
+            let r = CgraSimulator::new(e.spec(), &dfg, &cfg).run(1);
+            assert_eq!(r.cycles, l.cycles(1), "{}", l.label);
+        }
+        let b = e.execute_trace(&[TraceOp::Nonlinear { op, rows: 1, channel: 1 }]);
+        finite_and_nonnegative(&b);
+        assert!(b.nonlinear > 0.0, "{op:?} 1x1 must cost at least the prologue");
+    }
+}
+
+#[test]
+fn buffer_smaller_than_one_channel_row() {
+    // 1 KB buffer => 256-byte working set; a 4096-element FP16 channel is
+    // 8 KB => hard Case 2 with many chunks per row. Must stay finite and
+    // strictly more expensive than the roomy default.
+    let total = |kb: usize| {
+        let mut e =
+            PicachuEngine::new(EngineConfig { buffer_kb: kb, ..EngineConfig::default() });
+        let b = e.execute_trace(&[TraceOp::Nonlinear {
+            op: NonlinearOp::LayerNorm,
+            rows: 8,
+            channel: 4096,
+        }]);
+        finite_and_nonnegative(&b);
+        b.total()
+    };
+    assert!(total(1) > total(40), "starved buffer must pay for DMA round trips");
+
+    let tiny = SharedBuffer::new_kb(1);
+    assert!(!tiny.channel_fits(4096, 2));
+    // chunks = 0 must short-circuit, not divide by zero
+    assert_eq!(tiny.pipelined_cycles(0, 256, 10, &DmaModel::default()), 0);
+}
+
+#[test]
+fn one_by_one_fabric_compiles_and_simulates() {
+    let mut e = PicachuEngine::new(EngineConfig {
+        cgra_rows: 1,
+        cgra_cols: 1,
+        unroll_candidates: vec![1],
+        ..EngineConfig::default()
+    });
+    assert_eq!(e.spec().len(), 1);
+    for op in [NonlinearOp::Relu, NonlinearOp::Softmax, NonlinearOp::Gelu] {
+        let loops = e.compile_op(op).to_vec();
+        for (i, l) in loops.iter().enumerate() {
+            // every node shares the single tile: II >= node count, 0 hops
+            let dfg = e.lowered_dfg(op, i, l.uf, l.vf);
+            assert!(l.mapping.ii as usize >= dfg.len(), "{}", l.label);
+            let cfg = CgraConfig::from_mapping(&dfg, &l.mapping, e.spec());
+            let r = CgraSimulator::new(e.spec(), &dfg, &cfg).run(16);
+            assert_eq!(r.cycles, l.mapping.cycles_for(16), "{}", l.label);
+            assert_eq!(r.noc_hops, 0, "{} routed off a 1x1 grid", l.label);
+        }
+    }
+}
+
+#[test]
+fn one_by_one_fabric_maps_relu_directly() {
+    let spec = CgraSpec::picachu(1, 1);
+    let d = fuse_patterns(&relu_kernel().loops[0].dfg);
+    let m = map_dfg(&d, &spec, 17).expect("relu maps on a single universal tile");
+    assert!(m.ii as usize >= d.len());
+}
+
+#[test]
+fn one_by_one_systolic_array() {
+    let s = SystolicArray::new(1, 1);
+    assert_eq!(s.gemm_cycles(0, 8, 8), 0);
+    assert_eq!(s.gemm_cycles(1, 1, 1), 1);
+    // m*n tiles of k cycles each on a 1x1 grid
+    assert_eq!(s.gemm_cycles(2, 3, 4), 2 * 4 * 3);
+
+    let mut e = PicachuEngine::new(EngineConfig {
+        systolic_rows: 1,
+        systolic_cols: 1,
+        ..EngineConfig::default()
+    });
+    let b = e.execute_trace(&[
+        TraceOp::Gemm { m: 8, k: 8, n: 8, count: 1 },
+        TraceOp::Nonlinear { op: NonlinearOp::Relu, rows: 8, channel: 8 },
+    ]);
+    finite_and_nonnegative(&b);
+    assert!(b.gemm > 0.0);
+}

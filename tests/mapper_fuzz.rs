@@ -92,7 +92,7 @@ fn fusion_preserves_random_loop_semantics() {
         let streams: Vec<Vec<f32>> = (0..loads)
             .map(|s| {
                 (0..n)
-                    .map(|i| ((i as f32 * 0.37 + s as f32).sin() * 1.5 + 0.2))
+                    .map(|i| (i as f32 * 0.37 + s as f32).sin() * 1.5 + 0.2)
                     .collect()
             })
             .collect();

@@ -17,7 +17,7 @@ fn streams_for(kernel: &Kernel, loop_idx: usize, n: usize) -> Vec<Vec<f32>> {
     (0..loads)
         .map(|s| {
             (0..n)
-                .map(|i| ((i as f32 * 0.61 + s as f32 * 1.7).sin() * 2.0 + 0.1))
+                .map(|i| (i as f32 * 0.61 + s as f32 * 1.7).sin() * 2.0 + 0.1)
                 .collect()
         })
         .collect()
@@ -81,11 +81,10 @@ fn unroll_preserves_elementwise_semantics() {
             // the unrolled body has 2x the loads: split each stream into
             // even/odd element interleaves matching copy order
             let mut u_streams: Vec<Vec<f32>> = Vec::new();
-            let loads_per_copy = streams.len();
             for copy in 0..uf {
-                for s in 0..loads_per_copy {
+                for stream in &streams {
                     u_streams.push(
-                        streams[s]
+                        stream
                             .iter()
                             .skip(copy)
                             .step_by(uf)
