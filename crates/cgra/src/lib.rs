@@ -34,4 +34,4 @@ pub mod sim;
 pub use config::CgraConfig;
 pub use cost::{CostModel, FabricCost};
 pub use schedule::{reservation_table, stats, ScheduleStats};
-pub use sim::{CgraSimulator, SimReport};
+pub use sim::{CgraSimulator, FaultedRun, SimFault, SimReport};

@@ -9,6 +9,8 @@
 
 use crate::config::{CgraConfig, SlotAction};
 use picachu_compiler::arch::CgraSpec;
+use picachu_compiler::mapper::ResourceMask;
+use picachu_faults::{EccReport, FaultPlan};
 use picachu_ir::dfg::Dfg;
 use picachu_ir::opcode::Opcode;
 use std::collections::HashMap;
@@ -69,6 +71,79 @@ impl fmt::Display for SimReport {
     }
 }
 
+/// A fault the simulator detected while executing a configuration.
+///
+/// Every variant is a *typed* rejection — the simulator refuses to pretend a
+/// broken configuration ran, but it never takes the process down for it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimFault {
+    /// A configured slot sits on a PE the fault plan killed.
+    DeadTileInUse {
+        /// The dead tile with a configured slot.
+        tile: usize,
+    },
+    /// An operand has no route on the alive fabric.
+    Unroutable {
+        /// Producing tile.
+        from: usize,
+        /// Consuming tile.
+        to: usize,
+    },
+    /// An operand would arrive after its consumer fires: the static schedule
+    /// is invalid for this fabric (a compiler bug, or a mapping compiled for
+    /// a different fault plan).
+    DataflowViolation {
+        /// The late-fed consumer node id.
+        node: usize,
+        /// Cycle the consumer fires.
+        fires_at: u64,
+        /// Cycle the operand lands.
+        arrives_at: u64,
+    },
+    /// Some DFG node never fired — the configuration is incomplete.
+    MissingFirings {
+        /// Firings counted.
+        fired: u64,
+        /// Firings expected (`nodes × iterations`).
+        expected: u64,
+    },
+}
+
+impl fmt::Display for SimFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimFault::DeadTileInUse { tile } => {
+                write!(f, "configuration uses dead tile {tile}")
+            }
+            SimFault::Unroutable { from, to } => {
+                write!(f, "no alive route from tile {from} to tile {to}")
+            }
+            SimFault::DataflowViolation { node, fires_at, arrives_at } => write!(
+                f,
+                "node {node} fires at {fires_at} but an operand arrives at {arrives_at}"
+            ),
+            SimFault::MissingFirings { fired, expected } => {
+                write!(f, "{fired} firings counted, {expected} expected")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimFault {}
+
+/// Result of a fault-injected run: the pipeline statistics plus the ECC
+/// activity on the configuration SRAM. `report.cycles` stays the *pure*
+/// pipeline count (`schedule_len + (iters−1)·II` — the accounting identity
+/// the oracle checks); the one-time ECC overhead is reported separately for
+/// the engine to add to its end-to-end latency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultedRun {
+    /// Pipeline statistics (identical identities as the healthy run).
+    pub report: SimReport,
+    /// ECC outcomes over the configuration SRAM under the fault plan.
+    pub ecc: EccReport,
+}
+
 /// The simulator: drives one configured fabric in steady state.
 #[derive(Debug)]
 pub struct CgraSimulator<'a> {
@@ -88,8 +163,58 @@ impl<'a> CgraSimulator<'a> {
     /// # Panics
     /// Panics if the configuration violates dataflow (an operand would not
     /// have arrived when its consumer fires) — that would be a compiler bug,
-    /// and the simulator exists to catch it.
+    /// and the simulator exists to catch it. Serve paths that must stay up
+    /// use [`CgraSimulator::try_run`] instead.
     pub fn run(&self, iterations: u64) -> SimReport {
+        match self.try_run(iterations, None) {
+            Ok(r) => r,
+            Err(fault) => panic!("{fault}"),
+        }
+    }
+
+    /// Runs under a fault plan: operand distances come from the alive-fabric
+    /// routing of `plan`'s dead tiles/links, a configured slot on a dead PE
+    /// is rejected, and the plan's SRAM flips are evaluated as ECC outcomes
+    /// over the configuration memory
+    /// (`config.size_bytes() / 8` words).
+    ///
+    /// # Errors
+    /// Any [`SimFault`]: the configuration is unusable on this degraded
+    /// fabric (compile it with the matching `ResourceMask` first).
+    pub fn run_faulted(&self, iterations: u64, plan: &FaultPlan) -> Result<FaultedRun, SimFault> {
+        let mask = ResourceMask::degraded(
+            self.spec,
+            plan.dead_tiles.iter().copied(),
+            plan.dead_links.iter().copied(),
+        );
+        for (tile, prog) in self.config.tiles.iter().enumerate() {
+            let configured = prog
+                .slots
+                .iter()
+                .any(|s| matches!(s, SlotAction::Execute { .. }));
+            if configured && !mask.tile_alive(tile) {
+                return Err(SimFault::DeadTileInUse { tile });
+            }
+        }
+        let report = self.try_run(iterations, Some(&mask))?;
+        let ecc = plan
+            .ecc
+            .classify_sram(&plan.sram_flips, (self.config.size_bytes() / 8) as u64);
+        Ok(FaultedRun { report, ecc })
+    }
+
+    /// The non-panicking core: verifies the schedule dynamically and
+    /// accumulates statistics, using `mask`'s alive-fabric hop distances
+    /// when given (detours around dead resources) and plain Manhattan
+    /// distance otherwise.
+    ///
+    /// # Errors
+    /// A [`SimFault`] describing the first violation found.
+    pub fn try_run(
+        &self,
+        iterations: u64,
+        mask: Option<&ResourceMask>,
+    ) -> Result<SimReport, SimFault> {
         let ii = self.config.ii as u64;
         let mut report = SimReport {
             cycles: 0,
@@ -102,8 +227,17 @@ impl<'a> CgraSimulator<'a> {
             buffer_accesses: 0,
         };
         if iterations == 0 {
-            return report;
+            return Ok(report);
         }
+        let hops_of = |from: usize, to: usize| -> Result<u64, SimFault> {
+            match mask {
+                Some(m) => m
+                    .hops(self.spec, from, to)
+                    .map(u64::from)
+                    .ok_or(SimFault::Unroutable { from, to }),
+                None => Ok(self.spec.hops(from, to) as u64),
+            }
+        };
 
         // Representative probe iterations: steady state repeats with period
         // II, so the first and last iteration suffice to catch wraparound
@@ -132,18 +266,15 @@ impl<'a> CgraSimulator<'a> {
                             continue; // fed by loop prologue / initial value
                         }
                         let prod_iter = iter - o.distance as u64;
-                        let arrive = o.ready_at as u64
-                            + prod_iter * ii
-                            + self.spec.hops(o.tile, tile) as u64;
-                        assert!(
-                            arrive <= t_fire,
-                            "node {} fires at {} but operand {} arrives at {} (iter {})",
-                            node,
-                            t_fire,
-                            o.node,
-                            arrive,
-                            iter
-                        );
+                        let arrive =
+                            o.ready_at as u64 + prod_iter * ii + hops_of(o.tile, tile)?;
+                        if arrive > t_fire {
+                            return Err(SimFault::DataflowViolation {
+                                node: node.0,
+                                fires_at: t_fire,
+                                arrives_at: arrive,
+                            });
+                        }
                     }
                 }
                 // accumulate statistics over all iterations
@@ -153,7 +284,7 @@ impl<'a> CgraSimulator<'a> {
                     report.buffer_accesses += iterations;
                 }
                 for o in operands {
-                    report.noc_hops += self.spec.hops(o.tile, tile) as u64 * iterations;
+                    report.noc_hops += hops_of(o.tile, tile)? * iterations;
                 }
             }
         }
@@ -161,12 +292,11 @@ impl<'a> CgraSimulator<'a> {
         report.cycles = self.config.schedule_len as u64 + (iterations - 1) * ii;
         // sanity: every node fired
         let fired: u64 = report.activations.values().sum();
-        assert_eq!(
-            fired,
-            self.dfg.len() as u64 * iterations,
-            "not every node fired every iteration"
-        );
-        report
+        let expected = self.dfg.len() as u64 * iterations;
+        if fired != expected {
+            return Err(SimFault::MissingFirings { fired, expected });
+        }
+        Ok(report)
     }
 }
 
@@ -292,5 +422,84 @@ mod tests {
         let d = fuse_patterns(&k.loops[1].dfg);
         let r = simulate(&d, &spec, 10);
         assert!(r.noc_hops > 0, "a 15-node kernel must route between tiles");
+    }
+
+    #[test]
+    fn run_faulted_with_empty_plan_matches_healthy_run() {
+        let spec = CgraSpec::picachu(4, 4);
+        let d = fuse_patterns(&relu_kernel().loops[0].dfg);
+        let m = map_dfg(&d, &spec, 17).unwrap();
+        let cfg = CgraConfig::from_mapping(&d, &m, &spec);
+        let sim = CgraSimulator::new(&spec, &d, &cfg);
+        let healthy = sim.run(100);
+        let faulted = sim.run_faulted(100, &FaultPlan::none()).unwrap();
+        assert_eq!(faulted.report, healthy);
+        assert_eq!(faulted.ecc, EccReport::default());
+    }
+
+    #[test]
+    fn degraded_mapping_simulates_under_matching_plan() {
+        use picachu_compiler::mapper::map_dfg_with;
+        let spec = CgraSpec::picachu(4, 4);
+        let d = fuse_patterns(&relu_kernel().loops[0].dfg);
+        let plan = FaultPlan::dead_tile(5).with_dead_link(0, 1);
+        let mask = ResourceMask::degraded(
+            &spec,
+            plan.dead_tiles.iter().copied(),
+            plan.dead_links.iter().copied(),
+        );
+        let m = map_dfg_with(&d, &spec, 17, &mask, None).unwrap();
+        let cfg = CgraConfig::from_mapping(&d, &m, &spec);
+        let run = CgraSimulator::new(&spec, &d, &cfg)
+            .run_faulted(64, &plan)
+            .unwrap();
+        // degraded runs keep the pure pipeline identity
+        assert_eq!(
+            run.report.cycles,
+            cfg.schedule_len as u64 + 63 * m.ii as u64
+        );
+        let fired: u64 = run.report.activations.values().sum();
+        assert_eq!(fired, d.len() as u64 * 64);
+    }
+
+    #[test]
+    fn healthy_mapping_on_dead_tile_is_rejected_typed() {
+        let spec = CgraSpec::picachu(4, 4);
+        let d = fuse_patterns(&relu_kernel().loops[0].dfg);
+        let m = map_dfg(&d, &spec, 17).unwrap();
+        let cfg = CgraConfig::from_mapping(&d, &m, &spec);
+        let sim = CgraSimulator::new(&spec, &d, &cfg);
+        // kill every tile the mapping uses in turn: each must be rejected
+        // with the dead-tile fault, never a panic
+        let mut rejected = 0;
+        for p in &m.placements {
+            let err = sim.run_faulted(16, &FaultPlan::dead_tile(p.tile)).unwrap_err();
+            assert_eq!(err, SimFault::DeadTileInUse { tile: p.tile });
+            rejected += 1;
+        }
+        assert!(rejected > 0);
+    }
+
+    #[test]
+    fn ecc_outcomes_reported_for_config_sram() {
+        let spec = CgraSpec::picachu(4, 4);
+        let d = fuse_patterns(&relu_kernel().loops[0].dfg);
+        let m = map_dfg(&d, &spec, 17).unwrap();
+        let cfg = CgraConfig::from_mapping(&d, &m, &spec);
+        let sim = CgraSimulator::new(&spec, &d, &cfg);
+        let plan = FaultPlan::none()
+            .with_sram_flip(0, 1)
+            .with_sram_flip(1, 2)
+            .with_sram_flip(2, 3);
+        let run = sim.run_faulted(10, &plan).unwrap();
+        assert_eq!(run.ecc.corrected, 1);
+        assert_eq!(run.ecc.detected, 1);
+        assert_eq!(run.ecc.silent, 1);
+        assert!(run.ecc.overhead_cycles > 0);
+        // ECC overhead never leaks into the pipeline identity
+        assert_eq!(
+            run.report.cycles,
+            cfg.schedule_len as u64 + 9 * m.ii as u64
+        );
     }
 }

@@ -26,10 +26,14 @@
 //! assert!(mapping.ii >= 1);
 //! ```
 
+// Serve-path crate: a panic here kills a compile request, so unwrap/expect
+// are banned outside test code (DESIGN.md §7).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod arch;
 pub mod frontend;
 pub mod mapper;
 pub mod transform;
 
 pub use arch::{CgraSpec, TileClass};
-pub use mapper::{map_dfg, Mapping};
+pub use mapper::{map_dfg, map_dfg_with, MapError, Mapping, ResourceMask};

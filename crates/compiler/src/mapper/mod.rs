@@ -24,12 +24,18 @@
 //! `picachu-runtime` thread pool and still returns the exact mapping the
 //! serial grid scan would.
 
+pub mod mask;
+
+pub use mask::ResourceMask;
+
 use crate::arch::CgraSpec;
 use picachu_ir::dfg::{Dfg, NodeId};
 use picachu_ir::opcode::Opcode;
 use picachu_testkit::{splitmix64, TestRng};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
 
 /// Routing capacity per (tile, slot): how many pass-through operands a tile's
 /// crossbar can forward per cycle in addition to its own computation.
@@ -90,26 +96,55 @@ impl fmt::Display for Mapping {
     }
 }
 
-/// Why mapping failed.
+/// Why mapping failed. Every variant is recoverable by the caller — the
+/// mapper never panics on a well-formed request, including degraded fabrics
+/// where the answer is simply "not mappable".
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MapError {
-    /// Some opcode has no capable tile on this fabric at all.
+    /// The DFG has no nodes; there is nothing to place.
+    EmptyDfg,
+    /// Some opcode has no capable (alive) tile on this fabric at all.
     NoCapableTile(Opcode),
     /// No feasible schedule within `MII + II_SLACK`.
     IiLimitExceeded {
         /// The last II tried.
         tried: u32,
     },
+    /// The per-compile deadline expired before the search finished.
+    Timeout {
+        /// The budget that expired, in milliseconds.
+        budget_ms: u64,
+    },
+    /// A search worker panicked (isolated by the runtime's `catch_unwind`).
+    Worker {
+        /// Grid index of the panicking attempt.
+        index: usize,
+        /// Stringified panic payload.
+        message: String,
+    },
+    /// An internal invariant failed; reported instead of panicking so the
+    /// serve path stays up.
+    Internal(&'static str),
 }
 
 impl fmt::Display for MapError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            MapError::EmptyDfg => write!(f, "cannot map an empty DFG"),
             MapError::NoCapableTile(op) => {
                 write!(f, "no tile on this fabric supports '{op}'")
             }
             MapError::IiLimitExceeded { tried } => {
                 write!(f, "no feasible schedule up to II={tried}")
+            }
+            MapError::Timeout { budget_ms } => {
+                write!(f, "mapping deadline of {budget_ms} ms expired")
+            }
+            MapError::Worker { index, message } => {
+                write!(f, "mapping attempt {index} panicked: {message}")
+            }
+            MapError::Internal(what) => {
+                write!(f, "internal mapper invariant failed: {what}")
             }
         }
     }
@@ -120,19 +155,32 @@ impl std::error::Error for MapError {}
 /// Resource-constrained minimum II: nodes sharing a tile-capability set
 /// cannot initiate faster than `⌈count / |tiles|⌉`.
 pub fn res_mii(dfg: &Dfg, spec: &CgraSpec) -> Result<u32, MapError> {
-    let mut by_mask: HashMap<Vec<bool>, usize> = HashMap::new();
-    for n in dfg.nodes() {
-        let mask: Vec<bool> = (0..spec.len())
-            .map(|t| spec.tile_supports(t, n.op))
-            .collect();
-        if !mask.iter().any(|&b| b) {
+    res_mii_with(dfg, spec, &ResourceMask::full(spec))
+}
+
+/// [`res_mii`] restricted to the alive tiles of `mask`: dead PEs contribute
+/// no issue slots, so the bound tightens as the fabric degrades.
+pub fn res_mii_with(dfg: &Dfg, spec: &CgraSpec, mask: &ResourceMask) -> Result<u32, MapError> {
+    let alive = mask.alive_count();
+    if alive == 0 {
+        if let Some(n) = dfg.nodes().first() {
             return Err(MapError::NoCapableTile(n.op));
         }
-        *by_mask.entry(mask).or_insert(0) += 1;
+        return Ok(1);
     }
-    let mut bound = dfg.len().div_ceil(spec.len()) as u32;
-    for (mask, count) in by_mask {
-        let tiles = mask.iter().filter(|&&b| b).count();
+    let mut by_cap: HashMap<Vec<bool>, usize> = HashMap::new();
+    for n in dfg.nodes() {
+        let cap: Vec<bool> = (0..spec.len())
+            .map(|t| mask.tile_alive(t) && spec.tile_supports(t, n.op))
+            .collect();
+        if !cap.iter().any(|&b| b) {
+            return Err(MapError::NoCapableTile(n.op));
+        }
+        *by_cap.entry(cap).or_insert(0) += 1;
+    }
+    let mut bound = dfg.len().div_ceil(alive) as u32;
+    for (cap, count) in by_cap {
+        let tiles = cap.iter().filter(|&&b| b).count();
         bound = bound.max(count.div_ceil(tiles) as u32);
     }
     Ok(bound.max(1))
@@ -140,11 +188,17 @@ pub fn res_mii(dfg: &Dfg, spec: &CgraSpec) -> Result<u32, MapError> {
 
 /// `MII = max(RecMII, ResMII)` — the II the search starts from.
 pub fn min_ii(dfg: &Dfg, spec: &CgraSpec) -> Result<u32, MapError> {
-    Ok(res_mii(dfg, spec)?.max(dfg.rec_mii()))
+    min_ii_with(dfg, spec, &ResourceMask::full(spec))
+}
+
+/// [`min_ii`] over the alive fabric of `mask`.
+pub fn min_ii_with(dfg: &Dfg, spec: &CgraSpec, mask: &ResourceMask) -> Result<u32, MapError> {
+    Ok(res_mii_with(dfg, spec, mask)?.max(dfg.rec_mii()))
 }
 
 struct State<'a> {
     spec: &'a CgraSpec,
+    mask: &'a ResourceMask,
     ii: u32,
     /// compute occupancy: (tile, slot) -> taken
     compute: Vec<bool>,
@@ -153,9 +207,10 @@ struct State<'a> {
 }
 
 impl<'a> State<'a> {
-    fn new(spec: &'a CgraSpec, ii: u32) -> State<'a> {
+    fn new(spec: &'a CgraSpec, mask: &'a ResourceMask, ii: u32) -> State<'a> {
         State {
             spec,
+            mask,
             ii,
             compute: vec![false; spec.len() * ii as usize],
             routing: vec![0; spec.len() * ii as usize],
@@ -166,29 +221,14 @@ impl<'a> State<'a> {
         tile * self.ii as usize + (time % self.ii) as usize
     }
 
-    /// Row-first L-shaped path between two tiles, excluding both endpoints.
-    fn path(&self, from: usize, to: usize) -> Vec<usize> {
-        let (fr, fc) = self.spec.coords(from);
-        let (tr, tc) = self.spec.coords(to);
-        let mut tiles = Vec::new();
-        let mut c = fc;
-        while c != tc {
-            c = if c < tc { c + 1 } else { c - 1 };
-            tiles.push(fr * self.spec.cols + c);
-        }
-        let mut r = fr;
-        while r != tr {
-            r = if r < tr { r + 1 } else { r - 1 };
-            tiles.push(r * self.spec.cols + tc);
-        }
-        tiles.pop(); // drop destination
-        tiles
-    }
-
     /// Checks that the operand leaving `from` at `depart` can be routed to
-    /// `to` (arriving at `depart + hops`).
+    /// `to` (arriving at `depart + hops`): the pair must be connected on the
+    /// alive fabric and every intermediate tile must have routing capacity.
     fn route_free(&self, from: usize, to: usize, depart: u32) -> bool {
-        for (k, &tile) in self.path(from, to).iter().enumerate() {
+        let Some(path) = self.mask.path(self.spec, from, to) else {
+            return false;
+        };
+        for (k, &tile) in path.iter().enumerate() {
             if self.routing[self.idx(tile, depart + k as u32 + 1)] >= ROUTE_CAP {
                 return false;
             }
@@ -197,7 +237,10 @@ impl<'a> State<'a> {
     }
 
     fn route_commit(&mut self, from: usize, to: usize, depart: u32) {
-        for (k, tile) in self.path(from, to).into_iter().enumerate() {
+        let Some(path) = self.mask.path(self.spec, from, to) else {
+            return; // unreachable: route_free succeeded before every commit
+        };
+        for (k, tile) in path.into_iter().enumerate() {
             let i = self.idx(tile, depart + k as u32 + 1);
             self.routing[i] += 1;
         }
@@ -238,7 +281,13 @@ fn is_phi_class(op: Opcode) -> bool {
     matches!(op, Opcode::Phi | Opcode::FusedPhiAdd | Opcode::FusedPhiAddAdd)
 }
 
-fn try_place(dfg: &Dfg, spec: &CgraSpec, ii: u32, rng: &mut TestRng) -> Option<Vec<Placement>> {
+fn try_place(
+    dfg: &Dfg,
+    spec: &CgraSpec,
+    mask: &ResourceMask,
+    ii: u32,
+    rng: &mut TestRng,
+) -> Option<Vec<Placement>> {
     let n = dfg.len();
     let levels = priorities(dfg);
     // priority: deferred level asc; within a level, φ nodes go last so the
@@ -268,22 +317,20 @@ fn try_place(dfg: &Dfg, spec: &CgraSpec, ii: u32, rng: &mut TestRng) -> Option<V
         }
     }
 
-    let mut st = State::new(spec, ii);
+    let mut st = State::new(spec, mask, ii);
     let mut placed: Vec<Option<Placement>> = vec![None; n];
 
     for &v in &order {
         let node = &dfg.nodes()[v];
         // earliest start from same-iteration predecessors (per-tile addend
-        // for hops is applied per candidate below).
-        let preds: Vec<(usize, u32)> = node
-            .inputs
-            .iter()
-            .filter(|e| e.distance == 0)
-            .map(|e| {
-                let p = placed[e.from.0].expect("topological order");
-                (p.tile, p.time + dfg.nodes()[e.from.0].op.latency())
-            })
-            .collect();
+        // for hops is applied per candidate below). The priority order is
+        // topological over distance-0 edges, so predecessors are placed; if
+        // that invariant ever breaks, the attempt fails instead of panicking.
+        let mut preds: Vec<(usize, u32)> = Vec::new();
+        for e in node.inputs.iter().filter(|e| e.distance == 0) {
+            let p = placed[e.from.0]?;
+            preds.push((p.tile, p.time + dfg.nodes()[e.from.0].op.latency()));
+        }
 
         // Dynamic start for source nodes (φ, const, invariant loads): align
         // with the actual times of their consumers' other inputs, so the φ of
@@ -306,15 +353,26 @@ fn try_place(dfg: &Dfg, spec: &CgraSpec, ii: u32, rng: &mut TestRng) -> Option<V
         };
 
         let mut tiles: Vec<usize> = (0..spec.len())
-            .filter(|&t| spec.tile_supports(t, node.op))
+            .filter(|&t| mask.tile_alive(t) && spec.tile_supports(t, node.op))
             .collect();
         rng.shuffle(&mut tiles);
 
         let mut placed_here = false;
         'tile: for &tile in &tiles {
+            // hop distance from every placed predecessor; a predecessor
+            // disconnected from this tile on the alive fabric rules the
+            // tile out entirely.
+            let mut pred_hops: Vec<u32> = Vec::with_capacity(preds.len());
+            for &(pt, _) in &preds {
+                match mask.hops(spec, pt, tile) {
+                    Some(h) => pred_hops.push(h),
+                    None => continue 'tile,
+                }
+            }
             let earliest = preds
                 .iter()
-                .map(|&(pt, rdy)| rdy + spec.hops(pt, tile))
+                .zip(&pred_hops)
+                .map(|(&(_, rdy), &h)| rdy + h)
                 .max()
                 .unwrap_or(dynamic_floor);
             for dt in 0..ii {
@@ -323,9 +381,9 @@ fn try_place(dfg: &Dfg, spec: &CgraSpec, ii: u32, rng: &mut TestRng) -> Option<V
                     continue;
                 }
                 // routing from each predecessor
-                let routes_ok = preds.iter().all(|&(pt, rdy)| {
+                let routes_ok = preds.iter().zip(&pred_hops).all(|(&(pt, rdy), &h)| {
                     // operand departs when ready; slack waits at source reg
-                    let depart = t - spec.hops(pt, tile); // arrive exactly at t
+                    let depart = t - h; // arrive exactly at t
                     depart >= rdy && st.route_free(pt, tile, depart)
                 });
                 if !routes_ok {
@@ -334,10 +392,10 @@ fn try_place(dfg: &Dfg, spec: &CgraSpec, ii: u32, rng: &mut TestRng) -> Option<V
                 // carried-consumer deadlines (consumers already placed)
                 let deadlines_ok = carried_out[v].iter().all(|&(c, d)| {
                     match placed[c] {
-                        Some(pc) => {
-                            t + node.op.latency() + spec.hops(tile, pc.tile)
-                                <= pc.time + d * ii
-                        }
+                        Some(pc) => match mask.hops(spec, tile, pc.tile) {
+                            Some(h) => t + node.op.latency() + h <= pc.time + d * ii,
+                            None => false,
+                        },
                         None => true,
                     }
                 });
@@ -347,8 +405,8 @@ fn try_place(dfg: &Dfg, spec: &CgraSpec, ii: u32, rng: &mut TestRng) -> Option<V
                 // commit
                 let i = st.idx(tile, t);
                 st.compute[i] = true;
-                for &(pt, _) in &preds {
-                    let depart = t - spec.hops(pt, tile);
+                for (&(pt, _), &h) in preds.iter().zip(&pred_hops) {
+                    let depart = t - h;
                     st.route_commit(pt, tile, depart);
                 }
                 placed[v] = Some(Placement { node: NodeId(v), tile, time: t });
@@ -371,10 +429,11 @@ fn try_place(dfg: &Dfg, spec: &CgraSpec, ii: u32, rng: &mut TestRng) -> Option<V
     for node in dfg.nodes() {
         for e in &node.inputs {
             if e.distance > 0 {
-                let pu = placed[e.from.0].unwrap();
-                let pv = placed[node.id.0].unwrap();
+                let pu = placed[e.from.0]?;
+                let pv = placed[node.id.0]?;
                 let lat = dfg.nodes()[e.from.0].op.latency();
-                if pu.time + lat + spec.hops(pu.tile, pv.tile) > pv.time + e.distance * ii {
+                let hops = mask.hops(spec, pu.tile, pv.tile)?;
+                if pu.time + lat + hops > pv.time + e.distance * ii {
                     if std::env::var_os("PICACHU_MAP_DEBUG").is_some() {
                         eprintln!(
                             "  [map-debug] II={ii}: recurrence {} -> {} violated (tu={} tv={})",
@@ -387,7 +446,7 @@ fn try_place(dfg: &Dfg, spec: &CgraSpec, ii: u32, rng: &mut TestRng) -> Option<V
         }
     }
 
-    Some(placed.into_iter().map(|p| p.unwrap()).collect())
+    placed.into_iter().collect()
 }
 
 /// The RNG seed of one `(II, attempt)` cell of the search grid. Each attempt
@@ -403,7 +462,12 @@ fn attempt_seed(seed: u64, ii: u32, attempt: usize) -> u64 {
 /// each consumer, so the mesh routing of the final edges counts toward the
 /// prologue (distance-0 operands arrive exactly at their consumer's issue
 /// time, but loop-carried operands can land after the last issue).
-fn schedule_len_of(dfg: &Dfg, spec: &CgraSpec, placements: &[Placement]) -> u32 {
+fn schedule_len_of(
+    dfg: &Dfg,
+    spec: &CgraSpec,
+    mask: &ResourceMask,
+    placements: &[Placement],
+) -> Option<u32> {
     let mut len = placements
         .iter()
         .map(|p| p.time + dfg.nodes()[p.node.0].op.latency())
@@ -414,10 +478,10 @@ fn schedule_len_of(dfg: &Dfg, spec: &CgraSpec, placements: &[Placement]) -> u32 
         for e in &node.inputs {
             let pu = placements[e.from.0];
             let lat = dfg.nodes()[e.from.0].op.latency();
-            len = len.max(pu.time + lat + spec.hops(pu.tile, pv.tile));
+            len = len.max(pu.time + lat + mask.hops(spec, pu.tile, pv.tile)?);
         }
     }
-    len
+    Some(len)
 }
 
 /// Maps a DFG onto the fabric, minimizing II.
@@ -436,20 +500,65 @@ fn schedule_len_of(dfg: &Dfg, spec: &CgraSpec, placements: &[Placement]) -> u32 
 /// [`MapError::IiLimitExceeded`] when no schedule is found within the search
 /// window.
 pub fn map_dfg(dfg: &Dfg, spec: &CgraSpec, seed: u64) -> Result<Mapping, MapError> {
-    assert!(!dfg.is_empty(), "cannot map an empty DFG");
-    let mii = min_ii(dfg, spec)?;
+    map_dfg_with(dfg, spec, seed, &ResourceMask::full(spec), None)
+}
+
+/// [`map_dfg`] restricted to the alive fabric of `mask`, optionally under a
+/// wall-clock `deadline`.
+///
+/// With a full mask and no deadline this is exactly [`map_dfg`] —
+/// bit-identical mappings included. A degraded mask narrows placement to
+/// alive tiles and reroutes operands via deterministic BFS detours around
+/// dead tiles/links; the achieved II then reflects the degradation (callers
+/// compare against the healthy II to report inflation).
+///
+/// The deadline is cooperative: search cells started before expiry finish,
+/// cells claimed after it are skipped, and if nothing succeeded the error is
+/// [`MapError::Timeout`] rather than [`MapError::IiLimitExceeded`]. A
+/// deadline makes the *failure mode* timing-dependent (a success found
+/// before expiry is still deterministic), so serve paths pair it with a
+/// fallback; tests that need full determinism pass `None`.
+///
+/// # Errors
+/// [`MapError::EmptyDfg`], [`MapError::NoCapableTile`],
+/// [`MapError::IiLimitExceeded`], [`MapError::Timeout`], or
+/// [`MapError::Worker`] when a search attempt panicked.
+pub fn map_dfg_with(
+    dfg: &Dfg,
+    spec: &CgraSpec,
+    seed: u64,
+    mask: &ResourceMask,
+    deadline: Option<Duration>,
+) -> Result<Mapping, MapError> {
+    if dfg.is_empty() {
+        return Err(MapError::EmptyDfg);
+    }
+    let mii = min_ii_with(dfg, spec, mask)?;
     let grid = (II_SLACK as usize + 1) * ATTEMPTS_PER_II;
-    let found = picachu_runtime::parallel_find_first(grid, |idx| {
+    let start = Instant::now();
+    let timed_out = AtomicBool::new(false);
+    let found = picachu_runtime::try_parallel_find_first(grid, |idx| {
+        if let Some(budget) = deadline {
+            if start.elapsed() >= budget {
+                timed_out.store(true, Ordering::SeqCst);
+                return None;
+            }
+        }
         let ii = mii + (idx / ATTEMPTS_PER_II) as u32;
         let attempt = idx % ATTEMPTS_PER_II;
         let mut rng = TestRng::seed_from_u64(attempt_seed(seed, ii, attempt));
-        try_place(dfg, spec, ii, &mut rng).map(|placements| (ii, placements))
-    });
+        try_place(dfg, spec, mask, ii, &mut rng).map(|placements| (ii, placements))
+    })
+    .map_err(|wp| MapError::Worker { index: wp.index, message: wp.message })?;
     match found {
         Some((_, (ii, placements))) => {
-            let schedule_len = schedule_len_of(dfg, spec, &placements);
+            let schedule_len = schedule_len_of(dfg, spec, mask, &placements)
+                .ok_or(MapError::Internal("accepted placement has unroutable edge"))?;
             Ok(Mapping { ii, placements, schedule_len })
         }
+        None if timed_out.load(Ordering::SeqCst) => Err(MapError::Timeout {
+            budget_ms: deadline.map_or(0, |d| d.as_millis() as u64),
+        }),
         None => Err(MapError::IiLimitExceeded { tried: mii + II_SLACK }),
     }
 }
@@ -644,6 +753,124 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn empty_dfg_is_a_typed_error() {
+        let g = picachu_ir::Dfg::new("empty");
+        assert_eq!(map_dfg(&g, &picachu(), 0), Err(MapError::EmptyDfg));
+    }
+
+    #[test]
+    fn full_mask_is_bit_identical_to_map_dfg() {
+        let spec = picachu();
+        let mask = ResourceMask::full(&spec);
+        for k in kernel_library(4) {
+            for l in &k.loops {
+                let fused = fuse_patterns(&l.dfg);
+                assert_eq!(
+                    map_dfg(&fused, &spec, 7),
+                    map_dfg_with(&fused, &spec, 7, &mask, None),
+                    "{}",
+                    l.label
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_single_dead_tile_still_maps_all_kernels() {
+        let spec = picachu();
+        for dead in 0..spec.len() {
+            let mask = ResourceMask::degraded(&spec, [dead], []);
+            for k in kernel_library(4) {
+                for l in &k.loops {
+                    let fused = fuse_patterns(&l.dfg);
+                    let m = map_dfg_with(&fused, &spec, 7, &mask, None)
+                        .unwrap_or_else(|e| panic!("{} with tile {dead} dead: {e}", l.label));
+                    for p in &m.placements {
+                        assert_ne!(p.tile, dead, "{}: node on the dead tile", l.label);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_single_dead_link_still_maps_all_kernels() {
+        let spec = picachu();
+        let mut links = Vec::new();
+        for t in 0..spec.len() {
+            for nb in spec.neighbors(t) {
+                if t < nb {
+                    links.push((t, nb));
+                }
+            }
+        }
+        assert_eq!(links.len(), 24, "4x4 mesh has 24 links");
+        for &(a, b) in &links {
+            let mask = ResourceMask::degraded(&spec, [], [(a, b)]);
+            for k in kernel_library(4) {
+                for l in &k.loops {
+                    let fused = fuse_patterns(&l.dfg);
+                    map_dfg_with(&fused, &spec, 7, &mask, None)
+                        .unwrap_or_else(|e| panic!("{} with link {a}-{b} dead: {e}", l.label));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_mapping_is_deterministic() {
+        let spec = picachu();
+        let mask = ResourceMask::degraded(&spec, [0, 5], [(9, 10)]);
+        let k = softmax_kernel(4);
+        let fused = fuse_patterns(&k.loops[1].dfg);
+        let a = map_dfg_with(&fused, &spec, 42, &mask, None).unwrap();
+        let b = map_dfg_with(&fused, &spec, 42, &mask, None).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unmappable_degraded_fabric_is_a_typed_error() {
+        // kill every memory-port tile: loads have no capable tile left
+        let spec = picachu();
+        let dead: Vec<usize> = (0..spec.len())
+            .filter(|&t| spec.tile(t).mem_port)
+            .collect();
+        let mask = ResourceMask::degraded(&spec, dead, []);
+        let k = relu_kernel();
+        let fused = fuse_patterns(&k.loops[0].dfg);
+        let err = map_dfg_with(&fused, &spec, 1, &mask, None).unwrap_err();
+        assert!(matches!(err, MapError::NoCapableTile(_)), "{err}");
+    }
+
+    #[test]
+    fn zero_deadline_times_out() {
+        let k = softmax_kernel(4);
+        let fused = fuse_patterns(&k.loops[1].dfg);
+        let spec = picachu();
+        let err = map_dfg_with(
+            &fused,
+            &spec,
+            1,
+            &ResourceMask::full(&spec),
+            Some(Duration::ZERO),
+        )
+        .unwrap_err();
+        assert_eq!(err, MapError::Timeout { budget_ms: 0 });
+    }
+
+    #[test]
+    fn res_mii_tightens_on_degraded_fabric() {
+        let spec = picachu();
+        let k = softmax_kernel(4);
+        let fused = fuse_patterns(&k.loops[1].dfg);
+        let full = res_mii(&fused, &spec).unwrap();
+        // kill half the fabric: the bound cannot get looser
+        let mask = ResourceMask::degraded(&spec, 0..8, []);
+        let degraded = res_mii_with(&fused, &spec, &mask).unwrap();
+        assert!(degraded >= full, "degraded {degraded} < full {full}");
     }
 
     #[test]

@@ -227,7 +227,9 @@ pub fn count_patterns(dfg: &Dfg) -> PatternCounts {
             Opcode::FusedMulAddAdd => c.mul_add_add += 1,
             Opcode::FusedMulAdd => c.mul_add += 1,
             Opcode::FusedCmpBr => c.cmp_br += 1,
-            _ => unreachable!("fusion produced non-fused opcode"),
+            // find_groups only emits the seven fused opcodes above; an
+            // unknown one is a bug but not worth killing a serve request.
+            _ => debug_assert!(false, "fusion produced non-fused opcode {:?}", g.fused),
         }
     }
     c
@@ -265,21 +267,23 @@ pub fn fuse_patterns(dfg: &Dfg) -> Dfg {
     }
 
     // New id assignment: walk original order; a group emits at its first
-    // member, other members emit nothing.
-    let mut new_id: Vec<Option<usize>> = vec![None; dfg.len()];
+    // member, other members share its id. Every original index gets an id,
+    // so the table needs no Option.
+    let mut new_id: Vec<usize> = vec![0; dfg.len()];
     let mut emitted_group: Vec<Option<usize>> = vec![None; groups.len()];
     let mut next = 0usize;
     for (i, slot) in new_id.iter_mut().enumerate() {
         match group_of.get(&i) {
-            Some(&gi) => {
-                if emitted_group[gi].is_none() {
+            Some(&gi) => match emitted_group[gi] {
+                Some(id) => *slot = id,
+                None => {
                     emitted_group[gi] = Some(next);
+                    *slot = next;
                     next += 1;
                 }
-                *slot = emitted_group[gi];
-            }
+            },
             None => {
-                *slot = Some(next);
+                *slot = next;
                 next += 1;
             }
         }
@@ -327,11 +331,11 @@ pub fn fuse_patterns(dfg: &Dfg) -> Dfg {
                         continue;
                     }
                 }
-                let from = NodeId(new_id[e.from.0].expect("id assigned"));
+                let from = NodeId(new_id[e.from.0]);
                 let edge = Edge { from, distance: e.distance };
                 // drop same-iteration self-edges created by the merge; keep
                 // carried self-edges (recurrences)
-                let self_id = NodeId(new_id[i].expect("id assigned"));
+                let self_id = NodeId(new_id[i]);
                 if edge.distance == 0 && from == self_id {
                     continue;
                 }
@@ -346,7 +350,7 @@ pub fn fuse_patterns(dfg: &Dfg) -> Dfg {
             member_inputs.clear(); // primitives carry no routing metadata
         }
         out.push(Node {
-            id: NodeId(new_id[i].expect("id assigned")),
+            id: NodeId(new_id[i]),
             op,
             inputs,
             imms,

@@ -19,8 +19,12 @@ use picachu_ir::opcode::Opcode;
 /// consumers of a φ in copy `k > 0` read the previous copy's carried producer
 /// instead (reduction chaining).
 ///
+/// A DFG without the canonical loop-control group (`br` ← `cmp` ← increment
+/// `add` ← induction `phi`) is returned unchanged — there is no loop to
+/// unroll, and the identity transform is always safe.
+///
 /// # Panics
-/// Panics if `factor == 0` or the DFG has no `br` node (not a loop body).
+/// Panics if `factor == 0`.
 pub fn unroll(dfg: &Dfg, factor: usize) -> Dfg {
     assert!(factor >= 1, "unroll factor must be >= 1");
     if factor == 1 {
@@ -28,45 +32,48 @@ pub fn unroll(dfg: &Dfg, factor: usize) -> Dfg {
     }
     let nodes = dfg.nodes();
 
-    // Identify the control group via the branch.
-    let br = nodes
-        .iter()
-        .find(|n| n.op == Opcode::Br)
-        .expect("loop body must contain a br")
-        .id
-        .0;
-    let cmp = nodes[br]
+    // Identify the control group via the branch; any missing piece means
+    // this is not a canonical loop body.
+    let Some(br) = nodes.iter().find(|n| n.op == Opcode::Br).map(|n| n.id.0) else {
+        return dfg.clone();
+    };
+    let Some(cmp) = nodes[br]
         .inputs
         .iter()
         .find(|e| e.distance == 0)
         .map(|e| e.from.0)
-        .expect("br must consume a cmp");
-    let inc = nodes[cmp]
+    else {
+        return dfg.clone();
+    };
+    let Some(inc) = nodes[cmp]
         .inputs
         .iter()
         .find(|e| e.distance == 0 && nodes[e.from.0].op == Opcode::Add)
         .map(|e| e.from.0)
-        .expect("cmp must consume the increment add");
-    let ind_phi = nodes[inc]
+    else {
+        return dfg.clone();
+    };
+    let Some(ind_phi) = nodes[inc]
         .inputs
         .iter()
         .find(|e| e.distance == 0 && nodes[e.from.0].op == Opcode::Phi)
         .map(|e| e.from.0)
-        .expect("increment must consume the induction phi");
+    else {
+        return dfg.clone();
+    };
     let control = [ind_phi, inc, cmp, br];
 
-    // Reduction phis: every other phi; map phi -> carried producer.
+    // Reduction phis: every other phi; map phi -> carried producer. A phi
+    // without a carried edge is no recurrence — it replicates like any
+    // other body node.
     let reduction_phis: Vec<(usize, usize)> = nodes
         .iter()
         .filter(|n| n.op == Opcode::Phi && n.id.0 != ind_phi)
-        .map(|n| {
-            let prod = n
-                .inputs
+        .filter_map(|n| {
+            n.inputs
                 .iter()
                 .find(|e| e.distance > 0)
-                .map(|e| e.from.0)
-                .expect("reduction phi must have a carried producer");
-            (n.id.0, prod)
+                .map(|e| (n.id.0, e.from.0))
         })
         .collect();
 
@@ -89,12 +96,12 @@ pub fn unroll(dfg: &Dfg, factor: usize) -> Dfg {
                 map[i][k] = map[i][0];
                 continue;
             }
-            let is_red_phi = reduction_phis.iter().any(|&(p, _)| p == i);
-            if is_red_phi && k > 0 {
-                // consumers in copy k read copy k-1's producer instead
-                let (_, prod) = reduction_phis.iter().find(|&&(p, _)| p == i).unwrap();
-                map[i][k] = map[*prod][k - 1];
-                continue;
+            if k > 0 {
+                if let Some(&(_, prod)) = reduction_phis.iter().find(|&&(p, _)| p == i) {
+                    // consumers in copy k read copy k-1's producer instead
+                    map[i][k] = map[prod][k - 1];
+                    continue;
+                }
             }
             // emit a fresh node; translate inputs
             let mut inputs = Vec::with_capacity(n.inputs.len());

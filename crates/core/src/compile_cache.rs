@@ -42,6 +42,16 @@ pub struct CompileKey {
     pub unroll_candidates: Vec<usize>,
     /// Mapper seed.
     pub seed: u64,
+    /// Dead PEs the mapping routes around (empty for a healthy fabric). The
+    /// exact fault set is part of the key: a mapping compiled around tile 3
+    /// is not valid — and not bit-identical — for any other fault set.
+    pub dead_tiles: Vec<usize>,
+    /// Dead NoC links the mapping routes around (normalized `(min, max)`
+    /// pairs, empty for a healthy fabric).
+    pub dead_links: Vec<(usize, usize)>,
+    /// `true` when compiled for the all-universal fallback fabric instead of
+    /// the engine's heterogeneous one.
+    pub universal: bool,
 }
 
 type Cache = RwLock<HashMap<CompileKey, Arc<Vec<CompiledLoop>>>>;
@@ -51,12 +61,25 @@ fn cache() -> &'static Cache {
     CACHE.get_or_init(|| RwLock::new(HashMap::new()))
 }
 
+/// Recovers the map from a poisoned lock. A panic while holding the cache
+/// lock can only happen between pure reads/inserts of immutable `Arc`ed
+/// entries — the map itself is never left half-mutated — so the cache stays
+/// valid and the whole process must not lose compilation because one worker
+/// died (the panic is reported through the runtime's typed path).
+fn read_cache() -> std::sync::RwLockReadGuard<'static, HashMap<CompileKey, Arc<Vec<CompiledLoop>>>> {
+    cache().read().unwrap_or_else(|p| p.into_inner())
+}
+
+fn write_cache() -> std::sync::RwLockWriteGuard<'static, HashMap<CompileKey, Arc<Vec<CompiledLoop>>>> {
+    cache().write().unwrap_or_else(|p| p.into_inner())
+}
+
 static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
 
 /// Looks up a compiled kernel, counting a hit or miss.
 pub fn lookup(key: &CompileKey) -> Option<Arc<Vec<CompiledLoop>>> {
-    let got = cache().read().expect("compile cache poisoned").get(key).cloned();
+    let got = read_cache().get(key).cloned();
     if got.is_some() {
         HITS.fetch_add(1, Ordering::Relaxed);
     } else {
@@ -69,19 +92,19 @@ pub fn lookup(key: &CompileKey) -> Option<Arc<Vec<CompiledLoop>>> {
 /// thread published the same key first, its (bit-identical, by determinism)
 /// value wins and the duplicate work is dropped.
 pub fn publish(key: CompileKey, loops: Vec<CompiledLoop>) -> Arc<Vec<CompiledLoop>> {
-    let mut map = cache().write().expect("compile cache poisoned");
+    let mut map = write_cache();
     map.entry(key).or_insert_with(|| Arc::new(loops)).clone()
 }
 
 /// Number of cached kernels.
 pub fn len() -> usize {
-    cache().read().expect("compile cache poisoned").len()
+    read_cache().len()
 }
 
 /// Drops every entry and zeroes the counters (benches use this to measure
 /// cold compiles; engines re-populate lazily).
 pub fn clear() {
-    cache().write().expect("compile cache poisoned").clear();
+    write_cache().clear();
     HITS.store(0, Ordering::Relaxed);
     MISSES.store(0, Ordering::Relaxed);
 }

@@ -12,18 +12,28 @@
 use picachu_baselines::Breakdown;
 use picachu_cgra::cost::CostModel;
 use picachu_compiler::arch::CgraSpec;
-use picachu_compiler::mapper::{map_dfg, Mapping};
+use picachu_compiler::mapper::{map_dfg_with, MapError, Mapping, ResourceMask};
 use picachu_compiler::transform::{fuse_patterns, unroll, vectorize};
+use picachu_faults::FaultPlan;
 use picachu_ir::kernels as klib;
 use picachu_llm::trace::TraceOp;
 use picachu_llm::ModelConfig;
 use picachu_nonlinear::{LoopKind, NonlinearOp};
 use picachu_num::DataFormat;
 use crate::compile_cache::{self, CompileKey};
+use crate::error::PicachuError;
 use picachu_systolic::{DmaModel, SharedBuffer, SystolicArray};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Most detected-uncorrectable ECC words the engine re-fetches from DRAM per
+/// request before declaring the SRAM unserviceable
+/// ([`PicachuError::EccStorm`]). Eight uncorrectable words in one working
+/// set is far past any transient-upset rate — at that point the macro is
+/// failing, and re-fetching forever would hide it.
+pub const ECC_MAX_DETECTED: u64 = 8;
 
 /// Engine configuration (defaults reproduce the paper's evaluation setup:
 /// 4×4 CGRA + 32×32 systolic array + 40 KB Shared Buffer at 1 GHz).
@@ -53,6 +63,12 @@ pub struct EngineConfig {
     /// Streaming overlap with the systolic array (Case 1). Off = every
     /// element-wise op fully exposed (ablation knob).
     pub streaming: bool,
+    /// Per-mapping-attempt deadline in milliseconds for the degraded compile
+    /// path (`None` = unbounded, the default — healthy compiles are fast and
+    /// a deadline would make them timing-dependent). When set, a mapping
+    /// attempt that exceeds the budget returns [`MapError::Timeout`] and the
+    /// degradation ladder falls through to the next level.
+    pub compile_deadline_ms: Option<u64>,
 }
 
 impl Default for EngineConfig {
@@ -70,8 +86,50 @@ impl Default for EngineConfig {
             seed: 0x71CA,
             double_buffering: true,
             streaming: true,
+            compile_deadline_ms: None,
         }
     }
+}
+
+/// How far down the degradation ladder a faulted compile had to go.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackLevel {
+    /// The kernel re-mapped around the faults on the engine's own fabric.
+    Remapped,
+    /// Re-mapping failed (typically a deadline) but the fabric is intact, so
+    /// the cached healthy mapping is served. Never used on a degraded
+    /// fabric: a healthy mapping may place work on dead resources.
+    Cached,
+    /// The kernel only mapped on the all-universal fallback fabric (every PE
+    /// supports every opcode — lower ResMII pressure around dead tiles).
+    Universal,
+}
+
+impl fmt::Display for FallbackLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FallbackLevel::Remapped => write!(f, "re-mapped"),
+            FallbackLevel::Cached => write!(f, "cached fallback"),
+            FallbackLevel::Universal => write!(f, "universal-fabric fallback"),
+        }
+    }
+}
+
+/// Result of compiling an op for a degraded fabric: the loops plus how
+/// degraded the service is.
+#[derive(Debug, Clone)]
+pub struct DegradedCompile {
+    /// The compiled loops (from the process cache when warm).
+    pub loops: Arc<Vec<CompiledLoop>>,
+    /// Which rung of the degradation ladder produced them.
+    pub fallback: FallbackLevel,
+    /// Σ degraded II / Σ healthy II across the op's loops — reported, not
+    /// asserted (detours usually inflate II, but a smaller live portfolio
+    /// can occasionally luck into a better placement). `1.0` when no
+    /// healthy baseline exists to compare against.
+    pub ii_inflation: f64,
+    /// Alive PEs on the fabric the loops run on.
+    pub alive_tiles: usize,
 }
 
 /// One compiled kernel loop: its mapping plus the unroll/vector factors.
@@ -155,16 +213,158 @@ impl PicachuEngine {
     /// # Panics
     /// Panics if a kernel loop fails to map on the fabric at every candidate
     /// unroll factor — a fabric misconfiguration, not a runtime condition.
+    /// Serve paths that must stay up use
+    /// [`PicachuEngine::try_compile_op`] instead.
     pub fn compile_op(&mut self, op: NonlinearOp) -> &[CompiledLoop] {
-        if !self.cache.contains_key(&op) {
-            let key = self.compile_key(op);
-            let compiled = match compile_cache::lookup(&key) {
-                Some(hit) => hit,
-                None => compile_cache::publish(key, self.compile_uncached(op)),
-            };
-            self.cache.insert(op, compiled);
+        if let Err(e) = self.try_compile_op(op) {
+            panic!("{e}");
         }
         &self.cache[&op]
+    }
+
+    /// The non-panicking compile path: compiles (or returns cached) loops,
+    /// reporting failure as a typed error instead of aborting.
+    ///
+    /// # Errors
+    /// [`PicachuError::Compile`] when some kernel loop fails to map at every
+    /// candidate unroll factor.
+    pub fn try_compile_op(&mut self, op: NonlinearOp) -> Result<Arc<Vec<CompiledLoop>>, PicachuError> {
+        if let Some(hit) = self.cache.get(&op) {
+            return Ok(hit.clone());
+        }
+        let key = self.compile_key(op);
+        let compiled = match compile_cache::lookup(&key) {
+            Some(hit) => hit,
+            None => {
+                let full = ResourceMask::full(&self.spec);
+                let loops = self.try_compile_with(op, &self.spec, &full, None)?;
+                compile_cache::publish(key, loops)
+            }
+        };
+        self.cache.insert(op, compiled.clone());
+        Ok(compiled)
+    }
+
+    /// Compiles `op` for a faulted fabric, walking the degradation ladder
+    /// (DESIGN §7): **re-map** around the dead resources on the engine's own
+    /// fabric → **cached** healthy mapping (only when the fabric is intact
+    /// and the failure was a deadline, never on real topology faults) →
+    /// **universal-fabric** re-map (every PE supports every opcode) →
+    /// **reject** with the primary error. Each rung is deadline-bounded by
+    /// [`EngineConfig::compile_deadline_ms`] and every successful compile is
+    /// published to the process cache under its exact fault set, so repeated
+    /// requests against the same degraded part hit the cache.
+    ///
+    /// # Errors
+    /// [`PicachuError::Compile`] when every rung fails — the error carries
+    /// the mapper's diagnosis from the first (re-map) rung, which is the
+    /// informative one.
+    pub fn compile_op_degraded(
+        &mut self,
+        op: NonlinearOp,
+        plan: &FaultPlan,
+    ) -> Result<DegradedCompile, PicachuError> {
+        let deadline = self.config.compile_deadline_ms.map(Duration::from_millis);
+        let mask = ResourceMask::degraded(
+            &self.spec,
+            plan.dead_tiles.iter().copied(),
+            plan.dead_links.iter().copied(),
+        );
+        let alive = mask.alive_count();
+        // intact fabric, no deadline pressure: the healthy compile *is* the
+        // degraded compile, bit-identically
+        if plan.fabric_intact() && deadline.is_none() {
+            let loops = self.try_compile_op(op)?;
+            return Ok(DegradedCompile {
+                loops,
+                fallback: FallbackLevel::Remapped,
+                ii_inflation: 1.0,
+                alive_tiles: alive,
+            });
+        }
+        // healthy baseline for II-inflation reporting — cache-only, so the
+        // deadline-bounded degraded path never grows an unbounded healthy
+        // compile (inflation reads 1.0 until something compiled healthy)
+        let healthy_ii: Option<u64> = self
+            .cache
+            .get(&op)
+            .cloned()
+            .or_else(|| compile_cache::lookup(&self.compile_key(op)))
+            .map(|loops| loops.iter().map(|l| l.mapping.ii as u64).sum());
+        // rung 1: re-map around the faults on the engine's own fabric
+        let key = self.degraded_key(op, plan, false);
+        let primary = match compile_cache::lookup(&key) {
+            Some(hit) => Ok(hit),
+            None => self
+                .try_compile_with(op, &self.spec, &mask, deadline)
+                .map(|loops| compile_cache::publish(key, loops)),
+        };
+        let primary_err = match primary {
+            Ok(loops) => {
+                let ii_inflation = Self::ii_inflation(healthy_ii, &loops);
+                return Ok(DegradedCompile {
+                    loops,
+                    fallback: FallbackLevel::Remapped,
+                    ii_inflation,
+                    alive_tiles: alive,
+                });
+            }
+            Err(e) => e,
+        };
+        // rung 2: last-known-good mapping — legal only while the fabric is
+        // intact (a healthy mapping may use any tile or link). The engine's
+        // local view survives process-cache clears, so a deadline miss on
+        // re-validation still serves.
+        if plan.fabric_intact() {
+            if let Some(hit) = self
+                .cache
+                .get(&op)
+                .cloned()
+                .or_else(|| compile_cache::lookup(&self.compile_key(op)))
+            {
+                return Ok(DegradedCompile {
+                    loops: hit,
+                    fallback: FallbackLevel::Cached,
+                    ii_inflation: 1.0,
+                    alive_tiles: alive,
+                });
+            }
+        }
+        // rung 3: the all-universal fallback fabric, same fault set
+        let uspec = CgraSpec::universal(self.config.cgra_rows, self.config.cgra_cols);
+        let umask = ResourceMask::degraded(
+            &uspec,
+            plan.dead_tiles.iter().copied(),
+            plan.dead_links.iter().copied(),
+        );
+        let ukey = self.degraded_key(op, plan, true);
+        let fallback = match compile_cache::lookup(&ukey) {
+            Some(hit) => Ok(hit),
+            None => self
+                .try_compile_with(op, &uspec, &umask, deadline)
+                .map(|loops| compile_cache::publish(ukey, loops)),
+        };
+        match fallback {
+            Ok(loops) => {
+                let ii_inflation = Self::ii_inflation(healthy_ii, &loops);
+                Ok(DegradedCompile {
+                    loops,
+                    fallback: FallbackLevel::Universal,
+                    ii_inflation,
+                    alive_tiles: umask.alive_count(),
+                })
+            }
+            // rung 4: reject, with the informative (own-fabric) diagnosis
+            Err(_) => Err(primary_err),
+        }
+    }
+
+    fn ii_inflation(healthy_ii: Option<u64>, loops: &[CompiledLoop]) -> f64 {
+        let degraded: u64 = loops.iter().map(|l| l.mapping.ii as u64).sum();
+        match healthy_ii {
+            Some(h) if h > 0 => degraded as f64 / h as f64,
+            _ => 1.0,
+        }
     }
 
     /// The process-wide cache key for this engine's compilation of `op`:
@@ -179,10 +379,35 @@ impl PicachuEngine {
             taylor_terms: self.config.taylor_terms,
             unroll_candidates: self.config.unroll_candidates.clone(),
             seed: self.config.seed,
+            dead_tiles: Vec::new(),
+            dead_links: Vec::new(),
+            universal: false,
         }
     }
 
-    fn compile_uncached(&self, op: NonlinearOp) -> Vec<CompiledLoop> {
+    /// The cache key for a degraded compile: the healthy key plus the exact
+    /// fault set and fallback-fabric flag.
+    fn degraded_key(&self, op: NonlinearOp, plan: &FaultPlan, universal: bool) -> CompileKey {
+        CompileKey {
+            dead_tiles: plan.dead_tiles.iter().copied().collect(),
+            dead_links: plan.dead_links.iter().copied().collect(),
+            universal,
+            ..self.compile_key(op)
+        }
+    }
+
+    /// The compile kernel shared by the healthy and degraded paths: per
+    /// kernel loop, picks the unroll factor minimizing per-element II among
+    /// the candidates that map on `spec` restricted to `mask`. With a full
+    /// mask, no deadline and the engine's own spec this is bit-identical to
+    /// the historical healthy compile.
+    fn try_compile_with(
+        &self,
+        op: NonlinearOp,
+        spec: &CgraSpec,
+        mask: &ResourceMask,
+        deadline: Option<Duration>,
+    ) -> Result<Vec<CompiledLoop>, PicachuError> {
         let kernel = kernel_for(op, self.config.taylor_terms);
         let vf_global = self.config.format.vector_factor();
         let mut out = Vec::new();
@@ -197,10 +422,15 @@ impl PicachuEngine {
             // format's vector factor.
             let vf = vf_global;
             let mut best: Option<CompiledLoop> = None;
+            let mut last_err = MapError::EmptyDfg;
             for &uf in &self.config.unroll_candidates {
                 let dfg = self.lowered_dfg(op, i, uf, vf);
-                let Ok(mapping) = map_dfg(&dfg, &self.spec, self.loop_seed(i)) else {
-                    continue;
+                let mapping = match map_dfg_with(&dfg, spec, self.loop_seed(i), mask, deadline) {
+                    Ok(m) => m,
+                    Err(e) => {
+                        last_err = e;
+                        continue;
+                    }
                 };
                 let per_elem =
                     mapping.ii as f64 / (uf * vf) as f64;
@@ -218,11 +448,18 @@ impl PicachuEngine {
                     });
                 }
             }
-            out.push(best.unwrap_or_else(|| {
-                panic!("kernel loop '{}' failed to map on the fabric", l.label)
-            }));
+            match best {
+                Some(b) => out.push(b),
+                None => {
+                    return Err(PicachuError::Compile {
+                        op,
+                        label: l.label.clone(),
+                        source: last_err,
+                    })
+                }
+            }
         }
-        out
+        Ok(out)
     }
 
     /// Reconstructs the exact lowered DFG the mapper saw for loop
@@ -361,6 +598,99 @@ impl PicachuEngine {
             }
         }
         b
+    }
+
+    /// [`PicachuEngine::execute_trace`] under a fault plan: every nonlinear
+    /// op is compiled through the degradation ladder
+    /// ([`PicachuEngine::compile_op_degraded`]), the plan's SRAM flips are
+    /// evaluated as SEC-DED outcomes over the Shared Buffer
+    /// (detected-uncorrectable words re-fetch a 64-byte line from DRAM, up
+    /// to [`ECC_MAX_DETECTED`]), and transient DMA stalls on the bulk Case-2
+    /// traffic pay the bounded retry ladder. All fault overhead lands in
+    /// `data_movement`, so the compute terms keep their healthy-identity
+    /// accounting. Deterministic in `(self.config, trace, plan)`.
+    ///
+    /// # Errors
+    /// [`PicachuError::Compile`] when an op survives no rung of the ladder,
+    /// [`PicachuError::EccStorm`] past the re-fetch budget, or
+    /// [`PicachuError::Dma`] when a transfer exhausts its retries.
+    pub fn try_execute_trace_faulted(
+        &mut self,
+        trace: &[TraceOp],
+        plan: &FaultPlan,
+    ) -> Result<Breakdown, PicachuError> {
+        // degraded-compile every distinct nonlinear op up front
+        let mut degraded: HashMap<NonlinearOp, Arc<Vec<CompiledLoop>>> = HashMap::new();
+        for t in trace {
+            if let TraceOp::Nonlinear { op, .. } = *t {
+                if let std::collections::hash_map::Entry::Vacant(e) = degraded.entry(op) {
+                    e.insert(self.compile_op_degraded(op, plan)?.loops);
+                }
+            }
+        }
+        // the engine-local cache is consulted before the process cache, so
+        // shadowing it points execute_trace at the degraded mappings; the
+        // healthy view is restored before returning
+        let saved = std::mem::replace(&mut self.cache, degraded);
+        let mut b = self.execute_trace(trace);
+        self.cache = saved;
+
+        // ECC over the Shared Buffer working set
+        let words = (self.config.buffer_kb * 1024 / 8) as u64;
+        let ecc = plan.ecc.classify_sram(&plan.sram_flips, words);
+        if ecc.detected > ECC_MAX_DETECTED {
+            return Err(PicachuError::EccStorm { detected: ecc.detected, limit: ECC_MAX_DETECTED });
+        }
+        let mut overhead = ecc.overhead_cycles;
+        let mut xfer: u64 = 0;
+        for _ in 0..ecc.detected {
+            // a detected-uncorrectable word re-fetches one 64-byte DRAM line,
+            // itself subject to the transient-stall ladder
+            let t = self.dma.transfer_cycles_faulted(64, xfer, &plan.dma)?;
+            overhead += t.cycles;
+            xfer += 1;
+        }
+        // transient stalls on the bulk Case-2 DMA traffic: these transfers
+        // are already paid for in the healthy breakdown, so only the stall +
+        // backoff overhead is added
+        for (transfers, bytes) in self.case2_transfers(trace) {
+            for _ in 0..transfers {
+                let t = self.dma.transfer_cycles_faulted(bytes, xfer, &plan.dma)?;
+                overhead += t.overhead_cycles;
+                xfer += 1;
+            }
+        }
+        b.data_movement += overhead as f64;
+        Ok(b)
+    }
+
+    /// The Case-2 DMA transfer schedule of a trace: `(transfers, bytes)` per
+    /// chunked reduction op, mirroring the chunk geometry `execute_trace`
+    /// hands to [`SharedBuffer::pipelined_cycles`] (each chunk is one fill
+    /// plus one drain). Pure geometry — compute never changes the transfer
+    /// count.
+    fn case2_transfers(&self, trace: &[TraceOp]) -> Vec<(u64, usize)> {
+        let elem_bytes = self.config.format.byte_width();
+        let mut out = Vec::new();
+        for t in trace {
+            let TraceOp::Nonlinear { op, rows, channel } = *t else {
+                continue;
+            };
+            if op.category() != picachu_nonlinear::OpCategory::ReductionElementWise
+                || self.buffer.channel_fits(channel, elem_bytes)
+            {
+                continue;
+            }
+            let channel_bytes = channel * elem_bytes;
+            if op == NonlinearOp::Softmax {
+                out.push((2 * rows as u64, channel_bytes));
+            } else {
+                let working = self.buffer.working_bytes().max(1);
+                let chunks = rows as u64 * (channel_bytes.div_ceil(working)) as u64;
+                out.push((2 * chunks, working));
+            }
+        }
+        out
     }
 
     /// End-to-end evaluation of a model at a sequence length.
@@ -561,6 +891,151 @@ mod tests {
             e.execute_model(&ModelConfig::llama2_7b(), 128).total()
         };
         assert!(total(true) <= total(false));
+    }
+
+    #[test]
+    fn degraded_compile_survives_every_single_dead_tile() {
+        let mut e = engine();
+        for tile in 0..16 {
+            let plan = picachu_faults::FaultPlan::dead_tile(tile);
+            let dc = e
+                .compile_op_degraded(NonlinearOp::Softmax, &plan)
+                .unwrap_or_else(|err| panic!("dead tile {tile}: {err}"));
+            assert_eq!(dc.alive_tiles, 15);
+            assert!(dc.ii_inflation > 0.0);
+            for l in dc.loops.iter() {
+                for p in &l.mapping.placements {
+                    assert_ne!(p.tile, tile, "placement on dead tile {tile}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_compile_survives_every_single_dead_link() {
+        let mut e = engine();
+        for r in 0..4usize {
+            for c in 0..4usize {
+                let t = r * 4 + c;
+                let mut links = Vec::new();
+                if c + 1 < 4 {
+                    links.push((t, t + 1));
+                }
+                if r + 1 < 4 {
+                    links.push((t, t + 4));
+                }
+                for (a, b) in links {
+                    let plan = picachu_faults::FaultPlan::dead_link(a, b);
+                    e.compile_op_degraded(NonlinearOp::Gelu, &plan)
+                        .unwrap_or_else(|err| panic!("dead link {a}-{b}: {err}"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_compile_reports_inflation_against_healthy_baseline() {
+        let mut e = engine();
+        e.compile_op(NonlinearOp::Silu); // prime the healthy baseline
+        let plan = picachu_faults::FaultPlan::dead_tile(0)
+            .with_dead_tile(5)
+            .with_dead_tile(10);
+        let dc = e.compile_op_degraded(NonlinearOp::Silu, &plan).unwrap();
+        assert_eq!(dc.alive_tiles, 13);
+        // reported, not asserted monotone — but it must be a real ratio
+        assert!(dc.ii_inflation.is_finite() && dc.ii_inflation > 0.0);
+    }
+
+    #[test]
+    fn zero_deadline_serves_last_known_good_compile() {
+        // seeds unique to this test keep it hermetic against the shared
+        // process cache while other tests run concurrently
+        let mut warm = PicachuEngine::new(EngineConfig {
+            seed: 0xD00D_0002,
+            ..EngineConfig::default()
+        });
+        warm.compile_op(NonlinearOp::Relu);
+        let mut e = PicachuEngine::new(EngineConfig {
+            seed: 0xD00D_0001,
+            compile_deadline_ms: Some(0),
+            ..EngineConfig::default()
+        });
+        // transplant the warm engine's local cache: models an engine whose
+        // process-cache entry was evicted but that served this op before
+        e.cache = warm.cache.clone();
+        // rung 1 misses the process cache and times out instantly; rung 2
+        // serves the last known-good compile
+        let dc = e
+            .compile_op_degraded(NonlinearOp::Relu, &picachu_faults::FaultPlan::none())
+            .unwrap();
+        assert_eq!(dc.fallback, FallbackLevel::Cached);
+    }
+
+    #[test]
+    fn dead_fabric_is_rejected_typed_not_panicking() {
+        let mut e = engine();
+        // kill 15 of 16 tiles; the lone survivor cannot host a whole kernel
+        // at any II within slack on the heterogeneous fabric, and on the
+        // universal fallback it either maps (degraded service) or the whole
+        // request is rejected with a typed error — never a panic
+        let mut plan = picachu_faults::FaultPlan::none();
+        for t in 0..15 {
+            plan = plan.with_dead_tile(t);
+        }
+        match e.compile_op_degraded(NonlinearOp::Softmax, &plan) {
+            Ok(dc) => assert_eq!(dc.fallback, FallbackLevel::Universal),
+            Err(PicachuError::Compile { op, .. }) => assert_eq!(op, NonlinearOp::Softmax),
+            Err(other) => panic!("unexpected error class: {other}"),
+        }
+    }
+
+    #[test]
+    fn faulted_trace_with_empty_plan_matches_healthy() {
+        let mut e = engine();
+        let trace = picachu_llm::model_trace(&ModelConfig::gpt2(), 64);
+        let healthy = e.execute_trace(&trace);
+        let faulted = e
+            .try_execute_trace_faulted(&trace, &picachu_faults::FaultPlan::none())
+            .unwrap();
+        assert_eq!(healthy, faulted, "empty plan must be the identity");
+        // and the healthy cache view is restored
+        let again = e.execute_trace(&trace);
+        assert_eq!(healthy, again);
+    }
+
+    #[test]
+    fn faulted_trace_accounts_ecc_and_dma_overhead() {
+        let mut e = engine();
+        let trace = picachu_llm::model_trace(&ModelConfig::gpt2(), 64);
+        let healthy = e.execute_trace(&trace);
+        // two correctable words + one detected-uncorrectable re-fetch
+        let plan = picachu_faults::FaultPlan::none()
+            .with_sram_flip(3, 1)
+            .with_sram_flip(700, 1)
+            .with_sram_flip(41, 2);
+        let b = e.try_execute_trace_faulted(&trace, &plan).unwrap();
+        assert!(
+            b.data_movement > healthy.data_movement,
+            "ECC scrubs and the re-fetch must cost data-movement cycles"
+        );
+        assert_eq!(b.gemm, healthy.gemm, "faults never touch GEMM time");
+    }
+
+    #[test]
+    fn ecc_storm_rejects() {
+        let mut e = engine();
+        let trace = picachu_llm::model_trace(&ModelConfig::gpt2(), 64);
+        let mut plan = picachu_faults::FaultPlan::none();
+        for w in 0..(ECC_MAX_DETECTED + 1) {
+            plan = plan.with_sram_flip(w, 2);
+        }
+        match e.try_execute_trace_faulted(&trace, &plan) {
+            Err(PicachuError::EccStorm { detected, limit }) => {
+                assert_eq!(detected, ECC_MAX_DETECTED + 1);
+                assert_eq!(limit, ECC_MAX_DETECTED);
+            }
+            other => panic!("expected EccStorm, got {other:?}"),
+        }
     }
 
     #[test]

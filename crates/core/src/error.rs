@@ -1,0 +1,87 @@
+//! The typed error taxonomy of the serve path.
+//!
+//! Every way the engine can fail to serve a request maps to one
+//! [`PicachuError`] variant, so callers (the oracle sweeps, a deployment
+//! shim, the DSE harness) can distinguish *reject this request* from *this
+//! part is broken* without parsing panic strings. The compile path
+//! ([`PicachuEngine::try_compile_op`](crate::PicachuEngine::try_compile_op),
+//! [`PicachuEngine::compile_op_degraded`](crate::PicachuEngine::compile_op_degraded))
+//! and the faulted execute path
+//! ([`PicachuEngine::try_execute_trace_faulted`](crate::PicachuEngine::try_execute_trace_faulted))
+//! return these; the legacy panicking entry points delegate to the `try_`
+//! forms and panic on `Err`, preserving their documented behaviour.
+
+use picachu_cgra::SimFault;
+use picachu_compiler::MapError;
+use picachu_nonlinear::NonlinearOp;
+use picachu_systolic::DmaExhausted;
+use std::fmt;
+
+/// Everything that can go wrong between a request and a breakdown.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PicachuError {
+    /// A kernel loop failed to map at every candidate unroll factor — the
+    /// mapper's last error explains why (dead resources, timeout, a worker
+    /// panic). After the full degradation ladder this means the request must
+    /// be rejected.
+    Compile {
+        /// The nonlinear operation being compiled.
+        op: NonlinearOp,
+        /// The kernel loop that failed (e.g. `"softmax(2)"`).
+        label: String,
+        /// The mapper's error for the last unroll candidate tried.
+        source: MapError,
+    },
+    /// More detected-uncorrectable ECC words than the engine will re-fetch:
+    /// the SRAM is degrading faster than scrubbing can hide and the part
+    /// should be pulled, not served.
+    EccStorm {
+        /// Detected-uncorrectable words in this request's working set.
+        detected: u64,
+        /// The engine's re-fetch budget ([`crate::engine::ECC_MAX_DETECTED`]).
+        limit: u64,
+    },
+    /// A DMA transfer stalled through its whole retry ladder.
+    Dma(DmaExhausted),
+    /// The cycle-level simulator rejected a configuration (oracle paths).
+    Sim(SimFault),
+}
+
+impl fmt::Display for PicachuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PicachuError::Compile { op, label, source } => {
+                write!(f, "kernel loop '{label}' of {op:?} failed to map: {source}")
+            }
+            PicachuError::EccStorm { detected, limit } => write!(
+                f,
+                "{detected} detected-uncorrectable ECC words exceed the re-fetch budget of {limit}"
+            ),
+            PicachuError::Dma(e) => write!(f, "{e}"),
+            PicachuError::Sim(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PicachuError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PicachuError::Compile { source, .. } => Some(source),
+            PicachuError::Dma(e) => Some(e),
+            PicachuError::Sim(e) => Some(e),
+            PicachuError::EccStorm { .. } => None,
+        }
+    }
+}
+
+impl From<DmaExhausted> for PicachuError {
+    fn from(e: DmaExhausted) -> PicachuError {
+        PicachuError::Dma(e)
+    }
+}
+
+impl From<SimFault> for PicachuError {
+    fn from(e: SimFault) -> PicachuError {
+        PicachuError::Sim(e)
+    }
+}

@@ -33,13 +33,20 @@
 //! println!("GPT-2 @128: {breakdown}");
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod compile_cache;
 pub mod dse;
 pub mod engine;
+pub mod error;
 
 pub use compile_cache::CompileKey;
 pub use dse::{explore, pareto_frontier, DesignPoint, DseSweep};
-pub use engine::{CompiledLoop, EngineConfig, PicachuEngine};
+pub use engine::{
+    CompiledLoop, DegradedCompile, EngineConfig, FallbackLevel, PicachuEngine, ECC_MAX_DETECTED,
+};
+pub use error::PicachuError;
+pub use picachu_faults as faults;
 pub use picachu_runtime as runtime;
 pub use picachu_baselines as baselines;
 pub use picachu_baselines::Breakdown;

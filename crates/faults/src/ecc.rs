@@ -1,0 +1,191 @@
+//! SEC-DED ECC model for on-chip SRAM.
+//!
+//! The Shared Buffer and the per-tile configuration memories are protected
+//! by a (72, 64) Hsiao-style single-error-correct / double-error-detect
+//! code, the industry default for accelerator SRAM macros. The model is
+//! purely combinational on the *number of flipped bits per word*:
+//!
+//! | flipped bits | outcome | consumer behaviour |
+//! |--------------|---------|--------------------|
+//! | 0 | [`EccOutcome::Clean`] | nothing |
+//! | 1 | [`EccOutcome::Corrected`] | pay `scrub_cycles`, continue |
+//! | 2 | [`EccOutcome::DetectedUncorrectable`] | re-fetch from DRAM (engine) or reject the config image (simulator) |
+//! | ≥3 | [`EccOutcome::SilentCorruption`] | undetected — modelled so sweeps can count exposure, never "handled" |
+//!
+//! Silent corruptions are deliberately *not* recoverable anywhere in the
+//! stack: pretending a 3-bit upset is caught would overstate resilience.
+
+use crate::plan::SramFlip;
+
+/// Outcome of reading one SRAM word through the ECC decoder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EccOutcome {
+    /// No bits flipped.
+    Clean,
+    /// Single-bit upset: corrected inline, scrubbed back.
+    Corrected,
+    /// Double-bit upset: detected, word is unusable as-read.
+    DetectedUncorrectable,
+    /// Triple-or-more upset: aliases to a valid codeword, escapes detection.
+    SilentCorruption,
+}
+
+/// The SEC-DED code parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EccModel {
+    /// Cycles to correct-and-scrub one single-bit upset (read-modify-write
+    /// of the word plus pipeline bubble).
+    pub scrub_cycles: u64,
+    /// Cycles a detected-uncorrectable word costs before the consumer's
+    /// recovery (re-fetch, reject) even begins: the decoder flags the word
+    /// and raises the fault after this latency.
+    pub detect_cycles: u64,
+}
+
+impl Default for EccModel {
+    fn default() -> EccModel {
+        // One extra read-modify-write through a 2-cycle SRAM pipeline for a
+        // scrub; detection is flagged the cycle after the read completes.
+        EccModel { scrub_cycles: 4, detect_cycles: 1 }
+    }
+}
+
+impl EccModel {
+    /// Classifies one word by its flipped-bit count.
+    pub fn classify(&self, bits: u32) -> EccOutcome {
+        match bits {
+            0 => EccOutcome::Clean,
+            1 => EccOutcome::Corrected,
+            2 => EccOutcome::DetectedUncorrectable,
+            _ => EccOutcome::SilentCorruption,
+        }
+    }
+
+    /// [`EccModel::classify_all`] for a physical SRAM of `words` 64-bit
+    /// words: flip records land on word `flip.word % words`, and multiple
+    /// records hitting the same physical word accumulate their flipped bits
+    /// (two independent single-bit upsets in one word *are* a double-bit
+    /// upset — folding before classifying keeps that physical). `words == 0`
+    /// (no SRAM) reports nothing.
+    pub fn classify_sram(&self, flips: &[SramFlip], words: u64) -> EccReport {
+        if words == 0 {
+            return EccReport::default();
+        }
+        let mut per_word: std::collections::BTreeMap<u64, u32> = std::collections::BTreeMap::new();
+        for flip in flips {
+            *per_word.entry(flip.word % words).or_insert(0) += flip.bits;
+        }
+        let folded: Vec<SramFlip> = per_word
+            .into_iter()
+            .map(|(word, bits)| SramFlip { word, bits })
+            .collect();
+        self.classify_all(&folded)
+    }
+
+    /// Folds a flip list into aggregate counts and the total cycle overhead
+    /// of the *handled* outcomes (scrubs and detect latency; silent
+    /// corruptions cost nothing — that is what makes them silent).
+    pub fn classify_all(&self, flips: &[SramFlip]) -> EccReport {
+        let mut report = EccReport::default();
+        for flip in flips {
+            match self.classify(flip.bits) {
+                EccOutcome::Clean => {}
+                EccOutcome::Corrected => {
+                    report.corrected += 1;
+                    report.overhead_cycles += self.scrub_cycles;
+                }
+                EccOutcome::DetectedUncorrectable => {
+                    report.detected += 1;
+                    report.overhead_cycles += self.detect_cycles;
+                }
+                EccOutcome::SilentCorruption => report.silent += 1,
+            }
+        }
+        report
+    }
+}
+
+/// Aggregate ECC activity over a set of SRAM flips.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EccReport {
+    /// Single-bit upsets corrected inline.
+    pub corrected: u64,
+    /// Double-bit upsets detected but not correctable.
+    pub detected: u64,
+    /// ≥3-bit upsets that escaped detection.
+    pub silent: u64,
+    /// Cycles spent scrubbing corrections and flagging detections.
+    pub overhead_cycles: u64,
+}
+
+impl EccReport {
+    /// `true` when at least one word must be recovered by the consumer
+    /// (re-fetched or its image rejected).
+    pub fn needs_recovery(&self) -> bool {
+        self.detected > 0
+    }
+
+    /// `true` when data integrity cannot be guaranteed.
+    pub fn compromised(&self) -> bool {
+        self.silent > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_bands() {
+        let ecc = EccModel::default();
+        assert_eq!(ecc.classify(0), EccOutcome::Clean);
+        assert_eq!(ecc.classify(1), EccOutcome::Corrected);
+        assert_eq!(ecc.classify(2), EccOutcome::DetectedUncorrectable);
+        assert_eq!(ecc.classify(3), EccOutcome::SilentCorruption);
+        assert_eq!(ecc.classify(64), EccOutcome::SilentCorruption);
+    }
+
+    #[test]
+    fn report_aggregates_and_costs() {
+        let ecc = EccModel { scrub_cycles: 4, detect_cycles: 1 };
+        let flips = [
+            SramFlip { word: 0, bits: 1 },
+            SramFlip { word: 1, bits: 1 },
+            SramFlip { word: 2, bits: 2 },
+            SramFlip { word: 3, bits: 5 },
+            SramFlip { word: 4, bits: 0 },
+        ];
+        let r = ecc.classify_all(&flips);
+        assert_eq!(r.corrected, 2);
+        assert_eq!(r.detected, 1);
+        assert_eq!(r.silent, 1);
+        assert_eq!(r.overhead_cycles, 2 * 4 + 1);
+        assert!(r.needs_recovery());
+        assert!(r.compromised());
+    }
+
+    #[test]
+    fn sram_folding_accumulates_colliding_words() {
+        let ecc = EccModel::default();
+        // two single-bit flips alias to word 2 of an 8-word SRAM: a real
+        // double-bit upset, detected not corrected
+        let flips = [SramFlip { word: 2, bits: 1 }, SramFlip { word: 10, bits: 1 }];
+        let r = ecc.classify_sram(&flips, 8);
+        assert_eq!(r.corrected, 0);
+        assert_eq!(r.detected, 1);
+        // distinct words stay independent corrections
+        let r2 = ecc.classify_sram(&flips, 16);
+        assert_eq!(r2.corrected, 2);
+        assert_eq!(r2.detected, 0);
+        // no SRAM, no outcomes
+        assert_eq!(ecc.classify_sram(&flips, 0), EccReport::default());
+    }
+
+    #[test]
+    fn empty_report_is_benign() {
+        let r = EccModel::default().classify_all(&[]);
+        assert_eq!(r, EccReport::default());
+        assert!(!r.needs_recovery());
+        assert!(!r.compromised());
+    }
+}

@@ -1,0 +1,39 @@
+//! # picachu-faults
+//!
+//! Seeded, deterministic fault injection for the PICACHU stack.
+//!
+//! A production accelerator serving heavy traffic must *degrade*, not die,
+//! when silicon misbehaves: a broken PE, a dead mesh link, a flipped SRAM
+//! bit, or a DMA channel that transiently stalls. This crate defines the
+//! fault vocabulary every other layer consumes:
+//!
+//! * [`FaultPlan`] — a complete, replayable description of what is broken:
+//!   hard PE failures (`dead_tiles`), dead NoC links (`dead_links`), SRAM
+//!   bit flips ([`SramFlip`]) evaluated under a SEC-DED [`EccModel`], and a
+//!   transient-stall [`DmaFaultModel`] for the DRAM channel.
+//! * [`EccModel`] — the single-error-correct / double-error-detect code
+//!   protecting on-chip SRAM: 1 flipped bit per word is corrected (at a
+//!   scrub-cycle cost), 2 are detected but uncorrectable, ≥3 escape
+//!   silently. [`EccModel::classify_all`] folds a flip list into an
+//!   [`EccReport`].
+//! * [`DmaFaultModel`] — per-transfer transient stalls drawn from a seeded
+//!   hash, so a given `(seed, transfer, attempt)` always stalls or always
+//!   succeeds: the retry/backoff loop in the engine is exactly replayable.
+//!
+//! Everything is deterministic in the seed — a fault scenario found by a
+//! sweep is reproduced bit-for-bit from its `FaultPlan` (see
+//! `PICACHU_FAULT_REPLAY` in `picachu-oracle`). The consumers are the
+//! mapper's resource mask (`picachu-compiler`), the cycle-level simulator
+//! (`picachu-cgra`), the DMA/buffer models (`picachu-systolic`) and the
+//! engine's degradation policy (`picachu`); the policy itself is documented
+//! in DESIGN.md §7.
+
+// Serve-path crate: a panic here kills a compile request, so unwrap/expect
+// are banned outside test code (DESIGN.md §7).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod ecc;
+pub mod plan;
+
+pub use ecc::{EccModel, EccOutcome, EccReport};
+pub use plan::{DmaFaultModel, FaultPlan, SramFlip};

@@ -17,16 +17,22 @@
 //!   (op, shape, format, fabric geometry) cases and collects a
 //!   machine-readable discrepancy report (JSON lines) in which every entry
 //!   names the case index that reproduces it:
-//!   `PICACHU_ORACLE_REPLAY=<case> cargo test -p picachu-oracle`.
+//!   `PICACHU_ORACLE_REPLAY=<case> cargo test -p picachu-oracle`;
+//! * [`faults`] sweeps seeded fault plans (dead PEs, dead NoC links, SRAM
+//!   upsets, DMA stalls) through the engine's degradation ladder and holds
+//!   degraded mappings to the same exact timing identities
+//!   (`PICACHU_FAULT_REPLAY=<case>` replays one fault case).
 //!
 //! The invariants and their exact-vs-bounded classification are documented
 //! in `DESIGN.md` ("Differential-oracle invariants").
 
+pub mod faults;
 pub mod numerics;
 pub mod report;
 pub mod sweep;
 pub mod timing;
 
+pub use faults::{run_fault_sweep, FaultSweepConfig};
 pub use report::{Discrepancy, NumericsSummary, OracleReport};
 pub use sweep::{run_sweep, SweepConfig, SweepTier};
 

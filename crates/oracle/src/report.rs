@@ -63,14 +63,28 @@ fn json_escape(s: &str) -> String {
 }
 
 impl Discrepancy {
+    /// The `(env var, test binary)` pair that replays this discrepancy's
+    /// case in isolation. Each oracle family has its own linearized case
+    /// order, so each gets its own replay variable: the fault sweep answers
+    /// to `PICACHU_FAULT_REPLAY`, everything else to
+    /// `PICACHU_ORACLE_REPLAY`.
+    pub fn replay_target(&self) -> (&'static str, &'static str) {
+        if self.oracle == "fault" {
+            ("PICACHU_FAULT_REPLAY", "faults")
+        } else {
+            ("PICACHU_ORACLE_REPLAY", "differential")
+        }
+    }
+
     /// One JSON object per line, replayable via the embedded command.
     pub fn to_json_line(&self) -> String {
+        let (env, test) = self.replay_target();
         format!(
             concat!(
                 "{{\"oracle\":\"{}\",\"case\":{},\"op\":\"{:?}\",\"loop\":\"{}\",",
                 "\"quantity\":\"{}\",\"rows\":{},\"channel\":{},\"format\":\"{}\",",
                 "\"cgra\":[{},{}],\"expected\":{},\"actual\":{},\"seed\":{},",
-                "\"replay\":\"PICACHU_ORACLE_REPLAY={} cargo test -p picachu-oracle --test differential\"}}"
+                "\"replay\":\"{}={} cargo test -p picachu-oracle --test {}\"}}"
             ),
             self.oracle,
             self.ctx.index,
@@ -85,7 +99,9 @@ impl Discrepancy {
             self.expected,
             self.actual,
             self.ctx.seed,
+            env,
             self.ctx.index,
+            test,
         )
     }
 }

@@ -7,17 +7,30 @@
 //! and both the DSE sweep and the figure harnesses evaluate many independent
 //! design points / kernels.
 //!
-//! Two primitives cover every call site:
+//! Two primitives cover every call site, each in a panicking and a fallible
+//! flavour:
 //!
-//! * [`parallel_map`] — chunk-free dynamic work sharing over an indexed item
-//!   slice; results come back in input order, so callers observe exactly the
-//!   serial output regardless of thread count.
-//! * [`parallel_find_first`] — a deterministic *portfolio* search: run
-//!   fallible tasks `0..n` concurrently and return the success with the
-//!   **lowest index**. Workers claim indices in ascending order and skip any
-//!   index above the best success found so far, so the result is bit-identical
-//!   to a serial first-success scan while failures (the expensive part of a
-//!   modulo-scheduling search) burn in parallel.
+//! * [`parallel_map`] / [`try_parallel_map`] — chunk-free dynamic work
+//!   sharing over an indexed item slice; results come back in input order,
+//!   so callers observe exactly the serial output regardless of thread
+//!   count.
+//! * [`parallel_find_first`] / [`try_parallel_find_first`] — a deterministic
+//!   *portfolio* search: run fallible tasks `0..n` concurrently and return
+//!   the success with the **lowest index**. Workers claim indices in
+//!   ascending order and skip any index above the best success found so far,
+//!   so the result is bit-identical to a serial first-success scan while
+//!   failures (the expensive part of a modulo-scheduling search) burn in
+//!   parallel.
+//!
+//! ## Panic isolation
+//!
+//! Every closure invocation is wrapped in `catch_unwind`: a panicking task
+//! poisons only its own slot, never the pool. The `try_*` primitives report
+//! the poisoned slot as a typed [`WorkerPanic`] whose `index` is exactly the
+//! index at which a serial scan would have panicked (the lowest panicking
+//! index not preceded by a success, for the portfolio search) — the error is
+//! as deterministic as the results. The panicking wrappers re-raise the
+//! `WorkerPanic` as a panic for callers that treat a task panic as a bug.
 //!
 //! ## Thread-count policy
 //!
@@ -33,7 +46,13 @@
 //! machine). Because every primitive is deterministic, the thread count —
 //! and therefore nesting depth — can never change any result, only timing.
 
+// Serve-path crate: a panic here kills a compile request, so unwrap/expect
+// are banned outside test code (DESIGN.md §7).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use std::cell::Cell;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
@@ -83,6 +102,44 @@ pub fn in_worker() -> bool {
     IN_WORKER.with(|w| w.get())
 }
 
+/// A task closure panicked inside a `parallel_*` primitive.
+///
+/// `index` identifies the poisoned slot deterministically: it is the index
+/// at which the equivalent serial scan would have panicked, regardless of
+/// thread count or scheduling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// The task index whose closure panicked.
+    pub index: usize,
+    /// The panic payload, stringified (`&str`/`String` payloads verbatim).
+    pub message: String,
+}
+
+impl fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "worker task {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
+
+/// Stringifies a `catch_unwind` payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Recovers a mutex guard even if another task panicked while holding it —
+/// all guarded state here is slot writes that remain internally consistent.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
 /// Applies `f` to every item, in parallel, returning results in input order.
 ///
 /// `f` receives `(index, &item)`. Work is shared dynamically (an atomic
@@ -90,9 +147,13 @@ pub fn in_worker() -> bool {
 /// far slower than the rest — still balance. With one thread, one item, or
 /// when called from inside another pool, this is a plain serial loop.
 ///
-/// # Panics
-/// Propagates a panic from any worker.
-pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+/// A panicking task poisons only its own slot ([`WorkerPanic`]); tasks at
+/// lower indices still complete, and the reported index is the one a serial
+/// loop would have panicked at.
+///
+/// # Errors
+/// Returns [`WorkerPanic`] if any task closure panicked.
+pub fn try_parallel_map<T, R, F>(items: &[T], f: F) -> Result<Vec<R>, WorkerPanic>
 where
     T: Sync,
     R: Send,
@@ -101,94 +162,187 @@ where
     let n = items.len();
     let threads = num_threads().min(n);
     if threads <= 1 || in_worker() {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        let mut out = Vec::with_capacity(n);
+        for (i, item) in items.iter().enumerate() {
+            match catch_unwind(AssertUnwindSafe(|| f(i, item))) {
+                Ok(r) => out.push(r),
+                Err(p) => return Err(WorkerPanic { index: i, message: panic_message(p) }),
+            }
+        }
+        return Ok(out);
     }
     let next = AtomicUsize::new(0);
+    // lowest panicking index so far; items above it are skipped (a serial
+    // loop would never have reached them), items below still run and may
+    // lower it further.
+    let first_panic = AtomicUsize::new(usize::MAX);
+    let panic_msg: Mutex<Option<WorkerPanic>> = Mutex::new(None);
     let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
     {
-        let slot_refs: Vec<Mutex<&mut Option<R>>> =
-            slots.iter_mut().map(Mutex::new).collect();
+        let slot_refs: Vec<Mutex<&mut Option<R>>> = slots.iter_mut().map(Mutex::new).collect();
         std::thread::scope(|s| {
-            let handles: Vec<_> = (0..threads)
-                .map(|_| {
-                    s.spawn(|| {
-                        IN_WORKER.with(|w| w.set(true));
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= n {
-                                break;
-                            }
-                            let r = f(i, &items[i]);
-                            // each index is claimed exactly once, so the
-                            // lock is uncontended; it only exists to hand
-                            // the &mut slot across the thread boundary.
-                            **slot_refs[i].lock().expect("slot lock") = Some(r);
+            for _ in 0..threads {
+                s.spawn(|| {
+                    IN_WORKER.with(|w| w.set(true));
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n || i > first_panic.load(Ordering::SeqCst) {
+                            break;
                         }
-                    })
-                })
-                .collect();
-            for h in handles {
-                if let Err(p) = h.join() {
-                    std::panic::resume_unwind(p);
-                }
+                        match catch_unwind(AssertUnwindSafe(|| f(i, &items[i]))) {
+                            Ok(r) => {
+                                // each index is claimed exactly once, so the
+                                // lock is uncontended; it only exists to hand
+                                // the &mut slot across the thread boundary.
+                                **lock_unpoisoned(&slot_refs[i]) = Some(r);
+                            }
+                            Err(p) => {
+                                let mut w = lock_unpoisoned(&panic_msg);
+                                if i < first_panic.load(Ordering::SeqCst) {
+                                    first_panic.store(i, Ordering::SeqCst);
+                                    *w = Some(WorkerPanic {
+                                        index: i,
+                                        message: panic_message(p),
+                                    });
+                                }
+                            }
+                        }
+                    }
+                });
             }
         });
     }
-    slots
-        .into_iter()
-        .map(|r| r.expect("every index produced a result"))
-        .collect()
+    if let Some(wp) = lock_unpoisoned(&panic_msg).take() {
+        return Err(wp);
+    }
+    let mut out = Vec::with_capacity(n);
+    for (i, slot) in slots.into_iter().enumerate() {
+        match slot {
+            Some(r) => out.push(r),
+            // unreachable: every non-panicking claimed index filled its slot
+            // and a panic would have returned above — but degrade to a typed
+            // error rather than trusting that invariant with a panic.
+            None => {
+                return Err(WorkerPanic {
+                    index: i,
+                    message: "internal: result slot never filled".to_string(),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// [`try_parallel_map`] for callers that treat a task panic as a bug.
+///
+/// # Panics
+/// Re-raises a [`WorkerPanic`] from any task closure.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    match try_parallel_map(items, f) {
+        Ok(v) => v,
+        Err(wp) => panic!("{wp}"),
+    }
 }
 
 /// Runs fallible tasks `0..n` concurrently and returns `(index, result)` for
-/// the success with the **lowest index**, or `None` if every task fails.
+/// the success with the **lowest index**, or `Ok(None)` if every task fails.
 ///
-/// Determinism contract: the returned index is identical to what a serial
-/// `(0..n).find_map(f)` would return. Workers claim indices in ascending
-/// order; once a success at index `b` is recorded, indices above `b` are
-/// skipped (a serial scan would never have reached them), while indices below
-/// `b` — all claimed before `b` was — still run to completion and may lower
-/// the winner.
-pub fn parallel_find_first<R, F>(n: usize, f: F) -> Option<(usize, R)>
+/// Determinism contract: the outcome is identical to a serial
+/// `(0..n).find_map(f)` in which a panicking `f(i)` aborts the scan — the
+/// lowest *eventful* index wins. If that index is a success the result is
+/// `Ok(Some((index, r)))`; if it is a panic the result is
+/// `Err(WorkerPanic { index, .. })`. Workers claim indices in ascending
+/// order; once a success or panic at index `b` is recorded, indices above
+/// `b` are skipped, while indices below `b` — all claimed before `b` was —
+/// still run to completion and may lower the winner.
+///
+/// # Errors
+/// Returns [`WorkerPanic`] when the lowest eventful index panicked.
+pub fn try_parallel_find_first<R, F>(n: usize, f: F) -> Result<Option<(usize, R)>, WorkerPanic>
 where
     R: Send,
     F: Fn(usize) -> Option<R> + Sync,
 {
     let threads = num_threads().min(n);
     if threads <= 1 || in_worker() {
-        return (0..n).find_map(|i| f(i).map(|r| (i, r)));
+        for i in 0..n {
+            match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                Ok(Some(r)) => return Ok(Some((i, r))),
+                Ok(None) => {}
+                Err(p) => return Err(WorkerPanic { index: i, message: panic_message(p) }),
+            }
+        }
+        return Ok(None);
     }
     let next = AtomicUsize::new(0);
     let best = AtomicUsize::new(usize::MAX);
+    let first_panic = AtomicUsize::new(usize::MAX);
     let winner: Mutex<Option<(usize, R)>> = Mutex::new(None);
+    let panic_msg: Mutex<Option<WorkerPanic>> = Mutex::new(None);
     std::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                s.spawn(|| {
-                    IN_WORKER.with(|w| w.set(true));
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n || i > best.load(Ordering::SeqCst) {
-                            break;
-                        }
-                        if let Some(r) = f(i) {
-                            let mut w = winner.lock().expect("winner lock");
+        for _ in 0..threads {
+            s.spawn(|| {
+                IN_WORKER.with(|w| w.set(true));
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let cutoff = best
+                        .load(Ordering::SeqCst)
+                        .min(first_panic.load(Ordering::SeqCst));
+                    if i >= n || i > cutoff {
+                        break;
+                    }
+                    match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                        Ok(Some(r)) => {
+                            let mut w = lock_unpoisoned(&winner);
                             if i < best.load(Ordering::SeqCst) {
                                 best.store(i, Ordering::SeqCst);
                                 *w = Some((i, r));
                             }
                         }
+                        Ok(None) => {}
+                        Err(p) => {
+                            let mut w = lock_unpoisoned(&panic_msg);
+                            if i < first_panic.load(Ordering::SeqCst) {
+                                first_panic.store(i, Ordering::SeqCst);
+                                *w = Some(WorkerPanic { index: i, message: panic_message(p) });
+                            }
+                        }
                     }
-                })
-            })
-            .collect();
-        for h in handles {
-            if let Err(p) = h.join() {
-                std::panic::resume_unwind(p);
-            }
+                }
+            });
         }
     });
-    winner.into_inner().expect("winner lock")
+    let w = best.load(Ordering::SeqCst);
+    let p = first_panic.load(Ordering::SeqCst);
+    if p < w {
+        // the serial scan would have panicked before reaching the first
+        // success: the panic is the deterministic outcome.
+        if let Some(wp) = lock_unpoisoned(&panic_msg).take() {
+            return Err(wp);
+        }
+    }
+    let found = lock_unpoisoned(&winner).take();
+    Ok(found)
+}
+
+/// [`try_parallel_find_first`] for callers that treat a task panic as a bug.
+///
+/// # Panics
+/// Re-raises a [`WorkerPanic`] when the lowest eventful index panicked.
+pub fn parallel_find_first<R, F>(n: usize, f: F) -> Option<(usize, R)>
+where
+    R: Send,
+    F: Fn(usize) -> Option<R> + Sync,
+{
+    match try_parallel_find_first(n, f) {
+        Ok(r) => r,
+        Err(wp) => panic!("{wp}"),
+    }
 }
 
 #[cfg(test)]
@@ -296,5 +450,81 @@ mod tests {
         });
         set_thread_override(None);
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn try_map_reports_lowest_panicking_index() {
+        let _g = override_lock();
+        for t in [1usize, 2, 4, 8] {
+            set_thread_override(Some(t));
+            let items: Vec<u32> = (0..64).collect();
+            let r = try_parallel_map(&items, |_, &x| {
+                if x == 9 || x == 30 {
+                    panic!("item {x} is poison");
+                }
+                x * 2
+            });
+            set_thread_override(None);
+            let err = r.expect_err("a panicking item must surface as Err");
+            assert_eq!(err.index, 9, "{t} threads");
+            assert_eq!(err.message, "item 9 is poison");
+        }
+    }
+
+    #[test]
+    fn try_map_ok_path_matches_map() {
+        let items: Vec<u64> = (0..100).collect();
+        let a = try_parallel_map(&items, |_, &x| x + 1).expect("no panics");
+        assert_eq!(a, parallel_map(&items, |_, &x| x + 1));
+    }
+
+    #[test]
+    fn try_find_first_success_below_panic_wins() {
+        let _g = override_lock();
+        for t in [1usize, 2, 4, 8] {
+            set_thread_override(Some(t));
+            let r = try_parallel_find_first(64, |i| {
+                if i == 20 {
+                    panic!("late poison");
+                }
+                (i == 5).then_some(i)
+            });
+            set_thread_override(None);
+            assert_eq!(r, Ok(Some((5, 5))), "{t} threads");
+        }
+    }
+
+    #[test]
+    fn try_find_first_panic_below_success_is_err() {
+        let _g = override_lock();
+        for t in [1usize, 2, 4, 8] {
+            set_thread_override(Some(t));
+            let r = try_parallel_find_first(64, |i| {
+                if i == 5 {
+                    panic!("early poison");
+                }
+                (i == 20).then_some(i)
+            });
+            set_thread_override(None);
+            let err = r.expect_err("panic precedes the success in serial order");
+            assert_eq!(err.index, 5, "{t} threads");
+        }
+    }
+
+    #[test]
+    fn try_find_first_all_fail_is_ok_none() {
+        assert_eq!(try_parallel_find_first(32, |_| None::<u32>), Ok(None));
+    }
+
+    #[test]
+    fn pool_survives_panicking_batch() {
+        // After a poisoned batch, the pool primitives must still work — no
+        // global state is left behind by a worker panic.
+        let _g = override_lock();
+        set_thread_override(Some(4));
+        let _ = try_parallel_map(&[1u8, 2, 3], |_, _| panic!("all poison"));
+        let ok = try_parallel_map(&[1u8, 2, 3], |_, &x| x * 2);
+        set_thread_override(None);
+        assert_eq!(ok, Ok(vec![2, 4, 6]));
     }
 }

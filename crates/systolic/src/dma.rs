@@ -6,7 +6,57 @@
 //! to ~16 GB/s at 1 GHz with a ~200-cycle descriptor setup, typical of a
 //! measured PCIe-attached HBM path.
 
+use picachu_faults::DmaFaultModel;
 use std::fmt;
+
+/// Most attempts the retry ladder issues for one transfer before giving up.
+/// Three retries on top of the first attempt: with the worst shipped fault
+/// density (~2 % per attempt) four independent stalls in a row happen at
+/// ~1.6e-7 per transfer — the ladder clears every realistic transient while
+/// still bounding the worst case.
+pub const DMA_MAX_ATTEMPTS: u32 = 4;
+
+/// Backoff before the first retry; doubles each further retry (32, 64, 128
+/// cycles). Short enough to be invisible against a 200-cycle setup, long
+/// enough to ride out a descriptor-timeout turnaround.
+pub const DMA_BACKOFF_BASE_CYCLES: u64 = 32;
+
+/// Outcome of a transfer pushed through the retry ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultedTransfer {
+    /// Total cycles including stalled attempts and backoff.
+    pub cycles: u64,
+    /// Attempts issued (1 = clean first try).
+    pub attempts: u32,
+    /// Cycles lost to stalls and backoff (0 for a clean transfer; the
+    /// fault-free cost is always `cycles - overhead_cycles`).
+    pub overhead_cycles: u64,
+}
+
+/// All [`DMA_MAX_ATTEMPTS`] attempts of a transfer stalled: the channel is
+/// treated as hard-failed for this transfer and the caller must degrade
+/// (reject the request, not hang retrying forever).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DmaExhausted {
+    /// Index of the transfer that exhausted its attempts.
+    pub transfer: u64,
+    /// Attempts issued (always [`DMA_MAX_ATTEMPTS`]).
+    pub attempts: u32,
+    /// Cycles burned before giving up.
+    pub wasted_cycles: u64,
+}
+
+impl fmt::Display for DmaExhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DMA transfer {} stalled {} times ({} cycles wasted), giving up",
+            self.transfer, self.attempts, self.wasted_cycles
+        )
+    }
+}
+
+impl std::error::Error for DmaExhausted {}
 
 /// A DMA channel model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -41,6 +91,41 @@ impl DmaModel {
             (bytes as f64 / self.bytes_per_cycle).ceil() as u64
         };
         self.setup_cycles + streaming
+    }
+
+    /// [`DmaModel::transfer_cycles`] under a transient-fault model, with the
+    /// bounded retry ladder: attempt `a` of transfer `transfer` stalls iff
+    /// `faults.stalls(transfer, a)`; a stalled attempt costs
+    /// `faults.stall_cycles` plus a deterministic doubling backoff
+    /// ([`DMA_BACKOFF_BASE_CYCLES`] · 2^a) before the reissue. The whole
+    /// ladder is a pure function of `(self, bytes, transfer, faults)` —
+    /// replays are bit-identical.
+    ///
+    /// # Errors
+    /// [`DmaExhausted`] when all [`DMA_MAX_ATTEMPTS`] attempts stall.
+    pub fn transfer_cycles_faulted(
+        &self,
+        bytes: usize,
+        transfer: u64,
+        faults: &DmaFaultModel,
+    ) -> Result<FaultedTransfer, DmaExhausted> {
+        let clean = self.transfer_cycles(bytes);
+        let mut overhead: u64 = 0;
+        for attempt in 0..DMA_MAX_ATTEMPTS {
+            if !faults.stalls(transfer, attempt) {
+                return Ok(FaultedTransfer {
+                    cycles: clean + overhead,
+                    attempts: attempt + 1,
+                    overhead_cycles: overhead,
+                });
+            }
+            overhead += faults.stall_cycles + (DMA_BACKOFF_BASE_CYCLES << attempt);
+        }
+        Err(DmaExhausted {
+            transfer,
+            attempts: DMA_MAX_ATTEMPTS,
+            wasted_cycles: overhead,
+        })
     }
 
     /// Effective bandwidth for a transfer of `bytes`, in bytes/cycle —
@@ -103,5 +188,52 @@ mod tests {
         let f = DmaModel { setup_cycles: 0, bytes_per_cycle: 2.5 };
         assert_eq!(f.transfer_cycles(5), 2);
         assert_eq!(f.transfer_cycles(6), 3);
+    }
+
+    #[test]
+    fn faulted_transfer_clean_path_is_free() {
+        let d = DmaModel::default();
+        let t = d
+            .transfer_cycles_faulted(16 * 1000, 0, &DmaFaultModel::none())
+            .unwrap();
+        assert_eq!(t.cycles, d.transfer_cycles(16 * 1000));
+        assert_eq!(t.attempts, 1);
+        assert_eq!(t.overhead_cycles, 0);
+    }
+
+    #[test]
+    fn faulted_transfer_retries_with_doubling_backoff() {
+        let d = DmaModel::default();
+        // stall every attempt: the ladder burns all attempts and gives up
+        let always = DmaFaultModel { stall_ppm: 1_000_000, stall_cycles: 100, seed: 1 };
+        let err = d.transfer_cycles_faulted(64, 7, &always).unwrap_err();
+        assert_eq!(err.transfer, 7);
+        assert_eq!(err.attempts, DMA_MAX_ATTEMPTS);
+        // 4 stalls + backoffs 32+64+128+256
+        assert_eq!(err.wasted_cycles, 4 * 100 + 32 + 64 + 128 + 256);
+    }
+
+    #[test]
+    fn faulted_transfer_ladder_is_deterministic() {
+        let d = DmaModel::default();
+        let f = DmaFaultModel { stall_ppm: 300_000, stall_cycles: 50, seed: 42 };
+        let mut retried = 0u32;
+        for x in 0..2_000u64 {
+            let a = d.transfer_cycles_faulted(128, x, &f);
+            let b = d.transfer_cycles_faulted(128, x, &f);
+            assert_eq!(a, b, "transfer {x} not replayable");
+            if let Ok(t) = a {
+                if t.attempts > 1 {
+                    retried += 1;
+                    // overhead accounts every stalled attempt exactly
+                    let stalls = t.attempts as u64 - 1;
+                    let backoff: u64 =
+                        (0..stalls).map(|k| DMA_BACKOFF_BASE_CYCLES << k).sum();
+                    assert_eq!(t.overhead_cycles, stalls * 50 + backoff);
+                }
+            }
+        }
+        // at 30 % per-attempt density a healthy share of transfers retries
+        assert!(retried > 300, "only {retried} retries in 2000 transfers");
     }
 }

@@ -10,6 +10,9 @@ echo "== build (release, offline) =="
 cargo build --release --offline
 
 echo "== clippy (all targets, warnings are errors) =="
+# picachu-{compiler,core,runtime,faults} additionally deny
+# clippy::unwrap_used / clippy::expect_used in-source (crate attributes in
+# each lib.rs), so a new unwrap on the compile/serve path fails this stage.
 cargo clippy --all-targets --offline -- -D warnings
 
 echo "== test (workspace, offline) =="
@@ -17,6 +20,9 @@ cargo test -q --offline
 
 echo "== differential oracle (smoke grid) =="
 PICACHU_ORACLE_SMOKE=1 cargo test -q -p picachu-oracle --test differential --offline
+
+echo "== fault oracle (smoke sweep: dead PEs/links + seeded plans) =="
+PICACHU_FAULT_SMOKE=1 cargo test -q -p picachu-oracle --test faults --offline
 
 echo "== test (workspace, offline, PICACHU_THREADS=4) =="
 PICACHU_THREADS=4 cargo test -q --offline

@@ -4,10 +4,11 @@
 //! a panic, an underflow wraparound, or a NaN.
 
 use picachu::engine::{EngineConfig, PicachuEngine};
+use picachu::faults::FaultPlan;
 use picachu_llm::trace::TraceOp;
 use picachu_cgra::{CgraConfig, CgraSimulator};
 use picachu_compiler::arch::CgraSpec;
-use picachu_compiler::mapper::map_dfg;
+use picachu_compiler::mapper::{map_dfg, map_dfg_with, ResourceMask};
 use picachu_compiler::transform::fuse_patterns;
 use picachu_ir::kernels::relu_kernel;
 use picachu_nonlinear::NonlinearOp;
@@ -118,6 +119,73 @@ fn one_by_one_fabric_maps_relu_directly() {
     let d = fuse_patterns(&relu_kernel().loops[0].dfg);
     let m = map_dfg(&d, &spec, 17).expect("relu maps on a single universal tile");
     assert!(m.ii as usize >= d.len());
+}
+
+#[test]
+fn all_but_one_tile_dead_degrades_like_a_one_by_one_fabric() {
+    // A 4×4 universal fabric with 15 dead PEs is functionally a 1×1 grid:
+    // relu must still map (II >= node count, zero hops — every node shares
+    // the survivor) and simulate under the matching fault plan.
+    let spec = CgraSpec::universal(4, 4);
+    let mut plan = FaultPlan::none();
+    for t in 0..15 {
+        plan = plan.with_dead_tile(t);
+    }
+    let mask = ResourceMask::degraded(&spec, plan.dead_tiles.iter().copied(), []);
+    assert_eq!(mask.alive_count(), 1);
+    let d = fuse_patterns(&relu_kernel().loops[0].dfg);
+    let m = map_dfg_with(&d, &spec, 17, &mask, None)
+        .expect("relu maps on the lone surviving universal tile");
+    assert!(m.ii as usize >= d.len());
+    for p in &m.placements {
+        assert_eq!(p.tile, 15, "only tile 15 is alive");
+    }
+    let cfg = CgraConfig::from_mapping(&d, &m, &spec);
+    let run = CgraSimulator::new(&spec, &d, &cfg)
+        .run_faulted(16, &plan)
+        .expect("degraded mapping simulates under its own plan");
+    assert_eq!(run.report.cycles, m.cycles_for(16));
+    assert_eq!(run.report.noc_hops, 0, "a single survivor routes nowhere");
+}
+
+#[test]
+fn single_surviving_serpentine_route_still_maps() {
+    // Kill every mesh link except a serpentine path
+    // 0-1-2-3 | 3-7 | 7-6-5-4 | 4-8 | 8-9-10-11 | 11-15 | 15-14-13-12:
+    // the alive topology is one Hamiltonian path, so any two tiles remain
+    // connected but many hop distances inflate well past Manhattan.
+    let spec = CgraSpec::universal(4, 4);
+    let keep: &[(usize, usize)] = &[
+        (0, 1), (1, 2), (2, 3), (3, 7), (6, 7), (5, 6), (4, 5), (4, 8),
+        (8, 9), (9, 10), (10, 11), (11, 15), (14, 15), (13, 14), (12, 13),
+    ];
+    let mut plan = FaultPlan::none();
+    for r in 0..4usize {
+        for c in 0..4usize {
+            let t = r * 4 + c;
+            for n in [(c + 1 < 4).then_some(t + 1), (r + 1 < 4).then_some(t + 4)]
+                .into_iter()
+                .flatten()
+            {
+                let link = (t.min(n), t.max(n));
+                if !keep.contains(&link) {
+                    plan = plan.with_dead_link(link.0, link.1);
+                }
+            }
+        }
+    }
+    assert_eq!(plan.dead_links.len(), 24 - keep.len());
+    let mask = ResourceMask::degraded(&spec, [], plan.dead_links.iter().copied());
+    // endpoints of the serpentine are 15 hops apart on the surviving path
+    assert_eq!(mask.hops(&spec, 0, 12), Some(15));
+    let d = fuse_patterns(&relu_kernel().loops[0].dfg);
+    let m = map_dfg_with(&d, &spec, 17, &mask, None)
+        .expect("relu maps along the single surviving route");
+    let cfg = CgraConfig::from_mapping(&d, &m, &spec);
+    let run = CgraSimulator::new(&spec, &d, &cfg)
+        .run_faulted(16, &plan)
+        .expect("serpentine mapping simulates under its own plan");
+    assert_eq!(run.report.cycles, m.cycles_for(16));
 }
 
 #[test]
