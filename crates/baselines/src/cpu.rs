@@ -7,7 +7,8 @@
 //! memory and back without streaming overlap — the data-movement penalty the
 //! paper calls out.
 
-use crate::common::NonlinearExecutor;
+use crate::common::{Hosted, NonlinearExecutor, UnitCost};
+use picachu_backend::CompileHint;
 use picachu_nonlinear::NonlinearOp;
 
 /// SIMD-CPU cost model.
@@ -26,6 +27,18 @@ impl Default for CpuModel {
 }
 
 impl CpuModel {
+    /// The CPU configuration behind the unified [`Accelerator`]
+    /// (`picachu_backend::Accelerator`) contract: GEMMs on the shared
+    /// systolic array, nonlinear ops on the host CPU. The host core is
+    /// off-package silicon, so it contributes no accelerator area; its
+    /// active power is an i7-class core running vector math (~15 W).
+    pub fn hosted() -> Hosted<CpuModel> {
+        Hosted::new(
+            CpuModel::default(),
+            UnitCost { area_mm2: 0.0, power_mw: 15_000.0, hint: CompileHint::analytical() },
+        )
+    }
+
     /// Amortized cycles per element for one operation on a SIMD core
     /// (AVX2-class vector math: exp ≈ 6 cyc/elem, cheap compares ≈ 0.6).
     pub fn cycles_per_element(op: NonlinearOp) -> f64 {

@@ -8,7 +8,8 @@
 //! LLaMA models. Gemmini also lacks PICACHU's streaming/double-buffering, so
 //! reduction ops pay exposed DMA time.
 
-use crate::common::NonlinearExecutor;
+use crate::common::{Hosted, NonlinearExecutor, UnitCost};
+use picachu_backend::CompileHint;
 use picachu_nonlinear::NonlinearOp;
 
 /// Gemmini-class cost model.
@@ -36,6 +37,16 @@ impl Default for GemminiModel {
 }
 
 impl GemminiModel {
+    /// Gemmini behind the unified `Accelerator` contract. The dedicated
+    /// ReLU/GeLU/Softmax/LayerNorm pipelines plus the RISC-V scalar core
+    /// are small fixed-function silicon (~0.6 mm², ~90 mW active).
+    pub fn hosted() -> Hosted<GemminiModel> {
+        Hosted::new(
+            GemminiModel::default(),
+            UnitCost { area_mm2: 0.6, power_mw: 90.0, hint: CompileHint::analytical() },
+        )
+    }
+
     /// Whether Gemmini has a dedicated unit for the operation.
     pub fn has_dedicated_unit(op: NonlinearOp) -> bool {
         matches!(

@@ -8,6 +8,7 @@
 //! multiple passes over the data — which is why their share of runtime grows
 //! with sequence length (Fig. 1).
 
+use picachu_backend::{Accelerator, Breakdown, ExecutionReport};
 use picachu_llm::trace::TraceOp;
 use picachu_llm::ModelConfig;
 use picachu_nonlinear::NonlinearOp;
@@ -107,6 +108,34 @@ impl GpuModel {
     pub fn energy_j(&self, gemm_s: f64, nonlinear_s: f64) -> f64 {
         // GEMM phases run near TDP; memory-bound phases draw less.
         gemm_s * 330.0 + nonlinear_s * 180.0
+    }
+}
+
+impl Accelerator for GpuModel {
+    fn name(&self) -> &str {
+        "A100"
+    }
+
+    /// The roofline model is wall-clock, so the breakdown is reported in
+    /// **nanoseconds** — numerically comparable with the 1 GHz backends'
+    /// cycle counts (see the `picachu-backend` unit note).
+    fn execute_trace(&mut self, trace: &[TraceOp]) -> ExecutionReport {
+        let (g, n) = GpuModel::execute_trace(self, trace);
+        self.report(Breakdown {
+            gemm: g * 1e9,
+            nonlinear: n * 1e9,
+            ..Breakdown::default()
+        })
+    }
+
+    fn energy_nj(&self, b: &Breakdown) -> f64 {
+        // breakdown is in ns; energy_j takes seconds and returns joules
+        self.energy_j(b.gemm * 1e-9, (b.nonlinear + b.data_movement + b.overhead) * 1e-9) * 1e9
+    }
+
+    /// A100 die area (GA100, 7 nm).
+    fn area_mm2(&self) -> f64 {
+        826.0
     }
 }
 

@@ -1,8 +1,9 @@
 //! # picachu-baselines — the comparison systems of §5.4
 //!
-//! Every baseline executes the same [`picachu_llm::trace`] operator traces,
-//! so end-to-end comparisons differ only in how each device handles GEMMs
-//! and nonlinear operations:
+//! Every baseline executes the same [`picachu_llm::trace`] operator traces
+//! behind the unified [`picachu_backend::Accelerator`] contract, so
+//! end-to-end comparisons differ only in how each device handles GEMMs and
+//! nonlinear operations:
 //!
 //! * [`cpu`] — the host-CPU fallback (systolic array for GEMM, SIMD CPU for
 //!   every nonlinear op, DRAM round trips without streaming overlap);
@@ -14,16 +15,25 @@
 //! * [`tandem`] — a Tandem-class tightly-coupled vector processor covering
 //!   all nonlinear ops at vector rate (its accuracy cost is what Table 2
 //!   measures);
-//! * [`common`] — the shared latency-breakdown accounting.
+//! * [`homogeneous`] — a conventional scalar 4×4 CGRA (the Fig. 7a
+//!   baseline): real modulo-scheduled mappings, but no heterogeneous FUs,
+//!   fusion, unrolling or streaming;
+//! * [`common`] — the shared systolic-hosted harness ([`common::Hosted`])
+//!   that lifts the per-device cost models onto the backend contract. The
+//!   latency [`Breakdown`] itself is canonical in `picachu-backend` and
+//!   only re-exported here.
 
 pub mod common;
 pub mod cpu;
 pub mod gemmini;
 pub mod gpu;
+pub mod homogeneous;
 pub mod tandem;
 
-pub use common::{Breakdown, NonlinearExecutor};
+pub use common::{Breakdown, Hosted, NonlinearExecutor, UnitCost};
 pub use cpu::CpuModel;
 pub use gemmini::GemminiModel;
 pub use gpu::GpuModel;
+pub use homogeneous::HomogeneousCgraModel;
+pub use picachu_backend::{Accelerator, CompileHint, ExecutionReport};
 pub use tandem::TandemModel;

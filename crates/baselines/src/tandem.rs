@@ -8,7 +8,8 @@
 //! its fused single-cycle patterns and the shared-buffer streaming, giving
 //! the paper's ≤1.55× speedups on BERT/GPT-2.
 
-use crate::common::NonlinearExecutor;
+use crate::common::{Hosted, NonlinearExecutor, UnitCost};
+use picachu_backend::CompileHint;
 use picachu_nonlinear::NonlinearOp;
 
 /// Tandem-class cost model.
@@ -30,6 +31,16 @@ impl Default for TandemModel {
 }
 
 impl TandemModel {
+    /// Tandem behind the unified `Accelerator` contract. The 16-lane
+    /// tightly-coupled vector processor is substantially bigger silicon
+    /// than fixed-function units (~1.8 mm², ~250 mW active).
+    pub fn hosted() -> Hosted<TandemModel> {
+        Hosted::new(
+            TandemModel::default(),
+            UnitCost { area_mm2: 1.8, power_mw: 250.0, hint: CompileHint::analytical() },
+        )
+    }
+
     /// Vector micro-op count per element: the I-BERT/gemmlowp integer
     /// recipes are chains of dependent vector instructions (quantize,
     /// range-reduce, polynomial, requantize), so each element costs many

@@ -6,7 +6,7 @@
 //! fusion the special opcodes still exist but every `phi`/`add`/`cmp` chain
 //! costs its full node count and the `phi→add` recurrences keep RecMII ≥ 2.
 
-use picachu_bench::{banner, geomean};
+use picachu_bench::{banner, emit, geomean, json_obj, Json};
 use picachu_compiler::arch::CgraSpec;
 use picachu_compiler::mapper::map_dfg;
 use picachu_compiler::transform::fuse_patterns;
@@ -22,6 +22,7 @@ fn main() {
         "kernel", "nodes", "II unfused", "II fused", "gain"
     );
     let mut gains = Vec::new();
+    let mut lines = Vec::new();
     for k in kernel_library(4) {
         for l in &k.loops {
             let unfused = map_dfg(&l.dfg, &spec, 3).expect("unfused maps");
@@ -38,7 +39,16 @@ fn main() {
                 fused.ii,
                 gain
             );
+            lines.push(json_obj(&[
+                ("loop", Json::S(l.label.clone())),
+                ("nodes", Json::I(l.dfg.len() as i64)),
+                ("fused_nodes", Json::I(fused_dfg.len() as i64)),
+                ("ii_unfused", Json::I(unfused.ii as i64)),
+                ("ii_fused", Json::I(fused.ii as i64)),
+                ("gain", Json::F(gain)),
+            ]));
         }
     }
     println!("\nfusion alone: {:.2}x geomean II reduction", geomean(&gains));
+    emit("ablation_fusion", &lines);
 }

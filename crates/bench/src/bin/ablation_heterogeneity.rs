@@ -6,7 +6,7 @@
 //! quantifies the trade the paper's §4.2.1 makes: per-kernel II on both
 //! fabrics, plus performance-per-area with the calibrated cost model.
 
-use picachu_bench::{banner, geomean};
+use picachu_bench::{banner, emit, geomean, json_obj, Json};
 use picachu_cgra::cost::CostModel;
 use picachu_compiler::arch::CgraSpec;
 use picachu_compiler::mapper::map_dfg;
@@ -24,6 +24,7 @@ fn main() {
     println!("{:<16} {:>12} {:>12}", "kernel", "hetero II", "universal II");
     let mut h_ii = Vec::new();
     let mut u_ii = Vec::new();
+    let mut lines = Vec::new();
     for k in kernel_library(4) {
         for l in &k.loops {
             let fused = fuse_patterns(&l.dfg);
@@ -32,6 +33,11 @@ fn main() {
             h_ii.push(h.ii as f64);
             u_ii.push(u.ii as f64);
             println!("{:<16} {:>12} {:>12}", l.label, h.ii, u.ii);
+            lines.push(json_obj(&[
+                ("loop", Json::S(l.label.clone())),
+                ("hetero_ii", Json::I(h.ii as i64)),
+                ("universal_ii", Json::I(u.ii as i64)),
+            ]));
         }
     }
     let perf_ratio = geomean(&h_ii) / geomean(&u_ii); // >1 = universal faster
@@ -48,4 +54,11 @@ fn main() {
         "performance-per-area: heterogeneous {:.2}x of universal — the §4.2.1 trade",
         ppa_hetero / ppa_uni
     );
+    lines.push(json_obj(&[
+        ("loop", Json::S("summary".into())),
+        ("hetero_area_mm2", Json::F(hetero_cost.area_mm2)),
+        ("universal_area_mm2", Json::F(uni_cost.area_mm2)),
+        ("ppa_hetero_over_universal", Json::F(ppa_hetero / ppa_uni)),
+    ]));
+    emit("ablation_heterogeneity", &lines);
 }

@@ -6,38 +6,52 @@
 //! reduction round trips (Case 2).
 
 use picachu::engine::{EngineConfig, PicachuEngine};
-use picachu_bench::banner;
+use picachu_bench::{banner, emit, row, run_comparison, Json, Workload};
 use picachu_llm::ModelConfig;
 
-fn run(cfg: &ModelConfig, streaming: bool, double_buffering: bool) -> f64 {
+fn totals_at(streaming: bool, double_buffering: bool, workloads: &[Workload]) -> Vec<f64> {
     let mut e = PicachuEngine::new(EngineConfig {
         streaming,
         double_buffering,
         ..EngineConfig::default()
     });
-    e.execute_model(cfg, 1024).total()
+    let rows = run_comparison(&mut [&mut e], workloads);
+    workloads.iter().map(|w| row(&rows, "PICACHU", &w.name).total).collect()
 }
 
 fn main() {
     banner("Ablation", "streaming + double-buffering (seq 1024, FP16)");
+    let workloads: Vec<Workload> =
+        [ModelConfig::gpt2_xl(), ModelConfig::opt_6_7b(), ModelConfig::llama2_7b()]
+            .iter()
+            .map(|cfg| Workload::prefill(cfg, 1024))
+            .collect();
+    let variants = [(false, false), (true, false), (false, true), (true, true)];
+    let totals: Vec<Vec<f64>> =
+        variants.iter().map(|&(s, d)| totals_at(s, d, &workloads)).collect();
+
+    let mut lines = Vec::new();
     println!(
-        "{:<12} {:>12} {:>12} {:>12} {:>12}",
+        "{:<18} {:>12} {:>12} {:>12} {:>12}",
         "model", "both off", "+stream", "+dblbuf", "both on"
     );
-    for cfg in [ModelConfig::gpt2_xl(), ModelConfig::opt_6_7b(), ModelConfig::llama2_7b()] {
-        let off = run(&cfg, false, false);
-        let s = run(&cfg, true, false);
-        let d = run(&cfg, false, true);
-        let on = run(&cfg, true, true);
-        println!(
-            "{:<12} {:>11.2}x {:>11.2}x {:>11.2}x {:>11.2}x",
-            cfg.name,
-            1.0,
-            off / s,
-            off / d,
-            off / on
-        );
+    for (wi, w) in workloads.iter().enumerate() {
+        let off = totals[0][wi];
+        print!("{:<18}", w.name);
+        for (vi, &(s, d)) in variants.iter().enumerate() {
+            let speedup = off / totals[vi][wi];
+            print!(" {speedup:>11.2}x");
+            lines.push(picachu_bench::json_obj(&[
+                ("workload", Json::S(w.name.clone())),
+                ("streaming", Json::B(s)),
+                ("double_buffering", Json::B(d)),
+                ("total", Json::F(totals[vi][wi])),
+                ("speedup_vs_off", Json::F(speedup)),
+            ]));
+        }
+        println!();
     }
     println!("\nspeedup normalized to both optimizations disabled; §5.4's claim that");
     println!("CPU/Gemmini lack exactly these optimizations is what Fig. 8a leans on.");
+    emit("ablation_memory", &lines);
 }

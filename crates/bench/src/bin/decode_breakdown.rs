@@ -7,35 +7,40 @@
 
 use picachu::engine::{EngineConfig, PicachuEngine};
 use picachu_baselines::GpuModel;
-use picachu_bench::banner;
-use picachu_llm::trace::decode_trace;
+use picachu_bench::{banner, emit_rows, row, run_comparison, Workload};
 use picachu_llm::ModelConfig;
 use picachu_num::DataFormat;
 
 fn main() {
     banner("Extension", "decode-phase breakdown (LLaMA2-7B, one token)");
-    let gpu = GpuModel::default();
+    let mut gpu = GpuModel::default();
+    let mut pic = PicachuEngine::new(EngineConfig {
+        format: DataFormat::Int16,
+        ..EngineConfig::default()
+    });
     let cfg = ModelConfig::llama2_7b();
+    let workloads: Vec<Workload> = [128usize, 512, 1024, 2048, 4096]
+        .iter()
+        .map(|&context| Workload::decode(&cfg, context))
+        .collect();
+    let rows = run_comparison(&mut [&mut gpu, &mut pic], &workloads);
+
     println!(
-        "{:<10} {:>16} {:>16} {:>14}",
-        "context", "A100 nl share", "PICACHU nl shr", "PICACHU total"
+        "{:<24} {:>16} {:>16} {:>14}",
+        "workload", "A100 nl share", "PICACHU nl shr", "PICACHU total"
     );
-    for context in [128usize, 512, 1024, 2048, 4096] {
-        let trace = decode_trace(&cfg, context);
-        let (g, n) = gpu.execute_trace(&trace);
-        let mut e = PicachuEngine::new(EngineConfig {
-            format: DataFormat::Int16,
-            ..EngineConfig::default()
-        });
-        let b = e.execute_trace(&trace);
+    for w in &workloads {
+        let g = row(&rows, "A100", &w.name);
+        let p = row(&rows, "PICACHU", &w.name);
         println!(
-            "{:<10} {:>15.1}% {:>15.1}% {:>14.3e}",
-            context,
-            100.0 * n / (g + n),
-            100.0 * (b.nonlinear + b.data_movement) / b.total(),
-            b.total()
+            "{:<24} {:>15.1}% {:>15.1}% {:>14.3e}",
+            w.name,
+            100.0 * g.nonlinear / g.total,
+            100.0 * (p.nonlinear + p.data_movement) / p.total,
+            p.total
         );
     }
     println!("\ndecode is even more nonlinear-bound than prefill on the GPU; the");
     println!("plug-in CGRA keeps the share bounded as the context grows.");
+    emit_rows("decode_breakdown", &rows);
 }

@@ -3,11 +3,12 @@
 //! model and print the Pareto frontier of (latency, area) design points.
 
 use picachu::dse::{explore, pareto_frontier, DseSweep};
-use picachu_bench::banner;
+use picachu_bench::{banner, emit, json_obj, Json};
 use picachu_llm::ModelConfig;
 
 fn main() {
     banner("DSE", "PICACHU design-space exploration (seq 512)");
+    let mut lines = Vec::new();
     for model in [ModelConfig::gpt2_xl(), ModelConfig::llama2_7b()] {
         let points = explore(&model, &DseSweep::default());
         println!("\n{}: {} design points; Pareto frontier:", model.name, points.len());
@@ -19,8 +20,18 @@ fn main() {
                 p.latency,
                 p.area_mm2
             );
+            lines.push(json_obj(&[
+                ("model", Json::S(model.name.to_string())),
+                ("cgra_rows", Json::I(p.cgra_rows as i64)),
+                ("cgra_cols", Json::I(p.cgra_cols as i64)),
+                ("buffer_kb", Json::I(p.buffer_kb as i64)),
+                ("format", Json::S(p.format.to_string())),
+                ("latency", Json::F(p.latency)),
+                ("area_mm2", Json::F(p.area_mm2)),
+            ]));
         }
         let best = &points[0];
         println!("best latency-area product: {best}");
     }
+    emit("dse_sweep", &lines);
 }

@@ -5,7 +5,7 @@
 //! nonlinear operations account for up to 46.3% of inference latency.
 
 use picachu_baselines::GpuModel;
-use picachu_bench::banner;
+use picachu_bench::{banner, emit, json_obj, Json};
 use picachu_llm::trace::TraceOp;
 use picachu_llm::ModelConfig;
 use picachu_nonlinear::NonlinearOp;
@@ -46,12 +46,23 @@ fn main() {
         ModelConfig::llama2_13b(),
     ];
     println!("{:<12} {:>8} {:>10} {:>10} {:>10} {:>8} {:>14}", "model", "GEMM", "softmax", "norm", "act", "rope", "nonlinear all");
+    let mut lines = Vec::new();
     for cfg in &models {
         let shares = op_shares(&gpu, cfg, 1024);
         let get = |n: &str| shares.iter().find(|r| r.0 == n).map_or(0.0, |r| r.1);
         let norm = get("layernorm") + get("rmsnorm");
         let act = get("gelu") + get("relu") + get("swiglu") + get("geglu") + get("silu");
         let nl = 1.0 - get("GEMM");
+        lines.push(json_obj(&[
+            ("model", Json::S(cfg.name.to_string())),
+            ("seq", Json::I(1024)),
+            ("gemm_share", Json::F(get("GEMM"))),
+            ("softmax_share", Json::F(get("softmax"))),
+            ("norm_share", Json::F(norm)),
+            ("act_share", Json::F(act)),
+            ("rope_share", Json::F(get("rope"))),
+            ("nonlinear_share", Json::F(nl)),
+        ]));
         println!(
             "{:<12} {:>7.1}% {:>9.1}% {:>9.1}% {:>9.1}% {:>7.1}% {:>13.1}%",
             cfg.name,
@@ -71,6 +82,12 @@ fn main() {
         let shares = op_shares(&gpu, &cfg, seq);
         let gemm = shares.iter().find(|r| r.0 == "GEMM").map_or(0.0, |r| r.1);
         println!("{:<8} {:>7.1}% {:>13.1}%", seq, 100.0 * gemm, 100.0 * (1.0 - gemm));
+        lines.push(json_obj(&[
+            ("model", Json::S(cfg.name.to_string())),
+            ("seq", Json::I(seq as i64)),
+            ("gemm_share", Json::F(gemm)),
+            ("nonlinear_share", Json::F(1.0 - gemm)),
+        ]));
     }
 
     // the motivation check the intro quotes
@@ -79,5 +96,6 @@ fn main() {
         .map(|m| 1.0 - op_shares(&gpu, m, 1024).iter().find(|r| r.0 == "GEMM").unwrap().1)
         .fold(0.0f64, f64::max);
     println!("\nmax nonlinear share @1024 = {:.1}% (paper: up to 46.3%)", 100.0 * worst);
+    emit("fig1", &lines);
     let _ = NonlinearOp::ALL; // keep the op list linked for docs
 }

@@ -2,7 +2,7 @@
 //! Table 4 fusion, loop unrolling) over a conventional homogeneous scalar
 //! 4×4 CGRA. RE operations report each loop separately, as in the paper.
 
-use picachu_bench::{banner, geomean};
+use picachu_bench::{banner, emit, geomean, json_obj, Json};
 use picachu_compiler::arch::CgraSpec;
 use picachu_compiler::mapper::map_dfg;
 use picachu_compiler::transform::{fuse_patterns, lower_special_ops, unroll};
@@ -40,6 +40,7 @@ fn main() {
         (label.clone(), base.ii, best, best_uf)
     });
     let mut speedups = Vec::new();
+    let mut lines = Vec::new();
     for (label, base_ii, best, best_uf) in rows {
         let s = base_ii as f64 / best;
         speedups.push(s);
@@ -47,10 +48,18 @@ fn main() {
             "{:<16} {:>10} {:>14.2} {:>6} {:>9.2}x",
             label, base_ii, best, best_uf, s
         );
+        lines.push(json_obj(&[
+            ("loop", Json::S(label)),
+            ("baseline_ii", Json::I(base_ii as i64)),
+            ("cycles_per_elem", Json::F(best)),
+            ("unroll", Json::I(best_uf as i64)),
+            ("speedup", Json::F(s)),
+        ]));
     }
     println!(
         "\naverage (geomean) {:.2}x, max {:.2}x   (paper: average 2.95x, max 6.4x)",
         geomean(&speedups),
         speedups.iter().cloned().fold(0.0, f64::max)
     );
+    emit("fig7a", &lines);
 }

@@ -4,7 +4,7 @@
 //! not scale proportionally with tile count (the 4×8 gains <1.4× over 4×4),
 //! which motivates partitioning a 4×8 into two 4×4 instances instead.
 
-use picachu_bench::{banner, geomean};
+use picachu_bench::{banner, emit, geomean, json_obj, Json};
 use picachu_compiler::arch::CgraSpec;
 use picachu_compiler::mapper::map_dfg;
 use picachu_compiler::transform::{fuse_patterns, unroll};
@@ -39,6 +39,7 @@ fn main() {
     }
 
     println!("{:<16} {:>8} {:>8} {:>8} {:>8}", "kernel", "3x3", "4x4", "5x5", "4x8");
+    let mut lines = Vec::new();
     for (i, (label, _)) in dfgs.iter().enumerate() {
         let base = per_size[0][i].max(1e-9);
         println!(
@@ -49,6 +50,14 @@ fn main() {
             per_size[2][i] / base,
             per_size[3][i] / base
         );
+        for (si, &(r, c)) in sizes.iter().enumerate() {
+            lines.push(json_obj(&[
+                ("loop", Json::S(label.clone())),
+                ("fabric", Json::S(format!("{r}x{c}"))),
+                ("throughput", Json::F(per_size[si][i])),
+                ("normalized", Json::F(per_size[si][i] / base)),
+            ]));
+        }
     }
 
     let avg: Vec<f64> = per_size
@@ -69,4 +78,5 @@ fn main() {
         "two 4x4 partitions of the same silicon = {:.2}x over one 4x4 (paper: 2.0x)",
         2.0 * avg[1] / avg[1]
     );
+    emit("fig7b", &lines);
 }

@@ -7,26 +7,45 @@
 //! movement and larger buffers buy nothing.
 
 use picachu::engine::{EngineConfig, PicachuEngine};
-use picachu_bench::banner;
+use picachu_bench::{banner, emit, row, run_comparison, Json, Workload};
 use picachu_llm::ModelConfig;
+
+fn totals_at(kb: usize, workloads: &[Workload]) -> Vec<f64> {
+    let mut e = PicachuEngine::new(EngineConfig { buffer_kb: kb, ..EngineConfig::default() });
+    let rows = run_comparison(&mut [&mut e], workloads);
+    workloads.iter().map(|w| row(&rows, "PICACHU", &w.name).total).collect()
+}
 
 fn main() {
     banner("Fig. 7c", "end-to-end speedup vs Shared Buffer size");
     let sizes = [10usize, 20, 40, 60, 80];
     let unlimited = 4096;
-    println!("{:<12} {:>8} {:>8} {:>8} {:>8} {:>8}", "model", "10KB", "20KB", "40KB", "60KB", "80KB");
-    for cfg in [ModelConfig::gpt2_xl(), ModelConfig::llama2_7b()] {
-        let baseline = {
-            let mut e = PicachuEngine::new(EngineConfig { buffer_kb: unlimited, ..EngineConfig::default() });
-            e.execute_model(&cfg, 1024).total()
-        };
-        print!("{:<12}", cfg.name);
-        for kb in sizes {
-            let mut e = PicachuEngine::new(EngineConfig { buffer_kb: kb, ..EngineConfig::default() });
-            let t = e.execute_model(&cfg, 1024).total();
-            print!(" {:>7.3}", baseline / t);
+    let workloads = [
+        Workload::prefill(&ModelConfig::gpt2_xl(), 1024),
+        Workload::prefill(&ModelConfig::llama2_7b(), 1024),
+    ];
+    let baselines = totals_at(unlimited, &workloads);
+    let per_size: Vec<Vec<f64>> = sizes.iter().map(|&kb| totals_at(kb, &workloads)).collect();
+
+    let mut lines = Vec::new();
+    println!(
+        "{:<18} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "model", "10KB", "20KB", "40KB", "60KB", "80KB"
+    );
+    for (wi, w) in workloads.iter().enumerate() {
+        print!("{:<18}", w.name);
+        for (si, &kb) in sizes.iter().enumerate() {
+            let speedup = baselines[wi] / per_size[si][wi];
+            print!(" {speedup:>7.3}");
+            lines.push(picachu_bench::json_obj(&[
+                ("workload", Json::S(w.name.clone())),
+                ("buffer_kb", Json::I(kb as i64)),
+                ("total", Json::F(per_size[si][wi])),
+                ("speedup_vs_unlimited", Json::F(speedup)),
+            ]));
         }
         println!();
     }
     println!("\npaper shape: knee at 20KB (GPT2-XL) / 40KB (LLaMA2-7B); flat beyond.");
+    emit("fig7c", &lines);
 }

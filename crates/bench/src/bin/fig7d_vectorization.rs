@@ -3,7 +3,7 @@
 //! non-vectorizable instructions (φ, division — split into per-lane nodes)
 //! raise the vectorized II.
 
-use picachu_bench::{banner, geomean};
+use picachu_bench::{banner, emit, geomean, json_obj, Json};
 use picachu_compiler::arch::CgraSpec;
 use picachu_compiler::mapper::map_dfg;
 use picachu_compiler::transform::{fuse_patterns, vectorize};
@@ -15,6 +15,7 @@ fn main() {
     let spec = CgraSpec::picachu(4, 4);
     println!("{:<16} {:>10} {:>10} {:>10}", "kernel", "scalar II", "vec II", "speedup");
     let mut speedups = Vec::new();
+    let mut lines = Vec::new();
     for k in kernel_library(4) {
         let Some(op) = NonlinearOp::ALL.iter().find(|o| o.name() == k.name) else {
             continue;
@@ -37,6 +38,12 @@ fn main() {
                 "{:<16} {:>10} {:>10} {:>9.2}x",
                 l.label, scalar.ii, vmapped.ii, s
             );
+            lines.push(json_obj(&[
+                ("loop", Json::S(l.label.clone())),
+                ("scalar_ii", Json::I(scalar.ii as i64)),
+                ("vector_ii", Json::I(vmapped.ii as i64)),
+                ("speedup", Json::F(s)),
+            ]));
         }
     }
     println!(
@@ -45,4 +52,5 @@ fn main() {
         speedups.iter().cloned().fold(0.0, f64::max)
     );
     println!("non-vectorizable LLVM IR instructions such as phi)");
+    emit("fig7d", &lines);
 }

@@ -6,32 +6,35 @@
 //! models, whose SwiGLU/RMSNorm/RoPE must run on its RISC-V core.
 
 use picachu::engine::{EngineConfig, PicachuEngine};
-use picachu_baselines::common::evaluate_model;
 use picachu_baselines::{CpuModel, GemminiModel};
-use picachu_bench::{banner, geomean};
+use picachu_bench::{banner, emit_rows, geomean, row, run_comparison, Workload};
 use picachu_llm::ModelConfig;
 use picachu_num::DataFormat;
-use picachu_systolic::SystolicArray;
 
 fn main() {
     banner("Fig. 8a", "speedup over CPU configuration (seq 1024)");
-    let sys = SystolicArray::new(32, 32);
-    let cpu = CpuModel::default();
-    let gem = GemminiModel::default();
-    let mut engine = PicachuEngine::new(EngineConfig { format: DataFormat::Int16, ..EngineConfig::default() });
+    let mut cpu = CpuModel::hosted();
+    let mut gem = GemminiModel::hosted();
+    let mut pic = PicachuEngine::new(EngineConfig {
+        format: DataFormat::Int16,
+        ..EngineConfig::default()
+    });
+    let workloads: Vec<Workload> = ModelConfig::evaluation_set()
+        .iter()
+        .map(|cfg| Workload::prefill(cfg, 1024))
+        .collect();
+    let rows = run_comparison(&mut [&mut cpu, &mut gem, &mut pic], &workloads);
 
-    println!("{:<12} {:>10} {:>10}", "model", "Gemmini", "PICACHU");
+    println!("{:<16} {:>10} {:>10}", "model", "Gemmini", "PICACHU");
     let mut gem_speedups = Vec::new();
     let mut pic_speedups = Vec::new();
-    for cfg in ModelConfig::evaluation_set() {
-        let t_cpu = evaluate_model(&cpu, &sys, &cfg, 1024).total();
-        let t_gem = evaluate_model(&gem, &sys, &cfg, 1024).total();
-        let t_pic = engine.execute_model(&cfg, 1024).total();
-        let sg = t_cpu / t_gem;
-        let sp = t_cpu / t_pic;
+    for w in &workloads {
+        let t_cpu = row(&rows, "CPU", &w.name).total;
+        let sg = t_cpu / row(&rows, "Gemmini", &w.name).total;
+        let sp = t_cpu / row(&rows, "PICACHU", &w.name).total;
         gem_speedups.push(sg);
         pic_speedups.push(sp);
-        println!("{:<12} {:>9.2}x {:>9.2}x", cfg.name, sg, sp);
+        println!("{:<16} {:>9.2}x {:>9.2}x", w.name, sg, sp);
     }
     println!(
         "\nPICACHU vs CPU (geomean): {:.2}x   (paper: 1.90x)",
@@ -46,4 +49,5 @@ fn main() {
         "PICACHU vs Gemmini (geomean): {:.2}x   (paper: 1.86x)",
         geomean(&vs_gemmini)
     );
+    emit_rows("fig8a", &rows);
 }

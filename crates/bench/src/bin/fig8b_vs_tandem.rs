@@ -8,60 +8,42 @@
 //! micro-ops per element for its I-BERT/gemmlowp integer recipes.
 
 use picachu::engine::{EngineConfig, PicachuEngine};
-use picachu_baselines::common::NonlinearExecutor;
 use picachu_baselines::{GpuModel, TandemModel};
-use picachu_bench::banner;
-use picachu_llm::trace::TraceOp;
+use picachu_bench::{banner, emit_rows, row, run_comparison, Workload};
 use picachu_llm::ModelConfig;
 use picachu_num::DataFormat;
-use picachu_systolic::SystolicArray;
 
 const UNITS: f64 = 152.0;
 
-fn picachu_seconds(cfg: &ModelConfig, seq: usize) -> f64 {
-    let mut e = PicachuEngine::new(EngineConfig {
+fn main() {
+    banner("Fig. 8b", "speedup over A100 on BERT and GPT-2 (seq 1024)");
+    let mut gpu = GpuModel::default();
+    let mut tan = TandemModel::hosted();
+    let mut pic = PicachuEngine::new(EngineConfig {
         format: DataFormat::Int16,
         ..EngineConfig::default()
     });
-    let b = e.execute_model(cfg, seq);
-    b.total() / UNITS * 1e-9
-}
+    let workloads = [
+        Workload::prefill(&ModelConfig::bert_base(), 1024),
+        Workload::prefill(&ModelConfig::gpt2(), 1024),
+    ];
+    let rows = run_comparison(&mut [&mut gpu, &mut tan, &mut pic], &workloads);
 
-fn tandem_seconds(cfg: &ModelConfig, seq: usize) -> f64 {
-    let sys = SystolicArray::new(32, 32);
-    let t = TandemModel::default();
-    let mut gemm = 0.0f64;
-    let mut nl = 0.0f64;
-    for op in picachu_llm::model_trace(cfg, seq) {
-        match op {
-            TraceOp::Gemm { m, k, n, count } => {
-                gemm += (sys.gemm_cycles(m, k, n) * count as u64) as f64;
-            }
-            TraceOp::Nonlinear { op, rows, channel } => {
-                nl += t.nonlinear_cycles(op, rows, channel)
-                    + t.data_movement_cycles(op, rows, channel);
-            }
-        }
-    }
-    (gemm + nl) / UNITS * 1e-9
-}
-
-fn main() {
-    banner("Fig. 8b", "speedup over A100 on BERT and GPT-2 (seq 1024)");
-    let gpu = GpuModel::default();
-    println!("{:<10} {:>10} {:>10} {:>16}", "model", "Tandem", "PICACHU", "PICACHU/Tandem");
-    for cfg in [ModelConfig::bert_base(), ModelConfig::gpt2()] {
-        let (g, n) = gpu.execute_trace(&picachu_llm::model_trace(&cfg, 1024));
-        let t_gpu = g + n;
-        let t_tan = tandem_seconds(&cfg, 1024);
-        let t_pic = picachu_seconds(&cfg, 1024);
+    println!("{:<12} {:>10} {:>10} {:>16}", "model", "Tandem", "PICACHU", "PICACHU/Tandem");
+    for w in &workloads {
+        // GPU rows are ns wall-clock; the 1 GHz units are cycle counts for a
+        // single base unit, scaled to N replicated units as in the paper.
+        let t_gpu = row(&rows, "A100", &w.name).total * 1e-9;
+        let t_tan = row(&rows, "Tandem", &w.name).total / UNITS * 1e-9;
+        let t_pic = row(&rows, "PICACHU", &w.name).total / UNITS * 1e-9;
         println!(
-            "{:<10} {:>9.2}x {:>9.2}x {:>15.2}x",
-            cfg.name,
+            "{:<12} {:>9.2}x {:>9.2}x {:>15.2}x",
+            w.name,
             t_gpu / t_tan,
             t_gpu / t_pic,
             t_tan / t_pic
         );
     }
     println!("\npaper shape: PICACHU outperforms Tandem on both, max 1.55x.");
+    emit_rows("fig8b", &rows);
 }

@@ -8,7 +8,7 @@
 
 use picachu::engine::{EngineConfig, PicachuEngine};
 use picachu_baselines::GpuModel;
-use picachu_bench::{banner, geomean};
+use picachu_bench::{banner, emit_rows, geomean, row, run_comparison, Workload};
 use picachu_cgra::cost::CostModel;
 use picachu_compiler::arch::CgraSpec;
 use picachu_llm::ModelConfig;
@@ -18,7 +18,11 @@ const UNITS: f64 = 152.0;
 
 fn main() {
     banner("Fig. 9a", "speedup and energy reduction vs A100 (seq 1024)");
-    let gpu = GpuModel::default();
+    let mut gpu = GpuModel::default();
+    let mut pic = PicachuEngine::new(EngineConfig {
+        format: DataFormat::Int16,
+        ..EngineConfig::default()
+    });
     let cost = CostModel::default();
 
     // scaled PICACHU power: 152 replicated units
@@ -28,42 +32,42 @@ fn main() {
         + cost.glue_cost().power_mw;
     let power_mw = unit_power * UNITS;
 
-    println!(
-        "{:<12} {:>10} {:>10} {:>12} {:>14}",
-        "model", "A100 (s)", "ours (s)", "speedup", "energy gain"
-    );
-    let mut opt_speed = Vec::new();
-    let mut llama_speed = Vec::new();
-    let models = [
+    let workloads: Vec<Workload> = [
         ModelConfig::opt_6_7b(),
         ModelConfig::opt_13b(),
         ModelConfig::llama_7b(),
         ModelConfig::llama_13b(),
         ModelConfig::llama2_7b(),
         ModelConfig::llama2_13b(),
-    ];
-    for cfg in models {
-        let (g, n) = gpu.execute_trace(&picachu_llm::model_trace(&cfg, 1024));
-        let t_gpu = g + n;
-        let e_gpu = gpu.energy_j(g, n);
+    ]
+    .iter()
+    .map(|cfg| Workload::prefill(cfg, 1024))
+    .collect();
+    let rows = run_comparison(&mut [&mut gpu, &mut pic], &workloads);
 
-        let mut e = PicachuEngine::new(EngineConfig {
-            format: DataFormat::Int16,
-            ..EngineConfig::default()
-        });
-        let b = e.execute_model(&cfg, 1024);
-        let t_pic = b.total() / UNITS * 1e-9;
+    println!(
+        "{:<16} {:>10} {:>10} {:>12} {:>14}",
+        "model", "A100 (s)", "ours (s)", "speedup", "energy gain"
+    );
+    let mut opt_speed = Vec::new();
+    let mut llama_speed = Vec::new();
+    for w in &workloads {
+        let g = row(&rows, "A100", &w.name);
+        let p = row(&rows, "PICACHU", &w.name);
+        let t_gpu = g.total * 1e-9;
+        let e_gpu = g.energy_nj * 1e-9;
+        let t_pic = p.total / UNITS * 1e-9;
         let e_pic = t_pic * power_mw * 1e-3; // W x s
 
         let s = t_gpu / t_pic;
-        if cfg.name.starts_with("OPT") {
+        if w.name.starts_with("OPT") {
             opt_speed.push(s);
         } else {
             llama_speed.push(s);
         }
         println!(
-            "{:<12} {:>10.4} {:>10.4} {:>11.2}x {:>13.1}x",
-            cfg.name,
+            "{:<16} {:>10.4} {:>10.4} {:>11.2}x {:>13.1}x",
+            w.name,
             t_gpu,
             t_pic,
             s,
@@ -75,4 +79,5 @@ fn main() {
         geomean(&opt_speed),
         geomean(&llama_speed)
     );
+    emit_rows("fig9a", &rows);
 }

@@ -5,35 +5,44 @@
 
 use picachu::engine::{EngineConfig, PicachuEngine};
 use picachu_baselines::GpuModel;
-use picachu_bench::banner;
+use picachu_bench::{banner, emit_rows, row, run_comparison, Workload};
 use picachu_llm::ModelConfig;
 use picachu_num::DataFormat;
 
 fn main() {
     banner("Fig. 9b", "PICACHU latency breakdown on LLaMA models (seq 1024)");
-    let gpu = GpuModel::default();
-    println!(
-        "{:<12} {:>10} {:>12} {:>10} {:>16}",
-        "model", "GEMM", "nonlinear", "data", "A100 nl share"
-    );
-    for cfg in [
+    let mut gpu = GpuModel::default();
+    let mut pic = PicachuEngine::new(EngineConfig {
+        format: DataFormat::Int16,
+        ..EngineConfig::default()
+    });
+    let workloads: Vec<Workload> = [
         ModelConfig::llama_7b(),
         ModelConfig::llama_13b(),
         ModelConfig::llama2_7b(),
         ModelConfig::llama2_13b(),
-    ] {
-        let mut e = PicachuEngine::new(EngineConfig { format: DataFormat::Int16, ..EngineConfig::default() });
-        let b = e.execute_model(&cfg, 1024);
-        let t = b.total();
-        let gpu_share = gpu.nonlinear_share(&cfg, 1024);
+    ]
+    .iter()
+    .map(|cfg| Workload::prefill(cfg, 1024))
+    .collect();
+    let rows = run_comparison(&mut [&mut gpu, &mut pic], &workloads);
+
+    println!(
+        "{:<16} {:>10} {:>12} {:>10} {:>16}",
+        "model", "GEMM", "nonlinear", "data", "A100 nl share"
+    );
+    for w in &workloads {
+        let p = row(&rows, "PICACHU", &w.name);
+        let g = row(&rows, "A100", &w.name);
         println!(
-            "{:<12} {:>9.1}% {:>11.1}% {:>9.1}% {:>15.1}%",
-            cfg.name,
-            100.0 * b.gemm / t,
-            100.0 * b.nonlinear / t,
-            100.0 * b.data_movement / t,
-            100.0 * gpu_share
+            "{:<16} {:>9.1}% {:>11.1}% {:>9.1}% {:>15.1}%",
+            w.name,
+            100.0 * p.gemm / p.total,
+            100.0 * p.nonlinear / p.total,
+            100.0 * p.data_movement / p.total,
+            100.0 * g.nonlinear / g.total
         );
     }
     println!("\npaper shape: nonlinear share falls from ~42-44% (A100) to ~20-23% (PICACHU).");
+    emit_rows("fig9b", &rows);
 }

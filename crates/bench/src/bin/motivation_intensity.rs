@@ -4,7 +4,7 @@
 //! each loaded element is processed many times before being written back,
 //! which is what makes the operations CGRA-friendly.
 
-use picachu_bench::banner;
+use picachu_bench::{banner, emit, json_obj, Json};
 use picachu_ir::kernels::kernel_library;
 
 fn main() {
@@ -12,6 +12,7 @@ fn main() {
     println!("{:<12} {:>8} {:>8} {:>10}", "operation", "compute", "memory", "intensity");
     let mut max_i: f64 = 0.0;
     let mut relu_i = 0.0;
+    let mut lines = Vec::new();
     for k in kernel_library(6) {
         if k.name == "gelu-lut" {
             continue;
@@ -24,6 +25,13 @@ fn main() {
         }
         max_i = max_i.max(ci);
         println!("{:<12} {:>8} {:>8} {:>10.1}", k.name, comp, mem, ci);
+        lines.push(json_obj(&[
+            ("operation", Json::S(k.name.to_string())),
+            ("compute_nodes", Json::I(comp as i64)),
+            ("memory_nodes", Json::I(mem as i64)),
+            ("intensity", Json::F(ci)),
+        ]));
     }
     println!("\nReLU = {relu_i:.1} (lowest), max = {max_i:.1}   (paper: >5.3 except ReLU, max 14.5)");
+    emit("motivation_intensity", &lines);
 }

@@ -10,7 +10,7 @@
 //! *ordering* (FP16 ≈ ours ≪ I-BERT, gemmlowp in between on kernels) is
 //! reproduced.
 
-use picachu_bench::banner;
+use picachu_bench::{banner, emit, json_obj, Json};
 use picachu_llm::tinylm::{TinyLm, TinyLmConfig, TinyVariant};
 use picachu_nonlinear::accuracy::{Distribution, Scheme};
 use picachu_nonlinear::kernels::activation::gelu_phi_ref;
@@ -23,13 +23,15 @@ fn main() {
     let llama = TinyLm::new(TinyLmConfig::with_variant(TinyVariant::LlamaLike), 1);
     let corpus_g = gpt2.generate_corpus(8, 11);
     let corpus_l = llama.generate_corpus(8, 11);
+    let mut lines = Vec::new();
     for scheme in [Scheme::Fp16Reference, Scheme::IBert, Scheme::Gemmlowp, Scheme::PicachuFp16] {
-        println!(
-            "{:<14} {:>12.3} {:>12.3}",
-            scheme.name(),
-            gpt2.perplexity(&corpus_g, scheme),
-            llama.perplexity(&corpus_l, scheme)
-        );
+        let (pg, pl) = (gpt2.perplexity(&corpus_g, scheme), llama.perplexity(&corpus_l, scheme));
+        println!("{:<14} {:>12.3} {:>12.3}", scheme.name(), pg, pl);
+        lines.push(json_obj(&[
+            ("method", Json::S(scheme.name().to_string())),
+            ("ppl_tiny_gpt2", Json::F(pg)),
+            ("ppl_tiny_llama", Json::F(pl)),
+        ]));
     }
 
     banner(
@@ -43,7 +45,13 @@ fn main() {
         let got: Vec<f64> = scheme.gelu(&x).iter().map(|&v| v as f64).collect();
         let s = ErrorStats::compare(&got, &reference);
         println!("{:<14} {:>14.3e} {:>14.3e}", scheme.name(), s.mean_abs, s.max_abs);
+        lines.push(json_obj(&[
+            ("method", Json::S(scheme.name().to_string())),
+            ("gelu_mean_abs_err", Json::F(s.mean_abs)),
+            ("gelu_max_abs_err", Json::F(s.max_abs)),
+        ]));
     }
     println!("\npaper shape: I-BERT collapses on LLaMA (PPL 1e4-scale), gemmlowp degrades");
     println!("mildly, FP-faithful schemes match FP16. See EXPERIMENTS.md for deltas.");
+    emit("table2", &lines);
 }

@@ -4,7 +4,7 @@
 //! (across the Table 1 kernel library and unroll factors 1/2/4) that exhibit
 //! it, plus the node-count reduction fusion achieves.
 
-use picachu_bench::banner;
+use picachu_bench::{banner, emit, json_obj, Json};
 use picachu_compiler::transform::{count_patterns, fuse_patterns, unroll};
 use picachu_ir::kernels::kernel_library;
 use picachu_ir::FusedPattern;
@@ -23,17 +23,19 @@ fn main() {
 
     println!("{:<18} {:>12} {:>12}", "pattern", "occurrence", "paper");
     let paper = [100.0, 100.0, 32.5, 87.5, 100.0];
+    let mut lines = Vec::new();
     for (p, paper_pct) in FusedPattern::ALL.iter().zip(paper) {
         let hits = loops
             .iter()
             .filter(|(_, dfg)| count_patterns(dfg).has(*p))
             .count();
-        println!(
-            "{:<18} {:>11.1}% {:>11.1}%",
-            p.name(),
-            100.0 * hits as f64 / loops.len() as f64,
-            paper_pct
-        );
+        let pct = 100.0 * hits as f64 / loops.len() as f64;
+        println!("{:<18} {:>11.1}% {:>11.1}%", p.name(), pct, paper_pct);
+        lines.push(json_obj(&[
+            ("pattern", Json::S(p.name().to_string())),
+            ("occurrence_pct", Json::F(pct)),
+            ("paper_pct", Json::F(paper_pct)),
+        ]));
     }
 
     println!("\nfusion effect (UF1 kernels):");
@@ -41,13 +43,15 @@ fn main() {
     for k in kernel_library(4) {
         for l in &k.loops {
             let fused = fuse_patterns(&l.dfg);
-            println!(
-                "{:<16} {:>8} {:>8} {:>9.1}%",
-                l.label,
-                l.dfg.len(),
-                fused.len(),
-                100.0 * (1.0 - fused.len() as f64 / l.dfg.len() as f64)
-            );
+            let reduction = 100.0 * (1.0 - fused.len() as f64 / l.dfg.len() as f64);
+            println!("{:<16} {:>8} {:>8} {:>9.1}%", l.label, l.dfg.len(), fused.len(), reduction);
+            lines.push(json_obj(&[
+                ("loop", Json::S(l.label.clone())),
+                ("nodes", Json::I(l.dfg.len() as i64)),
+                ("fused_nodes", Json::I(fused.len() as i64)),
+                ("reduction_pct", Json::F(reduction)),
+            ]));
         }
     }
+    emit("table4", &lines);
 }

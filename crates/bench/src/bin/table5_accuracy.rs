@@ -5,7 +5,7 @@
 //! layers see. The paper's result — deltas indistinguishable from FP16 in
 //! both formats — is reproduced directly.
 
-use picachu_bench::banner;
+use picachu_bench::{banner, emit, json_obj, Json};
 use picachu_llm::tinylm::{TinyLm, TinyLmConfig, TinyVariant};
 use picachu_nonlinear::accuracy::{Distribution, Scheme};
 use picachu_nonlinear::kernels::{norm, softmax};
@@ -25,6 +25,11 @@ fn main() {
         .map(|((_, m), c)| m.perplexity(c, Scheme::Fp16Reference))
         .collect();
     println!("{:<14} {:>12.3} {:>12.3}", "FP16", base[0], base[1]);
+    let mut lines = vec![json_obj(&[
+        ("method", Json::S("FP16".into())),
+        ("ppl_tiny_gpt2", Json::F(base[0])),
+        ("ppl_tiny_llama", Json::F(base[1])),
+    ])];
     for scheme in [Scheme::PicachuFp16, Scheme::PicachuInt16] {
         let d: Vec<f64> = models
             .iter()
@@ -37,6 +42,11 @@ fn main() {
             d[0] - base[0],
             d[1] - base[1]
         );
+        lines.push(json_obj(&[
+            ("method", Json::S(scheme.name().to_string())),
+            ("ppl_delta_tiny_gpt2", Json::F(d[0] - base[0])),
+            ("ppl_delta_tiny_llama", Json::F(d[1] - base[1])),
+        ]));
     }
 
     banner("Table 5 (kernel level)", "per-operation max abs error vs f64 reference");
@@ -48,13 +58,16 @@ fn main() {
         let (name, scheme_fp, scheme_int) = ("softmax", Scheme::PicachuFp16, Scheme::PicachuInt16);
         let a: Vec<f64> = scheme_fp.softmax(&x).iter().map(|&v| v as f64).collect();
         let b: Vec<f64> = scheme_int.softmax(&x).iter().map(|&v| v as f64).collect();
-        println!(
-            "{:<12} {:>14.2e} {:>14.2e} {:>14}",
-            name,
+        let (ea, eb) = (
             ErrorStats::compare(&a, &reference).max_abs,
             ErrorStats::compare(&b, &reference).max_abs,
-            "attn logits"
         );
+        println!("{:<12} {:>14.2e} {:>14.2e} {:>14}", name, ea, eb, "attn logits");
+        lines.push(json_obj(&[
+            ("op", Json::S(name.into())),
+            ("fp16_max_abs_err", Json::F(ea)),
+            ("int16_max_abs_err", Json::F(eb)),
+        ]));
     }
     // norms on llama-wide activations
     let x = Distribution::LlamaWide.sample(4096, 5);
@@ -70,13 +83,14 @@ fn main() {
                 .collect();
             ErrorStats::compare(&got, &reference).max_abs
         };
-        println!(
-            "{:<12} {:>14.2e} {:>14.2e} {:>14}",
-            name,
-            run(Scheme::PicachuFp16),
-            run(Scheme::PicachuInt16),
-            "llama-wide"
-        );
+        let (ea, eb) = (run(Scheme::PicachuFp16), run(Scheme::PicachuInt16));
+        println!("{:<12} {:>14.2e} {:>14.2e} {:>14}", name, ea, eb, "llama-wide");
+        lines.push(json_obj(&[
+            ("op", Json::S(name.into())),
+            ("fp16_max_abs_err", Json::F(ea)),
+            ("int16_max_abs_err", Json::F(eb)),
+        ]));
     }
     println!("\npaper shape: deltas ~0.00-0.21 PPL in both formats — ours match.");
+    emit("table5", &lines);
 }

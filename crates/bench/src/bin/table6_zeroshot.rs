@@ -6,7 +6,7 @@
 //! measures argmax agreement with exact-arithmetic labels. The paper's
 //! result — average degradation below 0.10% — is checked directly.
 
-use picachu_bench::banner;
+use picachu_bench::{banner, emit, json_obj, Json};
 use picachu_nonlinear::accuracy::{zero_shot_tasks, Scheme};
 
 fn main() {
@@ -19,9 +19,15 @@ fn main() {
     println!("{:>9}", "Avg.");
 
     let mut base = Vec::new();
+    let mut lines = Vec::new();
     print!("{:<14}", "FP16");
     for t in &tasks {
         let acc = t.evaluate(Scheme::Fp16Reference, 7);
+        lines.push(json_obj(&[
+            ("method", Json::S("FP16".into())),
+            ("task", Json::S(t.name.to_string())),
+            ("accuracy", Json::F(acc)),
+        ]));
         base.push(acc);
         print!("{:>8.2}%", 100.0 * acc);
     }
@@ -32,6 +38,12 @@ fn main() {
         let mut deltas = Vec::new();
         for (t, b) in tasks.iter().zip(&base) {
             let acc = t.evaluate(scheme, 7);
+            lines.push(json_obj(&[
+                ("method", Json::S(scheme.name().to_string())),
+                ("task", Json::S(t.name.to_string())),
+                ("accuracy", Json::F(acc)),
+                ("delta_vs_fp16", Json::F(acc - b)),
+            ]));
             deltas.push(acc - b);
             print!("{:>+8.2}%", 100.0 * (acc - b));
         }
@@ -41,4 +53,5 @@ fn main() {
         );
     }
     println!("\npaper shape: average degradation below 0.10% across tasks.");
+    emit("table6", &lines);
 }

@@ -2,7 +2,7 @@
 //! 4×4 CGRA + 40 KB Shared Buffer at 1 GHz, 45 nm-calibrated model), plus
 //! the §5.3.1 per-FU overhead percentages.
 
-use picachu_bench::banner;
+use picachu_bench::{banner, emit, json_obj, Json};
 use picachu_cgra::cost::{CostModel, FU_OVERHEADS};
 use picachu_compiler::arch::CgraSpec;
 
@@ -46,6 +46,23 @@ fn main() {
 
     banner("§5.3.1", "FU overheads relative to a basic tile");
     println!("{:<22} {:>10} {:>10}", "component", "area", "power");
+    let mut lines: Vec<String> = [
+        ("SRAM", sram),
+        ("MAC", mac),
+        ("CGRA", cgra),
+        ("Others", glue),
+    ]
+    .iter()
+    .map(|(name, c)| {
+        json_obj(&[
+            ("component", Json::S((*name).into())),
+            ("area_mm2", Json::F(c.area_mm2)),
+            ("power_mw", Json::F(c.power_mw)),
+            ("area_pct", Json::F(100.0 * c.area_mm2 / total.area_mm2)),
+            ("power_pct", Json::F(100.0 * c.power_mw / total.power_mw)),
+        ])
+    })
+    .collect();
     for o in FU_OVERHEADS {
         println!(
             "{:<22} {:>9.1}% {:>9.1}%",
@@ -53,6 +70,12 @@ fn main() {
             100.0 * o.area_frac,
             100.0 * o.power_frac
         );
+        lines.push(json_obj(&[
+            ("component", Json::S(o.name.to_string())),
+            ("fu_area_overhead_pct", Json::F(100.0 * o.area_frac)),
+            ("fu_power_overhead_pct", Json::F(100.0 * o.power_frac)),
+        ]));
     }
     println!("\npaper: SRAM 77.6%/56.9%, MAC 6.2%/8.6%, CGRA 14.9%/34.2%, others 1.3%/0.3%");
+    emit("table7", &lines);
 }

@@ -1,39 +1,31 @@
 //! The PICACHU end-to-end execution engine.
 //!
-//! Composes the whole system: the compiler maps each nonlinear kernel loop
-//! onto the CGRA (picking the best unroll factor, and the INT16 vector
-//! factor when the user selects that format), the systolic array model times
-//! the GEMMs, and the Shared Buffer applies the §4.2.4 dataflow cases —
-//! element-wise ops stream against the systolic array (Case 1), reductions
-//! round-trip DRAM channel-by-channel under double buffering (Case 2) or
-//! stay buffer-resident when they fit (Case 3). The result is the latency
-//! breakdown and energy the Figs. 7c, 8, 9 experiments report.
+//! A thin composition of the three pipeline stages in [`crate::stages`]:
+//! the [`CompileService`] maps each nonlinear kernel loop onto the CGRA
+//! (picking the best unroll factor, and the INT16 vector factor when the
+//! user selects that format), the [`Dispatcher`] walks operator traces over
+//! the systolic-array/Shared-Buffer substrate applying the §4.2.4 dataflow
+//! cases, and the [`Accountant`] rolls the resulting phase totals into
+//! energy and area. The engine wires the stages together, preserves the
+//! historical single-object API, and implements the workspace-wide
+//! [`Accelerator`] backend contract the comparison harness drives.
 
-use picachu_baselines::Breakdown;
-use picachu_cgra::cost::CostModel;
+use crate::error::PicachuError;
+use crate::stages::{Accountant, CompileService, Dispatcher, PhaseTotals};
+use picachu_backend::{Accelerator, Breakdown, CompileHint, ExecutionReport};
 use picachu_compiler::arch::CgraSpec;
-use picachu_compiler::mapper::{map_dfg_with, MapError, Mapping, ResourceMask};
-use picachu_compiler::transform::{fuse_patterns, unroll, vectorize};
 use picachu_faults::FaultPlan;
-use picachu_ir::kernels as klib;
 use picachu_llm::trace::TraceOp;
 use picachu_llm::ModelConfig;
-use picachu_nonlinear::{LoopKind, NonlinearOp};
+use picachu_nonlinear::NonlinearOp;
 use picachu_num::DataFormat;
-use crate::compile_cache::{self, CompileKey};
-use crate::error::PicachuError;
-use picachu_systolic::{DmaModel, SharedBuffer, SystolicArray};
+use picachu_systolic::SystolicArray;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
-use std::time::Duration;
 
-/// Most detected-uncorrectable ECC words the engine re-fetches from DRAM per
-/// request before declaring the SRAM unserviceable
-/// ([`PicachuError::EccStorm`]). Eight uncorrectable words in one working
-/// set is far past any transient-upset rate — at that point the macro is
-/// failing, and re-fetching forever would hide it.
-pub const ECC_MAX_DETECTED: u64 = 8;
+pub use crate::stages::compile::{kernel_for, CompiledLoop, DegradedCompile, FallbackLevel};
+pub use crate::stages::dispatch::ECC_MAX_DETECTED;
 
 /// Engine configuration (defaults reproduce the paper's evaluation setup:
 /// 4×4 CGRA + 32×32 systolic array + 40 KB Shared Buffer at 1 GHz).
@@ -66,7 +58,7 @@ pub struct EngineConfig {
     /// Per-mapping-attempt deadline in milliseconds for the degraded compile
     /// path (`None` = unbounded, the default — healthy compiles are fast and
     /// a deadline would make them timing-dependent). When set, a mapping
-    /// attempt that exceeds the budget returns [`MapError::Timeout`] and the
+    /// attempt that exceeds the budget returns a mapper timeout and the
     /// degradation ladder falls through to the next level.
     pub compile_deadline_ms: Option<u64>,
 }
@@ -91,124 +83,38 @@ impl Default for EngineConfig {
     }
 }
 
-/// How far down the degradation ladder a faulted compile had to go.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum FallbackLevel {
-    /// The kernel re-mapped around the faults on the engine's own fabric.
-    Remapped,
-    /// Re-mapping failed (typically a deadline) but the fabric is intact, so
-    /// the cached healthy mapping is served. Never used on a degraded
-    /// fabric: a healthy mapping may place work on dead resources.
-    Cached,
-    /// The kernel only mapped on the all-universal fallback fabric (every PE
-    /// supports every opcode — lower ResMII pressure around dead tiles).
-    Universal,
-}
-
-impl fmt::Display for FallbackLevel {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            FallbackLevel::Remapped => write!(f, "re-mapped"),
-            FallbackLevel::Cached => write!(f, "cached fallback"),
-            FallbackLevel::Universal => write!(f, "universal-fabric fallback"),
-        }
-    }
-}
-
-/// Result of compiling an op for a degraded fabric: the loops plus how
-/// degraded the service is.
-#[derive(Debug, Clone)]
-pub struct DegradedCompile {
-    /// The compiled loops (from the process cache when warm).
-    pub loops: Arc<Vec<CompiledLoop>>,
-    /// Which rung of the degradation ladder produced them.
-    pub fallback: FallbackLevel,
-    /// Σ degraded II / Σ healthy II across the op's loops — reported, not
-    /// asserted (detours usually inflate II, but a smaller live portfolio
-    /// can occasionally luck into a better placement). `1.0` when no
-    /// healthy baseline exists to compare against.
-    pub ii_inflation: f64,
-    /// Alive PEs on the fabric the loops run on.
-    pub alive_tiles: usize,
-}
-
-/// One compiled kernel loop: its mapping plus the unroll/vector factors.
-#[derive(Debug, Clone)]
-pub struct CompiledLoop {
-    /// Loop label (e.g. `"softmax(2)"`).
-    pub label: String,
-    /// Reduction or element-wise.
-    pub kind: LoopKind,
-    /// The chosen mapping.
-    pub mapping: Mapping,
-    /// Unroll factor.
-    pub uf: usize,
-    /// Vector factor (4 for INT16, else 1).
-    pub vf: usize,
-}
-
-impl CompiledLoop {
-    /// Elements produced per initiation interval.
-    pub fn elements_per_ii(&self) -> usize {
-        self.uf * self.vf
-    }
-
-    /// Cycles to process `elements` elements in steady state.
-    pub fn cycles(&self, elements: u64) -> u64 {
-        let iters = elements.div_ceil(self.elements_per_ii() as u64);
-        self.mapping.cycles_for(iters)
-    }
-}
-
-/// The engine: owns the fabric, substrate models and kernel cache.
+/// The engine: the staged compile → dispatch → account pipeline behind one
+/// object, plus the fault-path orchestration that spans the stages.
 #[derive(Debug)]
 pub struct PicachuEngine {
     /// Configuration.
     pub config: EngineConfig,
-    spec: CgraSpec,
-    systolic: SystolicArray,
-    buffer: SharedBuffer,
-    dma: DmaModel,
-    cost: CostModel,
-    /// Engine-local view of the process-wide [`compile_cache`]: one lookup
-    /// per op after the first, no lock traffic on the hot path.
-    cache: HashMap<NonlinearOp, Arc<Vec<CompiledLoop>>>,
+    pub(crate) compile: CompileService,
+    dispatch: Dispatcher,
+    account: Accountant,
 }
 
 impl PicachuEngine {
     /// Builds an engine (the CGRA and substrate models come up immediately;
     /// kernels are compiled lazily on first use).
     pub fn new(config: EngineConfig) -> PicachuEngine {
-        let spec = CgraSpec::picachu(config.cgra_rows, config.cgra_cols);
-        let systolic = SystolicArray::new(config.systolic_rows, config.systolic_cols);
-        let buffer = SharedBuffer {
-            double_buffered: config.double_buffering,
-            ..SharedBuffer::new_kb(config.buffer_kb)
-        };
-        PicachuEngine {
-            spec,
-            systolic,
-            buffer,
-            dma: DmaModel::default(),
-            cost: CostModel::default(),
-            config,
-            cache: HashMap::new(),
-        }
+        let compile =
+            CompileService::new(CgraSpec::picachu(config.cgra_rows, config.cgra_cols));
+        let dispatch = Dispatcher::new(&config);
+        PicachuEngine { compile, dispatch, account: Accountant::new(), config }
     }
 
     /// The CGRA fabric specification in use.
     pub fn spec(&self) -> &CgraSpec {
-        &self.spec
+        self.compile.spec()
     }
 
     /// The systolic array model in use.
     pub fn systolic(&self) -> &SystolicArray {
-        &self.systolic
+        self.dispatch.systolic()
     }
 
-    /// Compiles (or returns cached) loops for a nonlinear operation: builds
-    /// the kernel, then per loop picks the unroll factor minimizing the
-    /// per-element II.
+    /// Compiles (or returns cached) loops for a nonlinear operation.
     ///
     /// # Panics
     /// Panics if a kernel loop fails to map on the fabric at every candidate
@@ -216,10 +122,10 @@ impl PicachuEngine {
     /// Serve paths that must stay up use
     /// [`PicachuEngine::try_compile_op`] instead.
     pub fn compile_op(&mut self, op: NonlinearOp) -> &[CompiledLoop] {
-        if let Err(e) = self.try_compile_op(op) {
+        if let Err(e) = self.compile.try_compile_op(&self.config, op) {
             panic!("{e}");
         }
-        &self.cache[&op]
+        self.compile.loops(op)
     }
 
     /// The non-panicking compile path: compiles (or returns cached) loops,
@@ -228,246 +134,29 @@ impl PicachuEngine {
     /// # Errors
     /// [`PicachuError::Compile`] when some kernel loop fails to map at every
     /// candidate unroll factor.
-    pub fn try_compile_op(&mut self, op: NonlinearOp) -> Result<Arc<Vec<CompiledLoop>>, PicachuError> {
-        if let Some(hit) = self.cache.get(&op) {
-            return Ok(hit.clone());
-        }
-        let key = self.compile_key(op);
-        let compiled = match compile_cache::lookup(&key) {
-            Some(hit) => hit,
-            None => {
-                let full = ResourceMask::full(&self.spec);
-                let loops = self.try_compile_with(op, &self.spec, &full, None)?;
-                compile_cache::publish(key, loops)
-            }
-        };
-        self.cache.insert(op, compiled.clone());
-        Ok(compiled)
+    pub fn try_compile_op(
+        &mut self,
+        op: NonlinearOp,
+    ) -> Result<Arc<Vec<CompiledLoop>>, PicachuError> {
+        self.compile.try_compile_op(&self.config, op)
     }
 
-    /// Compiles `op` for a faulted fabric, walking the degradation ladder
-    /// (DESIGN §7): **re-map** around the dead resources on the engine's own
-    /// fabric → **cached** healthy mapping (only when the fabric is intact
-    /// and the failure was a deadline, never on real topology faults) →
-    /// **universal-fabric** re-map (every PE supports every opcode) →
-    /// **reject** with the primary error. Each rung is deadline-bounded by
-    /// [`EngineConfig::compile_deadline_ms`] and every successful compile is
-    /// published to the process cache under its exact fault set, so repeated
-    /// requests against the same degraded part hit the cache.
+    /// Compiles `op` for a faulted fabric through the DESIGN §7 degradation
+    /// ladder (see [`CompileService::compile_op_degraded`]).
     ///
     /// # Errors
-    /// [`PicachuError::Compile`] when every rung fails — the error carries
-    /// the mapper's diagnosis from the first (re-map) rung, which is the
-    /// informative one.
+    /// [`PicachuError::Compile`] when every rung fails.
     pub fn compile_op_degraded(
         &mut self,
         op: NonlinearOp,
         plan: &FaultPlan,
     ) -> Result<DegradedCompile, PicachuError> {
-        let deadline = self.config.compile_deadline_ms.map(Duration::from_millis);
-        let mask = ResourceMask::degraded(
-            &self.spec,
-            plan.dead_tiles.iter().copied(),
-            plan.dead_links.iter().copied(),
-        );
-        let alive = mask.alive_count();
-        // intact fabric, no deadline pressure: the healthy compile *is* the
-        // degraded compile, bit-identically
-        if plan.fabric_intact() && deadline.is_none() {
-            let loops = self.try_compile_op(op)?;
-            return Ok(DegradedCompile {
-                loops,
-                fallback: FallbackLevel::Remapped,
-                ii_inflation: 1.0,
-                alive_tiles: alive,
-            });
-        }
-        // healthy baseline for II-inflation reporting — cache-only, so the
-        // deadline-bounded degraded path never grows an unbounded healthy
-        // compile (inflation reads 1.0 until something compiled healthy)
-        let healthy_ii: Option<u64> = self
-            .cache
-            .get(&op)
-            .cloned()
-            .or_else(|| compile_cache::lookup(&self.compile_key(op)))
-            .map(|loops| loops.iter().map(|l| l.mapping.ii as u64).sum());
-        // rung 1: re-map around the faults on the engine's own fabric
-        let key = self.degraded_key(op, plan, false);
-        let primary = match compile_cache::lookup(&key) {
-            Some(hit) => Ok(hit),
-            None => self
-                .try_compile_with(op, &self.spec, &mask, deadline)
-                .map(|loops| compile_cache::publish(key, loops)),
-        };
-        let primary_err = match primary {
-            Ok(loops) => {
-                let ii_inflation = Self::ii_inflation(healthy_ii, &loops);
-                return Ok(DegradedCompile {
-                    loops,
-                    fallback: FallbackLevel::Remapped,
-                    ii_inflation,
-                    alive_tiles: alive,
-                });
-            }
-            Err(e) => e,
-        };
-        // rung 2: last-known-good mapping — legal only while the fabric is
-        // intact (a healthy mapping may use any tile or link). The engine's
-        // local view survives process-cache clears, so a deadline miss on
-        // re-validation still serves.
-        if plan.fabric_intact() {
-            if let Some(hit) = self
-                .cache
-                .get(&op)
-                .cloned()
-                .or_else(|| compile_cache::lookup(&self.compile_key(op)))
-            {
-                return Ok(DegradedCompile {
-                    loops: hit,
-                    fallback: FallbackLevel::Cached,
-                    ii_inflation: 1.0,
-                    alive_tiles: alive,
-                });
-            }
-        }
-        // rung 3: the all-universal fallback fabric, same fault set
-        let uspec = CgraSpec::universal(self.config.cgra_rows, self.config.cgra_cols);
-        let umask = ResourceMask::degraded(
-            &uspec,
-            plan.dead_tiles.iter().copied(),
-            plan.dead_links.iter().copied(),
-        );
-        let ukey = self.degraded_key(op, plan, true);
-        let fallback = match compile_cache::lookup(&ukey) {
-            Some(hit) => Ok(hit),
-            None => self
-                .try_compile_with(op, &uspec, &umask, deadline)
-                .map(|loops| compile_cache::publish(ukey, loops)),
-        };
-        match fallback {
-            Ok(loops) => {
-                let ii_inflation = Self::ii_inflation(healthy_ii, &loops);
-                Ok(DegradedCompile {
-                    loops,
-                    fallback: FallbackLevel::Universal,
-                    ii_inflation,
-                    alive_tiles: umask.alive_count(),
-                })
-            }
-            // rung 4: reject, with the informative (own-fabric) diagnosis
-            Err(_) => Err(primary_err),
-        }
-    }
-
-    fn ii_inflation(healthy_ii: Option<u64>, loops: &[CompiledLoop]) -> f64 {
-        let degraded: u64 = loops.iter().map(|l| l.mapping.ii as u64).sum();
-        match healthy_ii {
-            Some(h) if h > 0 => degraded as f64 / h as f64,
-            _ => 1.0,
-        }
-    }
-
-    /// The process-wide cache key for this engine's compilation of `op`:
-    /// everything `compile_uncached` reads. `buffer_kb` and the ablation
-    /// knobs are absent because mapping never sees them.
-    fn compile_key(&self, op: NonlinearOp) -> CompileKey {
-        CompileKey {
-            op,
-            cgra_rows: self.config.cgra_rows,
-            cgra_cols: self.config.cgra_cols,
-            format: self.config.format,
-            taylor_terms: self.config.taylor_terms,
-            unroll_candidates: self.config.unroll_candidates.clone(),
-            seed: self.config.seed,
-            dead_tiles: Vec::new(),
-            dead_links: Vec::new(),
-            universal: false,
-        }
-    }
-
-    /// The cache key for a degraded compile: the healthy key plus the exact
-    /// fault set and fallback-fabric flag.
-    fn degraded_key(&self, op: NonlinearOp, plan: &FaultPlan, universal: bool) -> CompileKey {
-        CompileKey {
-            dead_tiles: plan.dead_tiles.iter().copied().collect(),
-            dead_links: plan.dead_links.iter().copied().collect(),
-            universal,
-            ..self.compile_key(op)
-        }
-    }
-
-    /// The compile kernel shared by the healthy and degraded paths: per
-    /// kernel loop, picks the unroll factor minimizing per-element II among
-    /// the candidates that map on `spec` restricted to `mask`. With a full
-    /// mask, no deadline and the engine's own spec this is bit-identical to
-    /// the historical healthy compile.
-    fn try_compile_with(
-        &self,
-        op: NonlinearOp,
-        spec: &CgraSpec,
-        mask: &ResourceMask,
-        deadline: Option<Duration>,
-    ) -> Result<Vec<CompiledLoop>, PicachuError> {
-        let kernel = kernel_for(op, self.config.taylor_terms);
-        let vf_global = self.config.format.vector_factor();
-        let mut out = Vec::new();
-        for (i, l) in kernel.loops.iter().enumerate() {
-            let kind = match l.class {
-                klib::LoopClass::Reduction => LoopKind::Reduction,
-                klib::LoopClass::ElementWise => LoopKind::ElementWise,
-            };
-            // reductions vectorize with per-lane partial accumulators (the
-            // vector φ holds four lane partials; the cross-lane combine runs
-            // once per channel and is negligible), so every loop gets the
-            // format's vector factor.
-            let vf = vf_global;
-            let mut best: Option<CompiledLoop> = None;
-            let mut last_err = MapError::EmptyDfg;
-            for &uf in &self.config.unroll_candidates {
-                let dfg = self.lowered_dfg(op, i, uf, vf);
-                let mapping = match map_dfg_with(&dfg, spec, self.loop_seed(i), mask, deadline) {
-                    Ok(m) => m,
-                    Err(e) => {
-                        last_err = e;
-                        continue;
-                    }
-                };
-                let per_elem =
-                    mapping.ii as f64 / (uf * vf) as f64;
-                let better = match &best {
-                    None => true,
-                    Some(b) => per_elem < b.mapping.ii as f64 / b.elements_per_ii() as f64,
-                };
-                if better {
-                    best = Some(CompiledLoop {
-                        label: l.label.clone(),
-                        kind,
-                        mapping,
-                        uf,
-                        vf,
-                    });
-                }
-            }
-            match best {
-                Some(b) => out.push(b),
-                None => {
-                    return Err(PicachuError::Compile {
-                        op,
-                        label: l.label.clone(),
-                        source: last_err,
-                    })
-                }
-            }
-        }
-        Ok(out)
+        self.compile.compile_op_degraded(&self.config, op, plan)
     }
 
     /// Reconstructs the exact lowered DFG the mapper saw for loop
-    /// `loop_idx` of `op`: the kernel loop body after unrolling, pattern
-    /// fusion and (when `vf > 1`) lane vectorization. The differential
-    /// oracle replays this DFG on the cycle-level simulator against the
-    /// analytical accounting; `compile_uncached` goes through the same
-    /// method, so the two paths cannot drift.
+    /// `loop_idx` of `op` (see [`CompileService::lowered_dfg`] — the
+    /// differential oracle replays this DFG on the cycle-level simulator).
     pub fn lowered_dfg(
         &self,
         op: NonlinearOp,
@@ -475,18 +164,13 @@ impl PicachuEngine {
         uf: usize,
         vf: usize,
     ) -> picachu_ir::dfg::Dfg {
-        let kernel = kernel_for(op, self.config.taylor_terms);
-        let mut dfg = fuse_patterns(&unroll(&kernel.loops[loop_idx].dfg, uf));
-        if vf > 1 {
-            dfg = vectorize(&dfg, vf).dfg;
-        }
-        dfg
+        self.compile.lowered_dfg(&self.config, op, loop_idx, uf, vf)
     }
 
     /// The mapper seed used for loop `loop_idx` (derived from the config
     /// seed so that sibling loops explore independent placements).
     pub fn loop_seed(&self, loop_idx: usize) -> u64 {
-        self.config.seed ^ (loop_idx as u64) << 8
+        CompileService::loop_seed(&self.config, loop_idx)
     }
 
     /// Raw CGRA compute cycles for one nonlinear trace op (no memory-system
@@ -497,118 +181,32 @@ impl PicachuEngine {
         loops.iter().map(|l| l.cycles(elems)).sum()
     }
 
+    /// Runs the dispatcher over `trace` against the engine's compile cache,
+    /// panicking (like [`PicachuEngine::compile_op`]) on a compile failure.
+    fn dispatch_totals(&mut self, trace: &[TraceOp]) -> PhaseTotals {
+        let PicachuEngine { ref config, ref mut compile, ref dispatch, .. } = *self;
+        dispatch.execute_trace(config, trace, &mut |op| {
+            match compile.try_compile_op(config, op) {
+                Ok(loops) => loops,
+                Err(e) => panic!("{e}"),
+            }
+        })
+    }
+
     /// Executes a full operator trace with the §4.2.4 dataflow cases,
     /// returning the exposed-latency breakdown.
     pub fn execute_trace(&mut self, trace: &[TraceOp]) -> Breakdown {
-        let mut b = Breakdown::default();
-        let mut pending_gemm: u64 = 0; // cycles of the producing GEMM
-        let elem_bytes = self.config.format.byte_width();
-        for t in trace {
-            match *t {
-                TraceOp::Gemm { m, k, n, count } => {
-                    let c = self.systolic.gemm_cycles(m, k, n) * count as u64;
-                    b.gemm += c as f64;
-                    pending_gemm = c;
-                }
-                TraceOp::Nonlinear { op, rows, channel } => {
-                    let compute = self.nonlinear_compute_cycles(op, rows, channel);
-                    match op.category() {
-                        picachu_nonlinear::OpCategory::ElementWise => {
-                            // Case 1: stream against the producing GEMM; only
-                            // the excess over the producer is exposed.
-                            let exposed = if self.config.streaming {
-                                compute.saturating_sub(pending_gemm)
-                            } else {
-                                compute
-                            };
-                            b.nonlinear += exposed as f64;
-                            pending_gemm = 0;
-                        }
-                        picachu_nonlinear::OpCategory::ReductionElementWise => {
-                            let channel_bytes = channel * elem_bytes;
-                            if op == NonlinearOp::Softmax {
-                                // The first (max-reduction) loop overlaps the
-                                // scores GEMM and is accounted row-by-row;
-                                // the remaining loops are summed per-loop
-                                // over the whole tensor. Both terms are
-                                // computed directly — never as a
-                                // `compute - overlap` difference: per-row
-                                // accounting pays the prologue once per row,
-                                // so for tall-skinny shapes the overlap term
-                                // exceeds the whole-tensor total and the
-                                // subtraction would wrap `u64`.
-                                let loops: Vec<CompiledLoop> = self.compile_op(op).to_vec();
-                                let elems = (rows * channel) as u64;
-                                let first: u64 = loops[0]
-                                    .cycles(channel as u64)
-                                    .saturating_mul(rows as u64);
-                                let rest: u64 = loops[1..]
-                                    .iter()
-                                    .map(|l| l.cycles(elems))
-                                    .fold(0u64, |acc, c| acc.saturating_add(c));
-                                let exposed_first = if self.config.streaming {
-                                    first.saturating_sub(pending_gemm)
-                                } else {
-                                    first
-                                };
-                                pending_gemm = 0;
-                                if self.buffer.channel_fits(channel, elem_bytes) {
-                                    // Case 3: resident until statistics done.
-                                    b.nonlinear += (exposed_first + rest) as f64;
-                                } else {
-                                    // Case 2 on the remaining loops.
-                                    let total = self.buffer.pipelined_cycles(
-                                        rows as u64,
-                                        channel_bytes,
-                                        ((rest as f64) / rows as f64).ceil() as u64,
-                                        &self.dma,
-                                    );
-                                    b.nonlinear += (exposed_first + rest) as f64;
-                                    b.data_movement += (total.saturating_sub(rest)) as f64;
-                                }
-                            } else if self.buffer.channel_fits(channel, elem_bytes) {
-                                // Case 3 (DESIGN §5.5): the channel fits the
-                                // working set, so the systolic output stays
-                                // resident in the Shared Buffer across the
-                                // statistics and apply passes and the result
-                                // feeds the next GEMM in place — no DRAM
-                                // round trip to expose.
-                                b.nonlinear += compute as f64;
-                            } else {
-                                // Case 2: channel exceeds the working set —
-                                // chunked two-pass execution (statistics,
-                                // then apply), each chunk a DMA round trip
-                                // under double buffering.
-                                let working = self.buffer.working_bytes().max(1);
-                                let chunks =
-                                    rows as u64 * (channel_bytes.div_ceil(working)) as u64;
-                                let per_chunk = ((2 * compute) as f64 / chunks as f64).ceil() as u64;
-                                let total = self.buffer.pipelined_cycles(
-                                    chunks,
-                                    working,
-                                    per_chunk,
-                                    &self.dma,
-                                );
-                                b.nonlinear += (2 * compute) as f64;
-                                b.data_movement += total.saturating_sub(2 * compute) as f64;
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        b
+        self.dispatch_totals(trace).breakdown()
     }
 
     /// [`PicachuEngine::execute_trace`] under a fault plan: every nonlinear
     /// op is compiled through the degradation ladder
-    /// ([`PicachuEngine::compile_op_degraded`]), the plan's SRAM flips are
-    /// evaluated as SEC-DED outcomes over the Shared Buffer
-    /// (detected-uncorrectable words re-fetch a 64-byte line from DRAM, up
-    /// to [`ECC_MAX_DETECTED`]), and transient DMA stalls on the bulk Case-2
-    /// traffic pay the bounded retry ladder. All fault overhead lands in
-    /// `data_movement`, so the compute terms keep their healthy-identity
-    /// accounting. Deterministic in `(self.config, trace, plan)`.
+    /// ([`PicachuEngine::compile_op_degraded`]) and the dispatcher walks the
+    /// trace against those mappings; the plan's SRAM/DMA fault service is
+    /// then priced by [`Dispatcher::fault_overhead`] and lands in the
+    /// breakdown's dedicated `overhead` phase, so the compute and
+    /// data-movement terms keep their healthy-identity accounting.
+    /// Deterministic in `(self.config, trace, plan)`.
     ///
     /// # Errors
     /// [`PicachuError::Compile`] when an op survives no rung of the ladder,
@@ -624,73 +222,19 @@ impl PicachuEngine {
         for t in trace {
             if let TraceOp::Nonlinear { op, .. } = *t {
                 if let std::collections::hash_map::Entry::Vacant(e) = degraded.entry(op) {
-                    e.insert(self.compile_op_degraded(op, plan)?.loops);
+                    e.insert(self.compile.compile_op_degraded(&self.config, op, plan)?.loops);
                 }
             }
         }
         // the engine-local cache is consulted before the process cache, so
-        // shadowing it points execute_trace at the degraded mappings; the
+        // shadowing it points the dispatcher at the degraded mappings; the
         // healthy view is restored before returning
-        let saved = std::mem::replace(&mut self.cache, degraded);
-        let mut b = self.execute_trace(trace);
-        self.cache = saved;
-
-        // ECC over the Shared Buffer working set
-        let words = (self.config.buffer_kb * 1024 / 8) as u64;
-        let ecc = plan.ecc.classify_sram(&plan.sram_flips, words);
-        if ecc.detected > ECC_MAX_DETECTED {
-            return Err(PicachuError::EccStorm { detected: ecc.detected, limit: ECC_MAX_DETECTED });
-        }
-        let mut overhead = ecc.overhead_cycles;
-        let mut xfer: u64 = 0;
-        for _ in 0..ecc.detected {
-            // a detected-uncorrectable word re-fetches one 64-byte DRAM line,
-            // itself subject to the transient-stall ladder
-            let t = self.dma.transfer_cycles_faulted(64, xfer, &plan.dma)?;
-            overhead += t.cycles;
-            xfer += 1;
-        }
-        // transient stalls on the bulk Case-2 DMA traffic: these transfers
-        // are already paid for in the healthy breakdown, so only the stall +
-        // backoff overhead is added
-        for (transfers, bytes) in self.case2_transfers(trace) {
-            for _ in 0..transfers {
-                let t = self.dma.transfer_cycles_faulted(bytes, xfer, &plan.dma)?;
-                overhead += t.overhead_cycles;
-                xfer += 1;
-            }
-        }
-        b.data_movement += overhead as f64;
-        Ok(b)
-    }
-
-    /// The Case-2 DMA transfer schedule of a trace: `(transfers, bytes)` per
-    /// chunked reduction op, mirroring the chunk geometry `execute_trace`
-    /// hands to [`SharedBuffer::pipelined_cycles`] (each chunk is one fill
-    /// plus one drain). Pure geometry — compute never changes the transfer
-    /// count.
-    fn case2_transfers(&self, trace: &[TraceOp]) -> Vec<(u64, usize)> {
-        let elem_bytes = self.config.format.byte_width();
-        let mut out = Vec::new();
-        for t in trace {
-            let TraceOp::Nonlinear { op, rows, channel } = *t else {
-                continue;
-            };
-            if op.category() != picachu_nonlinear::OpCategory::ReductionElementWise
-                || self.buffer.channel_fits(channel, elem_bytes)
-            {
-                continue;
-            }
-            let channel_bytes = channel * elem_bytes;
-            if op == NonlinearOp::Softmax {
-                out.push((2 * rows as u64, channel_bytes));
-            } else {
-                let working = self.buffer.working_bytes().max(1);
-                let chunks = rows as u64 * (channel_bytes.div_ceil(working)) as u64;
-                out.push((2 * chunks, working));
-            }
-        }
-        out
+        let saved = std::mem::replace(&mut self.compile.cache, degraded);
+        let mut totals = self.dispatch_totals(trace);
+        self.compile.cache = saved;
+        let overhead = self.dispatch.fault_overhead(&self.config, trace, plan)?;
+        totals.overhead = totals.overhead.saturating_add(overhead);
+        Ok(totals.breakdown())
     }
 
     /// End-to-end evaluation of a model at a sequence length.
@@ -698,27 +242,59 @@ impl PicachuEngine {
         self.execute_trace(&picachu_llm::model_trace(cfg, seq))
     }
 
-    /// Energy in nJ for an exposed breakdown at 1 GHz: systolic + SRAM power
-    /// over GEMM time, CGRA + buffer power over nonlinear time, DMA/glue
-    /// over data movement.
+    /// Energy in nJ for an exposed breakdown at 1 GHz (see
+    /// [`Accountant::energy_nj`]).
     pub fn energy_nj(&self, b: &Breakdown) -> f64 {
-        let cgra = self.cost.cgra_cost(&self.spec, 0.7);
-        let sys = self
-            .cost
-            .systolic_cost(self.config.systolic_rows, self.config.systolic_cols, 0.8);
-        let sys_sram = Self::systolic_sram_kb(self.config.systolic_rows, self.config.systolic_cols);
-        let sram = self.cost.sram_cost(sys_sram + self.config.buffer_kb as f64);
-        let glue = self.cost.glue_cost();
-        self.cost.energy_nj(sys.power_mw + sram.power_mw, b.gemm as u64)
-            + self.cost.energy_nj(cgra.power_mw + sram.power_mw * 0.3, b.nonlinear as u64)
-            + self.cost.energy_nj(glue.power_mw + sram.power_mw * 0.2, b.data_movement as u64)
+        self.account.energy_nj(&self.config, self.compile.spec(), b)
     }
 
-    /// Systolic-array SRAM capacity in KB: the input/weight/output SRAMs
-    /// scale with the MAC grid, calibrated to Table 7's 225 KB at 32×32
-    /// (225 + 40 KB Shared Buffer = the table's 265 KB total).
+    /// Systolic-array SRAM capacity in KB (see
+    /// [`Accountant::systolic_sram_kb`]).
     pub fn systolic_sram_kb(rows: usize, cols: usize) -> f64 {
-        225.0 * (rows * cols) as f64 / (32.0 * 32.0)
+        Accountant::systolic_sram_kb(rows, cols)
+    }
+}
+
+impl Accelerator for PicachuEngine {
+    fn name(&self) -> &str {
+        "PICACHU"
+    }
+
+    /// PICACHU compiles kernels once into the process-wide cache and (at
+    /// INT16) vectorizes element-wise loops across 4 lanes.
+    fn compile_hint(&self) -> CompileHint {
+        CompileHint { cached_kernel_compilation: true, vectorizes_int16: true }
+    }
+
+    /// The backend-contract dispatch path: warms the compile cache for the
+    /// trace's distinct operations in parallel (deterministically — mapping
+    /// is a pure function of the config), then runs the serial trace walk.
+    ///
+    /// # Panics
+    /// Panics when a kernel fails to map, matching
+    /// [`PicachuEngine::compile_op`] — a fabric misconfiguration.
+    fn execute_trace(&mut self, trace: &[TraceOp]) -> ExecutionReport {
+        let mut ops: Vec<NonlinearOp> = Vec::new();
+        for t in trace {
+            if let TraceOp::Nonlinear { op, .. } = *t {
+                if !ops.contains(&op) {
+                    ops.push(op);
+                }
+            }
+        }
+        if let Err(e) = self.compile.warm(&self.config, &ops) {
+            panic!("{e}");
+        }
+        let b = PicachuEngine::execute_trace(self, trace);
+        self.report(b)
+    }
+
+    fn energy_nj(&self, b: &Breakdown) -> f64 {
+        PicachuEngine::energy_nj(self, b)
+    }
+
+    fn area_mm2(&self) -> f64 {
+        self.account.area_mm2(&self.config, self.compile.spec())
     }
 }
 
@@ -734,22 +310,6 @@ impl fmt::Display for PicachuEngine {
             self.config.buffer_kb,
             self.config.format
         )
-    }
-}
-
-/// Maps an operation to its kernel (public so the differential oracle can
-/// interpret the same loop bodies the engine compiles).
-pub fn kernel_for(op: NonlinearOp, terms: usize) -> klib::Kernel {
-    match op {
-        NonlinearOp::Softmax => klib::softmax_kernel(terms),
-        NonlinearOp::Relu => klib::relu_kernel(),
-        NonlinearOp::Gelu => klib::gelu_kernel(terms),
-        NonlinearOp::Geglu => klib::geglu_kernel(terms),
-        NonlinearOp::Silu => klib::silu_kernel(terms),
-        NonlinearOp::Swiglu => klib::swiglu_kernel(terms),
-        NonlinearOp::LayerNorm => klib::layernorm_kernel(),
-        NonlinearOp::RmsNorm => klib::rmsnorm_kernel(),
-        NonlinearOp::Rope => klib::rope_kernel(terms),
     }
 }
 
@@ -840,7 +400,7 @@ mod tests {
         // Regression: energy_nj hardcoded 225 KB of systolic SRAM, so
         // non-32x32 DSE points were charged a 32x32 memory system.
         assert!((PicachuEngine::systolic_sram_kb(32, 32) - 225.0).abs() < 1e-12);
-        let b = Breakdown { gemm: 1e6, nonlinear: 1e5, data_movement: 1e4 };
+        let b = Breakdown { gemm: 1e6, nonlinear: 1e5, data_movement: 1e4, overhead: 0.0 };
         let half = PicachuEngine::new(EngineConfig {
             systolic_rows: 16,
             systolic_cols: 16,
@@ -856,8 +416,8 @@ mod tests {
     #[test]
     fn energy_positive_and_monotone() {
         let e = engine();
-        let small = Breakdown { gemm: 1e6, nonlinear: 1e5, data_movement: 0.0 };
-        let big = Breakdown { gemm: 2e6, nonlinear: 2e5, data_movement: 1e4 };
+        let small = Breakdown { gemm: 1e6, nonlinear: 1e5, ..Breakdown::default() };
+        let big = Breakdown { gemm: 2e6, nonlinear: 2e5, data_movement: 1e4, overhead: 0.0 };
         assert!(e.energy_nj(&small) > 0.0);
         assert!(e.energy_nj(&big) > e.energy_nj(&small));
     }
@@ -962,7 +522,7 @@ mod tests {
         });
         // transplant the warm engine's local cache: models an engine whose
         // process-cache entry was evicted but that served this op before
-        e.cache = warm.cache.clone();
+        e.compile.cache = warm.compile.cache.clone();
         // rung 1 misses the process cache and times out instantly; rung 2
         // serves the last known-good compile
         let dc = e
@@ -998,6 +558,7 @@ mod tests {
             .try_execute_trace_faulted(&trace, &picachu_faults::FaultPlan::none())
             .unwrap();
         assert_eq!(healthy, faulted, "empty plan must be the identity");
+        assert_eq!(faulted.overhead, 0.0, "no faults, no service overhead");
         // and the healthy cache view is restored
         let again = e.execute_trace(&trace);
         assert_eq!(healthy, again);
@@ -1015,8 +576,12 @@ mod tests {
             .with_sram_flip(41, 2);
         let b = e.try_execute_trace_faulted(&trace, &plan).unwrap();
         assert!(
-            b.data_movement > healthy.data_movement,
-            "ECC scrubs and the re-fetch must cost data-movement cycles"
+            b.overhead > 0.0,
+            "ECC scrubs and the re-fetch must cost overhead cycles"
+        );
+        assert_eq!(
+            b.data_movement, healthy.data_movement,
+            "fault service lands in the overhead phase, not data_movement"
         );
         assert_eq!(b.gemm, healthy.gemm, "faults never touch GEMM time");
     }
@@ -1049,5 +614,21 @@ mod tests {
         let t80 = mk(80);
         assert!(t40 <= t10, "40KB {t40} vs 10KB {t10}");
         assert!(t80 <= t40 * 1.001, "80KB {t80} vs 40KB {t40} (plateau)");
+    }
+
+    #[test]
+    fn accelerator_contract_matches_inherent_api() {
+        // the trait path must be pure plumbing over the inherent engine
+        let trace = picachu_llm::model_trace(&ModelConfig::gpt2(), 64);
+        let mut inherent = engine();
+        let b = inherent.execute_trace(&trace);
+        let mut hosted = engine();
+        let r = Accelerator::execute_trace(&mut hosted, &trace);
+        assert_eq!(r.breakdown, b, "trait dispatch must equal inherent dispatch");
+        assert_eq!(r.backend, "PICACHU");
+        assert_eq!(r.energy_nj, inherent.energy_nj(&b));
+        assert!(hosted.area_mm2() > 0.0);
+        assert!(hosted.compile_hint().cached_kernel_compilation);
+        assert!(r.is_sane());
     }
 }

@@ -17,7 +17,9 @@
 //! | CGRA config/simulator/cost | [`picachu_cgra`] |
 //! | systolic array + shared buffer + DMA | [`picachu_systolic`] |
 //! | LLM workloads + accuracy-proxy LM | [`picachu_llm`] |
+//! | unified `Accelerator` backend contract | [`picachu_backend`] |
 //! | comparison accelerators | [`picachu_baselines`] |
+//! | compile → dispatch → account pipeline stages | [`stages`] |
 //! | end-to-end engine | [`engine`] |
 //! | design-space exploration | [`dse`] |
 //!
@@ -39,6 +41,7 @@ pub mod compile_cache;
 pub mod dse;
 pub mod engine;
 pub mod error;
+pub mod stages;
 
 pub use compile_cache::CompileKey;
 pub use dse::{explore, pareto_frontier, DesignPoint, DseSweep};
@@ -46,10 +49,12 @@ pub use engine::{
     CompiledLoop, DegradedCompile, EngineConfig, FallbackLevel, PicachuEngine, ECC_MAX_DETECTED,
 };
 pub use error::PicachuError;
+pub use stages::{Accountant, CompileService, Dispatcher, PhaseTotals};
+pub use picachu_backend::{Accelerator, Breakdown, CompileHint, ExecutionReport};
+pub use picachu_backend as backend;
 pub use picachu_faults as faults;
 pub use picachu_runtime as runtime;
 pub use picachu_baselines as baselines;
-pub use picachu_baselines::Breakdown;
 pub use picachu_cgra as cgra;
 pub use picachu_compiler as compiler;
 pub use picachu_ir as ir;

@@ -1,0 +1,94 @@
+//! Stage 3 — the accountant.
+//!
+//! Rolls a latency breakdown into energy (nJ) and prices the configured
+//! silicon (mm²) under the Table 7 cost model. Pure functions of
+//! `(config, spec, breakdown)` — the accountant holds no execution state,
+//! so energy/area can be recomputed for any breakdown after the fact.
+
+use crate::engine::EngineConfig;
+use picachu_backend::Breakdown;
+use picachu_cgra::cost::CostModel;
+use picachu_compiler::arch::CgraSpec;
+
+/// The accounting stage: the process cost model plus the phase-power
+/// weighting the paper's energy numbers use.
+#[derive(Debug, Default)]
+pub struct Accountant {
+    cost: CostModel,
+}
+
+impl Accountant {
+    /// An accountant over the default 28 nm cost model.
+    pub fn new() -> Accountant {
+        Accountant::default()
+    }
+
+    /// Energy in nJ for an exposed breakdown at 1 GHz: systolic + SRAM power
+    /// over GEMM time, CGRA + buffer power over nonlinear time, DMA/glue
+    /// over data movement. Fault-service `overhead` cycles are DMA/SRAM
+    /// traffic, so they are priced at the data-movement rate.
+    pub fn energy_nj(&self, config: &EngineConfig, spec: &CgraSpec, b: &Breakdown) -> f64 {
+        let cgra = self.cost.cgra_cost(spec, 0.7);
+        let sys = self
+            .cost
+            .systolic_cost(config.systolic_rows, config.systolic_cols, 0.8);
+        let sys_sram = Accountant::systolic_sram_kb(config.systolic_rows, config.systolic_cols);
+        let sram = self.cost.sram_cost(sys_sram + config.buffer_kb as f64);
+        let glue = self.cost.glue_cost();
+        self.cost.energy_nj(sys.power_mw + sram.power_mw, b.gemm as u64)
+            + self.cost.energy_nj(cgra.power_mw + sram.power_mw * 0.3, b.nonlinear as u64)
+            + self.cost.energy_nj(
+                glue.power_mw + sram.power_mw * 0.2,
+                (b.data_movement + b.overhead) as u64,
+            )
+    }
+
+    /// Total silicon area of the configured system in mm²: CGRA fabric +
+    /// systolic array + the memory system (systolic SRAMs + Shared Buffer)
+    /// + DMA/glue — the Table 7 area roll-up.
+    pub fn area_mm2(&self, config: &EngineConfig, spec: &CgraSpec) -> f64 {
+        let cgra = self.cost.cgra_cost(spec, 0.7);
+        let sys = self
+            .cost
+            .systolic_cost(config.systolic_rows, config.systolic_cols, 0.8);
+        let sys_sram = Accountant::systolic_sram_kb(config.systolic_rows, config.systolic_cols);
+        let sram = self.cost.sram_cost(sys_sram + config.buffer_kb as f64);
+        let glue = self.cost.glue_cost();
+        cgra.area_mm2 + sys.area_mm2 + sram.area_mm2 + glue.area_mm2
+    }
+
+    /// Systolic-array SRAM capacity in KB: the input/weight/output SRAMs
+    /// scale with the MAC grid, calibrated to Table 7's 225 KB at 32×32
+    /// (225 + 40 KB Shared Buffer = the table's 265 KB total).
+    pub fn systolic_sram_kb(rows: usize, cols: usize) -> f64 {
+        225.0 * (rows * cols) as f64 / (32.0 * 32.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_is_priced_at_the_data_movement_rate() {
+        // moving fault cycles between data_movement and overhead must not
+        // change the energy total (the pre-split engine folded them into
+        // data_movement)
+        let config = EngineConfig::default();
+        let spec = CgraSpec::picachu(config.cgra_rows, config.cgra_cols);
+        let a = Accountant::new();
+        let folded = Breakdown { gemm: 1e6, nonlinear: 1e5, data_movement: 5e4, overhead: 0.0 };
+        let split = Breakdown { gemm: 1e6, nonlinear: 1e5, data_movement: 3e4, overhead: 2e4 };
+        assert_eq!(a.energy_nj(&config, &spec, &folded), a.energy_nj(&config, &spec, &split));
+    }
+
+    #[test]
+    fn area_is_positive_and_grows_with_the_array() {
+        let small = EngineConfig::default();
+        let big = EngineConfig { systolic_rows: 64, systolic_cols: 64, ..EngineConfig::default() };
+        let spec = CgraSpec::picachu(4, 4);
+        let a = Accountant::new();
+        assert!(a.area_mm2(&small, &spec) > 0.0);
+        assert!(a.area_mm2(&big, &spec) > a.area_mm2(&small, &spec));
+    }
+}

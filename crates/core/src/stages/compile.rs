@@ -1,0 +1,495 @@
+//! Stage 1 — the compile service.
+//!
+//! Turns nonlinear operations into CGRA mappings: builds the kernel, then
+//! per loop picks the unroll factor minimizing the per-element II (and the
+//! INT16 vector factor when the format selects it). All compilation flows
+//! through the process-wide [`compile_cache`], with an engine-local view on
+//! top so the hot path never takes the cache lock twice for the same op.
+//! Under faults the service walks the DESIGN §7 degradation ladder:
+//! re-map → cached healthy mapping → universal-fabric re-map → reject.
+
+use crate::compile_cache::{self, CompileKey};
+use crate::engine::EngineConfig;
+use crate::error::PicachuError;
+use picachu_compiler::arch::CgraSpec;
+use picachu_compiler::mapper::{map_dfg_with, MapError, Mapping, ResourceMask};
+use picachu_compiler::transform::{fuse_patterns, unroll, vectorize};
+use picachu_faults::FaultPlan;
+use picachu_ir::kernels as klib;
+use picachu_nonlinear::{LoopKind, NonlinearOp};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How far down the degradation ladder a faulted compile had to go.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackLevel {
+    /// The kernel re-mapped around the faults on the engine's own fabric.
+    Remapped,
+    /// Re-mapping failed (typically a deadline) but the fabric is intact, so
+    /// the cached healthy mapping is served. Never used on a degraded
+    /// fabric: a healthy mapping may place work on dead resources.
+    Cached,
+    /// The kernel only mapped on the all-universal fallback fabric (every PE
+    /// supports every opcode — lower ResMII pressure around dead tiles).
+    Universal,
+}
+
+impl fmt::Display for FallbackLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FallbackLevel::Remapped => write!(f, "re-mapped"),
+            FallbackLevel::Cached => write!(f, "cached fallback"),
+            FallbackLevel::Universal => write!(f, "universal-fabric fallback"),
+        }
+    }
+}
+
+/// Result of compiling an op for a degraded fabric: the loops plus how
+/// degraded the service is.
+#[derive(Debug, Clone)]
+pub struct DegradedCompile {
+    /// The compiled loops (from the process cache when warm).
+    pub loops: Arc<Vec<CompiledLoop>>,
+    /// Which rung of the degradation ladder produced them.
+    pub fallback: FallbackLevel,
+    /// Σ degraded II / Σ healthy II across the op's loops — reported, not
+    /// asserted (detours usually inflate II, but a smaller live portfolio
+    /// can occasionally luck into a better placement). `1.0` when no
+    /// healthy baseline exists to compare against.
+    pub ii_inflation: f64,
+    /// Alive PEs on the fabric the loops run on.
+    pub alive_tiles: usize,
+}
+
+/// One compiled kernel loop: its mapping plus the unroll/vector factors.
+#[derive(Debug, Clone)]
+pub struct CompiledLoop {
+    /// Loop label (e.g. `"softmax(2)"`).
+    pub label: String,
+    /// Reduction or element-wise.
+    pub kind: LoopKind,
+    /// The chosen mapping.
+    pub mapping: Mapping,
+    /// Unroll factor.
+    pub uf: usize,
+    /// Vector factor (4 for INT16, else 1).
+    pub vf: usize,
+}
+
+impl CompiledLoop {
+    /// Elements produced per initiation interval.
+    pub fn elements_per_ii(&self) -> usize {
+        self.uf * self.vf
+    }
+
+    /// Cycles to process `elements` elements in steady state.
+    pub fn cycles(&self, elements: u64) -> u64 {
+        let iters = elements.div_ceil(self.elements_per_ii() as u64);
+        self.mapping.cycles_for(iters)
+    }
+}
+
+/// The compile stage: owns the fabric specification and the engine-local
+/// view of the process-wide compile cache.
+#[derive(Debug)]
+pub struct CompileService {
+    spec: CgraSpec,
+    /// Engine-local view of the process-wide [`compile_cache`]: one lookup
+    /// per op after the first, no lock traffic on the hot path. `pub(crate)`
+    /// so the engine can shadow it with degraded mappings during a faulted
+    /// dispatch (and tests can transplant warm views).
+    pub(crate) cache: HashMap<NonlinearOp, Arc<Vec<CompiledLoop>>>,
+}
+
+impl CompileService {
+    /// A service compiling onto `spec` (kernels compile lazily on first use).
+    pub fn new(spec: CgraSpec) -> CompileService {
+        CompileService { spec, cache: HashMap::new() }
+    }
+
+    /// The CGRA fabric specification in use.
+    pub fn spec(&self) -> &CgraSpec {
+        &self.spec
+    }
+
+    /// The locally-cached loops for `op`.
+    ///
+    /// # Panics
+    /// Panics if `op` was never compiled through this service — callers go
+    /// through [`CompileService::try_compile_op`] first.
+    pub(crate) fn loops(&self, op: NonlinearOp) -> &[CompiledLoop] {
+        &self.cache[&op]
+    }
+
+    /// The non-panicking compile path: compiles (or returns cached) loops,
+    /// reporting failure as a typed error instead of aborting.
+    ///
+    /// # Errors
+    /// [`PicachuError::Compile`] when some kernel loop fails to map at every
+    /// candidate unroll factor.
+    pub fn try_compile_op(
+        &mut self,
+        config: &EngineConfig,
+        op: NonlinearOp,
+    ) -> Result<Arc<Vec<CompiledLoop>>, PicachuError> {
+        if let Some(hit) = self.cache.get(&op) {
+            return Ok(hit.clone());
+        }
+        let key = self.compile_key(config, op);
+        let compiled = match compile_cache::lookup(&key) {
+            Some(hit) => hit,
+            None => {
+                let full = ResourceMask::full(&self.spec);
+                let loops = self.try_compile_with(config, op, &self.spec, &full, None)?;
+                compile_cache::publish(key, loops)
+            }
+        };
+        self.cache.insert(op, compiled.clone());
+        Ok(compiled)
+    }
+
+    /// Compiles every distinct operation in `ops`, mapping the true cache
+    /// misses **in parallel** on the [`picachu_runtime`] pool. Mapping is
+    /// deterministic per `(config, op)` and the misses are independent, so
+    /// the cache ends bit-identical to a serial warm — only wall-clock
+    /// changes. The `Accelerator` dispatch path calls this before its
+    /// serial trace walk so a cold engine doesn't compile on the walk.
+    ///
+    /// # Errors
+    /// [`PicachuError::Compile`] for the first (in `ops` order) operation
+    /// whose kernel fails to map.
+    pub fn warm(
+        &mut self,
+        config: &EngineConfig,
+        ops: &[NonlinearOp],
+    ) -> Result<(), PicachuError> {
+        let mut misses: Vec<NonlinearOp> = Vec::new();
+        for &op in ops {
+            if self.cache.contains_key(&op) || misses.contains(&op) {
+                continue;
+            }
+            // process-cache hits are cheap lookups; only real mapping work
+            // goes to the pool
+            if let Some(hit) = compile_cache::lookup(&self.compile_key(config, op)) {
+                self.cache.insert(op, hit);
+            } else {
+                misses.push(op);
+            }
+        }
+        if misses.is_empty() {
+            return Ok(());
+        }
+        let full = ResourceMask::full(&self.spec);
+        let compiled = picachu_runtime::try_parallel_map(&misses, |_, &op| {
+            self.try_compile_with(config, op, &self.spec, &full, None)
+        })
+        .map_err(|wp| PicachuError::Compile {
+            op: misses[wp.index.min(misses.len() - 1)],
+            label: "warm".to_string(),
+            source: MapError::EmptyDfg,
+        })?;
+        for (&op, loops) in misses.iter().zip(compiled) {
+            let arc = compile_cache::publish(self.compile_key(config, op), loops?);
+            self.cache.insert(op, arc);
+        }
+        Ok(())
+    }
+
+    /// Compiles `op` for a faulted fabric, walking the degradation ladder
+    /// (DESIGN §7): **re-map** around the dead resources on the engine's own
+    /// fabric → **cached** healthy mapping (only when the fabric is intact
+    /// and the failure was a deadline, never on real topology faults) →
+    /// **universal-fabric** re-map (every PE supports every opcode) →
+    /// **reject** with the primary error. Each rung is deadline-bounded by
+    /// [`EngineConfig::compile_deadline_ms`] and every successful compile is
+    /// published to the process cache under its exact fault set, so repeated
+    /// requests against the same degraded part hit the cache.
+    ///
+    /// # Errors
+    /// [`PicachuError::Compile`] when every rung fails — the error carries
+    /// the mapper's diagnosis from the first (re-map) rung, which is the
+    /// informative one.
+    pub fn compile_op_degraded(
+        &mut self,
+        config: &EngineConfig,
+        op: NonlinearOp,
+        plan: &FaultPlan,
+    ) -> Result<DegradedCompile, PicachuError> {
+        let deadline = config.compile_deadline_ms.map(Duration::from_millis);
+        let mask = ResourceMask::degraded(
+            &self.spec,
+            plan.dead_tiles.iter().copied(),
+            plan.dead_links.iter().copied(),
+        );
+        let alive = mask.alive_count();
+        // intact fabric, no deadline pressure: the healthy compile *is* the
+        // degraded compile, bit-identically
+        if plan.fabric_intact() && deadline.is_none() {
+            let loops = self.try_compile_op(config, op)?;
+            return Ok(DegradedCompile {
+                loops,
+                fallback: FallbackLevel::Remapped,
+                ii_inflation: 1.0,
+                alive_tiles: alive,
+            });
+        }
+        // healthy baseline for II-inflation reporting — cache-only, so the
+        // deadline-bounded degraded path never grows an unbounded healthy
+        // compile (inflation reads 1.0 until something compiled healthy)
+        let healthy_ii: Option<u64> = self
+            .cache
+            .get(&op)
+            .cloned()
+            .or_else(|| compile_cache::lookup(&self.compile_key(config, op)))
+            .map(|loops| loops.iter().map(|l| l.mapping.ii as u64).sum());
+        // rung 1: re-map around the faults on the engine's own fabric
+        let key = self.degraded_key(config, op, plan, false);
+        let primary = match compile_cache::lookup(&key) {
+            Some(hit) => Ok(hit),
+            None => self
+                .try_compile_with(config, op, &self.spec, &mask, deadline)
+                .map(|loops| compile_cache::publish(key, loops)),
+        };
+        let primary_err = match primary {
+            Ok(loops) => {
+                let ii_inflation = CompileService::ii_inflation(healthy_ii, &loops);
+                return Ok(DegradedCompile {
+                    loops,
+                    fallback: FallbackLevel::Remapped,
+                    ii_inflation,
+                    alive_tiles: alive,
+                });
+            }
+            Err(e) => e,
+        };
+        // rung 2: last-known-good mapping — legal only while the fabric is
+        // intact (a healthy mapping may use any tile or link). The engine's
+        // local view survives process-cache clears, so a deadline miss on
+        // re-validation still serves.
+        if plan.fabric_intact() {
+            if let Some(hit) = self
+                .cache
+                .get(&op)
+                .cloned()
+                .or_else(|| compile_cache::lookup(&self.compile_key(config, op)))
+            {
+                return Ok(DegradedCompile {
+                    loops: hit,
+                    fallback: FallbackLevel::Cached,
+                    ii_inflation: 1.0,
+                    alive_tiles: alive,
+                });
+            }
+        }
+        // rung 3: the all-universal fallback fabric, same fault set
+        let uspec = CgraSpec::universal(config.cgra_rows, config.cgra_cols);
+        let umask = ResourceMask::degraded(
+            &uspec,
+            plan.dead_tiles.iter().copied(),
+            plan.dead_links.iter().copied(),
+        );
+        let ukey = self.degraded_key(config, op, plan, true);
+        let fallback = match compile_cache::lookup(&ukey) {
+            Some(hit) => Ok(hit),
+            None => self
+                .try_compile_with(config, op, &uspec, &umask, deadline)
+                .map(|loops| compile_cache::publish(ukey, loops)),
+        };
+        match fallback {
+            Ok(loops) => {
+                let ii_inflation = CompileService::ii_inflation(healthy_ii, &loops);
+                Ok(DegradedCompile {
+                    loops,
+                    fallback: FallbackLevel::Universal,
+                    ii_inflation,
+                    alive_tiles: umask.alive_count(),
+                })
+            }
+            // rung 4: reject, with the informative (own-fabric) diagnosis
+            Err(_) => Err(primary_err),
+        }
+    }
+
+    fn ii_inflation(healthy_ii: Option<u64>, loops: &[CompiledLoop]) -> f64 {
+        let degraded: u64 = loops.iter().map(|l| l.mapping.ii as u64).sum();
+        match healthy_ii {
+            Some(h) if h > 0 => degraded as f64 / h as f64,
+            _ => 1.0,
+        }
+    }
+
+    /// The process-wide cache key for this configuration's compilation of
+    /// `op`: everything the compile kernel reads. `buffer_kb` and the
+    /// ablation knobs are absent because mapping never sees them.
+    fn compile_key(&self, config: &EngineConfig, op: NonlinearOp) -> CompileKey {
+        CompileKey {
+            op,
+            cgra_rows: config.cgra_rows,
+            cgra_cols: config.cgra_cols,
+            format: config.format,
+            taylor_terms: config.taylor_terms,
+            unroll_candidates: config.unroll_candidates.clone(),
+            seed: config.seed,
+            dead_tiles: Vec::new(),
+            dead_links: Vec::new(),
+            universal: false,
+        }
+    }
+
+    /// The cache key for a degraded compile: the healthy key plus the exact
+    /// fault set and fallback-fabric flag.
+    fn degraded_key(
+        &self,
+        config: &EngineConfig,
+        op: NonlinearOp,
+        plan: &FaultPlan,
+        universal: bool,
+    ) -> CompileKey {
+        CompileKey {
+            dead_tiles: plan.dead_tiles.iter().copied().collect(),
+            dead_links: plan.dead_links.iter().copied().collect(),
+            universal,
+            ..self.compile_key(config, op)
+        }
+    }
+
+    /// The compile kernel shared by the healthy and degraded paths: per
+    /// kernel loop, picks the unroll factor minimizing per-element II among
+    /// the candidates that map on `spec` restricted to `mask`. With a full
+    /// mask, no deadline and the engine's own spec this is bit-identical to
+    /// the historical healthy compile.
+    fn try_compile_with(
+        &self,
+        config: &EngineConfig,
+        op: NonlinearOp,
+        spec: &CgraSpec,
+        mask: &ResourceMask,
+        deadline: Option<Duration>,
+    ) -> Result<Vec<CompiledLoop>, PicachuError> {
+        let kernel = kernel_for(op, config.taylor_terms);
+        let vf_global = config.format.vector_factor();
+        let mut out = Vec::new();
+        for (i, l) in kernel.loops.iter().enumerate() {
+            let kind = match l.class {
+                klib::LoopClass::Reduction => LoopKind::Reduction,
+                klib::LoopClass::ElementWise => LoopKind::ElementWise,
+            };
+            // reductions vectorize with per-lane partial accumulators (the
+            // vector φ holds four lane partials; the cross-lane combine runs
+            // once per channel and is negligible), so every loop gets the
+            // format's vector factor.
+            let vf = vf_global;
+            let mut best: Option<CompiledLoop> = None;
+            let mut last_err = MapError::EmptyDfg;
+            for &uf in &config.unroll_candidates {
+                let dfg = self.lowered_dfg(config, op, i, uf, vf);
+                let mapping =
+                    match map_dfg_with(&dfg, spec, CompileService::loop_seed(config, i), mask, deadline) {
+                        Ok(m) => m,
+                        Err(e) => {
+                            last_err = e;
+                            continue;
+                        }
+                    };
+                let per_elem = mapping.ii as f64 / (uf * vf) as f64;
+                let better = match &best {
+                    None => true,
+                    Some(b) => per_elem < b.mapping.ii as f64 / b.elements_per_ii() as f64,
+                };
+                if better {
+                    best = Some(CompiledLoop { label: l.label.clone(), kind, mapping, uf, vf });
+                }
+            }
+            match best {
+                Some(b) => out.push(b),
+                None => {
+                    return Err(PicachuError::Compile {
+                        op,
+                        label: l.label.clone(),
+                        source: last_err,
+                    })
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Reconstructs the exact lowered DFG the mapper saw for loop
+    /// `loop_idx` of `op`: the kernel loop body after unrolling, pattern
+    /// fusion and (when `vf > 1`) lane vectorization. The differential
+    /// oracle replays this DFG on the cycle-level simulator against the
+    /// analytical accounting; the compile kernel goes through the same
+    /// method, so the two paths cannot drift.
+    pub fn lowered_dfg(
+        &self,
+        config: &EngineConfig,
+        op: NonlinearOp,
+        loop_idx: usize,
+        uf: usize,
+        vf: usize,
+    ) -> picachu_ir::dfg::Dfg {
+        let kernel = kernel_for(op, config.taylor_terms);
+        let mut dfg = fuse_patterns(&unroll(&kernel.loops[loop_idx].dfg, uf));
+        if vf > 1 {
+            dfg = vectorize(&dfg, vf).dfg;
+        }
+        dfg
+    }
+
+    /// The mapper seed used for loop `loop_idx` (derived from the config
+    /// seed so that sibling loops explore independent placements).
+    pub fn loop_seed(config: &EngineConfig, loop_idx: usize) -> u64 {
+        config.seed ^ (loop_idx as u64) << 8
+    }
+}
+
+/// Maps an operation to its kernel (public so the differential oracle can
+/// interpret the same loop bodies the engine compiles).
+pub fn kernel_for(op: NonlinearOp, terms: usize) -> klib::Kernel {
+    match op {
+        NonlinearOp::Softmax => klib::softmax_kernel(terms),
+        NonlinearOp::Relu => klib::relu_kernel(),
+        NonlinearOp::Gelu => klib::gelu_kernel(terms),
+        NonlinearOp::Geglu => klib::geglu_kernel(terms),
+        NonlinearOp::Silu => klib::silu_kernel(terms),
+        NonlinearOp::Swiglu => klib::swiglu_kernel(terms),
+        NonlinearOp::LayerNorm => klib::layernorm_kernel(),
+        NonlinearOp::RmsNorm => klib::rmsnorm_kernel(),
+        NonlinearOp::Rope => klib::rope_kernel(terms),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn service() -> (CompileService, EngineConfig) {
+        let config = EngineConfig::default();
+        (CompileService::new(CgraSpec::picachu(config.cgra_rows, config.cgra_cols)), config)
+    }
+
+    #[test]
+    fn warm_is_idempotent_and_matches_serial_compile() {
+        let (mut warm, config) = service();
+        warm.warm(&config, &[NonlinearOp::Gelu, NonlinearOp::Gelu, NonlinearOp::Softmax])
+            .expect("healthy warm");
+        let (mut cold, _) = service();
+        let serial = cold.try_compile_op(&config, NonlinearOp::Softmax).expect("compiles");
+        let warmed = warm.loops(NonlinearOp::Softmax);
+        assert_eq!(serial.len(), warmed.len());
+        for (a, b) in serial.iter().zip(warmed) {
+            assert_eq!(a.mapping.ii, b.mapping.ii, "{}: warm must equal serial", a.label);
+            assert_eq!((a.uf, a.vf), (b.uf, b.vf));
+        }
+        // second warm is a no-op
+        warm.warm(&config, &[NonlinearOp::Softmax]).expect("idempotent");
+    }
+
+    #[test]
+    fn loop_seed_varies_by_loop_index() {
+        let config = EngineConfig::default();
+        assert_ne!(CompileService::loop_seed(&config, 0), CompileService::loop_seed(&config, 1));
+    }
+}

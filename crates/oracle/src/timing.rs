@@ -150,10 +150,23 @@ pub fn check_energy(report: &mut OracleReport, ctx: CaseCtx, engine: &PicachuEng
     let zero = engine.energy_nj(&Breakdown::default());
     report.check_bounded("timing", ctx, "", "energy(zero breakdown)", 0.0, zero, 0.0);
 
-    let b1 = Breakdown { gemm: 1e6, nonlinear: 2e5, data_movement: 3e4 };
-    let b2 = Breakdown { gemm: 2e6, nonlinear: 4e5, data_movement: 6e4 };
+    let b1 = Breakdown { gemm: 1e6, nonlinear: 2e5, data_movement: 3e4, overhead: 1e4 };
+    let b2 = Breakdown { gemm: 2e6, nonlinear: 4e5, data_movement: 6e4, overhead: 2e4 };
     let (e1, e2) = (engine.energy_nj(&b1), engine.energy_nj(&b2));
     let positive = e1 > 0.0 && e1.is_finite();
     report.check_exact("timing", ctx, "", "energy positive+finite", 1, positive as u64);
     report.check_bounded("timing", ctx, "", "energy homogeneity", 2.0 * e1, e2, 1e-6 * e2.abs());
+
+    // phase-additivity of the fault-overhead phase: overhead is priced at
+    // the data-movement rate, so folding it into data_movement is an energy
+    // no-op (the pre-split engine's accounting, kept as an identity)
+    let folded = Breakdown {
+        data_movement: b1.data_movement + b1.overhead,
+        overhead: 0.0,
+        ..b1
+    };
+    report.check_bounded(
+        "timing", ctx, "", "energy overhead-folding identity",
+        engine.energy_nj(&folded), e1, 1e-9 * e1.abs(),
+    );
 }

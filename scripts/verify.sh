@@ -18,6 +18,9 @@ cargo clippy --all-targets --offline -- -D warnings
 echo "== test (workspace, offline) =="
 cargo test -q --offline
 
+echo "== backend parity (Accelerator contract across all six devices) =="
+cargo test -q -p picachu --test backends --offline
+
 echo "== differential oracle (smoke grid) =="
 PICACHU_ORACLE_SMOKE=1 cargo test -q -p picachu-oracle --test differential --offline
 

@@ -15,7 +15,12 @@ use picachu_nonlinear::NonlinearOp;
 use picachu_systolic::{DmaModel, SharedBuffer, SystolicArray};
 
 fn finite_and_nonnegative(b: &picachu::Breakdown) {
-    for (name, v) in [("gemm", b.gemm), ("nonlinear", b.nonlinear), ("dm", b.data_movement)] {
+    for (name, v) in [
+        ("gemm", b.gemm),
+        ("nonlinear", b.nonlinear),
+        ("dm", b.data_movement),
+        ("overhead", b.overhead),
+    ] {
         assert!(v.is_finite() && v >= 0.0, "{name} = {v}");
     }
 }

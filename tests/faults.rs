@@ -57,26 +57,41 @@ fn faulted_execution_is_deterministic() {
     assert_eq!(a.gemm.to_bits(), b.gemm.to_bits());
     assert_eq!(a.nonlinear.to_bits(), b.nonlinear.to_bits());
     assert_eq!(a.data_movement.to_bits(), b.data_movement.to_bits());
+    assert_eq!(a.overhead.to_bits(), b.overhead.to_bits());
 }
 
 #[test]
-fn dma_stall_density_monotonically_inflates_data_movement() {
-    // More stall probability can only add retry/backoff overhead; the
-    // deterministic per-(transfer, attempt) draw makes this exactly
-    // monotone, not just statistically so.
+fn dma_stall_density_monotonically_inflates_overhead() {
+    // More stall probability can only add retry/backoff cycles to the
+    // dedicated fault-service `overhead` phase (the healthy data-movement
+    // term never moves); the deterministic per-(transfer, attempt) draw
+    // makes this exactly monotone, not just statistically so.
     let trace = [TraceOp::Nonlinear { op: NonlinearOp::LayerNorm, rows: 64, channel: 4096 }];
-    let dm_at = |ppm: u32| {
+    let run = |ppm: u32| {
         let plan = FaultPlan::none()
             .with_dma(DmaFaultModel { stall_ppm: ppm, stall_cycles: 400, seed: 0xD3AD });
         let mut e =
             PicachuEngine::new(EngineConfig { buffer_kb: 1, ..EngineConfig::default() });
-        e.try_execute_trace_faulted(&trace, &plan).expect("stalls retry, not fail").data_movement
+        e.try_execute_trace_faulted(&trace, &plan).expect("stalls retry, not fail")
     };
-    let clean = dm_at(0);
-    let mild = dm_at(5_000);
-    let harsh = dm_at(50_000);
-    assert!(clean <= mild && mild <= harsh, "{clean} / {mild} / {harsh}");
-    assert!(harsh > clean, "5 % stall density over many Case-2 chunks must cost something");
+    let clean = run(0);
+    let mild = run(5_000);
+    let harsh = run(50_000);
+    assert!(
+        clean.overhead <= mild.overhead && mild.overhead <= harsh.overhead,
+        "{} / {} / {}",
+        clean.overhead,
+        mild.overhead,
+        harsh.overhead
+    );
+    assert!(
+        harsh.overhead > clean.overhead,
+        "5 % stall density over many Case-2 chunks must cost something"
+    );
+    assert_eq!(
+        clean.data_movement, harsh.data_movement,
+        "stall service must never inflate the healthy data-movement term"
+    );
 }
 
 #[test]
