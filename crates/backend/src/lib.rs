@@ -152,6 +152,13 @@ impl fmt::Display for ExecutionReport {
     }
 }
 
+/// Relative tolerance the backend-parity suite holds a *warm*
+/// [`Accelerator::estimate_trace`] to against the measured
+/// `execute_trace(..).total()` of the same trace. Estimates are pure
+/// re-evaluations of the same cost models, so agreement is essentially
+/// exact; the epsilon only absorbs f64 summation-order noise.
+pub const HINT_WARM_TOLERANCE: f64 = 1e-9;
+
 /// A device that can execute full operator traces — the unified contract
 /// between the compilation/modeling layers and the experiment harness.
 ///
@@ -173,6 +180,23 @@ pub trait Accelerator {
 
     /// Executes a full operator trace, returning the per-phase report.
     fn execute_trace(&mut self, trace: &[TraceOp]) -> ExecutionReport;
+
+    /// Cheap, read-only estimate of `execute_trace(trace).total()` in the
+    /// backend's reporting unit (cycles at 1 GHz ≡ ns, wall-ns for the
+    /// GPU). This is the capacity/cost hint the serving layer's placer
+    /// uses to compare shards without mutating backend state.
+    ///
+    /// Contract (enforced for all six devices by `tests/backends.rs`):
+    /// once the backend's kernel caches are warm — after one
+    /// `execute_trace` over the same operations — the estimate agrees
+    /// with the measured total to within [`HINT_WARM_TOLERANCE`] relative
+    /// error. A cold estimate may be cruder (PICACHU has not mapped its
+    /// kernels yet) but must stay within a documented constant factor.
+    fn estimate_trace(&self, trace: &[TraceOp]) -> f64 {
+        // Ideal-machine floor: one MAC and one nonlinear element per
+        // cycle. Real backends override this with their cost model.
+        trace.iter().map(|o| (o.macs() + o.elements()) as f64).sum()
+    }
 
     /// Energy in nanojoules for a breakdown this backend produced.
     fn energy_nj(&self, b: &Breakdown) -> f64;

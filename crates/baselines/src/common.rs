@@ -119,6 +119,12 @@ impl<M: NonlinearExecutor> Accelerator for Hosted<M> {
         self.report(execute_trace_with(&self.model, &self.systolic, trace))
     }
 
+    /// Exact: the hosted cost models are pure functions of the trace, so
+    /// the capacity hint is the measurement itself, re-evaluated read-only.
+    fn estimate_trace(&self, trace: &[TraceOp]) -> f64 {
+        execute_trace_with(&self.model, &self.systolic, trace).total()
+    }
+
     /// Same power-×-time shape as the PICACHU accountant: systolic + SRAM
     /// power over GEMM time, the nonlinear unit + a 30% SRAM share over
     /// nonlinear time, DMA/glue + a 20% SRAM share over exposed data

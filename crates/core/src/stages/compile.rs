@@ -123,6 +123,23 @@ impl CompileService {
         &self.cache[&op]
     }
 
+    /// Read-only cache probe: the locally-cached loops for `op`, falling
+    /// back to the process-wide [`compile_cache`] entry under this config's
+    /// key. `None` when the kernel has never been compiled anywhere in the
+    /// process — the cold case the engine's capacity hint
+    /// ([`Accelerator::estimate_trace`](picachu_backend::Accelerator))
+    /// estimates analytically instead.
+    pub(crate) fn peek(
+        &self,
+        config: &EngineConfig,
+        op: NonlinearOp,
+    ) -> Option<Arc<Vec<CompiledLoop>>> {
+        if let Some(hit) = self.cache.get(&op) {
+            return Some(hit.clone());
+        }
+        compile_cache::lookup(&self.compile_key(config, op))
+    }
+
     /// The non-panicking compile path: compiles (or returns cached) loops,
     /// reporting failure as a typed error instead of aborting.
     ///

@@ -195,6 +195,76 @@ pub fn decode_trace(cfg: &ModelConfig, context: usize) -> Vec<TraceOp> {
     t
 }
 
+/// The trace of one decoder layer stepping `batch` decode sequences
+/// together (continuous batching), each over its own KV cache of `context`
+/// entries. Weight GEMMs fold the batch into `m` — one `batch×k·k×n`
+/// matmul per projection, which is exactly why serving batches decode
+/// steps — while the per-sequence work replicates: attention GEMVs repeat
+/// `batch` times per head and nonlinear rows scale by `batch`.
+pub fn batched_decode_layer_trace(
+    cfg: &ModelConfig,
+    context: usize,
+    batch: usize,
+) -> Vec<TraceOp> {
+    let b = batch.max(1);
+    let d = cfg.d_model;
+    let dh = cfg.d_head();
+    let h = cfg.n_heads;
+    let ff = cfg.d_ff;
+    let norm_op = match cfg.norm {
+        NormKind::LayerNorm => NonlinearOp::LayerNorm,
+        NormKind::RmsNorm => NonlinearOp::RmsNorm,
+    };
+    let span = cfg.attn_span.map_or(context, |s| s.min(context));
+    let mut t = Vec::new();
+    t.push(TraceOp::Nonlinear { op: norm_op, rows: b, channel: d });
+    t.push(TraceOp::Gemm { m: b, k: d, n: 3 * d, count: 1 });
+    if cfg.pos == PosKind::Rope {
+        t.push(TraceOp::Nonlinear { op: NonlinearOp::Rope, rows: 2 * b, channel: d });
+    }
+    t.push(TraceOp::Gemm { m: 1, k: dh, n: span, count: h * b });
+    t.push(TraceOp::Nonlinear { op: NonlinearOp::Softmax, rows: h * b, channel: span });
+    t.push(TraceOp::Gemm { m: 1, k: span, n: dh, count: h * b });
+    t.push(TraceOp::Gemm { m: b, k: d, n: d, count: 1 });
+    t.push(TraceOp::Nonlinear { op: norm_op, rows: b, channel: d });
+    match cfg.activation {
+        ActKind::Gelu => {
+            t.push(TraceOp::Gemm { m: b, k: d, n: ff, count: 1 });
+            t.push(TraceOp::Nonlinear { op: NonlinearOp::Gelu, rows: b, channel: ff });
+        }
+        ActKind::Relu => {
+            t.push(TraceOp::Gemm { m: b, k: d, n: ff, count: 1 });
+            t.push(TraceOp::Nonlinear { op: NonlinearOp::Relu, rows: b, channel: ff });
+        }
+        ActKind::SwiGlu => {
+            t.push(TraceOp::Gemm { m: b, k: d, n: ff, count: 2 });
+            t.push(TraceOp::Nonlinear { op: NonlinearOp::Swiglu, rows: b, channel: ff });
+        }
+        ActKind::GeGlu => {
+            t.push(TraceOp::Gemm { m: b, k: d, n: ff, count: 2 });
+            t.push(TraceOp::Nonlinear { op: NonlinearOp::Geglu, rows: b, channel: ff });
+        }
+    }
+    t.push(TraceOp::Gemm { m: b, k: ff, n: d, count: 1 });
+    t
+}
+
+/// Full-model batched decode-step trace: `batch` sequences advanced one
+/// token each, every sequence holding `context` cached tokens. At
+/// `batch = 1` this is exactly [`decode_trace`].
+pub fn batched_decode_trace(cfg: &ModelConfig, context: usize, batch: usize) -> Vec<TraceOp> {
+    let mut t = Vec::new();
+    for _ in 0..cfg.layers {
+        t.extend(batched_decode_layer_trace(cfg, context, batch));
+    }
+    let norm_op = match cfg.norm {
+        NormKind::LayerNorm => NonlinearOp::LayerNorm,
+        NormKind::RmsNorm => NonlinearOp::RmsNorm,
+    };
+    t.push(TraceOp::Nonlinear { op: norm_op, rows: batch.max(1), channel: cfg.d_model });
+    t
+}
+
 /// Total MACs of a trace.
 pub fn total_macs(trace: &[TraceOp]) -> u64 {
     trace.iter().map(|o| o.macs()).sum()
@@ -292,6 +362,31 @@ mod tests {
         // only the attention GEMVs grow with context
         assert!(long < short * 2, "{long} vs {short}");
         assert!(long > short);
+    }
+
+    #[test]
+    fn batched_decode_at_batch_1_is_decode() {
+        for cfg in [ModelConfig::gpt2(), ModelConfig::llama2_7b()] {
+            assert_eq!(batched_decode_trace(&cfg, 512, 1), decode_trace(&cfg, 512));
+        }
+    }
+
+    #[test]
+    fn batched_decode_folds_weights_and_replicates_attention() {
+        let cfg = ModelConfig::gpt2();
+        let b1 = batched_decode_trace(&cfg, 256, 1);
+        let b8 = batched_decode_trace(&cfg, 256, 8);
+        // total work scales exactly linearly in batch ...
+        assert_eq!(8 * total_macs(&b1), total_macs(&b8));
+        assert_eq!(8 * total_nonlinear_elements(&b1), total_nonlinear_elements(&b8));
+        // ... but the weight GEMMs fold the batch into m (fewer, fatter
+        // matmuls — the economics of continuous batching), while the
+        // per-sequence attention GEMVs replicate via count
+        assert!(b8.iter().any(|o| matches!(o, TraceOp::Gemm { m: 8, .. })));
+        assert!(b8
+            .iter()
+            .any(|o| matches!(o, TraceOp::Gemm { m: 1, count, .. } if *count == 8 * cfg.n_heads)));
+        assert_eq!(b1.len(), b8.len());
     }
 
     #[test]

@@ -1,0 +1,102 @@
+//! SLO accounting: percentiles, goodput and attainment over a
+//! [`ServeReport`](crate::ServeReport)'s request records.
+
+use crate::sched::{Outcome, ServeReport};
+
+/// Nearest-rank percentile of a sorted slice (0 for an empty one).
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// The SLO summary of one serving run — one row of the throughput-vs-SLO
+/// curves in `results/BENCH_serve.json`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloSummary {
+    /// Requests generated.
+    pub generated: u64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Requests rejected (at admission or after).
+    pub rejected: u64,
+    /// Median end-to-end latency of completed requests, ns.
+    pub p50_latency_ns: u64,
+    /// 99th-percentile end-to-end latency, ns.
+    pub p99_latency_ns: u64,
+    /// Median time-to-first-token, ns.
+    pub p50_ttft_ns: u64,
+    /// 99th-percentile time-to-first-token, ns.
+    pub p99_ttft_ns: u64,
+    /// Fraction of *generated* requests that completed within their SLO
+    /// (rejections count against attainment).
+    pub slo_attainment: f64,
+    /// Tokens of all completed requests per simulated second.
+    pub throughput_tokens_per_s: f64,
+    /// Tokens of requests that completed *within SLO* per simulated second.
+    pub goodput_tokens_per_s: f64,
+}
+
+/// Summarizes a run's records.
+pub fn summarize(report: &ServeReport) -> SloSummary {
+    let mut latencies = Vec::new();
+    let mut ttfts = Vec::new();
+    let mut completed = 0u64;
+    let mut rejected = 0u64;
+    let mut within_slo = 0u64;
+    let mut tokens_total = 0u64;
+    let mut tokens_good = 0u64;
+    for r in &report.records {
+        match &r.outcome {
+            Outcome::Completed { ttft_ns, finish_ns, tokens, .. } => {
+                completed += 1;
+                let latency = finish_ns.saturating_sub(r.arrival_ns);
+                latencies.push(latency);
+                ttfts.push(*ttft_ns);
+                tokens_total += *tokens as u64;
+                if latency <= r.slo_ns {
+                    within_slo += 1;
+                    tokens_good += *tokens as u64;
+                }
+            }
+            Outcome::Rejected { .. } => rejected += 1,
+        }
+    }
+    latencies.sort_unstable();
+    ttfts.sort_unstable();
+    let horizon_s = (report.horizon_ns.max(1)) as f64 * 1e-9;
+    SloSummary {
+        generated: report.records.len() as u64,
+        completed,
+        rejected,
+        p50_latency_ns: percentile(&latencies, 0.50),
+        p99_latency_ns: percentile(&latencies, 0.99),
+        p50_ttft_ns: percentile(&ttfts, 0.50),
+        p99_ttft_ns: percentile(&ttfts, 0.99),
+        slo_attainment: if report.records.is_empty() {
+            1.0
+        } else {
+            within_slo as f64 / report.records.len() as f64
+        },
+        throughput_tokens_per_s: tokens_total as f64 / horizon_s,
+        goodput_tokens_per_s: tokens_good as f64 / horizon_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 0.50), 51);
+        assert_eq!(percentile(&v, 0.99), 99);
+        assert_eq!(percentile(&v, 0.0), 1);
+        assert_eq!(percentile(&v, 1.0), 100);
+        assert_eq!(percentile(&[], 0.5), 0);
+        assert_eq!(percentile(&[7], 0.99), 7);
+    }
+}

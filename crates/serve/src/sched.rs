@@ -1,0 +1,754 @@
+//! The deterministic discrete-event serving scheduler.
+//!
+//! One event loop advances simulated time over three event classes —
+//! fault injections, batch completions, request arrivals (processed in
+//! that order at equal timestamps, then by a stable tie id) — and after
+//! *every* event pumps the pool to a work-conserving fixpoint: each
+//! in-service shard starts a batch from its own queue if idle, then idle
+//! shards with empty queues steal the oldest waiting sequence from the
+//! most-backlogged shard. The post-condition (no in-service shard idle
+//! while any compatible work waits anywhere) is audited on every event,
+//! not assumed.
+//!
+//! Scheduling policy, in one paragraph: admission control caps
+//! admitted-but-incomplete requests at `max_in_flight` (typed
+//! `QueueFull` rejection past it; `NoCapacity` when no shard is in
+//! service). Placement charges each in-service shard its estimated
+//! backlog plus the request's estimated remaining work — both priced from
+//! the shard's *measured* cost table (the `estimate_trace` capacity hint)
+//! times its fault capacity factor — and picks the minimum, lowest shard
+//! id on ties. Batches form FIFO from a shard's queue: all members share
+//! one compatibility key `(tenant, phase, shape bucket)`; prefill runs at
+//! batch 1, decode packs up to `max_batch` sequences. Completions
+//! re-enqueue unfinished sequences at the tail (continuous batching: the
+//! next batch re-forms from whatever is queued *now*, new arrivals
+//! included). A mid-trace fault re-prices the shard and re-places its
+//! queued work; an out-of-service shard drains its in-flight batch, then
+//! every surviving sequence is re-placed or — when the whole pool is
+//! down — rejected with a typed reason.
+//!
+//! Everything is a pure function of the [`ServeConfig`] (including its
+//! seed): no wall clock, no ambient randomness, no hash-order iteration
+//! on any decision path. That is the bit-exact replay invariant, and the
+//! thread-determinism regression holds because the only parallelism in
+//! reach — kernel compilation inside a PICACHU shard — is itself
+//! bit-deterministic in the thread count.
+
+use crate::arrivals::{arrival_trace, ArrivalPattern, Request, Tenant};
+use crate::pool::{bucket_log2, Shard, ShardReport, ShardSpec};
+use picachu_faults::FaultPlan;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::VecDeque;
+
+/// A fault injection scheduled into the serving trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// When the plan lands, in ns.
+    pub at_ns: u64,
+    /// Which shard it hits.
+    pub shard: usize,
+    /// The plan (empty plan = repair to full health).
+    pub plan: FaultPlan,
+}
+
+/// Full configuration of one serving run — the replay seed of everything.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Seed for the arrival trace.
+    pub seed: u64,
+    /// The tenants sharing the pool.
+    pub tenants: Vec<Tenant>,
+    /// Load shape.
+    pub pattern: ArrivalPattern,
+    /// Requests to generate.
+    pub n_requests: usize,
+    /// The accelerator pool.
+    pub pool: Vec<ShardSpec>,
+    /// Max sequences per decode batch.
+    pub max_batch: usize,
+    /// Admission cap: max admitted-but-incomplete requests.
+    pub max_in_flight: usize,
+    /// Mid-trace fault injections.
+    pub faults: Vec<FaultEvent>,
+    /// Record every batch in [`ServeReport::batch_log`] (tests; costs
+    /// memory on long traces).
+    pub log_batches: bool,
+}
+
+impl ServeConfig {
+    /// A minimal config over `pool` with sane defaults (tests/smoke).
+    pub fn new(tenants: Vec<Tenant>, pattern: ArrivalPattern, pool: Vec<ShardSpec>) -> ServeConfig {
+        ServeConfig {
+            seed: 0x5E2F,
+            tenants,
+            pattern,
+            n_requests: 100,
+            pool,
+            max_batch: 8,
+            max_in_flight: 1024,
+            faults: Vec::new(),
+            log_batches: false,
+        }
+    }
+}
+
+/// Why a request was turned away.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// Admission control: the pool already holds `max_in_flight` admitted
+    /// incomplete requests.
+    QueueFull,
+    /// No shard is in service (at arrival, or after losing the shard that
+    /// held the sequence with no healthy shard to re-place onto).
+    NoCapacity,
+}
+
+/// Terminal state of a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// The request finished all its tokens.
+    Completed {
+        /// Time to first token: prefill completion, in ns since arrival.
+        ttft_ns: u64,
+        /// Completion time in absolute ns.
+        finish_ns: u64,
+        /// Tokens produced (1 prefill token + decode tokens).
+        tokens: usize,
+        /// Distinct shards that served it, in first-touch order.
+        shards: Vec<usize>,
+    },
+    /// The request was rejected.
+    Rejected {
+        /// When, in absolute ns.
+        at_ns: u64,
+        /// Why.
+        reason: RejectReason,
+        /// Whether it had been admitted first (lost to a pool-wide outage).
+        after_admission: bool,
+    },
+}
+
+/// Per-request completion record — the unit of the determinism and
+/// conservation contracts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestRecord {
+    /// Request id (generation order).
+    pub id: u64,
+    /// Tenant index.
+    pub tenant: usize,
+    /// Arrival time in ns.
+    pub arrival_ns: u64,
+    /// Completion deadline relative to arrival.
+    pub slo_ns: u64,
+    /// How it ended.
+    pub outcome: Outcome,
+}
+
+/// One executed batch (recorded when [`ServeConfig::log_batches`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchRecord {
+    /// Shard that ran it.
+    pub shard: usize,
+    /// Tenant of every member.
+    pub tenant: usize,
+    /// Prefill or decode.
+    pub prefill: bool,
+    /// log2 shape bucket of every member.
+    pub bucket: u32,
+    /// Member request ids.
+    pub members: Vec<u64>,
+    /// Issue time in ns.
+    pub start_ns: u64,
+    /// Step cost in ns (capacity-scaled).
+    pub cost_ns: u64,
+}
+
+/// Machine-checked counters for the four scheduler invariants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Audit {
+    /// Requests generated by the arrival trace.
+    pub generated: u64,
+    /// Requests admitted past admission control.
+    pub admitted: u64,
+    /// Admitted requests that completed.
+    pub completed: u64,
+    /// Requests rejected at admission.
+    pub rejected_at_admission: u64,
+    /// Admitted requests rejected later (pool-wide outage).
+    pub rejected_after_admission: u64,
+    /// Times an in-service shard sat idle while compatible work waited
+    /// (work-conservation invariant; must stay 0).
+    pub work_conservation_violations: u64,
+    /// Batches whose members mixed tenants/phases/buckets (batching
+    /// legality; must stay 0).
+    pub batch_legality_violations: u64,
+    /// Requests driven to a terminal state twice (conservation; must stay 0).
+    pub double_terminal_violations: u64,
+    /// Requests left non-terminal when the event queue drained (must stay 0).
+    pub stranded: u64,
+}
+
+impl Audit {
+    /// Checks the conservation arithmetic and the violation counters,
+    /// returning the first broken invariant as text.
+    ///
+    /// # Errors
+    /// A human-readable description of the violated invariant.
+    pub fn check(&self) -> Result<(), String> {
+        if self.generated != self.admitted + self.rejected_at_admission {
+            return Err(format!(
+                "conservation: generated {} != admitted {} + rejected-at-admission {}",
+                self.generated, self.admitted, self.rejected_at_admission
+            ));
+        }
+        if self.admitted != self.completed + self.rejected_after_admission {
+            return Err(format!(
+                "conservation: admitted {} != completed {} + rejected-after {}",
+                self.admitted, self.completed, self.rejected_after_admission
+            ));
+        }
+        if self.stranded != 0 {
+            return Err(format!("{} requests stranded non-terminal", self.stranded));
+        }
+        if self.double_terminal_violations != 0 {
+            return Err(format!(
+                "{} requests reached a terminal state twice",
+                self.double_terminal_violations
+            ));
+        }
+        if self.work_conservation_violations != 0 {
+            return Err(format!(
+                "{} work-conservation violations (idle shard with waiting work)",
+                self.work_conservation_violations
+            ));
+        }
+        if self.batch_legality_violations != 0 {
+            return Err(format!(
+                "{} illegal batches (mixed tenant/phase/bucket)",
+                self.batch_legality_violations
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Everything one serving run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Per-request records, indexed by request id.
+    pub records: Vec<RequestRecord>,
+    /// Per-shard reports.
+    pub shards: Vec<ShardReport>,
+    /// Invariant counters.
+    pub audit: Audit,
+    /// Time of the last event, in ns.
+    pub horizon_ns: u64,
+    /// Batch log (empty unless [`ServeConfig::log_batches`]).
+    pub batch_log: Vec<BatchRecord>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SeqPhase {
+    Prefill,
+    Decode,
+}
+
+/// Scheduler-side state of one admitted request.
+struct SeqState {
+    req: Request,
+    phase: SeqPhase,
+    /// KV-cache length (tokens) once decoding.
+    context: usize,
+    /// Decode tokens produced so far.
+    produced: usize,
+    /// Current shard assignment.
+    shard: usize,
+    /// Shards that ever ran a step of this request, first-touch order.
+    shards_touched: Vec<usize>,
+    /// Estimated remaining work charged to the current shard's backlog.
+    charged_ns: u64,
+    ttft_ns: Option<u64>,
+    outcome: Option<Outcome>,
+}
+
+impl SeqState {
+    fn bucket(&self) -> u32 {
+        match self.phase {
+            SeqPhase::Prefill => bucket_log2(self.req.prompt),
+            SeqPhase::Decode => bucket_log2(self.context),
+        }
+    }
+}
+
+/// Event classes in processing order at equal timestamps.
+const CLASS_FAULT: u8 = 0;
+const CLASS_COMPLETION: u8 = 1;
+const CLASS_ARRIVAL: u8 = 2;
+
+/// A heap event: `(time, class, tie, payload)` — fully ordered, so the
+/// pop sequence is a pure function of the pushes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Ev {
+    t: u64,
+    class: u8,
+    tie: u64,
+    payload: u64,
+}
+
+struct InFlight {
+    members: Vec<usize>,
+    cost_ns: u64,
+}
+
+struct ShardState {
+    shard: Shard,
+    queue: VecDeque<usize>,
+    busy: Option<InFlight>,
+    est_backlog_ns: u64,
+    batches: u64,
+    steps: u64,
+    busy_ns: u64,
+}
+
+struct Sim<'a> {
+    cfg: &'a ServeConfig,
+    shards: Vec<ShardState>,
+    seqs: Vec<SeqState>,
+    events: BinaryHeap<Reverse<Ev>>,
+    audit: Audit,
+    batch_log: Vec<BatchRecord>,
+    in_flight_requests: u64,
+    horizon_ns: u64,
+    rejected_at_arrival: Vec<Option<RequestRecord>>,
+}
+
+/// Runs one serving trace to completion. Pure in `cfg`.
+pub fn run(cfg: &ServeConfig) -> ServeReport {
+    let requests = arrival_trace(cfg.pattern, &cfg.tenants, cfg.n_requests, cfg.seed);
+    let shards: Vec<ShardState> = cfg
+        .pool
+        .iter()
+        .enumerate()
+        .map(|(id, spec)| ShardState {
+            shard: Shard::new(id, spec.clone(), &cfg.tenants, cfg.max_batch),
+            queue: VecDeque::new(),
+            busy: None,
+            est_backlog_ns: 0,
+            batches: 0,
+            steps: 0,
+            busy_ns: 0,
+        })
+        .collect();
+
+    let mut sim = Sim {
+        cfg,
+        shards,
+        seqs: Vec::new(),
+        events: BinaryHeap::new(),
+        audit: Audit { generated: requests.len() as u64, ..Audit::default() },
+        batch_log: Vec::new(),
+        in_flight_requests: 0,
+        horizon_ns: 0,
+        rejected_at_arrival: vec![None; requests.len()],
+    };
+
+    for (i, f) in cfg.faults.iter().enumerate() {
+        sim.events.push(Reverse(Ev {
+            t: f.at_ns,
+            class: CLASS_FAULT,
+            tie: i as u64,
+            payload: i as u64,
+        }));
+    }
+    let mut records: Vec<Option<RequestRecord>> = vec![None; requests.len()];
+    for r in &requests {
+        sim.events.push(Reverse(Ev {
+            t: r.arrival_ns,
+            class: CLASS_ARRIVAL,
+            tie: r.id,
+            payload: r.id,
+        }));
+    }
+
+    while let Some(Reverse(ev)) = sim.events.pop() {
+        sim.horizon_ns = sim.horizon_ns.max(ev.t);
+        match ev.class {
+            CLASS_FAULT => sim.on_fault(ev.t, ev.payload as usize),
+            CLASS_COMPLETION => sim.on_completion(ev.t, ev.payload as usize),
+            CLASS_ARRIVAL => sim.on_arrival(ev.t, &requests[ev.payload as usize]),
+            _ => unreachable!("unknown event class"),
+        }
+        sim.pump(ev.t);
+    }
+
+    // conservation: everything admitted must have reached exactly one
+    // terminal state by drain time
+    for s in &sim.seqs {
+        match &s.outcome {
+            Some(o) => {
+                records[s.req.id as usize] = Some(RequestRecord {
+                    id: s.req.id,
+                    tenant: s.req.tenant,
+                    arrival_ns: s.req.arrival_ns,
+                    slo_ns: s.req.slo_ns,
+                    outcome: o.clone(),
+                });
+            }
+            None => sim.audit.stranded += 1,
+        }
+    }
+    // arrival-time rejections were recorded directly
+    for (i, r) in sim.rejected_at_arrival.into_iter().enumerate() {
+        if let Some(rec) = r {
+            records[i] = Some(rec);
+        }
+    }
+    let records: Vec<RequestRecord> = records.into_iter().flatten().collect();
+
+    let shards = sim
+        .shards
+        .iter()
+        .map(|s| ShardReport {
+            shard: s.shard.id,
+            backend: s.shard.backend_name.clone(),
+            batches: s.batches,
+            steps: s.steps,
+            busy_ns: s.busy_ns,
+            cost_table: s.shard.cost_table(),
+            final_capacity_factor: s.shard.capacity_factor,
+        })
+        .collect();
+
+    ServeReport {
+        records,
+        shards,
+        audit: sim.audit,
+        horizon_ns: sim.horizon_ns,
+        batch_log: sim.batch_log,
+    }
+}
+
+impl Sim<'_> {
+    /// Estimated remaining work of `seq` on shard `sid`, capacity-scaled:
+    /// pending prefill plus remaining tokens at the amortized max-batch
+    /// decode rate.
+    fn estimate_remaining(&self, seq: &SeqState, sid: usize) -> u64 {
+        let sh = &self.shards[sid].shard;
+        let t = seq.req.tenant;
+        let mut ns = 0u64;
+        if seq.phase == SeqPhase::Prefill {
+            ns += sh.healthy_prefill_cost(t, seq.req.prompt);
+        }
+        let remaining = seq.req.decode.saturating_sub(seq.produced) as u64;
+        if remaining > 0 {
+            let ctx = if seq.phase == SeqPhase::Prefill { seq.req.prompt } else { seq.context };
+            let b = self.cfg.max_batch.max(1);
+            let step = sh.healthy_decode_cost(t, ctx, b);
+            ns += (step / b as u64).max(1).saturating_mul(remaining);
+        }
+        sh.scaled(ns.max(1))
+    }
+
+    /// Picks the in-service shard minimizing estimated completion
+    /// (backlog + this request's remaining work); ties go to the lowest
+    /// shard id. `None` when the whole pool is out of service.
+    fn place(&self, seq: &SeqState) -> Option<usize> {
+        let mut best: Option<(u64, usize)> = None;
+        for (sid, s) in self.shards.iter().enumerate() {
+            if !s.shard.in_service() {
+                continue;
+            }
+            let score = s.est_backlog_ns.saturating_add(self.estimate_remaining(seq, sid));
+            if best.is_none_or(|(b, _)| score < b) {
+                best = Some((score, sid));
+            }
+        }
+        best.map(|(_, sid)| sid)
+    }
+
+    /// Assigns `seq_idx` to `sid`, charging the backlog estimate.
+    fn assign(&mut self, seq_idx: usize, sid: usize) {
+        let est = self.estimate_remaining(&self.seqs[seq_idx], sid);
+        let seq = &mut self.seqs[seq_idx];
+        seq.shard = sid;
+        seq.charged_ns = est;
+        let s = &mut self.shards[sid];
+        s.est_backlog_ns = s.est_backlog_ns.saturating_add(est);
+        s.queue.push_back(seq_idx);
+    }
+
+    /// Removes `seq_idx`'s backlog charge from its current shard.
+    fn discharge(&mut self, seq_idx: usize) {
+        let (sid, charged) = {
+            let seq = &self.seqs[seq_idx];
+            (seq.shard, seq.charged_ns)
+        };
+        let s = &mut self.shards[sid];
+        s.est_backlog_ns = s.est_backlog_ns.saturating_sub(charged);
+        self.seqs[seq_idx].charged_ns = 0;
+    }
+
+    fn terminal(&mut self, seq_idx: usize, outcome: Outcome) {
+        let seq = &mut self.seqs[seq_idx];
+        if seq.outcome.is_some() {
+            self.audit.double_terminal_violations += 1;
+            return;
+        }
+        match &outcome {
+            Outcome::Completed { .. } => self.audit.completed += 1,
+            Outcome::Rejected { .. } => self.audit.rejected_after_admission += 1,
+        }
+        seq.outcome = Some(outcome);
+        self.in_flight_requests -= 1;
+    }
+
+    fn on_arrival(&mut self, now: u64, req: &Request) {
+        if self.in_flight_requests >= self.cfg.max_in_flight as u64 {
+            self.reject_at_arrival(now, req, RejectReason::QueueFull);
+            return;
+        }
+        if !self.shards.iter().any(|s| s.shard.in_service()) {
+            self.reject_at_arrival(now, req, RejectReason::NoCapacity);
+            return;
+        }
+        self.audit.admitted += 1;
+        self.in_flight_requests += 1;
+        let seq_idx = self.seqs.len();
+        self.seqs.push(SeqState {
+            req: *req,
+            phase: SeqPhase::Prefill,
+            context: 0,
+            produced: 0,
+            shard: usize::MAX,
+            shards_touched: Vec::new(),
+            charged_ns: 0,
+            ttft_ns: None,
+            outcome: None,
+        });
+        // admission passed and some shard is in service, so place() holds
+        if let Some(sid) = self.place(&self.seqs[seq_idx]) {
+            self.assign(seq_idx, sid);
+        }
+    }
+
+    fn on_completion(&mut self, now: u64, sid: usize) {
+        let fl = match self.shards[sid].busy.take() {
+            Some(fl) => fl,
+            None => return, // stale completion (cannot happen; defensive)
+        };
+        {
+            let s = &mut self.shards[sid];
+            s.busy_ns += fl.cost_ns;
+            s.batches += 1;
+            s.steps += fl.members.len() as u64;
+        }
+        let in_service = self.shards[sid].shard.in_service();
+        for &seq_idx in &fl.members {
+            let done = {
+                let seq = &mut self.seqs[seq_idx];
+                if !seq.shards_touched.contains(&sid) {
+                    seq.shards_touched.push(sid);
+                }
+                match seq.phase {
+                    SeqPhase::Prefill => {
+                        seq.phase = SeqPhase::Decode;
+                        seq.context = seq.req.prompt;
+                        seq.ttft_ns = Some(now.saturating_sub(seq.req.arrival_ns));
+                        seq.req.decode == 0
+                    }
+                    SeqPhase::Decode => {
+                        seq.produced += 1;
+                        seq.context += 1;
+                        seq.produced >= seq.req.decode
+                    }
+                }
+            };
+            if done {
+                let seq = &self.seqs[seq_idx];
+                let outcome = Outcome::Completed {
+                    ttft_ns: seq.ttft_ns.unwrap_or(0),
+                    finish_ns: now,
+                    tokens: 1 + seq.req.decode,
+                    shards: seq.shards_touched.clone(),
+                };
+                self.discharge(seq_idx);
+                self.terminal(seq_idx, outcome);
+            } else if in_service {
+                // continuous batching: back to this shard's queue tail
+                self.shards[sid].queue.push_back(seq_idx);
+            } else {
+                // the shard died under this batch: re-place or reject
+                self.discharge(seq_idx);
+                match self.place(&self.seqs[seq_idx]) {
+                    Some(new_sid) => self.assign(seq_idx, new_sid),
+                    None => self.terminal(
+                        seq_idx,
+                        Outcome::Rejected {
+                            at_ns: now,
+                            reason: RejectReason::NoCapacity,
+                            after_admission: true,
+                        },
+                    ),
+                }
+            }
+        }
+    }
+
+    fn on_fault(&mut self, now: u64, fault_idx: usize) {
+        let f = &self.cfg.faults[fault_idx];
+        if f.shard >= self.shards.len() {
+            return;
+        }
+        let tenants = &self.cfg.tenants;
+        self.shards[f.shard].shard.apply_fault(&f.plan, tenants);
+        // re-place everything queued on the touched shard: degraded
+        // capacity re-prices it, out-of-service forbids it
+        let displaced: Vec<usize> = self.shards[f.shard].queue.drain(..).collect();
+        for seq_idx in displaced {
+            self.discharge(seq_idx);
+            match self.place(&self.seqs[seq_idx]) {
+                Some(sid) => self.assign(seq_idx, sid),
+                None => self.terminal(
+                    seq_idx,
+                    Outcome::Rejected {
+                        at_ns: now,
+                        reason: RejectReason::NoCapacity,
+                        after_admission: true,
+                    },
+                ),
+            }
+        }
+    }
+
+    /// Starts a batch on `sid` from its queue front's compatibility key.
+    fn start_batch(&mut self, sid: usize, now: u64) {
+        let (tenant, phase, bucket) = {
+            let front = match self.shards[sid].queue.front() {
+                Some(&i) => &self.seqs[i],
+                None => return,
+            };
+            (front.req.tenant, front.phase, front.bucket())
+        };
+        let cap = if phase == SeqPhase::Prefill { 1 } else { self.cfg.max_batch.max(1) };
+        let mut members = Vec::with_capacity(cap);
+        let mut kept = VecDeque::new();
+        while let Some(i) = self.shards[sid].queue.pop_front() {
+            let s = &self.seqs[i];
+            if members.len() < cap
+                && s.req.tenant == tenant
+                && s.phase == phase
+                && s.bucket() == bucket
+            {
+                members.push(i);
+            } else {
+                kept.push_back(i);
+            }
+        }
+        self.shards[sid].queue = kept;
+
+        // batching legality audit: every member shares the key
+        for &i in &members {
+            let s = &self.seqs[i];
+            if s.req.tenant != tenant || s.phase != phase || s.bucket() != bucket {
+                self.audit.batch_legality_violations += 1;
+            }
+        }
+
+        let healthy = match phase {
+            SeqPhase::Prefill => {
+                self.shards[sid].shard.healthy_prefill_cost(tenant, 1usize << bucket)
+            }
+            SeqPhase::Decode => self.shards[sid].shard.healthy_decode_cost(
+                tenant,
+                1usize << bucket,
+                members.len(),
+            ),
+        };
+        let cost = self.shards[sid].shard.scaled(healthy);
+        let done_at = now.saturating_add(cost);
+        if self.cfg.log_batches {
+            self.batch_log.push(BatchRecord {
+                shard: sid,
+                tenant,
+                prefill: phase == SeqPhase::Prefill,
+                bucket,
+                members: members.iter().map(|&i| self.seqs[i].req.id).collect(),
+                start_ns: now,
+                cost_ns: cost,
+            });
+        }
+        self.shards[sid].busy = Some(InFlight { members, cost_ns: cost });
+        self.events.push(Reverse(Ev {
+            t: done_at,
+            class: CLASS_COMPLETION,
+            tie: sid as u64,
+            payload: sid as u64,
+        }));
+    }
+
+    /// Drives the pool to the work-conserving fixpoint, then audits it.
+    fn pump(&mut self, now: u64) {
+        // 1. every idle in-service shard starts from its own queue
+        for sid in 0..self.shards.len() {
+            if self.shards[sid].shard.in_service()
+                && self.shards[sid].busy.is_none()
+                && !self.shards[sid].queue.is_empty()
+            {
+                self.start_batch(sid, now);
+            }
+        }
+        // 2. idle shards with empty queues steal the oldest waiting
+        //    sequence from the most-backlogged queue, to fixpoint
+        loop {
+            let thief = (0..self.shards.len()).find(|&sid| {
+                self.shards[sid].shard.in_service()
+                    && self.shards[sid].busy.is_none()
+                    && self.shards[sid].queue.is_empty()
+            });
+            let thief = match thief {
+                Some(t) => t,
+                None => break,
+            };
+            let donor = (0..self.shards.len())
+                .filter(|&sid| sid != thief && !self.shards[sid].queue.is_empty())
+                .max_by_key(|&sid| (self.shards[sid].queue.len(), Reverse(sid)));
+            let donor = match donor {
+                Some(d) => d,
+                None => break,
+            };
+            let seq_idx = match self.shards[donor].queue.pop_front() {
+                Some(i) => i,
+                None => break,
+            };
+            self.discharge(seq_idx);
+            let est = self.estimate_remaining(&self.seqs[seq_idx], thief);
+            self.seqs[seq_idx].shard = thief;
+            self.seqs[seq_idx].charged_ns = est;
+            self.shards[thief].est_backlog_ns =
+                self.shards[thief].est_backlog_ns.saturating_add(est);
+            self.shards[thief].queue.push_back(seq_idx);
+            self.start_batch(thief, now);
+        }
+        // 3. audit: no in-service shard may now be idle while work waits
+        let waiting: usize = self.shards.iter().map(|s| s.queue.len()).sum();
+        if waiting > 0 {
+            for s in &self.shards {
+                if s.shard.in_service() && s.busy.is_none() {
+                    self.audit.work_conservation_violations += 1;
+                }
+            }
+        }
+    }
+
+    fn reject_at_arrival(&mut self, now: u64, req: &Request, reason: RejectReason) {
+        self.audit.rejected_at_admission += 1;
+        self.rejected_at_arrival[req.id as usize] = Some(RequestRecord {
+            id: req.id,
+            tenant: req.tenant,
+            arrival_ns: req.arrival_ns,
+            slo_ns: req.slo_ns,
+            outcome: Outcome::Rejected { at_ns: now, reason, after_admission: false },
+        });
+    }
+}

@@ -30,6 +30,9 @@ PICACHU_FAULT_SMOKE=1 cargo test -q -p picachu-oracle --test faults --offline
 echo "== test (workspace, offline, PICACHU_THREADS=4) =="
 PICACHU_THREADS=4 cargo test -q --offline
 
+echo "== serve smoke (short seeded trace: invariants + JSON emission) =="
+cargo run --release -q -p picachu-bench --bin serve_bench --offline -- --smoke
+
 echo "== bench smoke (one call per benchmark, offline) =="
 cargo bench -p picachu-bench --offline -- --smoke
 

@@ -8,6 +8,12 @@
 //! The compile cache is cleared between runs so every configuration actually
 //! re-compiles — otherwise the second run would trivially replay the first
 //! run's cached mappings and the test would prove nothing.
+//!
+//! The serving half extends the contract one layer up: a full
+//! `picachu-serve` run over a PICACHU-backed pool (whose shard
+//! construction and degraded-compile path both go through the parallel
+//! compile service) must produce identical per-request records at 1 and 4
+//! threads.
 
 use picachu::compile_cache;
 use picachu::compiler::mapper::Mapping;
@@ -15,9 +21,11 @@ use picachu::dse::{explore, DesignPoint, DseSweep};
 use picachu::engine::{EngineConfig, PicachuEngine};
 use picachu::runtime;
 use picachu::Breakdown;
+use picachu::faults::FaultPlan;
 use picachu_llm::ModelConfig;
 use picachu_nonlinear::NonlinearOp;
 use picachu_num::DataFormat;
+use picachu_serve::{run, ArrivalPattern, FaultEvent, ServeConfig, ServeReport, ShardSpec, Tenant};
 
 struct Snapshot {
     mappings: Vec<(String, Mapping)>,
@@ -80,4 +88,62 @@ fn threads_1_and_8_are_bit_identical() {
     for (a, b) in serial.dse_points.iter().zip(parallel.dse_points.iter()) {
         assert_eq!(a, b, "DSE point diverged between 1 and 8 threads");
     }
+}
+
+/// One full serving run over a PICACHU + Gemmini pool, with a mid-trace
+/// fault so the degraded-compile path (also parallel) is on the critical
+/// path of the schedule.
+fn serve_snapshot(threads: usize) -> ServeReport {
+    runtime::set_thread_override(Some(threads));
+    compile_cache::clear();
+    let cfg = ServeConfig {
+        seed: 0xDE7E_2217,
+        n_requests: 30,
+        max_batch: 4,
+        log_batches: true,
+        faults: vec![FaultEvent {
+            at_ns: 40_000_000,
+            shard: 0,
+            plan: FaultPlan::dead_tile(5),
+        }],
+        ..ServeConfig::new(
+            vec![Tenant {
+                name: "t",
+                model: ModelConfig {
+                    name: "tiny-serve-det",
+                    layers: 1,
+                    d_model: 64,
+                    n_heads: 4,
+                    d_ff: 128,
+                    ..ModelConfig::gpt2()
+                },
+                weight: 1,
+                prompt: 24,
+                decode: (2, 4),
+                slo_ns: u64::MAX,
+            }],
+            ArrivalPattern::Bursty { mean_gap_ns: 200_000.0, mean_burst: 3 },
+            vec![ShardSpec::picachu(), ShardSpec::Gemmini],
+        )
+    };
+    let report = run(&cfg);
+    runtime::set_thread_override(None);
+    report
+}
+
+#[test]
+fn serving_run_is_thread_count_invariant() {
+    let serial = serve_snapshot(1);
+    let parallel = serve_snapshot(4);
+
+    serial.audit.check().unwrap();
+    assert_eq!(
+        serial.records, parallel.records,
+        "per-request records diverged between 1 and 4 threads"
+    );
+    assert_eq!(
+        serial.batch_log, parallel.batch_log,
+        "batch schedule diverged between 1 and 4 threads"
+    );
+    assert_eq!(serial, parallel, "full serving report diverged");
 }

@@ -1,0 +1,373 @@
+//! Property/invariant suite for the serving scheduler: seeded random
+//! arrival traces × pool configurations must uphold the four invariants —
+//! conservation (every admitted request reaches exactly one typed terminal
+//! state), work conservation (no in-service shard idles while compatible
+//! work waits), batching legality (no batch mixes tenants/phases/shape
+//! buckets), and bit-exact replay from the seed — with shrinking,
+//! replayable counterexample seeds on failure (the `tests/faults.rs` /
+//! oracle replay pattern). Directed tests cover the degraded-capacity
+//! story (mid-trace `FaultPlan`, rebalancing, pool-wide outage) and the
+//! degenerate corners (pool of 1, all shards faulted, zero requests).
+
+use picachu::faults::FaultPlan;
+use picachu_llm::ModelConfig;
+use picachu_serve::{
+    run, summarize, ArrivalPattern, FaultEvent, Outcome, RejectReason, ServeConfig, ShardSpec,
+    Tenant,
+};
+use picachu_testkit::prop::{check_result, replay, Gen, PropError, PropResult};
+use picachu_testkit::{prop_assert, prop_assert_eq, prop_check};
+use std::collections::BTreeMap;
+
+fn tiny_model(name: &'static str, layers: usize, d_model: usize) -> ModelConfig {
+    ModelConfig {
+        name,
+        layers,
+        d_model,
+        n_heads: 4,
+        d_ff: 2 * d_model,
+        ..ModelConfig::gpt2()
+    }
+}
+
+/// A fault plan that no PICACHU mapping survives (every tile dead) and
+/// that zeroes every analytical shard's nominal units.
+fn total_outage() -> FaultPlan {
+    let mut plan = FaultPlan::none();
+    for t in 0..16 {
+        plan = plan.with_dead_tile(t);
+    }
+    plan
+}
+
+/// Draws a random serving config: 1–2 tenants over tiny models, one of the
+/// three arrival patterns, a 1–3 shard pool over all six device kinds,
+/// random batching/admission knobs, and sometimes a mid-trace fault.
+fn draw_config(g: &mut Gen) -> ServeConfig {
+    let mut tenants = vec![Tenant {
+        name: "alpha",
+        model: tiny_model("tiny-alpha", 2, 64),
+        weight: g.draw(1..4u32),
+        prompt: g.draw(8..48usize),
+        decode: (1, g.draw(1..6usize)),
+        slo_ns: 1 << g.draw(20..34u32),
+    }];
+    if g.draw(0..2u32) == 1 {
+        tenants.push(Tenant {
+            name: "beta",
+            model: tiny_model("tiny-beta", 1, 32),
+            weight: g.draw(1..4u32),
+            prompt: g.draw(8..48usize),
+            decode: (1, g.draw(1..4usize)),
+            slo_ns: 1 << g.draw(20..34u32),
+        });
+    }
+    let mean_gap_ns = g.f64(1e4..5e6);
+    let pattern = match g.draw(0..3u32) {
+        0 => ArrivalPattern::Poisson { mean_gap_ns },
+        1 => ArrivalPattern::Bursty { mean_gap_ns, mean_burst: g.draw(2..10usize) },
+        _ => ArrivalPattern::Diurnal { mean_gap_ns, period_ns: g.f64(1e6..1e9) },
+    };
+    let n_shards = g.draw(1..4usize);
+    let pool: Vec<ShardSpec> = (0..n_shards)
+        .map(|_| match g.draw(0..6u32) {
+            0 => ShardSpec::picachu(),
+            1 => ShardSpec::Gemmini,
+            2 => ShardSpec::Gpu,
+            3 => ShardSpec::Cpu,
+            4 => ShardSpec::Tandem,
+            _ => ShardSpec::CgraBase,
+        })
+        .collect();
+    // fixed fault-plan menu so degraded PICACHU compiles hit the process
+    // cache across cases instead of re-mapping novel fault sets each time
+    let faults = if g.draw(0..2u32) == 1 {
+        let plan = match g.draw(0..3u32) {
+            0 => FaultPlan::dead_tile(5),
+            1 => FaultPlan::dead_link(5, 6),
+            _ => total_outage(),
+        };
+        vec![FaultEvent {
+            at_ns: g.draw(1..200u64) * 50_000,
+            shard: g.draw(0..n_shards),
+            plan,
+        }]
+    } else {
+        Vec::new()
+    };
+    ServeConfig {
+        seed: g.draw(0..u32::MAX) as u64,
+        tenants,
+        pattern,
+        n_requests: g.draw(5..40usize),
+        pool,
+        max_batch: g.draw(1..9usize),
+        max_in_flight: g.draw(2..64usize),
+        faults,
+        log_batches: true,
+    }
+}
+
+/// Re-checks the four invariants from the *outside* of the simulator —
+/// records and batch log only, trusting no internal audit arithmetic
+/// beyond the violation counters.
+fn assert_invariants(cfg: &ServeConfig) -> PropResult {
+    let report = run(cfg);
+
+    // invariant 1 — conservation: every generated request has exactly one
+    // record (ids 0..n each once) and exactly one typed terminal state
+    prop_assert_eq!(report.records.len(), cfg.n_requests);
+    for (i, r) in report.records.iter().enumerate() {
+        prop_assert_eq!(r.id, i as u64);
+        match &r.outcome {
+            Outcome::Completed { tokens, finish_ns, ttft_ns, shards, .. } => {
+                prop_assert!(*tokens >= 1);
+                prop_assert!(*finish_ns >= r.arrival_ns + ttft_ns);
+                prop_assert!(!shards.is_empty(), "completed with no serving shard");
+            }
+            Outcome::Rejected { at_ns, reason, .. } => {
+                prop_assert!(*at_ns >= r.arrival_ns);
+                prop_assert!(matches!(
+                    reason,
+                    RejectReason::QueueFull | RejectReason::NoCapacity
+                ));
+            }
+        }
+    }
+    let audit = report.audit;
+    prop_assert_eq!(audit.generated, cfg.n_requests as u64);
+    prop_assert!(audit.check().is_ok(), "audit: {:?}", audit.check());
+
+    // invariant 2 — work conservation, counted per event by the simulator
+    prop_assert_eq!(audit.work_conservation_violations, 0u64);
+
+    // invariant 3 — batching legality, re-derived from the batch log:
+    // members of one batch share tenant/phase/bucket by construction of
+    // the key, so cross-check every member's tenant against its record,
+    // batch sizes against the cap, and prefill batches against size 1
+    let by_id: BTreeMap<u64, usize> =
+        report.records.iter().map(|r| (r.id, r.tenant)).collect();
+    for b in &report.batch_log {
+        prop_assert!(!b.members.is_empty());
+        prop_assert!(b.members.len() <= cfg.max_batch.max(1));
+        if b.prefill {
+            prop_assert_eq!(b.members.len(), 1usize);
+        }
+        for id in &b.members {
+            prop_assert_eq!(by_id.get(id).copied(), Some(b.tenant));
+        }
+        prop_assert!(b.shard < cfg.pool.len());
+    }
+    prop_assert_eq!(audit.batch_legality_violations, 0u64);
+
+    // every completed token was produced by some batch: total steps across
+    // shards equals total batch members
+    let steps: u64 = report.shards.iter().map(|s| s.steps).sum();
+    let logged: u64 = report.batch_log.iter().map(|b| b.members.len() as u64).sum();
+    prop_assert_eq!(steps, logged);
+
+    // invariant 4 — bit-exact replay from the seed
+    let again = run(cfg);
+    prop_assert!(report == again, "replay diverged");
+
+    // the summary is well-formed whatever happened
+    let s = summarize(&report);
+    prop_assert!(s.slo_attainment >= 0.0 && s.slo_attainment <= 1.0);
+    prop_assert_eq!(s.completed + s.rejected, cfg.n_requests as u64);
+    Ok(())
+}
+
+#[test]
+fn prop_scheduler_invariants_hold_over_random_traces_and_pools() {
+    prop_check!(12, 0x5E2F_0001, |g: &mut Gen| {
+        let cfg = draw_config(g);
+        assert_invariants(&cfg)
+    });
+}
+
+#[test]
+fn failing_properties_shrink_to_replayable_seeds() {
+    // the replay contract of the harness itself, driven through a serving
+    // property that must fail: every run completes at least one request
+    // here, so demanding zero completions trips the assertion, and the
+    // reported case seed must reproduce the identical failure
+    let prop = |g: &mut Gen| -> PropResult {
+        let cfg = ServeConfig {
+            n_requests: g.draw(3..10usize),
+            ..ServeConfig::new(
+                vec![Tenant {
+                    name: "t",
+                    model: tiny_model("tiny-replay", 1, 32),
+                    weight: 1,
+                    prompt: 16,
+                    decode: (1, 2),
+                    slo_ns: u64::MAX,
+                }],
+                ArrivalPattern::Poisson { mean_gap_ns: 1e6 },
+                vec![ShardSpec::Gemmini],
+            )
+        };
+        let report = run(&cfg);
+        prop_assert_eq!(report.audit.completed, 0u64); // deliberately false
+        Ok(())
+    };
+    let failure = check_result(8, 0xBAD_5EED, prop).expect_err("property must fail");
+    match replay(failure.case_seed, prop) {
+        Err(PropError::Fail(msg)) => assert_eq!(msg, failure.message),
+        other => panic!("case seed did not replay the failure: {other:?}"),
+    }
+}
+
+#[test]
+fn degraded_shard_rebalances_and_healthy_shards_stay_bit_identical() {
+    let tenants = vec![Tenant {
+        name: "t",
+        model: tiny_model("tiny-degrade", 2, 64),
+        weight: 1,
+        prompt: 32,
+        decode: (2, 4),
+        slo_ns: u64::MAX,
+    }];
+    let base = ServeConfig {
+        seed: 0xD1E5,
+        n_requests: 40,
+        max_batch: 4,
+        log_batches: true,
+        ..ServeConfig::new(
+            tenants,
+            ArrivalPattern::Poisson { mean_gap_ns: 100_000.0 },
+            vec![ShardSpec::picachu(), ShardSpec::Gemmini],
+        )
+    };
+    let clean = run(&base);
+    clean.audit.check().unwrap();
+    assert_eq!(clean.audit.completed, 40, "all complete fault-free");
+
+    // kill shard 0 mid-trace
+    let fault_at = clean.horizon_ns / 3;
+    let faulted = run(&ServeConfig {
+        faults: vec![FaultEvent { at_ns: fault_at, shard: 0, plan: total_outage() }],
+        ..base.clone()
+    });
+    faulted.audit.check().unwrap();
+
+    // the scheduler rebalanced: nothing piles up on the dead shard — no
+    // batch is issued on it after the fault lands, and every request
+    // still reaches a terminal state (shard 1 absorbs the work)
+    for b in &faulted.batch_log {
+        assert!(
+            b.shard != 0 || b.start_ns < fault_at,
+            "batch issued on the dead shard at {} (fault at {fault_at})",
+            b.start_ns
+        );
+    }
+    assert_eq!(
+        faulted.audit.completed + faulted.audit.rejected_after_admission
+            + faulted.audit.rejected_at_admission,
+        40
+    );
+    assert_eq!(faulted.audit.completed, 40, "healthy shard absorbs the whole trace");
+    assert!(!faulted.shards[0].final_capacity_factor.is_finite());
+
+    // fault isolation: the healthy shard's measured report is bit-identical
+    // to its fault-free run — same cost table, same backend
+    assert_eq!(faulted.shards[1].cost_table, clean.shards[1].cost_table);
+    assert_eq!(faulted.shards[1].backend, clean.shards[1].backend);
+    // and it did at least as many steps as before (it inherited work)
+    assert!(faulted.shards[1].steps >= clean.shards[1].steps);
+
+    // a *degraded* (not dead) shard stays in service at reduced capacity
+    let degraded = run(&ServeConfig {
+        faults: vec![FaultEvent { at_ns: fault_at, shard: 0, plan: FaultPlan::dead_tile(5) }],
+        ..base
+    });
+    degraded.audit.check().unwrap();
+    assert!(degraded.shards[0].final_capacity_factor >= 1.0);
+    assert!(degraded.shards[0].final_capacity_factor.is_finite());
+    assert_eq!(degraded.audit.completed, 40);
+}
+
+#[test]
+fn pool_wide_outage_rejects_typed() {
+    let tenants = vec![Tenant {
+        name: "t",
+        model: tiny_model("tiny-outage", 1, 32),
+        weight: 1,
+        prompt: 16,
+        decode: (2, 2),
+        slo_ns: u64::MAX,
+    }];
+    let cfg = ServeConfig {
+        seed: 7,
+        n_requests: 30,
+        faults: vec![FaultEvent { at_ns: 1, shard: 0, plan: total_outage() }],
+        ..ServeConfig::new(
+            tenants,
+            ArrivalPattern::Bursty { mean_gap_ns: 1e5, mean_burst: 4 },
+            vec![ShardSpec::Gemmini],
+        )
+    };
+    let report = run(&cfg);
+    report.audit.check().unwrap();
+    // pool of 1, faulted at t=1: everything after is a typed NoCapacity
+    // rejection, nothing hangs, nothing panics
+    assert_eq!(report.records.len(), 30);
+    let mut rejected = 0;
+    for r in &report.records {
+        if let Outcome::Rejected { reason, .. } = &r.outcome {
+            assert_eq!(*reason, RejectReason::NoCapacity);
+            rejected += 1;
+        }
+    }
+    assert!(rejected >= 29, "at most the t=0 arrivals can slip in: {rejected}");
+    let s = summarize(&report);
+    assert_eq!(s.rejected, rejected as u64);
+}
+
+#[test]
+fn degenerate_configs_are_clean() {
+    let tenant = Tenant {
+        name: "t",
+        model: tiny_model("tiny-degenerate", 1, 32),
+        weight: 1,
+        prompt: 16,
+        decode: (1, 3),
+        slo_ns: u64::MAX,
+    };
+    // zero-request trace
+    let empty = run(&ServeConfig {
+        n_requests: 0,
+        ..ServeConfig::new(
+            vec![tenant.clone()],
+            ArrivalPattern::Poisson { mean_gap_ns: 1e6 },
+            vec![ShardSpec::Gpu],
+        )
+    });
+    empty.audit.check().unwrap();
+    assert!(empty.records.is_empty());
+    assert_eq!(summarize(&empty).throughput_tokens_per_s, 0.0);
+
+    // pool of 1, batch of 1, admission cap of 1: strictly serial serving
+    let serial = run(&ServeConfig {
+        n_requests: 12,
+        max_batch: 1,
+        max_in_flight: 1,
+        log_batches: true,
+        ..ServeConfig::new(
+            vec![tenant],
+            ArrivalPattern::Poisson { mean_gap_ns: 1e6 },
+            vec![ShardSpec::Tandem],
+        )
+    });
+    serial.audit.check().unwrap();
+    for b in &serial.batch_log {
+        assert_eq!(b.members.len(), 1);
+    }
+    // admission cap 1 can reject under bursts, but whatever was admitted
+    // completed
+    assert_eq!(
+        serial.audit.admitted,
+        serial.audit.completed,
+        "pool never died, so no admitted request may be lost"
+    );
+}
