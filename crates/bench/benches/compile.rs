@@ -14,6 +14,7 @@ use picachu::compile_cache;
 use picachu::dse::{explore, DseSweep};
 use picachu::engine::{EngineConfig, PicachuEngine};
 use picachu::runtime;
+use picachu_compiler::mapper::{map_dfg_with, repair_mapping, ResourceMask};
 use picachu_llm::ModelConfig;
 use picachu_nonlinear::NonlinearOp;
 use picachu_num::DataFormat;
@@ -69,6 +70,50 @@ fn main() {
     });
     g.bench("dse_sweep_warm_cache", || {
         black_box(explore(&ModelConfig::gpt2(), &small_sweep()).len());
+    });
+
+    // a repeat process's cold start when `PICACHU_MAPSTORE` points at a
+    // populated store: every clear() re-arms the store load, so the closure
+    // measures deserialize-from-disk instead of the mapper
+    let store = std::env::temp_dir()
+        .join(format!("picachu-bench-mapstore-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store);
+    picachu::set_mapstore_dir(Some(store.clone()));
+    compile_cache::clear();
+    compile_library(); // populate the store once
+    g.bench("kernel_library_warm_from_store", || {
+        compile_cache::clear();
+        compile_library();
+    });
+    picachu::set_mapstore_dir(None);
+    compile_cache::clear();
+    let _ = std::fs::remove_dir_all(&store);
+
+    // incremental repair vs full re-map after a dead tile, at the mapper
+    // layer (pure functions, no cache): the repair retains the healthy II
+    // and re-places only the disturbed sub-DFG
+    let engine = PicachuEngine::new(EngineConfig::default());
+    let mut warm = PicachuEngine::new(EngineConfig::default());
+    let healthy = warm.compile_op(NonlinearOp::Softmax).to_vec();
+    let cases: Vec<_> = healthy
+        .iter()
+        .enumerate()
+        .map(|(i, l)| {
+            let dfg = engine.lowered_dfg(NonlinearOp::Softmax, i, l.uf, l.vf);
+            let dead = l.mapping.placements[0].tile;
+            let mask = ResourceMask::degraded(engine.spec(), [dead], []);
+            (dfg, engine.loop_seed(i), mask, l.mapping.clone())
+        })
+        .collect();
+    g.bench("softmax_incremental_repair", || {
+        for (dfg, seed, mask, base) in &cases {
+            black_box(repair_mapping(dfg, engine.spec(), *seed, mask, base).is_some());
+        }
+    });
+    g.bench("softmax_full_remap_degraded", || {
+        for (dfg, seed, mask, _) in &cases {
+            black_box(map_dfg_with(dfg, engine.spec(), *seed, mask, None).is_ok());
+        }
     });
     g.finish();
 }

@@ -34,7 +34,7 @@ use picachu_ir::opcode::Opcode;
 use picachu_testkit::{splitmix64, TestRng};
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Routing capacity per (tile, slot): how many pass-through operands a tile's
@@ -114,6 +114,14 @@ pub enum MapError {
     Timeout {
         /// The budget that expired, in milliseconds.
         budget_ms: u64,
+        /// Wall-clock actually spent before the search gave up, in
+        /// milliseconds (≥ `budget_ms`: cells started before expiry finish).
+        elapsed_ms: u64,
+        /// Grid cells actually evaluated before expiry — `0` means the
+        /// budget was spent before the search even started (e.g. queueing
+        /// behind other compiles), which needs a different remedy than a
+        /// genuinely hard-to-map kernel.
+        cells_scanned: u64,
     },
     /// A search worker panicked (isolated by the runtime's `catch_unwind`).
     Worker {
@@ -137,8 +145,12 @@ impl fmt::Display for MapError {
             MapError::IiLimitExceeded { tried } => {
                 write!(f, "no feasible schedule up to II={tried}")
             }
-            MapError::Timeout { budget_ms } => {
-                write!(f, "mapping deadline of {budget_ms} ms expired")
+            MapError::Timeout { budget_ms, elapsed_ms, cells_scanned } => {
+                write!(
+                    f,
+                    "mapping deadline of {budget_ms} ms expired after {elapsed_ms} ms \
+                     ({cells_scanned} grid cells scanned)"
+                )
             }
             MapError::Worker { index, message } => {
                 write!(f, "mapping attempt {index} panicked: {message}")
@@ -288,6 +300,95 @@ fn try_place(
     ii: u32,
     rng: &mut TestRng,
 ) -> Option<Vec<Placement>> {
+    let st = State::new(spec, mask, ii);
+    let placed: Vec<Option<Placement>> = vec![None; dfg.len()];
+    place_rest(dfg, spec, mask, ii, rng, st, placed, false)
+}
+
+/// Validates a set of pinned placements against `mask` and builds the
+/// occupancy [`State`] they imply: compute slots of every pinned node, plus
+/// the (possibly detoured) routes of every distance-0 edge between two
+/// pinned nodes. Carried edges between pinned nodes are checked against the
+/// recurrence deadline with the masked hop count.
+///
+/// On the first violation, returns `Err(consumer_node_id)` — the node the
+/// incremental repair must un-pin and re-place. Checks run in node-id order
+/// with inputs in declaration order, so the identified node is
+/// deterministic.
+fn pin_state<'a>(
+    dfg: &Dfg,
+    spec: &'a CgraSpec,
+    mask: &'a ResourceMask,
+    ii: u32,
+    pinned: &[Option<Placement>],
+) -> Result<State<'a>, usize> {
+    let mut st = State::new(spec, mask, ii);
+    for node in dfg.nodes() {
+        let Some(pv) = pinned[node.id.0] else { continue };
+        if !mask.tile_alive(pv.tile) || !spec.tile_supports(pv.tile, node.op) {
+            return Err(node.id.0);
+        }
+        let slot = st.idx(pv.tile, pv.time);
+        if st.compute[slot] {
+            return Err(node.id.0);
+        }
+        st.compute[slot] = true;
+    }
+    for node in dfg.nodes() {
+        let Some(pv) = pinned[node.id.0] else { continue };
+        // check every operand route against the pre-commit state, then
+        // commit them together — the same per-consumer batching the search
+        // uses, so any search-accepted placement re-validates here
+        let mut routes: Vec<(usize, usize, u32)> = Vec::new();
+        for e in &node.inputs {
+            let Some(pu) = pinned[e.from.0] else { continue };
+            let lat = dfg.nodes()[e.from.0].op.latency();
+            let Some(h) = mask.hops(spec, pu.tile, pv.tile) else {
+                return Err(node.id.0);
+            };
+            if e.distance == 0 {
+                // operand must arrive exactly at the consumer's issue time
+                let Some(depart) = pv.time.checked_sub(h) else {
+                    return Err(node.id.0);
+                };
+                if depart < pu.time + lat || !st.route_free(pu.tile, pv.tile, depart) {
+                    return Err(node.id.0);
+                }
+                routes.push((pu.tile, pv.tile, depart));
+            } else if pu.time + lat + h > pv.time + e.distance * ii {
+                return Err(node.id.0);
+            }
+        }
+        for (from, to, depart) in routes {
+            st.route_commit(from, to, depart);
+        }
+    }
+    Ok(st)
+}
+
+/// The placement engine shared by the from-scratch search and incremental
+/// repair: places every node without a placement, in priority order, into
+/// the pre-populated `st`/`placed`.
+///
+/// `repair` enables two extra candidate filters that only arise when some
+/// nodes are already placed *ahead* of the priority order (pinned by
+/// [`repair_mapping`]): a node being placed must route its operand to every
+/// already-placed distance-0 consumer on time, and must satisfy carried-edge
+/// deadlines from already-placed producers. Both are vacuous on the
+/// from-scratch path, but they stay gated behind `repair` so the healthy
+/// search remains bit-identical to its historical behavior (healthy
+/// mappings are anchored by golden tests and the fault oracle).
+#[allow(clippy::too_many_arguments)]
+fn place_rest(
+    dfg: &Dfg,
+    spec: &CgraSpec,
+    mask: &ResourceMask,
+    ii: u32,
+    rng: &mut TestRng,
+    mut st: State<'_>,
+    mut placed: Vec<Option<Placement>>,
+    repair: bool,
+) -> Option<Vec<Placement>> {
     let n = dfg.len();
     let levels = priorities(dfg);
     // priority: deferred level asc; within a level, φ nodes go last so the
@@ -317,10 +418,10 @@ fn try_place(
         }
     }
 
-    let mut st = State::new(spec, mask, ii);
-    let mut placed: Vec<Option<Placement>> = vec![None; n];
-
     for &v in &order {
+        if placed[v].is_some() {
+            continue; // pinned by the repair path
+        }
         let node = &dfg.nodes()[v];
         // earliest start from same-iteration predecessors (per-tile addend
         // for hops is applied per candidate below). The priority order is
@@ -402,12 +503,58 @@ fn try_place(
                 if !deadlines_ok {
                     continue;
                 }
+                if repair {
+                    // pinned distance-0 consumers: the operand must leave
+                    // this candidate slot in time to arrive exactly at the
+                    // consumer's (fixed) issue time, over a free route
+                    let pinned_consumers_ok = consumers_of[v].iter().all(|&c| {
+                        let Some(pc) = placed[c] else { return true };
+                        let Some(h) = mask.hops(spec, tile, pc.tile) else { return false };
+                        match pc.time.checked_sub(h) {
+                            Some(depart) => {
+                                depart >= t + node.op.latency()
+                                    && st.route_free(tile, pc.tile, depart)
+                            }
+                            None => false,
+                        }
+                    });
+                    if !pinned_consumers_ok {
+                        continue;
+                    }
+                    // carried inputs from already-placed producers (the
+                    // from-scratch path defers these to final verification;
+                    // filtering here lets repair try other slots instead of
+                    // failing the whole attempt)
+                    let carried_in_ok =
+                        node.inputs.iter().filter(|e| e.distance > 0).all(|e| {
+                            let Some(pu) = placed[e.from.0] else { return true };
+                            match mask.hops(spec, pu.tile, tile) {
+                                Some(h) => {
+                                    pu.time + dfg.nodes()[e.from.0].op.latency() + h
+                                        <= t + e.distance * ii
+                                }
+                                None => false,
+                            }
+                        });
+                    if !carried_in_ok {
+                        continue;
+                    }
+                }
                 // commit
                 let i = st.idx(tile, t);
                 st.compute[i] = true;
                 for (&(pt, _), &h) in preds.iter().zip(&pred_hops) {
                     let depart = t - h;
                     st.route_commit(pt, tile, depart);
+                }
+                if repair {
+                    for &c in &consumers_of[v] {
+                        if let Some(pc) = placed[c] {
+                            if let Some(h) = mask.hops(spec, tile, pc.tile) {
+                                st.route_commit(tile, pc.tile, pc.time - h);
+                            }
+                        }
+                    }
                 }
                 placed[v] = Some(Placement { node: NodeId(v), tile, time: t });
                 placed_here = true;
@@ -530,37 +677,232 @@ pub fn map_dfg_with(
     mask: &ResourceMask,
     deadline: Option<Duration>,
 ) -> Result<Mapping, MapError> {
-    if dfg.is_empty() {
-        return Err(MapError::EmptyDfg);
+    let grid = SearchGrid::prepare(dfg, spec, mask, seed, deadline)?;
+    let found =
+        picachu_runtime::try_parallel_find_first(grid.grid_len(), |idx| {
+            grid.eval(dfg, spec, mask, idx)
+        })
+        .map_err(|wp| MapError::Worker { index: wp.index, message: wp.message })?;
+    grid.resolve(dfg, spec, mask, found)
+}
+
+/// One prepared `(II × attempt)` portfolio search with its cells exposed
+/// individually, so callers decide how to fan them out. [`map_dfg_with`]
+/// submits one grid to `try_parallel_find_first`; `CompileService`
+/// concatenates the grids of *every* cache-missing kernel into a single flat
+/// `try_parallel_find_first_grouped` pass — the nesting-free structure that
+/// lets cold compiles use the whole pool (a nested `parallel_*` call inside a
+/// worker degrades to serial).
+///
+/// Cell `idx` encodes `(ii, attempt)` as `idx = (ii − MII)·ATTEMPTS_PER_II +
+/// attempt`; [`SearchGrid::eval`] is a pure function of `(dfg, spec, mask,
+/// idx)` apart from the cooperative deadline, so the lowest-index success is
+/// the same mapping the serial scan would find.
+pub struct SearchGrid {
+    seed: u64,
+    mii: u32,
+    deadline: Option<Duration>,
+    start: Instant,
+    timed_out: AtomicBool,
+    cells_scanned: AtomicU64,
+}
+
+impl SearchGrid {
+    /// Validates the request and computes `MII`. The deadline clock starts
+    /// here.
+    ///
+    /// # Errors
+    /// [`MapError::EmptyDfg`] or [`MapError::NoCapableTile`].
+    pub fn prepare(
+        dfg: &Dfg,
+        spec: &CgraSpec,
+        mask: &ResourceMask,
+        seed: u64,
+        deadline: Option<Duration>,
+    ) -> Result<SearchGrid, MapError> {
+        if dfg.is_empty() {
+            return Err(MapError::EmptyDfg);
+        }
+        let mii = min_ii_with(dfg, spec, mask)?;
+        Ok(SearchGrid {
+            seed,
+            mii,
+            deadline,
+            start: Instant::now(),
+            timed_out: AtomicBool::new(false),
+            cells_scanned: AtomicU64::new(0),
+        })
     }
-    let mii = min_ii_with(dfg, spec, mask)?;
-    let grid = (II_SLACK as usize + 1) * ATTEMPTS_PER_II;
-    let start = Instant::now();
-    let timed_out = AtomicBool::new(false);
-    let found = picachu_runtime::try_parallel_find_first(grid, |idx| {
-        if let Some(budget) = deadline {
-            if start.elapsed() >= budget {
-                timed_out.store(true, Ordering::SeqCst);
+
+    /// Number of cells in the grid (`(II_SLACK + 1) · ATTEMPTS_PER_II`).
+    pub fn grid_len(&self) -> usize {
+        (II_SLACK as usize + 1) * ATTEMPTS_PER_II
+    }
+
+    /// Evaluates one cell: derives the cell's own RNG stream and runs one
+    /// randomized placement attempt. Returns the `(ii, placements)` on
+    /// success. If the cooperative deadline has expired the cell is skipped
+    /// (recorded in the timeout flag, not counted as scanned).
+    ///
+    /// Must be called with the same `dfg`/`spec`/`mask` the grid was
+    /// prepared with.
+    pub fn eval(
+        &self,
+        dfg: &Dfg,
+        spec: &CgraSpec,
+        mask: &ResourceMask,
+        idx: usize,
+    ) -> Option<(u32, Vec<Placement>)> {
+        if let Some(budget) = self.deadline {
+            if self.start.elapsed() >= budget {
+                self.timed_out.store(true, Ordering::SeqCst);
                 return None;
             }
         }
-        let ii = mii + (idx / ATTEMPTS_PER_II) as u32;
+        self.cells_scanned.fetch_add(1, Ordering::Relaxed);
+        let ii = self.mii + (idx / ATTEMPTS_PER_II) as u32;
         let attempt = idx % ATTEMPTS_PER_II;
-        let mut rng = TestRng::seed_from_u64(attempt_seed(seed, ii, attempt));
+        let mut rng = TestRng::seed_from_u64(attempt_seed(self.seed, ii, attempt));
         try_place(dfg, spec, mask, ii, &mut rng).map(|placements| (ii, placements))
-    })
-    .map_err(|wp| MapError::Worker { index: wp.index, message: wp.message })?;
-    match found {
-        Some((_, (ii, placements))) => {
-            let schedule_len = schedule_len_of(dfg, spec, mask, &placements)
-                .ok_or(MapError::Internal("accepted placement has unroutable edge"))?;
-            Ok(Mapping { ii, placements, schedule_len })
-        }
-        None if timed_out.load(Ordering::SeqCst) => Err(MapError::Timeout {
-            budget_ms: deadline.map_or(0, |d| d.as_millis() as u64),
-        }),
-        None => Err(MapError::IiLimitExceeded { tried: mii + II_SLACK }),
     }
+
+    /// Turns the lowest-index success (or its absence) into the final
+    /// [`Mapping`] / [`MapError`], distinguishing a deadline expiry from a
+    /// genuinely infeasible search window.
+    ///
+    /// # Errors
+    /// [`MapError::Timeout`] (with elapsed/cells-scanned telemetry),
+    /// [`MapError::IiLimitExceeded`], or [`MapError::Internal`] if an
+    /// accepted placement has an unroutable edge.
+    pub fn resolve(
+        &self,
+        dfg: &Dfg,
+        spec: &CgraSpec,
+        mask: &ResourceMask,
+        found: Option<(usize, (u32, Vec<Placement>))>,
+    ) -> Result<Mapping, MapError> {
+        match found {
+            Some((_, (ii, placements))) => {
+                let schedule_len = schedule_len_of(dfg, spec, mask, &placements)
+                    .ok_or(MapError::Internal("accepted placement has unroutable edge"))?;
+                Ok(Mapping { ii, placements, schedule_len })
+            }
+            None if self.timed_out.load(Ordering::SeqCst) => Err(MapError::Timeout {
+                budget_ms: self.deadline.map_or(0, |d| d.as_millis() as u64),
+                elapsed_ms: self.start.elapsed().as_millis() as u64,
+                cells_scanned: self.cells_scanned.load(Ordering::Relaxed),
+            }),
+            None => Err(MapError::IiLimitExceeded { tried: self.mii + II_SLACK }),
+        }
+    }
+}
+
+/// Randomized restarts of the incremental repair path (per widening round).
+const REPAIR_ATTEMPTS: usize = 10;
+
+/// Bounded ripple-widening rounds: when the affected sub-DFG cannot be
+/// re-placed around the pinned remainder (tight schedules, especially at
+/// II = 1, leave a lone displaced node almost no freedom), each round
+/// un-keeps the DFG neighbours of the currently-unkept region and retries,
+/// trading a larger re-placed region for slack. The final round can
+/// degenerate to a from-scratch placement at the *retained* II — still a
+/// repair, because a full re-map is free to inflate the II.
+const REPAIR_WIDEN_ROUNDS: usize = 4;
+
+/// Completes a partial placement: builds the occupancy state the pinned
+/// nodes imply (failing on the node `pin_state` identifies) and places the
+/// rest with the repair-mode candidate filters enabled.
+fn try_place_pinned(
+    dfg: &Dfg,
+    spec: &CgraSpec,
+    mask: &ResourceMask,
+    ii: u32,
+    rng: &mut TestRng,
+    pinned: &[Option<Placement>],
+) -> Option<Vec<Placement>> {
+    let st = pin_state(dfg, spec, mask, ii, pinned).ok()?;
+    place_rest(dfg, spec, mask, ii, rng, st, pinned.to_vec(), true)
+}
+
+/// Incrementally re-maps `base` onto the degraded fabric of `mask`,
+/// retaining the II and every placement the degradation did not disturb.
+///
+/// The kept set starts as "every node on an alive tile" and shrinks to a
+/// fixpoint: [`pin_state`] re-validates the kept placements under the masked
+/// (possibly detoured) routes, and each violation un-keeps the consumer it
+/// identifies. If everything survives, only `schedule_len` is recomputed
+/// (detours lengthen the prologue). Otherwise up to [`REPAIR_ATTEMPTS`]
+/// seeded attempts place the affected sub-DFG around the pinned remainder.
+///
+/// Returns `None` when no repair at the retained II exists — the caller
+/// falls back to a full re-map, which is free to inflate the II. The repair
+/// is deterministic in `(dfg, spec, seed, mask, base)`: the attempt seeds
+/// derive from [`attempt_seed`] under a fixed salt, so a repaired mapping is
+/// reproducible across processes exactly like a cold one.
+pub fn repair_mapping(
+    dfg: &Dfg,
+    spec: &CgraSpec,
+    seed: u64,
+    mask: &ResourceMask,
+    base: &Mapping,
+) -> Option<Mapping> {
+    if dfg.is_empty() || base.placements.len() != dfg.len() {
+        return None;
+    }
+    let ii = base.ii;
+    let mut pinned: Vec<Option<Placement>> = base
+        .placements
+        .iter()
+        .map(|p| if mask.tile_alive(p.tile) { Some(*p) } else { None })
+        .collect();
+    loop {
+        match pin_state(dfg, spec, mask, ii, &pinned) {
+            Ok(_) => break,
+            // the take can't miss: pin_state only faults pinned nodes
+            Err(v) => {
+                pinned[v].take()?;
+            }
+        }
+    }
+    if pinned.iter().all(|p| p.is_some()) {
+        // every placement survives the degradation; only the prologue can
+        // change (detours make operands land later)
+        let schedule_len = schedule_len_of(dfg, spec, mask, &base.placements)?;
+        return Some(Mapping { ii, placements: base.placements.clone(), schedule_len });
+    }
+    for round in 0..REPAIR_WIDEN_ROUNDS {
+        for attempt in 0..REPAIR_ATTEMPTS {
+            // distinct salt keeps repair streams disjoint from the cold
+            // search; the round folds into the attempt index so every
+            // (round, attempt) draws a distinct deterministic stream
+            let idx = round * REPAIR_ATTEMPTS + attempt;
+            let s = splitmix64(attempt_seed(seed, ii, idx) ^ 0x52455041_49525F31);
+            let mut rng = TestRng::seed_from_u64(s);
+            if let Some(placements) = try_place_pinned(dfg, spec, mask, ii, &mut rng, &pinned) {
+                let schedule_len = schedule_len_of(dfg, spec, mask, &placements)?;
+                return Some(Mapping { ii, placements, schedule_len });
+            }
+        }
+        // widen: un-keep every pinned node adjacent (either edge direction,
+        // any distance) to the unkept region. Removing pins only removes
+        // pin_state constraints, so the pinned set stays self-consistent.
+        let unkept: Vec<bool> = pinned.iter().map(|p| p.is_none()).collect();
+        let mut widened = false;
+        for node in dfg.nodes() {
+            for e in &node.inputs {
+                if unkept[e.from.0] && pinned[node.id.0].take().is_some() {
+                    widened = true;
+                }
+                if unkept[node.id.0] && pinned[e.from.0].take().is_some() {
+                    widened = true;
+                }
+            }
+        }
+        if !widened {
+            break; // nothing left to ripple into — give up
+        }
+    }
+    None
 }
 
 #[cfg(test)]
@@ -858,7 +1200,125 @@ mod tests {
             Some(Duration::ZERO),
         )
         .unwrap_err();
-        assert_eq!(err, MapError::Timeout { budget_ms: 0 });
+        // deadline-skip path: with a zero budget every cell is skipped at
+        // claim time, so no cell is ever scanned and the telemetry says so
+        match err {
+            MapError::Timeout { budget_ms: 0, cells_scanned: 0, .. } => {}
+            other => panic!("expected zero-budget timeout with zero cells, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timeout_reports_elapsed_and_cells() {
+        let k = softmax_kernel(4);
+        let fused = fuse_patterns(&k.loops[1].dfg);
+        let spec = picachu();
+        let err = map_dfg_with(
+            &fused,
+            &spec,
+            1,
+            &ResourceMask::full(&spec),
+            Some(Duration::ZERO),
+        )
+        .unwrap_err();
+        let MapError::Timeout { budget_ms, elapsed_ms, cells_scanned } = err else {
+            panic!("expected Timeout");
+        };
+        assert_eq!(budget_ms, 0);
+        assert_eq!(cells_scanned, 0);
+        // elapsed is wall-clock from grid preparation, so merely sane
+        assert!(elapsed_ms < 60_000, "elapsed {elapsed_ms} ms");
+        let msg = MapError::Timeout { budget_ms, elapsed_ms, cells_scanned }.to_string();
+        assert!(msg.contains("0 grid cells scanned"), "{msg}");
+    }
+
+    fn assert_mapping_legal(dfg: &Dfg, spec: &CgraSpec, mask: &ResourceMask, m: &Mapping) {
+        let mut slots = std::collections::HashSet::new();
+        for p in &m.placements {
+            let op = dfg.nodes()[p.node.0].op;
+            assert!(mask.tile_alive(p.tile), "node {} on dead tile {}", p.node, p.tile);
+            assert!(spec.tile_supports(p.tile, op), "{op} on tile {}", p.tile);
+            assert!(slots.insert((p.tile, p.time % m.ii)), "slot conflict");
+        }
+        for node in dfg.nodes() {
+            let pv = m.placements[node.id.0];
+            for e in &node.inputs {
+                let pu = m.placements[e.from.0];
+                let lat = dfg.nodes()[e.from.0].op.latency();
+                let hops = mask
+                    .hops(spec, pu.tile, pv.tile)
+                    .unwrap_or_else(|| panic!("edge {} -> {} unroutable", e.from, node.id));
+                assert!(
+                    pu.time + lat + hops <= pv.time + e.distance * m.ii,
+                    "edge {} -> {} violated",
+                    e.from,
+                    node.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn repair_on_full_mask_is_identity() {
+        let spec = picachu();
+        let mask = ResourceMask::full(&spec);
+        for k in kernel_library(4) {
+            for l in &k.loops {
+                let fused = fuse_patterns(&l.dfg);
+                let base = map_dfg(&fused, &spec, 7).unwrap();
+                let repaired = repair_mapping(&fused, &spec, 7, &mask, &base)
+                    .unwrap_or_else(|| panic!("{}: full-mask repair failed", l.label));
+                assert_eq!(repaired, base, "{}", l.label);
+            }
+        }
+    }
+
+    #[test]
+    fn repair_after_dead_tile_keeps_ii_and_stays_legal() {
+        let spec = picachu();
+        let k = softmax_kernel(4);
+        let mut repaired_some = 0;
+        for l in &k.loops {
+            let fused = fuse_patterns(&l.dfg);
+            let base = map_dfg(&fused, &spec, 7).unwrap();
+            // kill the tile hosting node 0: the repair must move at least
+            // that node and may ripple, but never inflates the II
+            let dead = base.placements[0].tile;
+            let mask = ResourceMask::degraded(&spec, [dead], []);
+            if let Some(m) = repair_mapping(&fused, &spec, 7, &mask, &base) {
+                assert_eq!(m.ii, base.ii, "{}: repair inflated II", l.label);
+                assert_mapping_legal(&fused, &spec, &mask, &m);
+                repaired_some += 1;
+            }
+        }
+        assert!(repaired_some > 0, "repair never succeeded on any softmax loop");
+    }
+
+    #[test]
+    fn repair_is_deterministic() {
+        let spec = picachu();
+        let k = softmax_kernel(4);
+        let fused = fuse_patterns(&k.loops[1].dfg);
+        let base = map_dfg(&fused, &spec, 42).unwrap();
+        let dead = base.placements[0].tile;
+        let mask = ResourceMask::degraded(&spec, [dead], []);
+        let a = repair_mapping(&fused, &spec, 42, &mask, &base);
+        let b = repair_mapping(&fused, &spec, 42, &mask, &base);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn repair_gives_up_when_fabric_cannot_host_the_ops() {
+        // all memory-port tiles dead: loads have nowhere to go, so the
+        // repair must report None (caller then takes the full-re-map rung,
+        // which yields a typed NoCapableTile)
+        let spec = picachu();
+        let dead: Vec<usize> = (0..spec.len()).filter(|&t| spec.tile(t).mem_port).collect();
+        let mask = ResourceMask::degraded(&spec, dead, []);
+        let k = relu_kernel();
+        let fused = fuse_patterns(&k.loops[0].dfg);
+        let base = map_dfg(&fused, &spec, 1).unwrap();
+        assert_eq!(repair_mapping(&fused, &spec, 1, &mask, &base), None);
     }
 
     #[test]

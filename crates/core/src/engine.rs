@@ -150,6 +150,20 @@ impl PicachuEngine {
         self.compile.try_compile_op(&self.config, op)
     }
 
+    /// Warms the compile caches for `ops` in one flat parallel batch: the
+    /// whole multi-op search space is submitted to the runtime pool as a
+    /// single grouped pass (see [`CompileService::warm`]), so a serving node
+    /// compiles its tenants' kernel set at full parallelism before taking
+    /// traffic. Bit-identical to compiling each op serially; with a mapping
+    /// store configured ([`crate::mapstore`]), previously-persisted kernels
+    /// load from disk instead of mapping at all.
+    ///
+    /// # Errors
+    /// [`PicachuError::Compile`] for the first op whose kernel fails to map.
+    pub fn prewarm(&mut self, ops: &[NonlinearOp]) -> Result<(), PicachuError> {
+        self.compile.warm(&self.config, ops)
+    }
+
     /// Compiles `op` for a faulted fabric through the DESIGN §7 degradation
     /// ladder (see [`CompileService::compile_op_degraded`]).
     ///

@@ -41,9 +41,11 @@ pub mod compile_cache;
 pub mod dse;
 pub mod engine;
 pub mod error;
+pub mod mapstore;
 pub mod stages;
 
 pub use compile_cache::CompileKey;
+pub use mapstore::set_mapstore_dir;
 pub use dse::{explore, pareto_frontier, DesignPoint, DseSweep};
 pub use engine::{
     CompiledLoop, DegradedCompile, EngineConfig, FallbackLevel, PicachuEngine, ECC_MAX_DETECTED,

@@ -1,0 +1,604 @@
+//! Versioned on-disk mapping store: cross-process persistence for the
+//! [`compile_cache`](crate::compile_cache).
+//!
+//! Modulo-scheduling is a pure function of [`CompileKey`], so a mapping
+//! computed once is valid for every process that shares the key — a repeat
+//! bench run, a restarted server, or a whole serving fleet pointed at one
+//! shared directory. The store is a single JSON-lines file
+//! (`mappings.jsonl`) inside a directory chosen by, in precedence order:
+//!
+//! 1. [`set_mapstore_dir`] (programmatic; tests use a temp dir),
+//! 2. the `PICACHU_MAPSTORE` environment variable (e.g.
+//!    `PICACHU_MAPSTORE=results/mapstore`),
+//! 3. nothing — the store is **disabled by default**, so cold-compile
+//!    benches and tests measure real mapper work unless they opt in.
+//!
+//! The file format is hand-rolled (the tree is hermetic — no serde):
+//!
+//! ```text
+//! {"picachu_mapstore":1}
+//! {"key":{"op":"softmax","rows":4,...},"loops":[{"label":"softmax(0)",...}]}
+//! ```
+//!
+//! The first line is the format version; a reader that sees an unknown
+//! version ignores the file rather than guessing. Every following line is
+//! one `(CompileKey, Vec<CompiledLoop>)` entry. Writers append single
+//! `O_APPEND` lines, so concurrent processes interleave whole entries;
+//! duplicate keys (two processes compiling the same kernel cold) are
+//! bit-identical by determinism and deduplicated on load. Unparseable lines
+//! are skipped with a warning, never a panic — a truncated tail from a
+//! killed process costs one entry, not the store.
+
+use crate::compile_cache::CompileKey;
+use crate::engine::CompiledLoop;
+use picachu_compiler::mapper::{Mapping, Placement};
+use picachu_ir::dfg::NodeId;
+use picachu_nonlinear::{LoopKind, NonlinearOp};
+use picachu_num::DataFormat;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::io::{BufRead, Write as _};
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// Store format version this build reads and writes.
+const VERSION: u64 = 1;
+/// Entry file inside the store directory.
+const FILE: &str = "mappings.jsonl";
+
+/// `None` = not overridden (fall through to the environment);
+/// `Some(None)` = explicitly disabled; `Some(Some(dir))` = use `dir`.
+static OVERRIDE: Mutex<Option<Option<PathBuf>>> = Mutex::new(None);
+
+/// Overrides the store directory for this process: `Some(dir)` enables the
+/// store there, `None` disables it regardless of `PICACHU_MAPSTORE`. Call
+/// [`crate::compile_cache::clear`] afterwards if entries from a previous
+/// location were already folded into the in-memory cache.
+pub fn set_mapstore_dir(dir: Option<PathBuf>) {
+    *OVERRIDE.lock().unwrap_or_else(|p| p.into_inner()) = Some(dir);
+}
+
+/// The effective store directory, or `None` when the store is disabled.
+pub fn dir() -> Option<PathBuf> {
+    if let Some(o) = OVERRIDE.lock().unwrap_or_else(|p| p.into_inner()).clone() {
+        return o;
+    }
+    std::env::var_os("PICACHU_MAPSTORE").map(PathBuf::from)
+}
+
+/// Whether a store directory is configured.
+pub fn is_enabled() -> bool {
+    dir().is_some()
+}
+
+/// Reads every well-formed entry from the store, first occurrence winning.
+/// A missing file or directory is an empty store; I/O and parse problems
+/// degrade to warnings (the cache then simply compiles cold).
+pub fn load_all() -> Vec<(CompileKey, Vec<CompiledLoop>)> {
+    let Some(d) = dir() else { return Vec::new() };
+    let path = d.join(FILE);
+    let file = match std::fs::File::open(&path) {
+        Ok(f) => f,
+        Err(_) => return Vec::new(),
+    };
+    let mut seen: HashMap<CompileKey, ()> = HashMap::new();
+    let mut out = Vec::new();
+    let mut versioned = false;
+    let mut skipped = 0usize;
+    for line in std::io::BufReader::new(file).lines() {
+        let Ok(line) = line else { skipped += 1; continue };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Some(v) = parse(&line) else { skipped += 1; continue };
+        if let Some(ver) = v.get("picachu_mapstore").and_then(Json::as_u64) {
+            if ver != VERSION {
+                eprintln!(
+                    "picachu-mapstore: {} has version {ver}, this build reads {VERSION}; ignoring it",
+                    path.display()
+                );
+                return Vec::new();
+            }
+            versioned = true;
+            continue;
+        }
+        if !versioned {
+            // entries before any version header: refuse to guess
+            skipped += 1;
+            continue;
+        }
+        match decode_entry(&v) {
+            Some((key, loops)) => {
+                if seen.insert(key.clone(), ()).is_none() {
+                    out.push((key, loops));
+                }
+            }
+            None => skipped += 1,
+        }
+    }
+    if skipped > 0 {
+        eprintln!(
+            "picachu-mapstore: skipped {skipped} malformed line(s) in {}",
+            path.display()
+        );
+    }
+    out
+}
+
+/// Appends one entry (creating the directory, file, and version header as
+/// needed). Failures are warnings: the store is an accelerator, never a
+/// correctness dependency.
+pub fn append(key: &CompileKey, loops: &[CompiledLoop]) {
+    let Some(d) = dir() else { return };
+    if let Err(e) = std::fs::create_dir_all(&d) {
+        eprintln!("picachu-mapstore: cannot create {}: {e}", d.display());
+        return;
+    }
+    let path = d.join(FILE);
+    let file = std::fs::OpenOptions::new().create(true).append(true).open(&path);
+    let mut file = match file {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("picachu-mapstore: cannot open {}: {e}", path.display());
+            return;
+        }
+    };
+    let mut buf = String::new();
+    let empty = file.metadata().map(|m| m.len() == 0).unwrap_or(false);
+    if empty {
+        let _ = writeln!(buf, "{{\"picachu_mapstore\":{VERSION}}}");
+    }
+    encode_entry(&mut buf, key, loops);
+    buf.push('\n');
+    if let Err(e) = file.write_all(buf.as_bytes()) {
+        eprintln!("picachu-mapstore: write to {} failed: {e}", path.display());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// encoding
+
+fn escape(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn format_name(f: DataFormat) -> &'static str {
+    match f {
+        DataFormat::Fp32 => "fp32",
+        DataFormat::Fp16 => "fp16",
+        DataFormat::Int32 => "int32",
+        DataFormat::Int16 => "int16",
+    }
+}
+
+fn kind_name(k: LoopKind) -> &'static str {
+    match k {
+        LoopKind::Reduction => "reduction",
+        LoopKind::ElementWise => "elementwise",
+    }
+}
+
+fn encode_entry(out: &mut String, key: &CompileKey, loops: &[CompiledLoop]) {
+    out.push_str("{\"key\":{\"op\":");
+    escape(key.op.name(), out);
+    let _ = write!(
+        out,
+        ",\"rows\":{},\"cols\":{},\"format\":\"{}\",\"taylor\":{},\"unroll\":[",
+        key.cgra_rows,
+        key.cgra_cols,
+        format_name(key.format),
+        key.taylor_terms
+    );
+    for (i, u) in key.unroll_candidates.iter().enumerate() {
+        let _ = write!(out, "{}{u}", if i > 0 { "," } else { "" });
+    }
+    let _ = write!(out, "],\"seed\":{},\"dead_tiles\":[", key.seed);
+    for (i, t) in key.dead_tiles.iter().enumerate() {
+        let _ = write!(out, "{}{t}", if i > 0 { "," } else { "" });
+    }
+    out.push_str("],\"dead_links\":[");
+    for (i, (a, b)) in key.dead_links.iter().enumerate() {
+        let _ = write!(out, "{}[{a},{b}]", if i > 0 { "," } else { "" });
+    }
+    let _ = write!(
+        out,
+        "],\"universal\":{},\"incremental\":{}}},\"loops\":[",
+        key.universal, key.incremental
+    );
+    for (i, l) in loops.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"label\":");
+        escape(&l.label, out);
+        let _ = write!(
+            out,
+            ",\"kind\":\"{}\",\"uf\":{},\"vf\":{},\"ii\":{},\"len\":{},\"placements\":[",
+            kind_name(l.kind),
+            l.uf,
+            l.vf,
+            l.mapping.ii,
+            l.mapping.schedule_len
+        );
+        for (j, p) in l.mapping.placements.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}[{},{},{}]",
+                if j > 0 { "," } else { "" },
+                p.node.0,
+                p.tile,
+                p.time
+            );
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+}
+
+// ---------------------------------------------------------------------------
+// decoding
+
+fn decode_entry(v: &Json) -> Option<(CompileKey, Vec<CompiledLoop>)> {
+    let k = v.get("key")?;
+    let op_name = k.get("op")?.as_str()?;
+    let op = *NonlinearOp::ALL.iter().find(|o| o.name() == op_name)?;
+    let format = match k.get("format")?.as_str()? {
+        "fp32" => DataFormat::Fp32,
+        "fp16" => DataFormat::Fp16,
+        "int32" => DataFormat::Int32,
+        "int16" => DataFormat::Int16,
+        _ => return None,
+    };
+    let key = CompileKey {
+        op,
+        cgra_rows: k.get("rows")?.as_u64()? as usize,
+        cgra_cols: k.get("cols")?.as_u64()? as usize,
+        format,
+        taylor_terms: k.get("taylor")?.as_u64()? as usize,
+        unroll_candidates: k
+            .get("unroll")?
+            .as_array()?
+            .iter()
+            .map(|u| u.as_u64().map(|u| u as usize))
+            .collect::<Option<Vec<_>>>()?,
+        seed: k.get("seed")?.as_u64()?,
+        dead_tiles: k
+            .get("dead_tiles")?
+            .as_array()?
+            .iter()
+            .map(|t| t.as_u64().map(|t| t as usize))
+            .collect::<Option<Vec<_>>>()?,
+        dead_links: k
+            .get("dead_links")?
+            .as_array()?
+            .iter()
+            .map(|l| {
+                let pair = l.as_array()?;
+                match pair {
+                    [a, b] => Some((a.as_u64()? as usize, b.as_u64()? as usize)),
+                    _ => None,
+                }
+            })
+            .collect::<Option<Vec<_>>>()?,
+        universal: k.get("universal")?.as_bool()?,
+        incremental: k.get("incremental")?.as_bool()?,
+    };
+    let mut loops = Vec::new();
+    for l in v.get("loops")?.as_array()? {
+        let kind = match l.get("kind")?.as_str()? {
+            "reduction" => LoopKind::Reduction,
+            "elementwise" => LoopKind::ElementWise,
+            _ => return None,
+        };
+        let placements = l
+            .get("placements")?
+            .as_array()?
+            .iter()
+            .map(|p| {
+                let triple = p.as_array()?;
+                match triple {
+                    [n, t, c] => Some(Placement {
+                        node: NodeId(n.as_u64()? as usize),
+                        tile: t.as_u64()? as usize,
+                        time: c.as_u64()? as u32,
+                    }),
+                    _ => None,
+                }
+            })
+            .collect::<Option<Vec<_>>>()?;
+        loops.push(CompiledLoop {
+            label: l.get("label")?.as_str()?.to_string(),
+            kind,
+            uf: l.get("uf")?.as_u64()? as usize,
+            vf: l.get("vf")?.as_u64()? as usize,
+            mapping: Mapping {
+                ii: l.get("ii")?.as_u64()? as u32,
+                placements,
+                schedule_len: l.get("len")?.as_u64()? as u32,
+            },
+        });
+    }
+    Some((key, loops))
+}
+
+// ---------------------------------------------------------------------------
+// a minimal JSON reader — just enough for the lines this module writes.
+// Numbers keep their raw token so `u64` round-trips exactly (an `f64`
+// intermediate would corrupt large seeds).
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Bool(bool),
+    Num(String),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+fn parse(input: &str) -> Option<Json> {
+    let bytes = input.as_bytes();
+    let mut pos = 0;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos == bytes.len() {
+        Some(v)
+    } else {
+        None
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\r' | b'\n') {
+        *pos += 1;
+    }
+}
+
+fn eat(b: &[u8], pos: &mut usize, c: u8) -> Option<()> {
+    skip_ws(b, pos);
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Some(())
+    } else {
+        None
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Option<Json> {
+    skip_ws(b, pos);
+    match *b.get(*pos)? {
+        b'{' => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Some(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = match parse_value(b, pos)? {
+                    Json::Str(s) => s,
+                    _ => return None,
+                };
+                eat(b, pos, b':')?;
+                fields.push((key, parse_value(b, pos)?));
+                skip_ws(b, pos);
+                match b.get(*pos)? {
+                    b',' => *pos += 1,
+                    b'}' => {
+                        *pos += 1;
+                        return Some(Json::Obj(fields));
+                    }
+                    _ => return None,
+                }
+            }
+        }
+        b'[' => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Some(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos)? {
+                    b',' => *pos += 1,
+                    b']' => {
+                        *pos += 1;
+                        return Some(Json::Arr(items));
+                    }
+                    _ => return None,
+                }
+            }
+        }
+        b'"' => {
+            *pos += 1;
+            let mut s = String::new();
+            loop {
+                match *b.get(*pos)? {
+                    b'"' => {
+                        *pos += 1;
+                        return Some(Json::Str(s));
+                    }
+                    b'\\' => {
+                        *pos += 1;
+                        match *b.get(*pos)? {
+                            b'"' => s.push('"'),
+                            b'\\' => s.push('\\'),
+                            b'/' => s.push('/'),
+                            b'n' => s.push('\n'),
+                            b'r' => s.push('\r'),
+                            b't' => s.push('\t'),
+                            b'u' => {
+                                let hex = b.get(*pos + 1..*pos + 5)?;
+                                let code =
+                                    u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16)
+                                        .ok()?;
+                                s.push(char::from_u32(code)?);
+                                *pos += 4;
+                            }
+                            _ => return None,
+                        }
+                        *pos += 1;
+                    }
+                    _ => {
+                        // consume one UTF-8 scalar
+                        let rest = std::str::from_utf8(&b[*pos..]).ok()?;
+                        let c = rest.chars().next()?;
+                        s.push(c);
+                        *pos += c.len_utf8();
+                    }
+                }
+            }
+        }
+        b't' => {
+            *pos = pos.checked_add(4)?;
+            (b.get(*pos - 4..*pos)? == b"true").then_some(Json::Bool(true))
+        }
+        b'f' => {
+            *pos = pos.checked_add(5)?;
+            (b.get(*pos - 5..*pos)? == b"false").then_some(Json::Bool(false))
+        }
+        b'-' | b'0'..=b'9' => {
+            let start = *pos;
+            *pos += 1;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+            {
+                *pos += 1;
+            }
+            Some(Json::Num(String::from_utf8_lossy(&b[start..*pos]).into_owned()))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_key() -> CompileKey {
+        CompileKey {
+            op: NonlinearOp::Softmax,
+            cgra_rows: 4,
+            cgra_cols: 4,
+            format: DataFormat::Fp16,
+            taylor_terms: 6,
+            unroll_candidates: vec![1, 2, 4],
+            seed: u64::MAX - 7, // exercises exact u64 round-trip
+            dead_tiles: vec![3],
+            dead_links: vec![(1, 2)],
+            universal: false,
+            incremental: true,
+        }
+    }
+
+    fn sample_loops() -> Vec<CompiledLoop> {
+        vec![CompiledLoop {
+            label: "softmax(0) \"quoted\"".to_string(),
+            kind: LoopKind::Reduction,
+            uf: 2,
+            vf: 1,
+            mapping: Mapping {
+                ii: 3,
+                placements: vec![
+                    Placement { node: NodeId(0), tile: 5, time: 0 },
+                    Placement { node: NodeId(1), tile: 6, time: 2 },
+                ],
+                schedule_len: 12,
+            },
+        }]
+    }
+
+    #[test]
+    fn entry_round_trips_exactly() {
+        let key = sample_key();
+        let loops = sample_loops();
+        let mut line = String::new();
+        encode_entry(&mut line, &key, &loops);
+        let v = parse(&line).expect("well-formed line");
+        let (k2, l2) = decode_entry(&v).expect("decodable entry");
+        assert_eq!(k2, key);
+        assert_eq!(l2.len(), loops.len());
+        assert_eq!(l2[0].label, loops[0].label);
+        assert_eq!(l2[0].kind, loops[0].kind);
+        assert_eq!((l2[0].uf, l2[0].vf), (loops[0].uf, loops[0].vf));
+        assert_eq!(l2[0].mapping, loops[0].mapping);
+    }
+
+    #[test]
+    fn malformed_lines_decode_to_none() {
+        for bad in [
+            "",
+            "{",
+            "{\"key\":{}}",
+            "not json at all",
+            "{\"key\":{\"op\":\"no-such-op\"},\"loops\":[]}",
+        ] {
+            assert!(parse(bad).and_then(|v| decode_entry(&v)).is_none(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_nesting() {
+        let v = parse(r#"{"a":[1,{"b":"x\"y\\z"},[true,false]],"n":18446744073709551615}"#)
+            .expect("parses");
+        assert_eq!(v.get("n").and_then(Json::as_u64), Some(u64::MAX));
+        let arr = v.get("a").and_then(Json::as_array).expect("array");
+        assert_eq!(arr[1].get("b").and_then(Json::as_str), Some("x\"y\\z"));
+    }
+}

@@ -6,15 +6,24 @@
 //! through the process-wide [`compile_cache`], with an engine-local view on
 //! top so the hot path never takes the cache lock twice for the same op.
 //! Under faults the service walks the DESIGN §7 degradation ladder:
-//! re-map → cached healthy mapping → universal-fabric re-map → reject.
+//! incremental repair → re-map → cached healthy mapping → universal-fabric
+//! re-map → reject.
+//!
+//! Cold compilation is one **flat** parallel pass: the full
+//! `(op × loop × unroll × II × attempt)` search space goes to
+//! `try_parallel_find_first_grouped` as a single deterministic work queue
+//! (DESIGN §10), never a pool-inside-a-pool.
 
 use crate::compile_cache::{self, CompileKey};
 use crate::engine::EngineConfig;
 use crate::error::PicachuError;
 use picachu_compiler::arch::CgraSpec;
-use picachu_compiler::mapper::{map_dfg_with, MapError, Mapping, ResourceMask};
+use picachu_compiler::mapper::{
+    repair_mapping, MapError, Mapping, ResourceMask, SearchGrid,
+};
 use picachu_compiler::transform::{fuse_patterns, unroll, vectorize};
 use picachu_faults::FaultPlan;
+use picachu_ir::dfg::Dfg;
 use picachu_ir::kernels as klib;
 use picachu_nonlinear::{LoopKind, NonlinearOp};
 use std::collections::HashMap;
@@ -25,6 +34,10 @@ use std::time::Duration;
 /// How far down the degradation ladder a faulted compile had to go.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FallbackLevel {
+    /// The kernel incrementally repaired its cached healthy mapping: the II
+    /// and every undisturbed placement were retained, only the sub-DFG the
+    /// faults touched was re-placed. The cheapest genuine re-map.
+    Incremental,
     /// The kernel re-mapped around the faults on the engine's own fabric.
     Remapped,
     /// Re-mapping failed (typically a deadline) but the fabric is intact, so
@@ -39,6 +52,7 @@ pub enum FallbackLevel {
 impl fmt::Display for FallbackLevel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            FallbackLevel::Incremental => write!(f, "incrementally repaired"),
             FallbackLevel::Remapped => write!(f, "re-mapped"),
             FallbackLevel::Cached => write!(f, "cached fallback"),
             FallbackLevel::Universal => write!(f, "universal-fabric fallback"),
@@ -159,7 +173,7 @@ impl CompileService {
             Some(hit) => hit,
             None => {
                 let full = ResourceMask::full(&self.spec);
-                let loops = self.try_compile_with(config, op, &self.spec, &full, None)?;
+                let loops = self.compile_one(config, op, &self.spec, &full, None)?;
                 compile_cache::publish(key, loops)
             }
         };
@@ -167,12 +181,14 @@ impl CompileService {
         Ok(compiled)
     }
 
-    /// Compiles every distinct operation in `ops`, mapping the true cache
-    /// misses **in parallel** on the [`picachu_runtime`] pool. Mapping is
-    /// deterministic per `(config, op)` and the misses are independent, so
-    /// the cache ends bit-identical to a serial warm — only wall-clock
-    /// changes. The `Accelerator` dispatch path calls this before its
-    /// serial trace walk so a cold engine doesn't compile on the walk.
+    /// Compiles every distinct operation in `ops`, submitting the **entire**
+    /// `(op × loop × unroll × II × attempt)` search space of the true cache
+    /// misses as one flat grouped pass on the [`picachu_runtime`] pool (see
+    /// [`CompileService::compile_batch`]). Mapping is deterministic per
+    /// `(config, op)`, so the cache ends bit-identical to a serial warm —
+    /// only wall-clock changes. The `Accelerator` dispatch path calls this
+    /// before its serial trace walk so a cold engine doesn't compile on the
+    /// walk.
     ///
     /// # Errors
     /// [`PicachuError::Compile`] for the first (in `ops` order) operation
@@ -199,14 +215,7 @@ impl CompileService {
             return Ok(());
         }
         let full = ResourceMask::full(&self.spec);
-        let compiled = picachu_runtime::try_parallel_map(&misses, |_, &op| {
-            self.try_compile_with(config, op, &self.spec, &full, None)
-        })
-        .map_err(|wp| PicachuError::Compile {
-            op: misses[wp.index.min(misses.len() - 1)],
-            label: "warm".to_string(),
-            source: MapError::EmptyDfg,
-        })?;
+        let compiled = self.compile_batch(config, &misses, &self.spec, &full, None)?;
         for (&op, loops) in misses.iter().zip(compiled) {
             let arc = compile_cache::publish(self.compile_key(config, op), loops?);
             self.cache.insert(op, arc);
@@ -215,11 +224,14 @@ impl CompileService {
     }
 
     /// Compiles `op` for a faulted fabric, walking the degradation ladder
-    /// (DESIGN §7): **re-map** around the dead resources on the engine's own
-    /// fabric → **cached** healthy mapping (only when the fabric is intact
-    /// and the failure was a deadline, never on real topology faults) →
-    /// **universal-fabric** re-map (every PE supports every opcode) →
-    /// **reject** with the primary error. Each rung is deadline-bounded by
+    /// (DESIGN §7): **incremental repair** of the cached healthy mapping
+    /// (retained II, only the disturbed sub-DFG re-placed — skipped when no
+    /// healthy mapping is on hand) → **re-map** around the dead resources on
+    /// the engine's own fabric → **cached** healthy mapping (only when the
+    /// fabric is intact and the failure was a deadline, never on real
+    /// topology faults) → **universal-fabric** re-map (every PE supports
+    /// every opcode) → **reject** with the primary error. Each rung is
+    /// deadline-bounded by
     /// [`EngineConfig::compile_deadline_ms`] and every successful compile is
     /// published to the process cache under its exact fault set, so repeated
     /// requests against the same degraded part hit the cache.
@@ -261,12 +273,40 @@ impl CompileService {
             .cloned()
             .or_else(|| compile_cache::lookup(&self.compile_key(config, op)))
             .map(|loops| loops.iter().map(|l| l.mapping.ii as u64).sum());
-        // rung 1: re-map around the faults on the engine's own fabric
+        // rung 1: incremental repair — retain the healthy II and every
+        // placement the faults did not disturb, re-placing only the affected
+        // sub-DFG. Needs a healthy mapping on hand (engine-local or process
+        // cache; this rung never *computes* one) and a genuinely degraded
+        // fabric (on an intact fabric the healthy mapping needs no repair).
+        if !plan.fabric_intact() {
+            let ikey =
+                CompileKey { incremental: true, ..self.degraded_key(config, op, plan, false) };
+            let repaired = match compile_cache::lookup(&ikey) {
+                Some(hit) => Some(hit),
+                None => self
+                    .cache
+                    .get(&op)
+                    .cloned()
+                    .or_else(|| compile_cache::lookup(&self.compile_key(config, op)))
+                    .and_then(|healthy| self.try_repair_loops(config, op, &mask, &healthy))
+                    .map(|loops| compile_cache::publish(ikey, loops)),
+            };
+            if let Some(loops) = repaired {
+                let ii_inflation = CompileService::ii_inflation(healthy_ii, &loops);
+                return Ok(DegradedCompile {
+                    loops,
+                    fallback: FallbackLevel::Incremental,
+                    ii_inflation,
+                    alive_tiles: alive,
+                });
+            }
+        }
+        // rung 2: full re-map around the faults on the engine's own fabric
         let key = self.degraded_key(config, op, plan, false);
         let primary = match compile_cache::lookup(&key) {
             Some(hit) => Ok(hit),
             None => self
-                .try_compile_with(config, op, &self.spec, &mask, deadline)
+                .compile_one(config, op, &self.spec, &mask, deadline)
                 .map(|loops| compile_cache::publish(key, loops)),
         };
         let primary_err = match primary {
@@ -281,7 +321,7 @@ impl CompileService {
             }
             Err(e) => e,
         };
-        // rung 2: last-known-good mapping — legal only while the fabric is
+        // rung 3: last-known-good mapping — legal only while the fabric is
         // intact (a healthy mapping may use any tile or link). The engine's
         // local view survives process-cache clears, so a deadline miss on
         // re-validation still serves.
@@ -300,7 +340,7 @@ impl CompileService {
                 });
             }
         }
-        // rung 3: the all-universal fallback fabric, same fault set
+        // rung 4: the all-universal fallback fabric, same fault set
         let uspec = CgraSpec::universal(config.cgra_rows, config.cgra_cols);
         let umask = ResourceMask::degraded(
             &uspec,
@@ -311,7 +351,7 @@ impl CompileService {
         let fallback = match compile_cache::lookup(&ukey) {
             Some(hit) => Ok(hit),
             None => self
-                .try_compile_with(config, op, &uspec, &umask, deadline)
+                .compile_one(config, op, &uspec, &umask, deadline)
                 .map(|loops| compile_cache::publish(ukey, loops)),
         };
         match fallback {
@@ -324,7 +364,7 @@ impl CompileService {
                     alive_tiles: umask.alive_count(),
                 })
             }
-            // rung 4: reject, with the informative (own-fabric) diagnosis
+            // rung 5: reject, with the informative (own-fabric) diagnosis
             Err(_) => Err(primary_err),
         }
     }
@@ -352,6 +392,7 @@ impl CompileService {
             dead_tiles: Vec::new(),
             dead_links: Vec::new(),
             universal: false,
+            incremental: false,
         }
     }
 
@@ -372,12 +413,175 @@ impl CompileService {
         }
     }
 
-    /// The compile kernel shared by the healthy and degraded paths: per
-    /// kernel loop, picks the unroll factor minimizing per-element II among
-    /// the candidates that map on `spec` restricted to `mask`. With a full
-    /// mask, no deadline and the engine's own spec this is bit-identical to
-    /// the historical healthy compile.
-    fn try_compile_with(
+    /// The compile kernel shared by the healthy and degraded paths, batched:
+    /// per kernel loop of every op, picks the unroll factor minimizing
+    /// per-element II among the candidates that map on `spec` restricted to
+    /// `mask` — exactly the serial per-op semantics, but with the **entire**
+    /// `(op × loop × unroll × II × attempt)` portfolio submitted as one flat
+    /// [`try_parallel_find_first_grouped`](picachu_runtime) pass. One group
+    /// per `(op, loop, unroll)` candidate; each group independently keeps
+    /// its lowest-index (= lowest-II, earliest-attempt) success and
+    /// early-kills the rest of its cells, so the result is bit-identical to
+    /// the serial scan at any thread count. Because the structure is flat —
+    /// no `parallel_map` over ops wrapping a `find_first` over cells — the
+    /// modulo-scheduling search parallelizes even on the cold path, which
+    /// the old nested shape silently serialized.
+    ///
+    /// Returns one `Result` per op, in `ops` order: per-op failures (no
+    /// unroll candidate mapped some loop) are values, so one unmappable op
+    /// doesn't discard its siblings' work.
+    ///
+    /// # Errors
+    /// The outer `Err` is reserved for a panicking search worker.
+    fn compile_batch(
+        &self,
+        config: &EngineConfig,
+        ops: &[NonlinearOp],
+        spec: &CgraSpec,
+        mask: &ResourceMask,
+        deadline: Option<Duration>,
+    ) -> Result<Vec<Result<Vec<CompiledLoop>, PicachuError>>, PicachuError> {
+        /// One viable `(op, loop, unroll)` candidate: a lowering with its
+        /// prepared portfolio grid, one group of the flat pass.
+        struct Cand {
+            op: NonlinearOp,
+            label: String,
+            dfg: Dfg,
+            grid: SearchGrid,
+        }
+        /// Per-unroll outcome slot of one kernel loop, in candidate order.
+        enum Slot {
+            /// Index into the candidate (= group) vector.
+            Viable(usize),
+            /// Failed before the search started (no capable tile).
+            Dead(MapError),
+        }
+        struct LoopSlots {
+            label: String,
+            kind: LoopKind,
+            slots: Vec<(usize, Slot)>, // (uf, outcome)
+        }
+
+        let vf = config.format.vector_factor();
+        let mut cands: Vec<Cand> = Vec::new();
+        // per op, per loop: the uf-ordered outcome slots
+        let mut plan: Vec<Vec<LoopSlots>> = Vec::with_capacity(ops.len());
+        for &op in ops {
+            let kernel = kernel_for(op, config.taylor_terms);
+            let mut op_loops = Vec::with_capacity(kernel.loops.len());
+            for (i, l) in kernel.loops.iter().enumerate() {
+                let kind = match l.class {
+                    klib::LoopClass::Reduction => LoopKind::Reduction,
+                    klib::LoopClass::ElementWise => LoopKind::ElementWise,
+                };
+                // reductions vectorize with per-lane partial accumulators
+                // (the vector φ holds four lane partials; the cross-lane
+                // combine runs once per channel and is negligible), so every
+                // loop gets the format's vector factor.
+                let mut slots = Vec::with_capacity(config.unroll_candidates.len());
+                for &uf in &config.unroll_candidates {
+                    let dfg = self.lowered_dfg(config, op, i, uf, vf);
+                    let seed = CompileService::loop_seed(config, i);
+                    let slot = match SearchGrid::prepare(&dfg, spec, mask, seed, deadline) {
+                        Ok(grid) => {
+                            cands.push(Cand { op, label: l.label.clone(), dfg, grid });
+                            Slot::Viable(cands.len() - 1)
+                        }
+                        Err(e) => Slot::Dead(e),
+                    };
+                    slots.push((uf, slot));
+                }
+                op_loops.push(LoopSlots { label: l.label.clone(), kind, slots });
+            }
+            plan.push(op_loops);
+        }
+
+        // the flat pass: group g = candidate g, cell i = grid cell i
+        let group_sizes: Vec<usize> = cands.iter().map(|c| c.grid.grid_len()).collect();
+        let mut found =
+            picachu_runtime::try_parallel_find_first_grouped(&group_sizes, |g, i| {
+                let c = &cands[g];
+                c.grid.eval(&c.dfg, spec, mask, i)
+            })
+            .map_err(|wp| {
+                // identify the candidate owning the panicking flat cell
+                let mut rest = wp.index;
+                let mut g = 0;
+                for (k, &sz) in group_sizes.iter().enumerate() {
+                    if rest < sz {
+                        g = k;
+                        break;
+                    }
+                    rest -= sz;
+                }
+                PicachuError::Compile {
+                    op: cands[g].op,
+                    label: cands[g].label.clone(),
+                    source: MapError::Worker { index: wp.index, message: wp.message },
+                }
+            })?;
+
+        // assemble per-op results, replicating the serial selection exactly:
+        // uf-order iteration, strict `<` on per-element II (earlier uf wins
+        // ties), last failing uf's error reported when nothing maps
+        let mut out = Vec::with_capacity(ops.len());
+        for (&op, op_loops) in ops.iter().zip(plan) {
+            let mut compiled: Result<Vec<CompiledLoop>, PicachuError> = Ok(Vec::new());
+            for lc in op_loops {
+                let mut best: Option<CompiledLoop> = None;
+                let mut last_err = MapError::EmptyDfg;
+                for (uf, slot) in lc.slots {
+                    let mapped = match slot {
+                        Slot::Viable(ci) => {
+                            let c = &cands[ci];
+                            c.grid.resolve(&c.dfg, spec, mask, found[ci].take())
+                        }
+                        Slot::Dead(e) => Err(e),
+                    };
+                    match mapped {
+                        Ok(mapping) => {
+                            let per_elem = mapping.ii as f64 / (uf * vf) as f64;
+                            let better = match &best {
+                                None => true,
+                                Some(b) => {
+                                    per_elem
+                                        < b.mapping.ii as f64 / b.elements_per_ii() as f64
+                                }
+                            };
+                            if better {
+                                best = Some(CompiledLoop {
+                                    label: lc.label.clone(),
+                                    kind: lc.kind,
+                                    mapping,
+                                    uf,
+                                    vf,
+                                });
+                            }
+                        }
+                        Err(e) => last_err = e,
+                    }
+                }
+                match best {
+                    Some(b) => {
+                        if let Ok(v) = &mut compiled {
+                            v.push(b);
+                        }
+                    }
+                    None => {
+                        compiled =
+                            Err(PicachuError::Compile { op, label: lc.label, source: last_err });
+                        break;
+                    }
+                }
+            }
+            out.push(compiled);
+        }
+        Ok(out)
+    }
+
+    /// [`CompileService::compile_batch`] for a single op, flattening the
+    /// outer (worker-panic) and per-op error layers.
+    fn compile_one(
         &self,
         config: &EngineConfig,
         op: NonlinearOp,
@@ -385,52 +589,38 @@ impl CompileService {
         mask: &ResourceMask,
         deadline: Option<Duration>,
     ) -> Result<Vec<CompiledLoop>, PicachuError> {
-        let kernel = kernel_for(op, config.taylor_terms);
-        let vf_global = config.format.vector_factor();
-        let mut out = Vec::new();
-        for (i, l) in kernel.loops.iter().enumerate() {
-            let kind = match l.class {
-                klib::LoopClass::Reduction => LoopKind::Reduction,
-                klib::LoopClass::ElementWise => LoopKind::ElementWise,
-            };
-            // reductions vectorize with per-lane partial accumulators (the
-            // vector φ holds four lane partials; the cross-lane combine runs
-            // once per channel and is negligible), so every loop gets the
-            // format's vector factor.
-            let vf = vf_global;
-            let mut best: Option<CompiledLoop> = None;
-            let mut last_err = MapError::EmptyDfg;
-            for &uf in &config.unroll_candidates {
-                let dfg = self.lowered_dfg(config, op, i, uf, vf);
-                let mapping =
-                    match map_dfg_with(&dfg, spec, CompileService::loop_seed(config, i), mask, deadline) {
-                        Ok(m) => m,
-                        Err(e) => {
-                            last_err = e;
-                            continue;
-                        }
-                    };
-                let per_elem = mapping.ii as f64 / (uf * vf) as f64;
-                let better = match &best {
-                    None => true,
-                    Some(b) => per_elem < b.mapping.ii as f64 / b.elements_per_ii() as f64,
-                };
-                if better {
-                    best = Some(CompiledLoop { label: l.label.clone(), kind, mapping, uf, vf });
-                }
-            }
-            match best {
-                Some(b) => out.push(b),
-                None => {
-                    return Err(PicachuError::Compile {
-                        op,
-                        label: l.label.clone(),
-                        source: last_err,
-                    })
-                }
-            }
+        let mut results =
+            self.compile_batch(config, std::slice::from_ref(&op), spec, mask, deadline)?;
+        match results.pop() {
+            Some(r) => r,
+            None => Err(PicachuError::Compile {
+                op,
+                label: String::new(),
+                source: MapError::Internal("compile batch returned no result"),
+            }),
         }
-        Ok(out)
+    }
+
+    /// Attempts an incremental repair of every loop of `op`'s cached healthy
+    /// compile against the degraded `mask`: each loop keeps its II and its
+    /// undisturbed placements ([`repair_mapping`]). All-or-nothing per op —
+    /// if any loop resists repair at its healthy II, the op falls through to
+    /// the full re-map rung rather than mixing repaired and re-mapped loops.
+    fn try_repair_loops(
+        &self,
+        config: &EngineConfig,
+        op: NonlinearOp,
+        mask: &ResourceMask,
+        healthy: &[CompiledLoop],
+    ) -> Option<Vec<CompiledLoop>> {
+        let mut out = Vec::with_capacity(healthy.len());
+        for (i, l) in healthy.iter().enumerate() {
+            let dfg = self.lowered_dfg(config, op, i, l.uf, l.vf);
+            let seed = CompileService::loop_seed(config, i);
+            let mapping = repair_mapping(&dfg, &self.spec, seed, mask, &l.mapping)?;
+            out.push(CompiledLoop { mapping, ..l.clone() });
+        }
+        Some(out)
     }
 
     /// Reconstructs the exact lowered DFG the mapper saw for loop
@@ -508,5 +698,60 @@ mod tests {
     fn loop_seed_varies_by_loop_index() {
         let config = EngineConfig::default();
         assert_ne!(CompileService::loop_seed(&config, 0), CompileService::loop_seed(&config, 1));
+    }
+
+    #[test]
+    fn degraded_compile_takes_the_incremental_rung() {
+        // a seed unique to this test keeps the shared process cache hermetic
+        // an 8×8 fabric: at paper-scale 4×4 the kernels map at their
+        // resource-bound minimum II, so losing a tile usually makes the
+        // retained II infeasible and the repair rung correctly passes; a
+        // bigger fabric leaves the slack incremental repair exists for
+        let config = EngineConfig {
+            seed: 0x12C0_0001,
+            cgra_rows: 8,
+            cgra_cols: 8,
+            ..EngineConfig::default()
+        };
+        let mut svc =
+            CompileService::new(CgraSpec::picachu(config.cgra_rows, config.cgra_cols));
+        let mut repaired_any = false;
+        for op in [NonlinearOp::Relu, NonlinearOp::Silu, NonlinearOp::Softmax] {
+            let healthy = svc.try_compile_op(&config, op).expect("healthy compile");
+            // kill the tile hosting the first node of the first loop, so the
+            // healthy mapping is genuinely disturbed
+            let dead = healthy[0].mapping.placements[0].tile;
+            let plan = picachu_faults::FaultPlan::dead_tile(dead);
+            let dc = svc.compile_op_degraded(&config, op, &plan).expect("degraded compile");
+            if dc.fallback != FallbackLevel::Incremental {
+                continue; // repair legitimately gave up; the ladder moved on
+            }
+            repaired_any = true;
+            for (h, d) in healthy.iter().zip(dc.loops.iter()) {
+                assert_eq!(h.mapping.ii, d.mapping.ii, "{}: repair must retain the II", d.label);
+                assert_eq!((h.uf, h.vf), (d.uf, d.vf));
+            }
+            for l in dc.loops.iter() {
+                for p in &l.mapping.placements {
+                    assert_ne!(p.tile, dead, "{}: node left on the dead tile", l.label);
+                }
+            }
+            // the repaired entry is cached under its own (incremental) key:
+            // a repeat request serves it without touching the healthy rungs
+            let again = svc.compile_op_degraded(&config, op, &plan).expect("cached repeat");
+            assert_eq!(again.fallback, FallbackLevel::Incremental);
+            assert_eq!(again.loops.len(), dc.loops.len());
+        }
+        assert!(repaired_any, "no op took the incremental rung");
+    }
+
+    #[test]
+    fn incremental_and_full_remap_entries_never_alias() {
+        let config = EngineConfig { seed: 0x12C0_0002, ..EngineConfig::default() };
+        let svc = CompileService::new(CgraSpec::picachu(config.cgra_rows, config.cgra_cols));
+        let plan = picachu_faults::FaultPlan::dead_tile(3);
+        let full = svc.degraded_key(&config, NonlinearOp::Relu, &plan, false);
+        let inc = CompileKey { incremental: true, ..full.clone() };
+        assert_ne!(full, inc);
     }
 }

@@ -7,8 +7,8 @@
 //! and both the DSE sweep and the figure harnesses evaluate many independent
 //! design points / kernels.
 //!
-//! Two primitives cover every call site, each in a panicking and a fallible
-//! flavour:
+//! Three primitives cover every call site, the first two in a panicking and
+//! a fallible flavour:
 //!
 //! * [`parallel_map`] / [`try_parallel_map`] — chunk-free dynamic work
 //!   sharing over an indexed item slice; results come back in input order,
@@ -21,6 +21,14 @@
 //!   so the result is bit-identical to a serial first-success scan while
 //!   failures (the expensive part of a modulo-scheduling search) burn in
 //!   parallel.
+//! * [`try_parallel_find_first_grouped`] — many portfolio searches sharing
+//!   **one flat work queue**: the compile service submits every
+//!   `(op × II × attempt)` cell of a batch compile as a single pass, so the
+//!   cells of all kernels fan out together instead of the outer map
+//!   serialising the inner portfolios through the nested-pool guard. Each
+//!   group independently resolves to its lowest-index success, and a group's
+//!   remaining cells are killed (skipped at claim time) as soon as a
+//!   lower-index success for that group lands.
 //!
 //! ## Panic isolation
 //!
@@ -56,14 +64,34 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
-/// `PICACHU_THREADS` parsed once per process (0 = unset/invalid).
+/// `PICACHU_THREADS`, parsed **once per process** (0 = unset).
+///
+/// The value is memoized in a `OnceLock` on the first `parallel_*` call:
+/// setting or changing the variable later in the same process is silently
+/// ignored by design (re-reading the environment mid-run would let the pool
+/// size — and therefore wall-clock, though never results — drift between
+/// two halves of one experiment). In-process code that needs to vary the
+/// thread count uses [`set_thread_override`], which takes precedence over
+/// the environment and is what the determinism tests and the
+/// serial-vs-parallel benches drive.
+///
+/// An invalid value (non-numeric, negative, or `0` — zero worker threads is
+/// not a meaningful pool) is *warned about once* and treated as unset, so a
+/// typo degrades to hardware parallelism instead of being silently absorbed.
 fn env_threads() -> usize {
     static ENV: OnceLock<usize> = OnceLock::new();
-    *ENV.get_or_init(|| {
-        std::env::var("PICACHU_THREADS")
-            .ok()
-            .and_then(|s| s.trim().parse::<usize>().ok())
-            .unwrap_or(0)
+    *ENV.get_or_init(|| match std::env::var("PICACHU_THREADS") {
+        Err(_) => 0,
+        Ok(s) => match s.trim().parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!(
+                    "picachu-runtime: invalid PICACHU_THREADS={s:?} (expected a positive \
+                     integer); falling back to hardware parallelism"
+                );
+                0
+            }
+        },
     })
 }
 
@@ -261,6 +289,9 @@ where
 /// `b` are skipped, while indices below `b` — all claimed before `b` was —
 /// still run to completion and may lower the winner.
 ///
+/// This is exactly [`try_parallel_find_first_grouped`] with a single group;
+/// see there for the memory-ordering contract.
+///
 /// # Errors
 /// Returns [`WorkerPanic`] when the lowest eventful index panicked.
 pub fn try_parallel_find_first<R, F>(n: usize, f: F) -> Result<Option<(usize, R)>, WorkerPanic>
@@ -268,48 +299,149 @@ where
     R: Send,
     F: Fn(usize) -> Option<R> + Sync,
 {
-    let threads = num_threads().min(n);
+    let mut per_group = try_parallel_find_first_grouped(&[n], |_, i| f(i))?;
+    Ok(per_group.pop().flatten())
+}
+
+/// Many deterministic portfolio searches sharing **one flat work queue**.
+///
+/// `group_sizes[g]` is the number of cells of group `g`; `f(g, i)` evaluates
+/// cell `i` (`0 <= i < group_sizes[g]`) of that group. Every group resolves
+/// independently to the contract of [`try_parallel_find_first`]: its
+/// lowest-index success (or `None` when every cell fails). The return vector
+/// has one entry per group, in group order.
+///
+/// The point of the shared queue is the **nested-pool serialization bug**:
+/// an outer `try_parallel_map` over kernels whose tasks each run an inner
+/// portfolio search leaves every inner search on the serial nested path
+/// ([`in_worker`]), so the expensive part — the modulo-scheduling grid —
+/// never parallelizes. Flattening all groups into one queue gives the pool
+/// the whole `(group × cell)` grid at once: workers claim cells in ascending
+/// flat order (group 0's cells first, then group 1's, …), and once a success
+/// at cell `b` of group `g` lands, the remaining cells of `g` are
+/// *early-killed* — skipped at claim time, their cost reduced to one atomic
+/// claim — while work continues on later groups.
+///
+/// Determinism contract: identical to running the groups one after another,
+/// each through a serial `find_first` scan. Per group the lowest *eventful*
+/// cell wins; if for some group that cell is a panic, the call returns
+/// [`WorkerPanic`] for the **lowest such group**, with `index` equal to the
+/// flat queue index (`offset(g) + i`) — the cell a serial group-by-group
+/// scan would have panicked at. Zero-size groups resolve to `None`.
+///
+/// ## Memory-ordering contract
+///
+/// Three kinds of shared state, with deliberately different strengths:
+///
+/// * The claim counter `next` uses `Relaxed` `fetch_add`: the only property
+///   used is the atomicity of the RMW itself (every flat index is claimed
+///   exactly once). No other memory access is ordered against a claim, so
+///   no stronger ordering is needed.
+/// * Per-group `best`/`first_panic` cutoffs are written with `SeqCst` and
+///   read *advisorily* at claim time: a stale read can only cause a cell to
+///   run that would have been skipped (wasted work, then discarded by the
+///   reduction below), never a wrong result. The authoritative
+///   compare-and-update (`load` + `store`) happens **under the group's
+///   result mutex**, so writers are mutually excluded and the stored value
+///   is the true minimum of all eventful cells; `SeqCst` on the store is
+///   then only needed to make the final non-mutex reads after
+///   `thread::scope` well-defined (scope join already provides the
+///   happens-before edge, so this is belt and braces, kept because the
+///   cutoff traffic is nowhere near hot enough to measure).
+/// * Results and panic payloads travel through `Mutex`es, never atomics.
+///
+/// Correctness therefore never depends on cutoff visibility — only
+/// wall-clock does. The `grouped_stress_lowest_index_wins_under_contention`
+/// test hammers this with 16 threads racing dense success patterns.
+///
+/// # Errors
+/// Returns [`WorkerPanic`] when some group's lowest eventful cell panicked
+/// (lowest such group wins).
+pub fn try_parallel_find_first_grouped<R, F>(
+    group_sizes: &[usize],
+    f: F,
+) -> Result<Vec<Option<(usize, R)>>, WorkerPanic>
+where
+    R: Send,
+    F: Fn(usize, usize) -> Option<R> + Sync,
+{
+    let groups = group_sizes.len();
+    let mut offsets = Vec::with_capacity(groups + 1);
+    let mut total = 0usize;
+    offsets.push(0);
+    for &sz in group_sizes {
+        total += sz;
+        offsets.push(total);
+    }
+    let threads = num_threads().min(total);
     if threads <= 1 || in_worker() {
-        for i in 0..n {
-            match catch_unwind(AssertUnwindSafe(|| f(i))) {
-                Ok(Some(r)) => return Ok(Some((i, r))),
-                Ok(None) => {}
-                Err(p) => return Err(WorkerPanic { index: i, message: panic_message(p) }),
+        let mut out = Vec::with_capacity(groups);
+        for (g, &sz) in group_sizes.iter().enumerate() {
+            let mut found = None;
+            for i in 0..sz {
+                match catch_unwind(AssertUnwindSafe(|| f(g, i))) {
+                    Ok(Some(r)) => {
+                        found = Some((i, r));
+                        break;
+                    }
+                    Ok(None) => {}
+                    Err(p) => {
+                        return Err(WorkerPanic {
+                            index: offsets[g] + i,
+                            message: panic_message(p),
+                        })
+                    }
+                }
             }
+            out.push(found);
         }
-        return Ok(None);
+        return Ok(out);
     }
     let next = AtomicUsize::new(0);
-    let best = AtomicUsize::new(usize::MAX);
-    let first_panic = AtomicUsize::new(usize::MAX);
-    let winner: Mutex<Option<(usize, R)>> = Mutex::new(None);
-    let panic_msg: Mutex<Option<WorkerPanic>> = Mutex::new(None);
+    let best: Vec<AtomicUsize> = (0..groups).map(|_| AtomicUsize::new(usize::MAX)).collect();
+    let first_panic: Vec<AtomicUsize> =
+        (0..groups).map(|_| AtomicUsize::new(usize::MAX)).collect();
+    let winners: Vec<Mutex<Option<(usize, R)>>> = (0..groups).map(|_| Mutex::new(None)).collect();
+    let panics: Vec<Mutex<Option<WorkerPanic>>> = (0..groups).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|s| {
         for _ in 0..threads {
             s.spawn(|| {
                 IN_WORKER.with(|w| w.set(true));
                 loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let cutoff = best
-                        .load(Ordering::SeqCst)
-                        .min(first_panic.load(Ordering::SeqCst));
-                    if i >= n || i > cutoff {
+                    let flat = next.fetch_add(1, Ordering::Relaxed);
+                    if flat >= total {
                         break;
                     }
-                    match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                    // the group owning this flat index (offsets is strictly
+                    // increasing over non-empty groups, so the cell lands in
+                    // the last group whose offset is <= flat)
+                    let g = offsets.partition_point(|&o| o <= flat) - 1;
+                    let i = flat - offsets[g];
+                    let cutoff = best[g]
+                        .load(Ordering::SeqCst)
+                        .min(first_panic[g].load(Ordering::SeqCst));
+                    if i > cutoff {
+                        // early-kill: this group already resolved at a lower
+                        // cell; move on to the next group's cells.
+                        continue;
+                    }
+                    match catch_unwind(AssertUnwindSafe(|| f(g, i))) {
                         Ok(Some(r)) => {
-                            let mut w = lock_unpoisoned(&winner);
-                            if i < best.load(Ordering::SeqCst) {
-                                best.store(i, Ordering::SeqCst);
+                            let mut w = lock_unpoisoned(&winners[g]);
+                            if i < best[g].load(Ordering::SeqCst) {
+                                best[g].store(i, Ordering::SeqCst);
                                 *w = Some((i, r));
                             }
                         }
                         Ok(None) => {}
                         Err(p) => {
-                            let mut w = lock_unpoisoned(&panic_msg);
-                            if i < first_panic.load(Ordering::SeqCst) {
-                                first_panic.store(i, Ordering::SeqCst);
-                                *w = Some(WorkerPanic { index: i, message: panic_message(p) });
+                            let mut w = lock_unpoisoned(&panics[g]);
+                            if i < first_panic[g].load(Ordering::SeqCst) {
+                                first_panic[g].store(i, Ordering::SeqCst);
+                                *w = Some(WorkerPanic {
+                                    index: offsets[g] + i,
+                                    message: panic_message(p),
+                                });
                             }
                         }
                     }
@@ -317,17 +449,21 @@ where
             });
         }
     });
-    let w = best.load(Ordering::SeqCst);
-    let p = first_panic.load(Ordering::SeqCst);
-    if p < w {
-        // the serial scan would have panicked before reaching the first
-        // success: the panic is the deterministic outcome.
-        if let Some(wp) = lock_unpoisoned(&panic_msg).take() {
-            return Err(wp);
+    let mut out = Vec::with_capacity(groups);
+    for g in 0..groups {
+        let b = best[g].load(Ordering::SeqCst);
+        let p = first_panic[g].load(Ordering::SeqCst);
+        if p < b {
+            // a serial group-by-group scan would have panicked inside this
+            // group before reaching its first success: the panic is the
+            // deterministic outcome.
+            if let Some(wp) = lock_unpoisoned(&panics[g]).take() {
+                return Err(wp);
+            }
         }
+        out.push(lock_unpoisoned(&winners[g]).take());
     }
-    let found = lock_unpoisoned(&winner).take();
-    Ok(found)
+    Ok(out)
 }
 
 /// [`try_parallel_find_first`] for callers that treat a task panic as a bug.
@@ -514,6 +650,140 @@ mod tests {
     #[test]
     fn try_find_first_all_fail_is_ok_none() {
         assert_eq!(try_parallel_find_first(32, |_| None::<u32>), Ok(None));
+    }
+
+    #[test]
+    fn grouped_returns_lowest_success_per_group() {
+        let _g = override_lock();
+        // group 0: successes at 7 and 13; group 1: none; group 2: at 0;
+        // group 3: empty
+        for t in [1usize, 2, 4, 8] {
+            set_thread_override(Some(t));
+            let got = try_parallel_find_first_grouped(&[64, 16, 8, 0], |g, i| match g {
+                0 => (i == 7 || i == 13).then_some(g * 100 + i),
+                2 => (i == 0).then_some(g * 100 + i),
+                _ => None,
+            });
+            set_thread_override(None);
+            let got = got.expect("no panics");
+            assert_eq!(got[0], Some((7, 7)), "{t} threads");
+            assert_eq!(got[1], None, "{t} threads");
+            assert_eq!(got[2], Some((0, 200)), "{t} threads");
+            assert_eq!(got[3], None, "{t} threads");
+        }
+    }
+
+    #[test]
+    fn grouped_matches_independent_searches_at_any_thread_count() {
+        let _g = override_lock();
+        // a dense pseudo-random success pattern over 20 uneven groups: the
+        // grouped pass must agree with 20 serial find_first scans
+        let sizes: Vec<usize> = (0..20).map(|g| 3 + (g * 7) % 40).collect();
+        let hit = |g: usize, i: usize| {
+            (g as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(i as u64)
+                .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+                .is_multiple_of(5)
+        };
+        let expect: Vec<Option<(usize, usize)>> = sizes
+            .iter()
+            .enumerate()
+            .map(|(g, &sz)| (0..sz).find(|&i| hit(g, i)).map(|i| (i, g * 1000 + i)))
+            .collect();
+        for t in [1usize, 2, 3, 8] {
+            set_thread_override(Some(t));
+            let got =
+                try_parallel_find_first_grouped(&sizes, |g, i| hit(g, i).then_some(g * 1000 + i));
+            set_thread_override(None);
+            assert_eq!(got, Ok(expect.clone()), "{t} threads");
+        }
+    }
+
+    #[test]
+    fn grouped_panic_reports_lowest_group_flat_index() {
+        let _g = override_lock();
+        // group 1 panics at cell 2 before its first success at cell 9;
+        // group 0 resolves cleanly — the Err must point at group 1, and the
+        // reported index is flat (offset 10 + 2).
+        for t in [1usize, 2, 8] {
+            set_thread_override(Some(t));
+            let r = try_parallel_find_first_grouped(&[10, 10], |g, i| {
+                if g == 1 && i == 2 {
+                    panic!("cell poison");
+                }
+                (g == 0 && i == 3 || g == 1 && i == 9).then_some(i)
+            });
+            set_thread_override(None);
+            let err = r.expect_err("panic precedes group 1's success");
+            assert_eq!(err.index, 12, "{t} threads");
+        }
+    }
+
+    #[test]
+    fn grouped_success_below_panic_is_ok() {
+        let _g = override_lock();
+        for t in [1usize, 4] {
+            set_thread_override(Some(t));
+            let r = try_parallel_find_first_grouped(&[32], |_, i| {
+                if i == 20 {
+                    panic!("beyond the winner");
+                }
+                (i == 4).then_some(i)
+            });
+            set_thread_override(None);
+            assert_eq!(r, Ok(vec![Some((4, 4))]), "{t} threads");
+        }
+    }
+
+    #[test]
+    fn grouped_empty_inputs() {
+        assert_eq!(try_parallel_find_first_grouped::<u32, _>(&[], |_, _| None), Ok(vec![]));
+        assert_eq!(
+            try_parallel_find_first_grouped(&[0, 0], |_, _| Some(1u32)),
+            Ok(vec![None, None])
+        );
+    }
+
+    #[test]
+    fn grouped_runs_serially_inside_a_worker() {
+        let _g = override_lock();
+        set_thread_override(Some(4));
+        let out = parallel_map(&[10usize, 20], |_, &base| {
+            // nested grouped call: must degrade to the serial path, not
+            // deadlock or oversubscribe — and still be exact
+            let r = try_parallel_find_first_grouped(&[8, 8], |g, i| {
+                (i == g + 1).then_some(base + g * 10 + i)
+            });
+            r.expect("no panics")
+        });
+        set_thread_override(None);
+        assert_eq!(out[0], vec![Some((1, 11)), Some((2, 22))]);
+        assert_eq!(out[1], vec![Some((1, 21)), Some((2, 32))]);
+    }
+
+    /// Satellite audit: the Relaxed claim counter and SeqCst cutoffs must
+    /// still yield lowest-index-wins under heavy contention. 16 threads race
+    /// over groups whose success cells sit immediately next to each other,
+    /// so the advisory cutoff read is stale as often as possible.
+    #[test]
+    fn grouped_stress_lowest_index_wins_under_contention() {
+        let _g = override_lock();
+        set_thread_override(Some(16));
+        for round in 0..25u64 {
+            // successes at `w`, `w+1`, `w+2` for a round-dependent winner w
+            let sizes = [512usize, 512, 512];
+            let got = try_parallel_find_first_grouped(&sizes, |g, i| {
+                let w = ((round.wrapping_mul(97) + g as u64 * 31) % 500) as usize;
+                (i >= w && i <= w + 2).then_some(i)
+            })
+            .expect("no panics");
+            for (g, r) in got.iter().enumerate() {
+                let w = ((round.wrapping_mul(97) + g as u64 * 31) % 500) as usize;
+                assert_eq!(*r, Some((w, w)), "round {round} group {g}");
+            }
+        }
+        set_thread_override(None);
     }
 
     #[test]

@@ -3,13 +3,18 @@
 
 use crate::sched::{Outcome, ServeReport};
 
-/// Nearest-rank percentile of a sorted slice (0 for an empty one).
+/// Nearest-rank percentile of a sorted slice (0 for an empty one): the
+/// smallest value such that at least `q·n` of the samples are ≤ it, i.e.
+/// rank `⌈q·n⌉` (1-based, clamped to `[1, n]`). The previous
+/// `round((n−1)·q)` interpolation overshot on even-length inputs — p50 of
+/// `1..=100` returned 51 instead of 50 — and a nearest-rank p99 must never
+/// *under*-report a tail latency the way rounding down can.
 fn percentile(sorted: &[u64], q: f64) -> u64 {
     if sorted.is_empty() {
         return 0;
     }
-    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// The SLO summary of one serving run — one row of the throughput-vs-SLO
@@ -92,11 +97,24 @@ mod tests {
     #[test]
     fn percentile_nearest_rank() {
         let v: Vec<u64> = (1..=100).collect();
-        assert_eq!(percentile(&v, 0.50), 51);
+        assert_eq!(percentile(&v, 0.50), 50, "p50 of 1..=100 is rank ⌈50⌉ = 50");
         assert_eq!(percentile(&v, 0.99), 99);
         assert_eq!(percentile(&v, 0.0), 1);
         assert_eq!(percentile(&v, 1.0), 100);
         assert_eq!(percentile(&[], 0.5), 0);
         assert_eq!(percentile(&[7], 0.99), 7);
+    }
+
+    #[test]
+    fn percentile_small_n_nearest_rank() {
+        // n = 2: p50 rank = ⌈0.5·2⌉ = 1 → first element, not the second
+        assert_eq!(percentile(&[1, 2], 0.50), 1);
+        assert_eq!(percentile(&[1, 2], 0.51), 2);
+        // n = 3: p50 rank = ⌈1.5⌉ = 2 → the true median
+        assert_eq!(percentile(&[1, 2, 3], 0.50), 2);
+        // p99 of a small sample is its maximum (rank ⌈0.99·n⌉ = n)
+        assert_eq!(percentile(&[1, 2], 0.99), 2);
+        assert_eq!(percentile(&[1, 2, 3], 0.99), 3);
+        assert_eq!(percentile(&[4, 8], 1.0), 8);
     }
 }

@@ -62,6 +62,34 @@ impl ShardSpec {
             ShardSpec::CgraBase => Box::new(HomogeneousCgraModel::hosted()),
         }
     }
+
+    /// Instantiates the device and, for PICACHU shards, pre-warms the union
+    /// of the tenants' nonlinear kernels through one grouped compile batch
+    /// before the first trace runs. Compilation is deterministic in the
+    /// engine config, so warming changes *when* the mapper runs — a single
+    /// flat parallel pass instead of op-by-op on the first trace of each
+    /// tenant — never *what* it produces; cost tables are bit-identical
+    /// either way.
+    pub fn build_warmed(&self, tenants: &[Tenant]) -> Box<dyn Accelerator> {
+        match self {
+            ShardSpec::Picachu(cfg) => {
+                let mut engine = PicachuEngine::new(cfg.clone());
+                let mut ops: BTreeSet<NonlinearOp> = BTreeSet::new();
+                for t in tenants {
+                    ops.extend(t.model.nonlinear_ops());
+                }
+                let ops: Vec<NonlinearOp> = ops.into_iter().collect();
+                if let Err(e) = engine.prewarm(&ops) {
+                    // a healthy-fabric compile failure would surface as the
+                    // same panic on the first execute_trace; warn and let
+                    // the measuring pass report it
+                    eprintln!("picachu-serve: shard prewarm failed: {e}");
+                }
+                Box::new(engine)
+            }
+            _ => self.build(),
+        }
+    }
 }
 
 /// log2 of the power-of-two bucket covering `x` (shape-compatibility
@@ -128,7 +156,7 @@ impl Shard {
     /// prefill, context buckets from prompt to prompt+max decode, batch
     /// sizes at powers of two up to `max_batch`.
     pub fn new(id: usize, spec: ShardSpec, tenants: &[Tenant], max_batch: usize) -> Shard {
-        let mut backend = spec.build();
+        let mut backend = spec.build_warmed(tenants);
         let max_batch_pow2 = max_batch.max(1).next_power_of_two() as u32;
         let mut costs = HashMap::new();
         for (ti, t) in tenants.iter().enumerate() {

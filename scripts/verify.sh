@@ -36,9 +36,45 @@ cargo run --release -q -p picachu-bench --bin serve_bench --offline -- --smoke
 echo "== bench smoke (one call per benchmark, offline) =="
 cargo bench -p picachu-bench --offline -- --smoke
 
-echo "== parallel-compile microbench (serial vs parallel, median/p95) =="
+echo "== parallel-compile microbench (serial vs parallel @4 threads, median/p95) =="
 mkdir -p results
-cargo bench -p picachu-bench --bench compile --offline \
+PICACHU_THREADS=4 cargo bench -p picachu-bench --bench compile --offline \
   | tee results/BENCH_compile.json
+
+echo "== compile speedup gate (cold parallel vs cold serial) =="
+# The flat grouped compile pass must make cold compiles measurably faster
+# than the serial path when real parallelism exists. Thresholds scale with
+# the machine: skipped on 1 core (the pool cannot help), >=1.2x on 2-3
+# cores, >=2.0x on 4+ (the ISSUE acceptance bar).
+python3 - <<'EOF'
+import json, os, sys
+cores = os.cpu_count() or 1
+rows = {}
+with open("results/BENCH_compile.json") as f:
+    for line in f:
+        line = line.strip()
+        if not line.startswith("{"):
+            continue
+        r = json.loads(line)
+        if "bench" in r and "median_ns" in r:
+            rows[r["bench"]] = r["median_ns"]
+serial = rows.get("kernel_library_cold_serial")
+parallel = rows.get("kernel_library_cold_parallel")
+if not serial or not parallel:
+    sys.exit("speedup gate: cold serial/parallel rows missing from BENCH_compile.json")
+speedup = serial / parallel
+print(f"cold compile speedup: {speedup:.2f}x on {cores} cores")
+if cores < 2:
+    print("speedup gate: SKIPPED (single-core machine, the pool cannot help)")
+elif cores < 4 and speedup < 1.2:
+    sys.exit(f"speedup gate: FAILED ({speedup:.2f}x < 1.2x on {cores} cores)")
+elif cores >= 4 and speedup < 2.0:
+    sys.exit(f"speedup gate: FAILED ({speedup:.2f}x < 2.0x on {cores} cores)")
+else:
+    print("speedup gate: OK")
+EOF
+
+echo "== mapstore round-trip smoke (cold compile -> store -> warm, bit-identical) =="
+cargo test -q -p picachu --test mapstore_store_roundtrip --offline
 
 echo "verify: OK"

@@ -1,0 +1,54 @@
+//! On-disk mapping-store round trip: a process that compiled cold with a
+//! `PICACHU_MAPSTORE` directory configured leaves behind a versioned
+//! JSON-lines store, and a "repeat process" (modelled here by clearing the
+//! process-wide compile cache, which also re-arms the store load) warms
+//! every kernel from disk — zero mapper invocations — and produces a
+//! bit-identical [`ExecutionReport`](picachu::ExecutionReport).
+//!
+//! This lives in its own integration-test binary (its own process) because
+//! the store override is process-global: any other test compiling while it
+//! is set would publish into — and warm from — the temporary store.
+
+use picachu::engine::{EngineConfig, PicachuEngine};
+use picachu::{compile_cache, set_mapstore_dir, Accelerator};
+use picachu_llm::trace::model_trace;
+use picachu_llm::ModelConfig;
+
+#[test]
+fn warm_from_store_run_is_bit_identical_and_mapper_free() {
+    let dir = std::env::temp_dir()
+        .join(format!("picachu-mapstore-roundtrip-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    set_mapstore_dir(Some(dir.clone()));
+    compile_cache::clear();
+
+    let trace = model_trace(&ModelConfig::gpt2(), 64);
+    let mut cold_engine = PicachuEngine::new(EngineConfig::default());
+    // the trait method returns the full ExecutionReport (the inherent
+    // method on the engine returns only the Breakdown)
+    let cold = Accelerator::execute_trace(&mut cold_engine, &trace);
+    let (_, cold_misses) = compile_cache::stats();
+    assert!(cold_misses > 0, "first run must actually compile cold");
+
+    // the store file is versioned JSON lines
+    let raw = std::fs::read_to_string(dir.join("mappings.jsonl")).expect("store file written");
+    assert!(
+        raw.starts_with("{\"picachu_mapstore\":1}"),
+        "store must lead with its version header: {:?}",
+        raw.lines().next()
+    );
+    assert!(raw.lines().count() > 1, "cold compiles must be persisted");
+
+    // a repeat process: empty in-memory cache, same store directory
+    compile_cache::clear();
+    let mut warm_engine = PicachuEngine::new(EngineConfig::default());
+    let warm = Accelerator::execute_trace(&mut warm_engine, &trace);
+    let (warm_hits, warm_misses) = compile_cache::stats();
+    assert!(warm_hits > 0, "repeat run must warm from the on-disk store");
+    assert_eq!(warm_misses, 0, "store-warmed run must never re-run the mapper");
+    assert_eq!(cold, warm, "warm-from-store report diverged from the cold one");
+
+    set_mapstore_dir(None);
+    compile_cache::clear();
+    let _ = std::fs::remove_dir_all(&dir);
+}
