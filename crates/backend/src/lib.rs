@@ -152,8 +152,8 @@ impl fmt::Display for ExecutionReport {
     }
 }
 
-/// Relative tolerance the backend-parity suite holds a *warm*
-/// [`Accelerator::estimate_trace`] to against the measured
+/// Relative tolerance within which the backend-parity suite holds a *warm*
+/// [`Accelerator::estimate_trace`] to the measured
 /// `execute_trace(..).total()` of the same trace. Estimates are pure
 /// re-evaluations of the same cost models, so agreement is essentially
 /// exact; the epsilon only absorbs f64 summation-order noise.

@@ -1,6 +1,6 @@
 //! Parallel-compilation microbench: serial vs parallel (and cold vs warm
 //! shared-cache) wall-clock for the toolchain's dominant cost — modulo-
-//! scheduling the kernel library and evaluating a DSE sweep.
+//! scheduling the kernel library and running a DSE mini-search.
 //!
 //! Emits one JSON line per bench (median/p95) on the `picachu-testkit`
 //! harness; `scripts/verify.sh` redirects a full run to
@@ -11,13 +11,12 @@
 //! every cold iteration so the mapper actually runs.
 
 use picachu::compile_cache;
-use picachu::dse::{explore, DseSweep};
+use picachu::dse::{search, SearchConfig};
 use picachu::engine::{EngineConfig, PicachuEngine};
 use picachu::runtime;
 use picachu_compiler::mapper::{map_dfg_with, repair_mapping, ResourceMask};
 use picachu_llm::ModelConfig;
 use picachu_nonlinear::NonlinearOp;
-use picachu_num::DataFormat;
 use picachu_testkit::{black_box, Bench};
 
 /// Compiles the full Table 1 kernel library on a fresh engine.
@@ -28,13 +27,8 @@ fn compile_library() {
     }
 }
 
-fn small_sweep() -> DseSweep {
-    DseSweep {
-        fabrics: vec![(3, 3), (4, 4)],
-        buffers: vec![20, 40],
-        formats: vec![DataFormat::Fp16, DataFormat::Int16],
-        seq: 64,
-    }
+fn small_search() -> SearchConfig {
+    SearchConfig::smoke(42)
 }
 
 fn main() {
@@ -58,18 +52,18 @@ fn main() {
         compile_library();
     });
 
-    g.bench("dse_sweep_cold_serial", || {
+    g.bench("dse_search_cold_serial", || {
         runtime::set_thread_override(Some(1));
         compile_cache::clear();
-        black_box(explore(&ModelConfig::gpt2(), &small_sweep()).len());
+        black_box(search(&ModelConfig::gpt2(), &small_search()).evaluated.len());
         runtime::set_thread_override(None);
     });
-    g.bench("dse_sweep_cold_parallel", || {
+    g.bench("dse_search_cold_parallel", || {
         compile_cache::clear();
-        black_box(explore(&ModelConfig::gpt2(), &small_sweep()).len());
+        black_box(search(&ModelConfig::gpt2(), &small_search()).evaluated.len());
     });
-    g.bench("dse_sweep_warm_cache", || {
-        black_box(explore(&ModelConfig::gpt2(), &small_sweep()).len());
+    g.bench("dse_search_warm_cache", || {
+        black_box(search(&ModelConfig::gpt2(), &small_search()).evaluated.len());
     });
 
     // a repeat process's cold start when `PICACHU_MAPSTORE` points at a

@@ -136,10 +136,15 @@ impl CostModel {
         self.basic_tile_power * (1.0 + frac)
     }
 
-    /// Total CGRA fabric cost at a given average utilization (busy-tile
-    /// fraction from the simulator). Dynamic power scales with utilization;
-    /// the static fraction is always paid.
+    /// Total CGRA fabric cost at a given average utilization (busy-slot
+    /// fraction — e.g. `Mapping::utilization`'s `placements / (tiles × II)`
+    /// from the compiled mappings, or the simulator's busy-tile fraction).
+    /// Dynamic power scales with utilization; the static fraction is always
+    /// paid. The factor is clamped to `[0, 1]` (and NaN to 0) so a bad
+    /// caller estimate can never price the fabric below leakage or above
+    /// peak; area is independent of activity.
     pub fn cgra_cost(&self, spec: &CgraSpec, utilization: f64) -> FabricCost {
+        let u = if utilization.is_nan() { 0.0 } else { utilization.clamp(0.0, 1.0) };
         let mut area = 0.0;
         let mut peak = 0.0;
         for i in 0..spec.len() {
@@ -147,7 +152,7 @@ impl CostModel {
             area += self.tile_area(class);
             peak += self.tile_power(class);
         }
-        let power = peak * (self.static_fraction + (1.0 - self.static_fraction) * utilization);
+        let power = peak * (self.static_fraction + (1.0 - self.static_fraction) * u);
         FabricCost { area_mm2: area, power_mw: power }
     }
 

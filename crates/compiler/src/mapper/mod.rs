@@ -809,6 +809,77 @@ const REPAIR_ATTEMPTS: usize = 10;
 /// repair, because a full re-map is free to inflate the II.
 const REPAIR_WIDEN_ROUNDS: usize = 4;
 
+/// Nodes on the longest-latency distance-0 dependence chain through each
+/// unkept node (ascending id order, deterministic tie-breaks).
+///
+/// At tight IIs — especially II = 1, where every tile owns a single slot —
+/// a displaced node's placement freedom is bounded by the *timing of its
+/// whole dependence chain*, not just its immediate neighbours. Un-keeping
+/// the full critical path in one step lets the placer re-time the chain as
+/// a unit; the generic one-hop ripple instead grows a radius around the
+/// displaced node and often exhausts its round budget before freeing the
+/// chain ends that actually pin the timing.
+fn critical_path_nodes(dfg: &Dfg, unkept: &[bool]) -> Vec<usize> {
+    let n = dfg.len();
+    let nodes = dfg.nodes();
+    let asap = dfg.asap_levels();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| (asap[i], i));
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for node in nodes {
+        for e in &node.inputs {
+            if e.distance == 0 {
+                succs[e.from.0].push(node.id.0);
+            }
+        }
+    }
+    // longest-latency chain arriving at / leaving each node, over
+    // distance-0 edges only (recurrences don't constrain same-iteration
+    // timing); `order` is topological for those edges
+    let mut up = vec![0u64; n];
+    for &i in &order {
+        for e in &nodes[i].inputs {
+            if e.distance == 0 {
+                up[i] = up[i].max(up[e.from.0] + u64::from(nodes[e.from.0].op.latency()));
+            }
+        }
+    }
+    let mut down = vec![0u64; n];
+    for &i in order.iter().rev() {
+        for &s in &succs[i] {
+            down[i] = down[i].max(down[s] + u64::from(nodes[i].op.latency()));
+        }
+    }
+    let mut on_path = vec![false; n];
+    for (d, _) in unkept.iter().enumerate().filter(|&(_, &u)| u) {
+        // upstream: follow the predecessor with the longest arriving chain
+        let mut cur = d;
+        loop {
+            on_path[cur] = true;
+            let pred = nodes[cur]
+                .inputs
+                .iter()
+                .filter(|e| e.distance == 0)
+                .map(|e| e.from.0)
+                .max_by_key(|&p| (up[p] + u64::from(nodes[p].op.latency()), std::cmp::Reverse(p)));
+            match pred {
+                Some(p) => cur = p,
+                None => break,
+            }
+        }
+        // downstream: follow the successor with the longest leaving chain
+        cur = d;
+        loop {
+            on_path[cur] = true;
+            match succs[cur].iter().copied().max_by_key(|&s| (down[s], std::cmp::Reverse(s))) {
+                Some(s) => cur = s,
+                None => break,
+            }
+        }
+    }
+    (0..n).filter(|&i| on_path[i]).collect()
+}
+
 /// Completes a partial placement: builds the occupancy state the pinned
 /// nodes imply (failing on the node `pin_state` identifies) and places the
 /// rest with the repair-mode candidate filters enabled.
@@ -870,36 +941,66 @@ pub fn repair_mapping(
         let schedule_len = schedule_len_of(dfg, spec, mask, &base.placements)?;
         return Some(Mapping { ii, placements: base.placements.clone(), schedule_len });
     }
-    for round in 0..REPAIR_WIDEN_ROUNDS {
-        for attempt in 0..REPAIR_ATTEMPTS {
-            // distinct salt keeps repair streams disjoint from the cold
-            // search; the round folds into the attempt index so every
-            // (round, attempt) draws a distinct deterministic stream
-            let idx = round * REPAIR_ATTEMPTS + attempt;
-            let s = splitmix64(attempt_seed(seed, ii, idx) ^ 0x52455041_49525F31);
-            let mut rng = TestRng::seed_from_u64(s);
-            if let Some(placements) = try_place_pinned(dfg, spec, mask, ii, &mut rng, &pinned) {
-                let schedule_len = schedule_len_of(dfg, spec, mask, &placements)?;
-                return Some(Mapping { ii, placements, schedule_len });
-            }
-        }
-        // widen: un-keep every pinned node adjacent (either edge direction,
-        // any distance) to the unkept region. Removing pins only removes
-        // pin_state constraints, so the pinned set stays self-consistent.
-        let unkept: Vec<bool> = pinned.iter().map(|p| p.is_none()).collect();
-        let mut widened = false;
-        for node in dfg.nodes() {
-            for e in &node.inputs {
-                if unkept[e.from.0] && pinned[node.id.0].take().is_some() {
-                    widened = true;
-                }
-                if unkept[node.id.0] && pinned[e.from.0].take().is_some() {
-                    widened = true;
+    // Phase 0: the historical behavior — attempts at the surviving pinned
+    // set, then generic ripple-widening rounds. Every case this phase could
+    // ever repair yields the bit-identical mapping it always did (the
+    // attempt streams are unchanged), which keeps the process cache and the
+    // on-disk mapstore stable across this change.
+    //
+    // Phase 1 (only reached when phase 0 fails): start over with the
+    // displaced region's *critical path* un-kept as well. At tight IIs —
+    // especially II = 1, where every tile owns a single slot — a displaced
+    // node's freedom is bounded by the timing of its whole dependence
+    // chain, and the one-hop ripple often exhausts its round budget before
+    // freeing the chain ends that actually pin the schedule (see
+    // `critical_path_nodes`). Phase 1 draws distinct attempt streams via
+    // the round offset, so it is a genuinely new portfolio, not a replay.
+    for phase in 0..2usize {
+        let mut pins = pinned.clone();
+        if phase == 1 {
+            let unkept: Vec<bool> = pins.iter().map(|p| p.is_none()).collect();
+            let mut any = false;
+            for i in critical_path_nodes(dfg, &unkept) {
+                if pins[i].take().is_some() {
+                    any = true;
                 }
             }
+            if !any {
+                break; // the path is already free: phase 0 covered this
+            }
         }
-        if !widened {
-            break; // nothing left to ripple into — give up
+        for round in 0..REPAIR_WIDEN_ROUNDS {
+            for attempt in 0..REPAIR_ATTEMPTS {
+                // distinct salt keeps repair streams disjoint from the cold
+                // search; the (phase, round) pair folds into the attempt
+                // index so every cell draws a distinct deterministic stream
+                let idx = (phase * REPAIR_WIDEN_ROUNDS + round) * REPAIR_ATTEMPTS + attempt;
+                let s = splitmix64(attempt_seed(seed, ii, idx) ^ 0x52455041_49525F31);
+                let mut rng = TestRng::seed_from_u64(s);
+                if let Some(placements) = try_place_pinned(dfg, spec, mask, ii, &mut rng, &pins) {
+                    let schedule_len = schedule_len_of(dfg, spec, mask, &placements)?;
+                    return Some(Mapping { ii, placements, schedule_len });
+                }
+            }
+            // widen: un-keep every pinned node adjacent (either edge
+            // direction, any distance) to the unkept region. Removing pins
+            // only removes pin_state constraints, so the pinned set stays
+            // self-consistent.
+            let unkept: Vec<bool> = pins.iter().map(|p| p.is_none()).collect();
+            let mut widened = false;
+            for node in dfg.nodes() {
+                for e in &node.inputs {
+                    if unkept[e.from.0] && pins[node.id.0].take().is_some() {
+                        widened = true;
+                    }
+                    if unkept[node.id.0] && pins[e.from.0].take().is_some() {
+                        widened = true;
+                    }
+                }
+            }
+            if !widened {
+                break; // nothing left to ripple into — give up
+            }
         }
     }
     None
@@ -1308,6 +1409,30 @@ mod tests {
     }
 
     #[test]
+    fn repair_cracks_tight_ii1_schedule_via_critical_path_widening() {
+        // Regression for the II=1 repair weakness: softmax loop "softmax(3)"
+        // maps at II=1 under seed 7 on the 4×4 fabric, and killing tile 14
+        // used to defeat ripple-widening entirely — the engine fell through
+        // to a full re-map even though a retained-II repair exists. The
+        // critical-path phase finds it.
+        let spec = picachu();
+        let k = softmax_kernel(4);
+        let l = &k.loops[2];
+        let fused = fuse_patterns(&l.dfg);
+        let base = map_dfg(&fused, &spec, 7).unwrap();
+        assert_eq!(base.ii, 1, "precondition: the tight II=1 schedule");
+        assert!(
+            base.placements.iter().any(|p| p.tile == 14),
+            "precondition: the mapping uses tile 14"
+        );
+        let mask = ResourceMask::degraded(&spec, [14], []);
+        let m = repair_mapping(&fused, &spec, 7, &mask, &base)
+            .expect("critical-path widening must repair at the retained II");
+        assert_eq!(m.ii, 1, "repair must not inflate the II");
+        assert_mapping_legal(&fused, &spec, &mask, &m);
+    }
+
+    #[test]
     fn repair_gives_up_when_fabric_cannot_host_the_ops() {
         // all memory-port tiles dead: loads have nowhere to go, so the
         // repair must report None (caller then takes the full-re-map rung,
@@ -1343,3 +1468,4 @@ mod tests {
         assert!(res_mii(&g, &picachu()).unwrap() >= 2);
     }
 }
+

@@ -29,8 +29,8 @@ use std::sync::{Arc, OnceLock, RwLock};
 pub struct CompileKey {
     /// The nonlinear operation.
     pub op: NonlinearOp,
-    /// CGRA fabric rows (the engine always builds `CgraSpec::picachu`, so
-    /// geometry fully determines the fabric).
+    /// CGRA fabric rows (geometry plus the `universal` flag fully
+    /// determine the fabric the engine builds).
     pub cgra_rows: usize,
     /// CGRA fabric columns.
     pub cgra_cols: usize,
@@ -49,8 +49,11 @@ pub struct CompileKey {
     /// Dead NoC links the mapping routes around (normalized `(min, max)`
     /// pairs, empty for a healthy fabric).
     pub dead_links: Vec<(usize, usize)>,
-    /// `true` when compiled for the all-universal fallback fabric instead of
-    /// the engine's heterogeneous one.
+    /// `true` when compiled for the all-universal fabric — either the
+    /// degradation ladder's fallback rung, or an engine whose
+    /// `FabricKind::Universal` config builds that fabric outright. A
+    /// universal mapping must never alias a heterogeneous one at the same
+    /// geometry.
     pub universal: bool,
     /// `true` when the mapping was produced by incremental repair of the
     /// healthy mapping (retained II, re-placed sub-DFG) rather than a full

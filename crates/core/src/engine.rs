@@ -27,6 +27,30 @@ use std::sync::Arc;
 pub use crate::stages::compile::{kernel_for, CompiledLoop, DegradedCompile, FallbackLevel};
 pub use crate::stages::dispatch::ECC_MAX_DETECTED;
 
+/// Which CGRA fabric flavor the engine builds — the tile-class/routing
+/// layout knob [`CgraSpec`] exposes. The co-design search
+/// ([`crate::dse`]) treats this as a first-class dimension: the
+/// heterogeneous layout is smaller, the universal one trades area for
+/// placement freedom (every PE hosts every opcode, so degraded fabrics
+/// keep more repair headroom).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FabricKind {
+    /// The paper's heterogeneous BaT/BrT/CoT layout
+    /// ([`CgraSpec::picachu`]).
+    Heterogeneous,
+    /// Every PE universal ([`CgraSpec::universal`]).
+    Universal,
+}
+
+impl fmt::Display for FabricKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FabricKind::Heterogeneous => write!(f, "het"),
+            FabricKind::Universal => write!(f, "uni"),
+        }
+    }
+}
+
 /// Engine configuration (defaults reproduce the paper's evaluation setup:
 /// 4×4 CGRA + 32×32 systolic array + 40 KB Shared Buffer at 1 GHz).
 #[derive(Debug, Clone, PartialEq)]
@@ -35,6 +59,8 @@ pub struct EngineConfig {
     pub cgra_rows: usize,
     /// CGRA grid columns.
     pub cgra_cols: usize,
+    /// CGRA fabric flavor (tile-class layout).
+    pub fabric: FabricKind,
     /// Systolic array rows.
     pub systolic_rows: usize,
     /// Systolic array columns.
@@ -55,6 +81,13 @@ pub struct EngineConfig {
     /// Streaming overlap with the systolic array (Case 1). Off = every
     /// element-wise op fully exposed (ablation knob).
     pub streaming: bool,
+    /// Whether fault recovery may take the degradation ladder's
+    /// incremental-repair rung (retained II, pinned surviving placements).
+    /// Off = every degraded compile is a full re-map — the deployment
+    /// keeps no healthy mapping resident for repair. A co-design search
+    /// knob: repair retains capacity under faults but implies the serving
+    /// node holds healthy mappings for every kernel it may need to fix.
+    pub incremental_repair: bool,
     /// Per-mapping-attempt deadline in milliseconds for the degraded compile
     /// path (`None` = unbounded, the default — healthy compiles are fast and
     /// a deadline would make them timing-dependent). When set, a mapping
@@ -68,6 +101,7 @@ impl Default for EngineConfig {
         EngineConfig {
             cgra_rows: 4,
             cgra_cols: 4,
+            fabric: FabricKind::Heterogeneous,
             systolic_rows: 32,
             systolic_cols: 32,
             buffer_kb: 40,
@@ -78,6 +112,7 @@ impl Default for EngineConfig {
             seed: 0x71CA,
             double_buffering: true,
             streaming: true,
+            incremental_repair: true,
             compile_deadline_ms: None,
         }
     }
@@ -107,8 +142,15 @@ impl PicachuEngine {
     /// Builds an engine (the CGRA and substrate models come up immediately;
     /// kernels are compiled lazily on first use).
     pub fn new(config: EngineConfig) -> PicachuEngine {
-        let compile =
-            CompileService::new(CgraSpec::picachu(config.cgra_rows, config.cgra_cols));
+        let spec = match config.fabric {
+            FabricKind::Heterogeneous => {
+                CgraSpec::picachu(config.cgra_rows, config.cgra_cols)
+            }
+            FabricKind::Universal => {
+                CgraSpec::universal(config.cgra_rows, config.cgra_cols)
+            }
+        };
+        let compile = CompileService::new(spec);
         let dispatch = Dispatcher::new(&config);
         PicachuEngine { compile, dispatch, account: Accountant::new(), config }
     }
@@ -271,6 +313,41 @@ impl PicachuEngine {
         self.account.energy_nj(&self.config, self.compile.spec(), b)
     }
 
+    /// [`PicachuEngine::energy_nj`] with the CGRA dynamic-power term scaled
+    /// by a measured fabric utilization instead of the nominal 0.7 activity
+    /// (see [`Accountant::energy_nj_with_cgra_utilization`] — the DSE feeds
+    /// the mapping-derived utilization from
+    /// [`PicachuEngine::cgra_utilization`] here).
+    pub fn energy_nj_at_utilization(&self, b: &Breakdown, utilization: f64) -> f64 {
+        self.account
+            .energy_nj_with_cgra_utilization(&self.config, self.compile.spec(), b, utilization)
+    }
+
+    /// Mean CGRA compute-slot utilization over the compiled mappings of
+    /// `ops` — placements / (tiles × II) per kernel loop
+    /// ([`picachu_compiler::mapper::Mapping::utilization`]), averaged over
+    /// every loop of every op. Compiles any op not yet cached. `None` when
+    /// `ops` is empty (nothing mapped, utilization is undefined — callers
+    /// fall back to the nominal activity factor).
+    ///
+    /// # Errors
+    /// [`PicachuError::Compile`] when some kernel loop fails to map.
+    pub fn cgra_utilization(
+        &mut self,
+        ops: &[NonlinearOp],
+    ) -> Result<Option<f64>, PicachuError> {
+        let tiles = self.compile.spec().len();
+        let mut sum = 0.0;
+        let mut loops = 0usize;
+        for &op in ops {
+            for l in self.compile.try_compile_op(&self.config, op)?.iter() {
+                sum += l.mapping.utilization(tiles);
+                loops += 1;
+            }
+        }
+        Ok((loops > 0).then(|| sum / loops as f64))
+    }
+
     /// Systolic-array SRAM capacity in KB (see
     /// [`Accountant::systolic_sram_kb`]).
     pub fn systolic_sram_kb(rows: usize, cols: usize) -> f64 {
@@ -369,9 +446,10 @@ impl fmt::Display for PicachuEngine {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "PICACHU engine: {}x{} CGRA + {}x{} systolic + {} KB buffer ({})",
+            "PICACHU engine: {}x{} {} CGRA + {}x{} systolic + {} KB buffer ({})",
             self.config.cgra_rows,
             self.config.cgra_cols,
+            self.config.fabric,
             self.config.systolic_rows,
             self.config.systolic_cols,
             self.config.buffer_kb,

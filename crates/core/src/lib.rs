@@ -46,9 +46,10 @@ pub mod stages;
 
 pub use compile_cache::CompileKey;
 pub use mapstore::set_mapstore_dir;
-pub use dse::{explore, pareto_frontier, DesignPoint, DseSweep};
+pub use dse::{pareto_frontier, search, DesignKnobs, DesignPoint, SearchConfig, SearchResult};
 pub use engine::{
-    CompiledLoop, DegradedCompile, EngineConfig, FallbackLevel, PicachuEngine, ECC_MAX_DETECTED,
+    CompiledLoop, DegradedCompile, EngineConfig, FabricKind, FallbackLevel, PicachuEngine,
+    ECC_MAX_DETECTED,
 };
 pub use error::PicachuError;
 pub use stages::{Accountant, CompileService, Dispatcher, PhaseTotals};

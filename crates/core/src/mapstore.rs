@@ -71,13 +71,32 @@ pub fn is_enabled() -> bool {
     dir().is_some()
 }
 
+/// Compact the store file when duplicates exceed this percentage of the
+/// decoded entries. Duplicate lines are normal operation — O_APPEND writers
+/// race, and first-wins dedup on load makes them harmless — but a
+/// long-lived shared store (a serving fleet pointed at one directory)
+/// otherwise grows without bound and every process pays the parse cost.
+const COMPACT_DUP_PERCENT: usize = 25;
+
 /// Reads every well-formed entry from the store, first occurrence winning.
 /// A missing file or directory is an empty store; I/O and parse problems
 /// degrade to warnings (the cache then simply compiles cold).
+///
+/// When the duplicate ratio exceeds [`COMPACT_DUP_PERCENT`] *and* every
+/// line parsed cleanly, the file is compacted in place (version header +
+/// the deduplicated entries in first-wins order, written to a temp file and
+/// atomically renamed over the store). Unparseable lines veto compaction —
+/// a line this build cannot read is not a line it may destroy. Compaction
+/// is best-effort: a concurrent O_APPEND between the read and the rename
+/// can lose that entry, which only costs its writer a re-compile.
 pub fn load_all() -> Vec<(CompileKey, Vec<CompiledLoop>)> {
     let Some(d) = dir() else { return Vec::new() };
-    let path = d.join(FILE);
-    let file = match std::fs::File::open(&path) {
+    load_from(&d.join(FILE))
+}
+
+/// [`load_all`] against an explicit store file (the testable core).
+fn load_from(path: &std::path::Path) -> Vec<(CompileKey, Vec<CompiledLoop>)> {
+    let file = match std::fs::File::open(path) {
         Ok(f) => f,
         Err(_) => return Vec::new(),
     };
@@ -85,6 +104,7 @@ pub fn load_all() -> Vec<(CompileKey, Vec<CompiledLoop>)> {
     let mut out = Vec::new();
     let mut versioned = false;
     let mut skipped = 0usize;
+    let mut duplicates = 0usize;
     for line in std::io::BufReader::new(file).lines() {
         let Ok(line) = line else { skipped += 1; continue };
         if line.trim().is_empty() {
@@ -111,6 +131,8 @@ pub fn load_all() -> Vec<(CompileKey, Vec<CompiledLoop>)> {
             Some((key, loops)) => {
                 if seen.insert(key.clone(), ()).is_none() {
                     out.push((key, loops));
+                } else {
+                    duplicates += 1;
                 }
             }
             None => skipped += 1,
@@ -122,7 +144,32 @@ pub fn load_all() -> Vec<(CompileKey, Vec<CompiledLoop>)> {
             path.display()
         );
     }
+    let total = out.len() + duplicates;
+    if skipped == 0 && duplicates > 0 && duplicates * 100 >= total * COMPACT_DUP_PERCENT {
+        compact(path, &out);
+    }
     out
+}
+
+/// Rewrites the store as `header + entries` (first-wins order) via a temp
+/// file and an atomic rename. Failures are warnings, never panics — the
+/// oversized file keeps working.
+fn compact(path: &std::path::Path, entries: &[(CompileKey, Vec<CompiledLoop>)]) {
+    let mut buf = String::new();
+    let _ = writeln!(buf, "{{\"picachu_mapstore\":{VERSION}}}");
+    for (key, loops) in entries {
+        encode_entry(&mut buf, key, loops);
+        buf.push('\n');
+    }
+    let tmp = path.with_extension("jsonl.tmp");
+    if let Err(e) = std::fs::write(&tmp, buf.as_bytes()) {
+        eprintln!("picachu-mapstore: compaction write to {} failed: {e}", tmp.display());
+        return;
+    }
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        eprintln!("picachu-mapstore: compaction rename to {} failed: {e}", path.display());
+        let _ = std::fs::remove_file(&tmp);
+    }
 }
 
 /// Appends one entry (creating the directory, file, and version header as
@@ -591,6 +638,103 @@ mod tests {
         ] {
             assert!(parse(bad).and_then(|v| decode_entry(&v)).is_none(), "{bad:?}");
         }
+    }
+
+    fn temp_file(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("picachu-mapstore-compact-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(FILE)
+    }
+
+    fn key_with_seed(seed: u64) -> CompileKey {
+        CompileKey { seed, ..sample_key() }
+    }
+
+    fn loops_with_ii(ii: u32) -> Vec<CompiledLoop> {
+        let mut loops = sample_loops();
+        loops[0].mapping.ii = ii;
+        loops
+    }
+
+    fn write_store(path: &PathBuf, lines: &[String]) {
+        let mut buf = format!("{{\"picachu_mapstore\":{VERSION}}}\n");
+        for l in lines {
+            buf.push_str(l);
+            buf.push('\n');
+        }
+        std::fs::write(path, buf).expect("write store");
+    }
+
+    fn entry_line(key: &CompileKey, loops: &[CompiledLoop]) -> String {
+        let mut s = String::new();
+        encode_entry(&mut s, key, loops);
+        s
+    }
+
+    #[test]
+    fn duplicate_heavy_store_compacts_preserving_first_wins_and_header() {
+        let path = temp_file("dups");
+        // key A appears three times with divergent payloads (a doctored
+        // store — real duplicates are bit-identical); key B once. 2/4
+        // duplicates is well past the threshold.
+        write_store(
+            &path,
+            &[
+                entry_line(&key_with_seed(1), &loops_with_ii(1)),
+                entry_line(&key_with_seed(1), &loops_with_ii(9)),
+                entry_line(&key_with_seed(2), &loops_with_ii(5)),
+                entry_line(&key_with_seed(1), &loops_with_ii(9)),
+            ],
+        );
+        let loaded = load_from(&path);
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded[0].1[0].mapping.ii, 1, "first occurrence wins");
+        let raw = std::fs::read_to_string(&path).expect("compacted file");
+        let lines: Vec<&str> = raw.lines().collect();
+        assert_eq!(lines.len(), 3, "header + 2 deduplicated entries");
+        assert_eq!(lines[0], &format!("{{\"picachu_mapstore\":{VERSION}}}"));
+        // the compacted file round-trips to the same view, compacting no
+        // further (no duplicates left)
+        let reloaded = load_from(&path);
+        assert_eq!(reloaded.len(), 2);
+        assert_eq!(reloaded[0].1[0].mapping.ii, 1);
+        let _ = std::fs::remove_dir_all(path.parent().expect("parent"));
+    }
+
+    #[test]
+    fn low_duplicate_ratio_does_not_compact() {
+        let path = temp_file("ratio");
+        // 1 duplicate in 10 decoded entries = 10% < threshold
+        let mut lines: Vec<String> =
+            (1..=9).map(|s| entry_line(&key_with_seed(s), &loops_with_ii(1))).collect();
+        lines.push(entry_line(&key_with_seed(1), &loops_with_ii(1)));
+        write_store(&path, &lines);
+        let before = std::fs::read_to_string(&path).expect("store");
+        assert_eq!(load_from(&path).len(), 9);
+        let after = std::fs::read_to_string(&path).expect("store");
+        assert_eq!(before, after, "below-threshold store must stay untouched");
+        let _ = std::fs::remove_dir_all(path.parent().expect("parent"));
+    }
+
+    #[test]
+    fn malformed_lines_veto_compaction() {
+        let path = temp_file("veto");
+        write_store(
+            &path,
+            &[
+                entry_line(&key_with_seed(1), &loops_with_ii(1)),
+                entry_line(&key_with_seed(1), &loops_with_ii(1)),
+                entry_line(&key_with_seed(1), &loops_with_ii(1)),
+                "{\"key\":\"written by a newer build\"}".to_string(),
+            ],
+        );
+        let before = std::fs::read_to_string(&path).expect("store");
+        assert_eq!(load_from(&path).len(), 1);
+        let after = std::fs::read_to_string(&path).expect("store");
+        assert_eq!(before, after, "a line this build cannot read must not be destroyed");
+        let _ = std::fs::remove_dir_all(path.parent().expect("parent"));
     }
 
     #[test]

@@ -27,8 +27,26 @@ impl Accountant {
     /// over GEMM time, CGRA + buffer power over nonlinear time, DMA/glue
     /// over data movement. Fault-service `overhead` cycles are DMA/SRAM
     /// traffic, so they are priced at the data-movement rate.
+    ///
+    /// The CGRA dynamic-power term uses the paper's nominal 0.7 activity
+    /// factor; callers that know the real mapped utilization (the DSE
+    /// derives it from the compiled placements) use
+    /// [`Accountant::energy_nj_with_cgra_utilization`].
     pub fn energy_nj(&self, config: &EngineConfig, spec: &CgraSpec, b: &Breakdown) -> f64 {
-        let cgra = self.cost.cgra_cost(spec, 0.7);
+        self.energy_nj_with_cgra_utilization(config, spec, b, 0.7)
+    }
+
+    /// [`Accountant::energy_nj`] with an explicit CGRA activity factor —
+    /// the fraction of compute slots the compiled mappings actually occupy
+    /// (`placements / (tiles × II)`), not a magic constant.
+    pub fn energy_nj_with_cgra_utilization(
+        &self,
+        config: &EngineConfig,
+        spec: &CgraSpec,
+        b: &Breakdown,
+        cgra_utilization: f64,
+    ) -> f64 {
+        let cgra = self.cost.cgra_cost(spec, cgra_utilization);
         let sys = self
             .cost
             .systolic_cost(config.systolic_rows, config.systolic_cols, 0.8);
@@ -47,7 +65,9 @@ impl Accountant {
     /// systolic array + the memory system (systolic SRAMs + Shared Buffer)
     /// + DMA/glue — the Table 7 area roll-up.
     pub fn area_mm2(&self, config: &EngineConfig, spec: &CgraSpec) -> f64 {
-        let cgra = self.cost.cgra_cost(spec, 0.7);
+        // area is utilization-independent (activity only scales power), so
+        // the factor here is irrelevant; 0.0 makes that explicit
+        let cgra = self.cost.cgra_cost(spec, 0.0);
         let sys = self
             .cost
             .systolic_cost(config.systolic_rows, config.systolic_cols, 0.8);

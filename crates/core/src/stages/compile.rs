@@ -15,7 +15,7 @@
 //! (DESIGN §10), never a pool-inside-a-pool.
 
 use crate::compile_cache::{self, CompileKey};
-use crate::engine::EngineConfig;
+use crate::engine::{EngineConfig, FabricKind};
 use crate::error::PicachuError;
 use picachu_compiler::arch::CgraSpec;
 use picachu_compiler::mapper::{
@@ -276,9 +276,12 @@ impl CompileService {
         // rung 1: incremental repair — retain the healthy II and every
         // placement the faults did not disturb, re-placing only the affected
         // sub-DFG. Needs a healthy mapping on hand (engine-local or process
-        // cache; this rung never *computes* one) and a genuinely degraded
-        // fabric (on an intact fabric the healthy mapping needs no repair).
-        if !plan.fabric_intact() {
+        // cache; this rung never *computes* one), a genuinely degraded
+        // fabric (on an intact fabric the healthy mapping needs no repair),
+        // and the config's repair eligibility (`incremental_repair: false`
+        // deployments keep no mapping resident, so every fault is a full
+        // re-map — a DSE compiler-strategy knob).
+        if config.incremental_repair && !plan.fabric_intact() {
             let ikey =
                 CompileKey { incremental: true, ..self.degraded_key(config, op, plan, false) };
             let repaired = match compile_cache::lookup(&ikey) {
@@ -379,7 +382,9 @@ impl CompileService {
 
     /// The process-wide cache key for this configuration's compilation of
     /// `op`: everything the compile kernel reads. `buffer_kb` and the
-    /// ablation knobs are absent because mapping never sees them.
+    /// ablation knobs are absent because mapping never sees them. The
+    /// `universal` flag mirrors the config's fabric flavor — a 4×4
+    /// universal-fabric engine must never alias a 4×4 heterogeneous one.
     fn compile_key(&self, config: &EngineConfig, op: NonlinearOp) -> CompileKey {
         CompileKey {
             op,
@@ -391,13 +396,16 @@ impl CompileService {
             seed: config.seed,
             dead_tiles: Vec::new(),
             dead_links: Vec::new(),
-            universal: false,
+            universal: config.fabric == FabricKind::Universal,
             incremental: false,
         }
     }
 
     /// The cache key for a degraded compile: the healthy key plus the exact
-    /// fault set and fallback-fabric flag.
+    /// fault set and fallback-fabric flag. On a universal-base engine the
+    /// healthy key already carries `universal: true`, and the rung-4
+    /// fallback fabric coincides with the engine's own — either way the key
+    /// names the fabric the mapping was actually placed on.
     fn degraded_key(
         &self,
         config: &EngineConfig,
@@ -405,11 +413,12 @@ impl CompileService {
         plan: &FaultPlan,
         universal: bool,
     ) -> CompileKey {
+        let healthy = self.compile_key(config, op);
         CompileKey {
             dead_tiles: plan.dead_tiles.iter().copied().collect(),
             dead_links: plan.dead_links.iter().copied().collect(),
-            universal,
-            ..self.compile_key(config, op)
+            universal: universal || healthy.universal,
+            ..healthy
         }
     }
 

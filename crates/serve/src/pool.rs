@@ -51,6 +51,14 @@ impl ShardSpec {
         ShardSpec::Picachu(EngineConfig::default())
     }
 
+    /// A PICACHU shard configured from a searched design point — the
+    /// deployment path of the co-design search: `picachu::dse::search`
+    /// produces a Pareto frontier, and any member becomes a servable shard
+    /// via its knobs.
+    pub fn from_design(point: &picachu::dse::DesignPoint) -> ShardSpec {
+        ShardSpec::Picachu(point.knobs.engine_config())
+    }
+
     /// Instantiates the device behind the unified contract.
     pub fn build(&self) -> Box<dyn Accelerator> {
         match self {

@@ -156,7 +156,7 @@ fn run_measured<F: FnMut()>(f: &mut F, sample_size: usize) -> Stats {
         }
         per_call.push(t0.elapsed().as_nanos() as f64 / iters_per_sample as f64);
     }
-    per_call.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    per_call.sort_by(f64::total_cmp);
     Stats {
         median_ns: percentile(&per_call, 50.0),
         p95_ns: percentile(&per_call, 95.0),

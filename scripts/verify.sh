@@ -77,4 +77,35 @@ EOF
 echo "== mapstore round-trip smoke (cold compile -> store -> warm, bit-identical) =="
 cargo test -q -p picachu --test mapstore_store_roundtrip --offline
 
+echo "== dse smoke (seeded mini-search: artifact schema + thread-count invariance) =="
+# The co-design search must emit a non-empty, schema-valid results/pareto.json
+# and the artifact must be bit-identical at 1 and 4 worker threads (the search
+# parallelizes candidate evaluation but is seeded and submission-ordered).
+PICACHU_THREADS=1 cargo run --release -q -p picachu-bench --bin dse_pareto --offline -- --smoke
+cp results/pareto.json results/pareto.t1.json
+PICACHU_THREADS=4 cargo run --release -q -p picachu-bench --bin dse_pareto --offline -- --smoke
+cmp results/pareto.json results/pareto.t1.json \
+  || { echo "dse smoke: FAILED (pareto.json differs between 1 and 4 threads)"; exit 1; }
+rm -f results/pareto.t1.json
+python3 - <<'EOF'
+import json, sys
+required = {"model", "cgra_rows", "cgra_cols", "fabric", "buffer_kb", "format",
+            "lean_unroll", "incremental_repair", "latency", "energy_nj",
+            "area_mm2", "resilience", "utilization"}
+rows = 0
+with open("results/pareto.json") as f:
+    for line in f:
+        line = line.strip()
+        if not line.startswith("{"):
+            continue
+        r = json.loads(line)
+        missing = required - r.keys()
+        if missing:
+            sys.exit(f"dse smoke: row missing keys {sorted(missing)}")
+        rows += 1
+if rows == 0:
+    sys.exit("dse smoke: results/pareto.json has no frontier rows")
+print(f"dse smoke: OK ({rows} frontier rows, thread-count invariant)")
+EOF
+
 echo "verify: OK"

@@ -3,7 +3,7 @@
 //! driven through the runtime's programmatic override, which takes precedence
 //! over the environment) must produce bit-identical `Mapping`s for the full
 //! kernel library, bit-identical `Breakdown`s for end-to-end execution, and
-//! bit-identical design points for a `dse::explore` sweep.
+//! bit-identical search results for a `dse::search` run.
 //!
 //! The compile cache is cleared between runs so every configuration actually
 //! re-compiles — otherwise the second run would trivially replay the first
@@ -17,7 +17,7 @@
 
 use picachu::compile_cache;
 use picachu::compiler::mapper::Mapping;
-use picachu::dse::{explore, DesignPoint, DseSweep};
+use picachu::dse::{search, SearchConfig, SearchResult};
 use picachu::engine::{EngineConfig, PicachuEngine};
 use picachu::runtime;
 use picachu::Breakdown;
@@ -30,7 +30,7 @@ use picachu_serve::{run, ArrivalPattern, FaultEvent, ServeConfig, ServeReport, S
 struct Snapshot {
     mappings: Vec<(String, Mapping)>,
     breakdown: Breakdown,
-    dse_points: Vec<DesignPoint>,
+    dse: SearchResult,
 }
 
 fn snapshot(threads: usize) -> Snapshot {
@@ -53,17 +53,11 @@ fn snapshot(threads: usize) -> Snapshot {
     let mut engine = PicachuEngine::new(EngineConfig::default());
     let breakdown = engine.execute_model(&ModelConfig::gpt2(), 128);
 
-    // a DSE sweep (parallel over design points at `threads > 1`)
-    let sweep = DseSweep {
-        fabrics: vec![(3, 3), (4, 4)],
-        buffers: vec![20, 40],
-        formats: vec![DataFormat::Fp16, DataFormat::Int16],
-        seq: 64,
-    };
-    let dse_points = explore(&ModelConfig::gpt2(), &sweep);
+    // a DSE mini-search (parallel over candidates at `threads > 1`)
+    let dse = search(&ModelConfig::gpt2(), &SearchConfig::smoke(99));
 
     runtime::set_thread_override(None);
-    Snapshot { mappings, breakdown, dse_points }
+    Snapshot { mappings, breakdown, dse }
 }
 
 #[test]
@@ -84,10 +78,11 @@ fn threads_1_and_8_are_bit_identical() {
         "end-to-end breakdown diverged between 1 and 8 threads"
     );
 
-    assert_eq!(serial.dse_points.len(), parallel.dse_points.len());
-    for (a, b) in serial.dse_points.iter().zip(parallel.dse_points.iter()) {
+    assert_eq!(serial.dse.evaluated.len(), parallel.dse.evaluated.len());
+    for (a, b) in serial.dse.evaluated.iter().zip(parallel.dse.evaluated.iter()) {
         assert_eq!(a, b, "DSE point diverged between 1 and 8 threads");
     }
+    assert_eq!(serial.dse.frontier, parallel.dse.frontier);
 }
 
 /// One full serving run over a PICACHU + Gemmini pool, with a mid-trace

@@ -1,0 +1,171 @@
+//! Co-design search engine suite: the multi-dimensional Pareto frontier
+//! against a brute-force dominance reference on adversarial random point
+//! clouds (NaN / exact-tie / duplicate cases included), and the end-to-end
+//! deployment round-trip — a searched design point instantiates as a
+//! first-class `Accelerator`, serves a `picachu-serve` trace, and improves
+//! on at least one objective over `EngineConfig::default()`.
+
+use picachu::dse::{
+    cmp_objectives, dominates, pareto_frontier, search, DesignKnobs, DesignPoint, SearchConfig,
+    OBJECTIVES,
+};
+use picachu_llm::ModelConfig;
+use picachu_serve::{run, ArrivalPattern, ServeConfig, ShardSpec, Tenant};
+use picachu_testkit::prop::Gen;
+use picachu_testkit::{prop_assert, prop_assert_eq, prop_check};
+use std::cmp::Ordering;
+
+/// Wraps a raw objective vector in a `DesignPoint` (the knobs are inert for
+/// frontier math; `objectives()` negates resilience, so store the negation).
+fn point(obj: [f64; OBJECTIVES]) -> DesignPoint {
+    DesignPoint {
+        knobs: DesignKnobs::baseline(),
+        latency: obj[0],
+        energy_nj: obj[1],
+        area_mm2: obj[2],
+        resilience: -obj[3],
+        utilization: 0.5,
+    }
+}
+
+/// Independent brute-force O(n²) dominance reference: a point survives iff
+/// no other point is ≤ on every axis and < on at least one (all per-axis
+/// comparisons under `total_cmp`), and its exact objective vector has not
+/// already survived (first occurrence wins). Sorted like the production
+/// frontier for comparison.
+fn reference_frontier(points: &[DesignPoint]) -> Vec<[u64; OBJECTIVES]> {
+    let objs: Vec<[f64; OBJECTIVES]> = points.iter().map(DesignPoint::objectives).collect();
+    let mut out: Vec<[f64; OBJECTIVES]> = Vec::new();
+    for (i, a) in objs.iter().enumerate() {
+        let mut dominated = false;
+        for (j, b) in objs.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            let mut all_le = true;
+            let mut any_lt = false;
+            for k in 0..OBJECTIVES {
+                match b[k].total_cmp(&a[k]) {
+                    Ordering::Less => any_lt = true,
+                    Ordering::Greater => all_le = false,
+                    Ordering::Equal => {}
+                }
+            }
+            if all_le && any_lt {
+                dominated = true;
+                break;
+            }
+        }
+        if dominated {
+            continue;
+        }
+        let tie = out
+            .iter()
+            .any(|o| (0..OBJECTIVES).all(|k| o[k].total_cmp(&a[k]) == Ordering::Equal));
+        if !tie {
+            out.push(*a);
+        }
+    }
+    out.sort_by(cmp_objectives);
+    out.iter().map(|o| o.map(f64::to_bits)).collect()
+}
+
+/// Draws one objective coordinate from a tiny palette, so ties, duplicate
+/// vectors and NaNs all occur with high probability.
+fn coord(g: &mut Gen) -> f64 {
+    match g.usize(0..8) {
+        0 => f64::NAN,
+        1 => -f64::NAN,
+        2 => 0.0,
+        3 => -0.0,
+        n => (n as f64) - 5.0, // -1.0, 0.0(dup), 1.0, 2.0
+    }
+}
+
+#[test]
+fn prop_frontier_matches_brute_force_reference_with_nans_ties_duplicates() {
+    prop_check!(128, 0x9A2E_70F1, |g: &mut Gen| {
+        let n = g.usize(0..24);
+        let mut pts: Vec<DesignPoint> = Vec::with_capacity(n);
+        for _ in 0..n {
+            // sometimes replay an earlier point verbatim (exact duplicate)
+            if !pts.is_empty() && g.usize(0..4) == 0 {
+                let i = g.usize(0..pts.len());
+                let p = pts[i].clone();
+                pts.push(p);
+            } else {
+                pts.push(point([coord(g), coord(g), coord(g), coord(g)]));
+            }
+        }
+        let got: Vec<[u64; OBJECTIVES]> =
+            pareto_frontier(&pts).iter().map(|p| p.objectives().map(f64::to_bits)).collect();
+        let want = reference_frontier(&pts);
+        prop_assert_eq!(got, want);
+        // every frontier member must be one of the input points
+        for f in pareto_frontier(&pts) {
+            prop_assert!(
+                pts.iter().any(|p| cmp_objectives(&p.objectives(), &f.objectives())
+                    == Ordering::Equal),
+                "frontier invented a point"
+            );
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn frontier_of_empty_and_singleton() {
+    assert!(pareto_frontier(&[]).is_empty());
+    let single = vec![point([1.0, 2.0, 3.0, 4.0])];
+    assert_eq!(pareto_frontier(&single).len(), 1);
+}
+
+/// The full deployment round-trip demanded of the search: a frontier point
+/// beats the default configuration on at least one objective, instantiates
+/// as an engine, and serves a real multi-tenant trace through
+/// `picachu-serve` with a clean audit.
+#[test]
+fn searched_point_deploys_and_beats_the_default_config() {
+    let cfg = SearchConfig::smoke(0x0DE5_16F0);
+    let r = search(&ModelConfig::gpt2(), &cfg);
+    let baseline = r
+        .evaluated
+        .iter()
+        .find(|p| p.knobs == DesignKnobs::baseline())
+        .expect("the search must always score the deployed default");
+
+    // every frontier member is non-dominated, so any member with a
+    // different objective vector is strictly better on >= 1 objective
+    let better = r
+        .frontier
+        .iter()
+        .find(|p| {
+            let (a, b) = (p.objectives(), baseline.objectives());
+            (0..OBJECTIVES).any(|k| a[k].total_cmp(&b[k]) == Ordering::Less)
+        })
+        .expect("no frontier point improves on the default config");
+    assert!(
+        !dominates(&baseline.objectives(), &better.objectives()),
+        "a frontier member cannot be dominated"
+    );
+
+    // deploy it: the design point becomes a servable shard
+    let serve_cfg = ServeConfig {
+        n_requests: 12,
+        ..ServeConfig::new(
+            vec![Tenant {
+                name: "dse",
+                model: ModelConfig { name: "tiny-dse", layers: 2, d_model: 64, n_heads: 4, d_ff: 128, ..ModelConfig::gpt2() },
+                weight: 1,
+                prompt: 16,
+                decode: (1, 3),
+                slo_ns: u64::MAX,
+            }],
+            ArrivalPattern::Poisson { mean_gap_ns: 1e6 },
+            vec![ShardSpec::from_design(better)],
+        )
+    };
+    let report = run(&serve_cfg);
+    report.audit.check().expect("serving audit must pass on a searched design");
+    assert!(report.audit.completed > 0, "the searched shard served nothing");
+}
