@@ -26,6 +26,7 @@ fn tenants(slo_ns: u64) -> Vec<Tenant> {
             prompt: 128,
             decode: (8, 24),
             slo_ns,
+            priority: 0,
         },
         Tenant {
             name: "code",
@@ -34,6 +35,7 @@ fn tenants(slo_ns: u64) -> Vec<Tenant> {
             prompt: 96,
             decode: (4, 16),
             slo_ns,
+            priority: 0,
         },
     ]
 }
@@ -167,6 +169,7 @@ fn smoke_main() {
                 prompt: 32,
                 decode: (2, 6),
                 slo_ns: u64::MAX,
+                priority: 0,
             }],
             ArrivalPattern::Bursty { mean_gap_ns: 200_000.0, mean_burst: 3 },
             vec![ShardSpec::Gemmini, ShardSpec::Gpu],

@@ -26,8 +26,13 @@
 //! `O_APPEND` lines, so concurrent processes interleave whole entries;
 //! duplicate keys (two processes compiling the same kernel cold) are
 //! bit-identical by determinism and deduplicated on load. Unparseable lines
-//! are skipped with a warning, never a panic — a truncated tail from a
-//! killed process costs one entry, not the store.
+//! are skipped with a warning, never a panic — with one exception: a
+//! malformed *final* record in a file that does not end in a newline is the
+//! signature of a writer killed mid-`O_APPEND`, an expected crash artifact,
+//! and is skipped *silently* (and does not veto compaction, which heals it
+//! away). `append` also self-heals such a tail by terminating it with a
+//! newline before writing, so a torn fragment never merges with the next
+//! entry.
 
 use crate::compile_cache::CompileKey;
 use crate::engine::CompiledLoop;
@@ -37,7 +42,7 @@ use picachu_nonlinear::{LoopKind, NonlinearOp};
 use picachu_num::DataFormat;
 use std::collections::HashMap;
 use std::fmt::Write as _;
-use std::io::{BufRead, Write as _};
+use std::io::Write as _;
 use std::path::PathBuf;
 use std::sync::Mutex;
 
@@ -86,9 +91,13 @@ const COMPACT_DUP_PERCENT: usize = 25;
 /// line parsed cleanly, the file is compacted in place (version header +
 /// the deduplicated entries in first-wins order, written to a temp file and
 /// atomically renamed over the store). Unparseable lines veto compaction —
-/// a line this build cannot read is not a line it may destroy. Compaction
-/// is best-effort: a concurrent O_APPEND between the read and the rename
-/// can lose that entry, which only costs its writer a re-compile.
+/// a line this build cannot read is not a line it may destroy — with one
+/// carve-out: a malformed final record in a file with no trailing newline
+/// is EOF truncation from a writer killed mid-`O_APPEND`, provably debris
+/// rather than an unreadable entry, so it neither warns nor vetoes (and
+/// compaction drops it). Compaction is best-effort: a concurrent O_APPEND
+/// between the read and the rename can lose that entry, which only costs
+/// its writer a re-compile.
 pub fn load_all() -> Vec<(CompileKey, Vec<CompiledLoop>)> {
     let Some(d) = dir() else { return Vec::new() };
     load_from(&d.join(FILE))
@@ -96,21 +105,35 @@ pub fn load_all() -> Vec<(CompileKey, Vec<CompiledLoop>)> {
 
 /// [`load_all`] against an explicit store file (the testable core).
 fn load_from(path: &std::path::Path) -> Vec<(CompileKey, Vec<CompiledLoop>)> {
-    let file = match std::fs::File::open(path) {
-        Ok(f) => f,
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
         Err(_) => return Vec::new(),
     };
+    // a file not ending in '\n' ends in a torn record: its final line is
+    // allowed to be garbage without counting as malformed
+    let newline_terminated = bytes.last() == Some(&b'\n');
+    let text = String::from_utf8_lossy(&bytes);
+    let lines: Vec<&str> = text.split('\n').collect();
+    let last_line = lines.len().saturating_sub(1);
     let mut seen: HashMap<CompileKey, ()> = HashMap::new();
     let mut out = Vec::new();
     let mut versioned = false;
     let mut skipped = 0usize;
     let mut duplicates = 0usize;
-    for line in std::io::BufReader::new(file).lines() {
-        let Ok(line) = line else { skipped += 1; continue };
+    for (i, line) in lines.iter().enumerate() {
+        let benign_if_torn = !newline_terminated && i == last_line;
+        let malformed = |skipped: &mut usize| {
+            if !benign_if_torn {
+                *skipped += 1;
+            }
+        };
         if line.trim().is_empty() {
             continue;
         }
-        let Some(v) = parse(&line) else { skipped += 1; continue };
+        let Some(v) = parse(line) else {
+            malformed(&mut skipped);
+            continue;
+        };
         if let Some(ver) = v.get("picachu_mapstore").and_then(Json::as_u64) {
             if ver != VERSION {
                 eprintln!(
@@ -124,7 +147,7 @@ fn load_from(path: &std::path::Path) -> Vec<(CompileKey, Vec<CompiledLoop>)> {
         }
         if !versioned {
             // entries before any version header: refuse to guess
-            skipped += 1;
+            malformed(&mut skipped);
             continue;
         }
         match decode_entry(&v) {
@@ -135,7 +158,7 @@ fn load_from(path: &std::path::Path) -> Vec<(CompileKey, Vec<CompiledLoop>)> {
                     duplicates += 1;
                 }
             }
-            None => skipped += 1,
+            None => malformed(&mut skipped),
         }
     }
     if skipped > 0 {
@@ -182,7 +205,8 @@ pub fn append(key: &CompileKey, loops: &[CompiledLoop]) {
         return;
     }
     let path = d.join(FILE);
-    let file = std::fs::OpenOptions::new().create(true).append(true).open(&path);
+    let file =
+        std::fs::OpenOptions::new().read(true).create(true).append(true).open(&path);
     let mut file = match file {
         Ok(f) => f,
         Err(e) => {
@@ -191,9 +215,21 @@ pub fn append(key: &CompileKey, loops: &[CompiledLoop]) {
         }
     };
     let mut buf = String::new();
-    let empty = file.metadata().map(|m| m.len() == 0).unwrap_or(false);
-    if empty {
+    let len = file.metadata().map(|m| m.len()).unwrap_or(0);
+    if len == 0 {
         let _ = writeln!(buf, "{{\"picachu_mapstore\":{VERSION}}}");
+    } else {
+        // self-heal a torn tail from a writer killed mid-append: terminate
+        // it so this entry starts on its own line instead of merging into
+        // the fragment (O_APPEND ignores the read seek position)
+        use std::io::{Read as _, Seek as _, SeekFrom};
+        let mut last = [0u8; 1];
+        if file.seek(SeekFrom::End(-1)).is_ok()
+            && file.read_exact(&mut last).is_ok()
+            && last[0] != b'\n'
+        {
+            buf.push('\n');
+        }
     }
     encode_entry(&mut buf, key, loops);
     buf.push('\n');
@@ -734,6 +770,56 @@ mod tests {
         assert_eq!(load_from(&path).len(), 1);
         let after = std::fs::read_to_string(&path).expect("store");
         assert_eq!(before, after, "a line this build cannot read must not be destroyed");
+        let _ = std::fs::remove_dir_all(path.parent().expect("parent"));
+    }
+
+    #[test]
+    fn torn_trailing_line_is_benign_truncation() {
+        let path = temp_file("torn");
+        // duplicate-heavy store whose final record is cut mid-write: the
+        // torn tail must not count as malformed, so compaction still fires
+        // (and heals the fragment away)
+        write_store(
+            &path,
+            &[
+                entry_line(&key_with_seed(1), &loops_with_ii(1)),
+                entry_line(&key_with_seed(1), &loops_with_ii(1)),
+                entry_line(&key_with_seed(1), &loops_with_ii(1)),
+                entry_line(&key_with_seed(2), &loops_with_ii(5)),
+            ],
+        );
+        let full = std::fs::read_to_string(&path).expect("store");
+        let cut = full.len() - 10; // mid-final-record, newline gone
+        std::fs::write(&path, &full[..cut]).expect("truncate");
+        let loaded = load_from(&path);
+        assert_eq!(loaded.len(), 1, "the torn record is skipped, the rest load");
+        assert_eq!(loaded[0].0.seed, key_with_seed(1).seed);
+        let after = std::fs::read_to_string(&path).expect("store");
+        assert!(after.ends_with('\n'), "compaction rewrote the store: {after:?}");
+        assert_eq!(after.lines().count(), 2, "header + the one surviving entry");
+        assert_eq!(load_from(&path).len(), 1, "healed store round-trips");
+        let _ = std::fs::remove_dir_all(path.parent().expect("parent"));
+    }
+
+    #[test]
+    fn append_self_heals_a_torn_tail() {
+        let path = temp_file("heal");
+        write_store(&path, &[entry_line(&key_with_seed(1), &loops_with_ii(1))]);
+        let full = std::fs::read_to_string(&path).expect("store");
+        std::fs::write(&path, &full[..full.len() - 10]).expect("truncate");
+        assert_eq!(load_from(&path).len(), 0, "the only entry was torn");
+        // append must terminate the fragment so the new entry does not
+        // merge into it
+        let dir = path.parent().expect("parent").to_path_buf();
+        set_mapstore_dir(Some(dir));
+        append(&key_with_seed(2), &loops_with_ii(5));
+        set_mapstore_dir(None);
+        let line = entry_line(&key_with_seed(2), &loops_with_ii(5));
+        let after = std::fs::read_to_string(&path).expect("store");
+        assert!(after.lines().any(|l| l == line), "new entry sits on its own line");
+        let loaded = load_from(&path);
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].0.seed, key_with_seed(2).seed);
         let _ = std::fs::remove_dir_all(path.parent().expect("parent"));
     }
 

@@ -34,6 +34,8 @@
 
 pub mod ecc;
 pub mod plan;
+pub mod retry;
 
 pub use ecc::{EccModel, EccOutcome, EccReport};
 pub use plan::{DmaFaultModel, FaultPlan, SramFlip};
+pub use retry::RetryPolicy;

@@ -1,0 +1,92 @@
+//! One audited retry/backoff policy, shared by every layer that retries.
+//!
+//! Two stacks retry transient failures: the DMA channel retries stalled
+//! transfers (cycles), and the serving scheduler retries requests whose
+//! shard crashed mid-batch (nanoseconds). Both want the same shape —
+//! a bounded attempt budget and doubling backoff — and an accounting bug
+//! in either (off-by-one attempt counts, overflowing shifts) corrupts a
+//! determinism contract. So the arithmetic lives here exactly once; the
+//! unit of `backoff_base` is the caller's (cycles for DMA, ns for
+//! serving), which the policy never interprets.
+
+/// A bounded exponential-backoff retry policy: at most `max_attempts`
+/// attempts per unit of work, attempt `a` preceded (after the first) by a
+/// backoff of `backoff_base << a`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Most attempts issued for one unit of work before giving up. The
+    /// consumer decides whether this counts the first try (DMA: yes) or
+    /// only re-dispatches (serving: yes, retries only); the policy just
+    /// bounds the count.
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in the caller's time unit; doubles
+    /// on every further retry.
+    pub backoff_base: u64,
+}
+
+impl RetryPolicy {
+    /// A policy with the given budget and base backoff.
+    pub const fn new(max_attempts: u32, backoff_base: u64) -> RetryPolicy {
+        RetryPolicy { max_attempts, backoff_base }
+    }
+
+    /// Backoff charged before reissuing after failed attempt `attempt`
+    /// (0-based): `backoff_base << attempt`, saturating at `u64::MAX`
+    /// instead of silently wrapping to zero on absurd attempt indices.
+    pub fn backoff(&self, attempt: u32) -> u64 {
+        if self.backoff_base == 0 {
+            return 0;
+        }
+        match 1u64.checked_shl(attempt) {
+            Some(m) => self.backoff_base.saturating_mul(m),
+            None => u64::MAX,
+        }
+    }
+
+    /// Whether `attempts` already-issued attempts exhaust the budget.
+    pub fn exhausted(&self, attempts: u32) -> bool {
+        attempts >= self.max_attempts
+    }
+
+    /// Total backoff paid across `attempts` failed attempts (saturating).
+    pub fn total_backoff(&self, attempts: u32) -> u64 {
+        (0..attempts).fold(0u64, |acc, a| acc.saturating_add(self.backoff(a)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_from_base() {
+        let p = RetryPolicy::new(4, 32);
+        assert_eq!(p.backoff(0), 32);
+        assert_eq!(p.backoff(1), 64);
+        assert_eq!(p.backoff(2), 128);
+        assert_eq!(p.backoff(3), 256);
+        assert_eq!(p.total_backoff(4), 32 + 64 + 128 + 256);
+    }
+
+    #[test]
+    fn backoff_saturates_instead_of_wrapping() {
+        let p = RetryPolicy::new(4, u64::MAX / 2);
+        assert_eq!(p.backoff(0), u64::MAX / 2);
+        assert_eq!(p.backoff(1), u64::MAX - 1, "2·(2^63 − 1) still fits");
+        assert_eq!(p.backoff(2), u64::MAX, "one more doubling saturates");
+        assert_eq!(p.backoff(200), u64::MAX, "shift past 63 bits must saturate");
+        assert_eq!(p.total_backoff(200), u64::MAX);
+        let zero = RetryPolicy::new(4, 0);
+        assert_eq!(zero.backoff(200), 0, "zero base backs off nothing at any attempt");
+    }
+
+    #[test]
+    fn exhaustion_is_inclusive_of_the_budget() {
+        let p = RetryPolicy::new(3, 1);
+        assert!(!p.exhausted(0));
+        assert!(!p.exhausted(2));
+        assert!(p.exhausted(3));
+        assert!(p.exhausted(4));
+        assert!(RetryPolicy::new(0, 1).exhausted(0), "zero budget gives up immediately");
+    }
+}

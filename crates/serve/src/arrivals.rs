@@ -27,6 +27,11 @@ pub struct Tenant {
     pub decode: (usize, usize),
     /// Completion deadline relative to arrival, in ns.
     pub slo_ns: u64,
+    /// Priority class: 0 is the most urgent, larger numbers yield first.
+    /// Equal-priority tenants schedule FIFO exactly as before priorities
+    /// existed; the class only matters to preemption and batch selection
+    /// (DESIGN.md §12).
+    pub priority: u8,
 }
 
 /// One serving request, stamped at generation time.
@@ -180,6 +185,7 @@ mod tests {
                 prompt: 128,
                 decode: (8, 32),
                 slo_ns: 1_000_000_000,
+                priority: 0,
             },
             Tenant {
                 name: "code",
@@ -188,6 +194,7 @@ mod tests {
                 prompt: 256,
                 decode: (16, 16),
                 slo_ns: 2_000_000_000,
+                priority: 1,
             },
         ]
     }

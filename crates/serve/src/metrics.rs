@@ -25,8 +25,15 @@ pub struct SloSummary {
     pub generated: u64,
     /// Requests completed.
     pub completed: u64,
-    /// Requests rejected (at admission or after).
+    /// Requests rejected (at admission or after; includes shed).
     pub rejected: u64,
+    /// Requests rejected by load shedding (subset of `rejected`).
+    pub shed: u64,
+    /// Requests abandoned after exhausting the crash-retry budget.
+    pub abandoned: u64,
+    /// Crash-retry re-dispatches survived by completed requests — divided
+    /// by `completed` this is the retry amplification of the trace.
+    pub retries_of_completed: u64,
     /// Median end-to-end latency of completed requests, ns.
     pub p50_latency_ns: u64,
     /// 99th-percentile end-to-end latency, ns.
@@ -50,13 +57,17 @@ pub fn summarize(report: &ServeReport) -> SloSummary {
     let mut ttfts = Vec::new();
     let mut completed = 0u64;
     let mut rejected = 0u64;
+    let mut shed = 0u64;
+    let mut abandoned = 0u64;
+    let mut retries_of_completed = 0u64;
     let mut within_slo = 0u64;
     let mut tokens_total = 0u64;
     let mut tokens_good = 0u64;
     for r in &report.records {
         match &r.outcome {
-            Outcome::Completed { ttft_ns, finish_ns, tokens, .. } => {
+            Outcome::Completed { ttft_ns, finish_ns, tokens, retries, .. } => {
                 completed += 1;
+                retries_of_completed += u64::from(*retries);
                 let latency = finish_ns.saturating_sub(r.arrival_ns);
                 latencies.push(latency);
                 ttfts.push(*ttft_ns);
@@ -66,16 +77,33 @@ pub fn summarize(report: &ServeReport) -> SloSummary {
                     tokens_good += *tokens as u64;
                 }
             }
-            Outcome::Rejected { .. } => rejected += 1,
+            Outcome::Rejected { reason, .. } => {
+                rejected += 1;
+                if *reason == crate::sched::RejectReason::Shed {
+                    shed += 1;
+                }
+            }
+            Outcome::Abandoned { .. } => abandoned += 1,
         }
     }
     latencies.sort_unstable();
     ttfts.sort_unstable();
-    let horizon_s = (report.horizon_ns.max(1)) as f64 * 1e-9;
+    // zero-duration run (empty or single-instant trace): no time passed,
+    // so rates are 0, not NaN/inf
+    let per_s = |tokens: u64| {
+        if report.horizon_ns == 0 {
+            0.0
+        } else {
+            tokens as f64 / (report.horizon_ns as f64 * 1e-9)
+        }
+    };
     SloSummary {
         generated: report.records.len() as u64,
         completed,
         rejected,
+        shed,
+        abandoned,
+        retries_of_completed,
         p50_latency_ns: percentile(&latencies, 0.50),
         p99_latency_ns: percentile(&latencies, 0.99),
         p50_ttft_ns: percentile(&ttfts, 0.50),
@@ -85,14 +113,34 @@ pub fn summarize(report: &ServeReport) -> SloSummary {
         } else {
             within_slo as f64 / report.records.len() as f64
         },
-        throughput_tokens_per_s: tokens_total as f64 / horizon_s,
-        goodput_tokens_per_s: tokens_good as f64 / horizon_s,
+        throughput_tokens_per_s: per_s(tokens_total),
+        goodput_tokens_per_s: per_s(tokens_good),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sched::Audit;
+
+    #[test]
+    fn empty_report_yields_finite_zero_rates() {
+        let report = ServeReport {
+            records: Vec::new(),
+            shards: Vec::new(),
+            audit: Audit::default(),
+            horizon_ns: 0,
+            events: 0,
+            batch_log: Vec::new(),
+        };
+        let s = summarize(&report);
+        assert_eq!(s.generated, 0);
+        assert_eq!(s.completed, 0);
+        assert_eq!(s.throughput_tokens_per_s, 0.0, "zero-duration run must not be NaN/inf");
+        assert_eq!(s.goodput_tokens_per_s, 0.0);
+        assert!(s.throughput_tokens_per_s.is_finite() && s.goodput_tokens_per_s.is_finite());
+        assert_eq!(s.slo_attainment, 1.0);
+    }
 
     #[test]
     fn percentile_nearest_rank() {

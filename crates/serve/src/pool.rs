@@ -140,6 +140,13 @@ pub struct ShardReport {
     pub cost_table: Vec<(CostKey, u64)>,
     /// Capacity factor at end of run (1 = healthy, ∞ = out of service).
     pub final_capacity_factor: f64,
+    /// In-flight batches killed by chaos crashes on this shard.
+    pub killed_batches: u64,
+    /// Decode batches preempted mid-step for a higher-priority prefill.
+    pub preempted_batches: u64,
+    /// Busy time charged to batches that never completed (killed or
+    /// preempted) — the price of chaos, excluded from useful `busy_ns`.
+    pub wasted_ns: u64,
 }
 
 /// One device of the pool, with its measured costs and live fault state.
@@ -205,6 +212,15 @@ impl Shard {
     /// Whether the shard can accept work.
     pub fn in_service(&self) -> bool {
         self.capacity_factor.is_finite()
+    }
+
+    /// Takes the shard out of service immediately — the chaos `Crash`
+    /// action. Unlike [`Shard::apply_fault`] with a total-outage plan this
+    /// never consults the compiler (a crashed shard answers nothing); the
+    /// fault plan is left untouched so a later `Recover` restores exactly
+    /// the pre-crash degradation state via `apply_fault`.
+    pub fn force_out_of_service(&mut self) {
+        self.capacity_factor = f64::INFINITY;
     }
 
     /// Healthy (unscaled) cost of a batched decode step: `batch` sequences
@@ -325,7 +341,24 @@ mod tests {
             prompt: 32,
             decode: (4, 8),
             slo_ns: 1_000_000_000,
+            priority: 0,
         }
+    }
+
+    #[test]
+    fn forced_outage_preserves_fault_state_for_recovery() {
+        let ts = vec![tiny_tenant()];
+        let mut s = Shard::new(0, ShardSpec::Gemmini, &ts, 2);
+        s.apply_fault(&FaultPlan::dead_tile(3), &ts);
+        let degraded = s.capacity_factor;
+        s.force_out_of_service();
+        assert!(!s.in_service());
+        assert_eq!(s.fault, FaultPlan::dead_tile(3), "crash must not erase the plan");
+        // recovery re-applies the standing plan, landing back on the
+        // degraded (not healthy, not dead) factor
+        let plan = s.fault.clone();
+        s.apply_fault(&plan, &ts);
+        assert_eq!(s.capacity_factor, degraded);
     }
 
     #[test]

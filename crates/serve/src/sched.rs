@@ -1,47 +1,69 @@
 //! The deterministic discrete-event serving scheduler.
 //!
-//! One event loop advances simulated time over three event classes —
-//! fault injections, batch completions, request arrivals (processed in
-//! that order at equal timestamps, then by a stable tie id) — and after
-//! *every* event pumps the pool to a work-conserving fixpoint: each
-//! in-service shard starts a batch from its own queue if idle, then idle
-//! shards with empty queues steal the oldest waiting sequence from the
-//! most-backlogged shard. The post-condition (no in-service shard idle
-//! while any compatible work waits anywhere) is audited on every event,
-//! not assumed.
+//! One event loop advances simulated time over five event classes —
+//! fault/chaos injections, compile-outage expiries, batch completions,
+//! retry re-dispatches, request arrivals (processed in that order at equal
+//! timestamps, then by a stable tie id) — and after *every* event pumps the
+//! pool to a work-conserving fixpoint: each startable shard begins a batch
+//! from its own queue if idle, then idle shards with empty queues steal the
+//! oldest waiting sequence from the most-backlogged shard. The
+//! post-condition (no startable shard idle while any compatible work waits
+//! anywhere) is audited on every event, not assumed.
 //!
 //! Scheduling policy, in one paragraph: admission control caps
-//! admitted-but-incomplete requests at `max_in_flight` (typed
-//! `QueueFull` rejection past it; `NoCapacity` when no shard is in
-//! service). Placement charges each in-service shard its estimated
-//! backlog plus the request's estimated remaining work — both priced from
-//! the shard's *measured* cost table (the `estimate_trace` capacity hint)
-//! times its fault capacity factor — and picks the minimum, lowest shard
-//! id on ties. Batches form FIFO from a shard's queue: all members share
-//! one compatibility key `(tenant, phase, shape bucket)`; prefill runs at
-//! batch 1, decode packs up to `max_batch` sequences. Completions
-//! re-enqueue unfinished sequences at the tail (continuous batching: the
-//! next batch re-forms from whatever is queued *now*, new arrivals
-//! included). A mid-trace fault re-prices the shard and re-places its
-//! queued work; an out-of-service shard drains its in-flight batch, then
-//! every surviving sequence is re-placed or — when the whole pool is
-//! down — rejected with a typed reason.
+//! admitted-but-incomplete requests at `max_in_flight` (typed `QueueFull`
+//! rejection past it; `NoCapacity` when no shard is in service; `Shed` when
+//! the best achievable backlog-estimated latency exceeds
+//! `shed_deadline_factor × slo`). Placement charges each in-service shard
+//! its estimated backlog plus the request's estimated remaining work — both
+//! priced from the shard's *measured* cost table times its fault capacity
+//! factor — and picks the minimum, lowest shard id on ties. Batches form
+//! from a shard's queue around the most urgent waiting sequence (lowest
+//! priority class, FIFO within a class — identical to plain FIFO when every
+//! tenant shares one class): all members share one compatibility key
+//! `(tenant, phase, shape bucket)`; prefill runs at batch 1, decode packs
+//! up to `max_batch`. Completions re-enqueue unfinished sequences at the
+//! tail (continuous batching).
+//!
+//! Failure semantics come in two flavors. The legacy [`FaultEvent`] list
+//! keeps PR 6's *drain* semantics — the plan re-prices the shard, queued
+//! work re-places, the in-flight batch finishes even on a now-dead shard —
+//! bit-identical to before chaos existed. [`ChaosEvent`]s are the violent
+//! path (DESIGN.md §12): a `Crash` kills the in-flight batch *mid-step*
+//! (none of its tokens commit — replay idempotence is the accounting rule,
+//! not an aspiration) and every member enters the bounded-backoff retry
+//! ladder ([`RetryPolicy`]); exhausting the budget yields a typed
+//! [`Outcome::Abandoned`]. A `CompileOutage` lets running work finish but
+//! blocks new batches until the window expires. The extended audit proves
+//! conservation under all of it: every admitted request reaches exactly one
+//! terminal state, and `tokens_committed == tokens_reported` — a token is
+//! counted exactly when its batch completes, never when a batch dies.
+//!
+//! When `preempt` is on, a running low-priority *decode* batch is preempted
+//! (its members return to the queue head; the partial step never commits)
+//! as soon as a strictly-higher-priority prefill would otherwise miss a
+//! TTFT bound of `slo / 4`; the scan considers the first
+//! [`PRIORITY_SCAN_WINDOW`] queued sequences.
 //!
 //! Everything is a pure function of the [`ServeConfig`] (including its
-//! seed): no wall clock, no ambient randomness, no hash-order iteration
-//! on any decision path. That is the bit-exact replay invariant, and the
+//! seed): no wall clock, no ambient randomness, no hash-order iteration on
+//! any decision path. That is the bit-exact replay invariant, and the
 //! thread-determinism regression holds because the only parallelism in
 //! reach — kernel compilation inside a PICACHU shard — is itself
 //! bit-deterministic in the thread count.
 
 use crate::arrivals::{arrival_trace, ArrivalPattern, Request, Tenant};
+use crate::chaos::{ChaosAction, ChaosEvent};
 use crate::pool::{bucket_log2, Shard, ShardReport, ShardSpec};
-use picachu_faults::FaultPlan;
+use picachu_faults::{FaultPlan, RetryPolicy};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::collections::VecDeque;
 
-/// A fault injection scheduled into the serving trace.
+/// A fault injection scheduled into the serving trace, with PR 6 *drain*
+/// semantics: the in-flight batch completes even if the plan takes the
+/// shard out of service. For crash-style mid-batch failure use
+/// [`ServeConfig::chaos`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultEvent {
     /// When the plan lands, in ns.
@@ -51,6 +73,17 @@ pub struct FaultEvent {
     /// The plan (empty plan = repair to full health).
     pub plan: FaultPlan,
 }
+
+/// Queued sequences considered when picking a batch key or a preemption
+/// beneficiary: the most urgent of the first 64 waiting sequences wins;
+/// deeper queue positions fall back to FIFO. Bounds every scheduling
+/// decision to O(64) so million-event soaks stay linear in events.
+pub const PRIORITY_SCAN_WINDOW: usize = 64;
+
+/// Fraction of a request's SLO budgeted for time-to-first-token by the
+/// preemption rule: a queued prefill whose wait would push TTFT past
+/// `slo / 4` may preempt a strictly-lower-priority decode batch.
+pub const PREEMPT_TTFT_DIVISOR: u64 = 4;
 
 /// Full configuration of one serving run — the replay seed of everything.
 #[derive(Debug, Clone, PartialEq)]
@@ -69,15 +102,31 @@ pub struct ServeConfig {
     pub max_batch: usize,
     /// Admission cap: max admitted-but-incomplete requests.
     pub max_in_flight: usize,
-    /// Mid-trace fault injections.
+    /// Mid-trace fault injections (drain semantics).
     pub faults: Vec<FaultEvent>,
+    /// Mid-trace chaos injections (crash/recover/outage semantics); build
+    /// with [`chaos_schedule`](crate::chaos_schedule) or by hand.
+    pub chaos: Vec<ChaosEvent>,
+    /// Retry budget and backoff for requests whose shard crashed under
+    /// them. Shares the audited [`RetryPolicy`] implementation with the
+    /// DMA channel's hardware retry ladder.
+    pub retry: RetryPolicy,
+    /// Allow high-priority prefills to preempt lower-priority decode
+    /// batches (off = strict FIFO-within-priority, no preemption).
+    pub preempt: bool,
+    /// Load shedding: reject at admission (typed [`RejectReason::Shed`])
+    /// when the best shard's backlog-estimated completion exceeds
+    /// `factor × slo_ns`. `None` disables shedding.
+    pub shed_deadline_factor: Option<f64>,
     /// Record every batch in [`ServeReport::batch_log`] (tests; costs
     /// memory on long traces).
     pub log_batches: bool,
 }
 
 impl ServeConfig {
-    /// A minimal config over `pool` with sane defaults (tests/smoke).
+    /// A minimal config over `pool` with sane defaults (tests/smoke):
+    /// no chaos, no preemption, no shedding, a 3-retry / 0.5 ms-base
+    /// backoff ladder.
     pub fn new(tenants: Vec<Tenant>, pattern: ArrivalPattern, pool: Vec<ShardSpec>) -> ServeConfig {
         ServeConfig {
             seed: 0x5E2F,
@@ -88,6 +137,10 @@ impl ServeConfig {
             max_batch: 8,
             max_in_flight: 1024,
             faults: Vec::new(),
+            chaos: Vec::new(),
+            retry: RetryPolicy::new(3, 500_000),
+            preempt: false,
+            shed_deadline_factor: None,
             log_batches: false,
         }
     }
@@ -102,6 +155,10 @@ pub enum RejectReason {
     /// No shard is in service (at arrival, or after losing the shard that
     /// held the sequence with no healthy shard to re-place onto).
     NoCapacity,
+    /// Load shedding: even the best shard's backlog-estimated completion
+    /// would exceed the deadline bound, so admitting the request would
+    /// only add a guaranteed SLO miss to the backlog.
+    Shed,
 }
 
 /// Terminal state of a request.
@@ -117,6 +174,8 @@ pub enum Outcome {
         tokens: usize,
         /// Distinct shards that served it, in first-touch order.
         shards: Vec<usize>,
+        /// Crash-retry re-dispatches this request survived (0 = clean run).
+        retries: u32,
     },
     /// The request was rejected.
     Rejected {
@@ -126,6 +185,13 @@ pub enum Outcome {
         reason: RejectReason,
         /// Whether it had been admitted first (lost to a pool-wide outage).
         after_admission: bool,
+    },
+    /// The request exhausted its crash-retry budget and was dropped.
+    Abandoned {
+        /// When the budget ran out, in absolute ns.
+        at_ns: u64,
+        /// Retry attempts issued before giving up (= the full budget).
+        attempts: u32,
     },
 }
 
@@ -164,7 +230,8 @@ pub struct BatchRecord {
     pub cost_ns: u64,
 }
 
-/// Machine-checked counters for the four scheduler invariants.
+/// Machine-checked counters for the scheduler invariants (PR 6's four plus
+/// conservation-under-failure).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Audit {
     /// Requests generated by the arrival trace.
@@ -173,11 +240,30 @@ pub struct Audit {
     pub admitted: u64,
     /// Admitted requests that completed.
     pub completed: u64,
-    /// Requests rejected at admission.
+    /// Requests rejected at admission (includes shed).
     pub rejected_at_admission: u64,
     /// Admitted requests rejected later (pool-wide outage).
     pub rejected_after_admission: u64,
-    /// Times an in-service shard sat idle while compatible work waited
+    /// Requests rejected by load shedding (subset of
+    /// `rejected_at_admission`).
+    pub shed: u64,
+    /// Admitted requests dropped after exhausting the retry budget.
+    pub abandoned: u64,
+    /// Retry re-dispatches scheduled (crash recovery).
+    pub retries: u64,
+    /// Decode batches preempted for a higher-priority prefill.
+    pub preemptions: u64,
+    /// In-flight batches killed by chaos crashes.
+    pub killed_batches: u64,
+    /// Tokens committed by completed batch steps: one per member at
+    /// prefill completion, one per member per decode step. Killed and
+    /// preempted batches commit nothing — that is replay idempotence.
+    pub tokens_committed: u64,
+    /// Tokens the per-request terminal states account for (prefill token
+    /// if TTFT was ever set, plus decode tokens produced). Must equal
+    /// `tokens_committed`: the conservation-under-failure invariant.
+    pub tokens_reported: u64,
+    /// Times a startable shard sat idle while compatible work waited
     /// (work-conservation invariant; must stay 0).
     pub work_conservation_violations: u64,
     /// Batches whose members mixed tenants/phases/buckets (batching
@@ -202,10 +288,23 @@ impl Audit {
                 self.generated, self.admitted, self.rejected_at_admission
             ));
         }
-        if self.admitted != self.completed + self.rejected_after_admission {
+        if self.admitted != self.completed + self.rejected_after_admission + self.abandoned {
             return Err(format!(
-                "conservation: admitted {} != completed {} + rejected-after {}",
-                self.admitted, self.completed, self.rejected_after_admission
+                "conservation: admitted {} != completed {} + rejected-after {} + abandoned {}",
+                self.admitted, self.completed, self.rejected_after_admission, self.abandoned
+            ));
+        }
+        if self.shed > self.rejected_at_admission {
+            return Err(format!(
+                "shed {} exceeds rejected-at-admission {}",
+                self.shed, self.rejected_at_admission
+            ));
+        }
+        if self.tokens_committed != self.tokens_reported {
+            return Err(format!(
+                "failure conservation: {} tokens committed by batches but {} reported \
+                 by terminal states (lost or double-counted work)",
+                self.tokens_committed, self.tokens_reported
             ));
         }
         if self.stranded != 0 {
@@ -244,6 +343,9 @@ pub struct ServeReport {
     pub audit: Audit,
     /// Time of the last event, in ns.
     pub horizon_ns: u64,
+    /// Events processed by the loop (arrivals, completions, faults,
+    /// retries, resumes) — the soak harness's scale measure.
+    pub events: u64,
     /// Batch log (empty unless [`ServeConfig::log_batches`]).
     pub batch_log: Vec<BatchRecord>,
 }
@@ -268,6 +370,8 @@ struct SeqState {
     shards_touched: Vec<usize>,
     /// Estimated remaining work charged to the current shard's backlog.
     charged_ns: u64,
+    /// Crash-retry re-dispatches issued so far.
+    attempts: u32,
     ttft_ns: Option<u64>,
     outcome: Option<Outcome>,
 }
@@ -281,10 +385,16 @@ impl SeqState {
     }
 }
 
-/// Event classes in processing order at equal timestamps.
+/// Event classes in processing order at equal timestamps. Faults strike
+/// before anything else sees the instant; resumes beat completions so a
+/// shard unblocked at t can be audited as startable at t; completions beat
+/// retries and arrivals so freed capacity is visible to them; retries beat
+/// arrivals so recovered work keeps its seniority.
 const CLASS_FAULT: u8 = 0;
-const CLASS_COMPLETION: u8 = 1;
-const CLASS_ARRIVAL: u8 = 2;
+const CLASS_RESUME: u8 = 1;
+const CLASS_COMPLETION: u8 = 2;
+const CLASS_RETRY: u8 = 3;
+const CLASS_ARRIVAL: u8 = 4;
 
 /// A heap event: `(time, class, tie, payload)` — fully ordered, so the
 /// pop sequence is a pure function of the pushes.
@@ -297,8 +407,16 @@ struct Ev {
 }
 
 struct InFlight {
+    /// Unique id; a completion event whose payload doesn't match the
+    /// occupant is stale (its batch was killed or preempted) and ignored —
+    /// the only way to "cancel" an event already in the heap.
+    batch_id: u64,
     members: Vec<usize>,
     cost_ns: u64,
+    start_ns: u64,
+    done_at: u64,
+    tenant: usize,
+    prefill: bool,
 }
 
 struct ShardState {
@@ -306,9 +424,21 @@ struct ShardState {
     queue: VecDeque<usize>,
     busy: Option<InFlight>,
     est_backlog_ns: u64,
+    /// Compile-outage gate: no new batch starts before this instant.
+    blocked_until: u64,
     batches: u64,
     steps: u64,
     busy_ns: u64,
+    killed_batches: u64,
+    preempted_batches: u64,
+    wasted_ns: u64,
+}
+
+/// How a FAULT-class event resolves: index into the legacy `faults` list
+/// or into the `chaos` list.
+enum FaultSrc {
+    Legacy(usize),
+    Chaos(usize),
 }
 
 struct Sim<'a> {
@@ -319,6 +449,7 @@ struct Sim<'a> {
     audit: Audit,
     batch_log: Vec<BatchRecord>,
     in_flight_requests: u64,
+    next_batch_id: u64,
     horizon_ns: u64,
     rejected_at_arrival: Vec<Option<RequestRecord>>,
 }
@@ -335,9 +466,13 @@ pub fn run(cfg: &ServeConfig) -> ServeReport {
             queue: VecDeque::new(),
             busy: None,
             est_backlog_ns: 0,
+            blocked_until: 0,
             batches: 0,
             steps: 0,
             busy_ns: 0,
+            killed_batches: 0,
+            preempted_batches: 0,
+            wasted_ns: 0,
         })
         .collect();
 
@@ -349,10 +484,13 @@ pub fn run(cfg: &ServeConfig) -> ServeReport {
         audit: Audit { generated: requests.len() as u64, ..Audit::default() },
         batch_log: Vec::new(),
         in_flight_requests: 0,
+        next_batch_id: 0,
         horizon_ns: 0,
         rejected_at_arrival: vec![None; requests.len()],
     };
 
+    // legacy faults take tie ids [0, faults.len()); chaos follows, so a
+    // legacy-only config replays the exact pre-chaos event sequence
     for (i, f) in cfg.faults.iter().enumerate() {
         sim.events.push(Reverse(Ev {
             t: f.at_ns,
@@ -360,6 +498,10 @@ pub fn run(cfg: &ServeConfig) -> ServeReport {
             tie: i as u64,
             payload: i as u64,
         }));
+    }
+    for (i, c) in cfg.chaos.iter().enumerate() {
+        let tie = (cfg.faults.len() + i) as u64;
+        sim.events.push(Reverse(Ev { t: c.at_ns, class: CLASS_FAULT, tie, payload: tie }));
     }
     let mut records: Vec<Option<RequestRecord>> = vec![None; requests.len()];
     for r in &requests {
@@ -371,11 +513,22 @@ pub fn run(cfg: &ServeConfig) -> ServeReport {
         }));
     }
 
+    let mut events_processed: u64 = 0;
     while let Some(Reverse(ev)) = sim.events.pop() {
+        events_processed += 1;
         sim.horizon_ns = sim.horizon_ns.max(ev.t);
         match ev.class {
-            CLASS_FAULT => sim.on_fault(ev.t, ev.payload as usize),
-            CLASS_COMPLETION => sim.on_completion(ev.t, ev.payload as usize),
+            CLASS_FAULT => {
+                let src = if (ev.payload as usize) < cfg.faults.len() {
+                    FaultSrc::Legacy(ev.payload as usize)
+                } else {
+                    FaultSrc::Chaos(ev.payload as usize - cfg.faults.len())
+                };
+                sim.on_fault(ev.t, &src);
+            }
+            CLASS_RESUME => {} // the gate is time-based; pumping suffices
+            CLASS_COMPLETION => sim.on_completion(ev.t, ev.tie as usize, ev.payload),
+            CLASS_RETRY => sim.on_retry(ev.t, ev.payload as usize),
             CLASS_ARRIVAL => sim.on_arrival(ev.t, &requests[ev.payload as usize]),
             _ => unreachable!("unknown event class"),
         }
@@ -383,8 +536,11 @@ pub fn run(cfg: &ServeConfig) -> ServeReport {
     }
 
     // conservation: everything admitted must have reached exactly one
-    // terminal state by drain time
+    // terminal state by drain time, and the tokens its terminal state
+    // reports must be exactly the tokens its batches committed
     for s in &sim.seqs {
+        sim.audit.tokens_reported +=
+            s.produced as u64 + u64::from(s.ttft_ns.is_some());
         match &s.outcome {
             Some(o) => {
                 records[s.req.id as usize] = Some(RequestRecord {
@@ -417,6 +573,9 @@ pub fn run(cfg: &ServeConfig) -> ServeReport {
             busy_ns: s.busy_ns,
             cost_table: s.shard.cost_table(),
             final_capacity_factor: s.shard.capacity_factor,
+            killed_batches: s.killed_batches,
+            preempted_batches: s.preempted_batches,
+            wasted_ns: s.wasted_ns,
         })
         .collect();
 
@@ -425,6 +584,7 @@ pub fn run(cfg: &ServeConfig) -> ServeReport {
         shards,
         audit: sim.audit,
         horizon_ns: sim.horizon_ns,
+        events: events_processed,
         batch_log: sim.batch_log,
     }
 }
@@ -450,10 +610,10 @@ impl Sim<'_> {
         sh.scaled(ns.max(1))
     }
 
-    /// Picks the in-service shard minimizing estimated completion
+    /// Best in-service shard for `seq` with its estimated-completion score
     /// (backlog + this request's remaining work); ties go to the lowest
     /// shard id. `None` when the whole pool is out of service.
-    fn place(&self, seq: &SeqState) -> Option<usize> {
+    fn place_scored(&self, seq: &SeqState) -> Option<(u64, usize)> {
         let mut best: Option<(u64, usize)> = None;
         for (sid, s) in self.shards.iter().enumerate() {
             if !s.shard.in_service() {
@@ -464,7 +624,12 @@ impl Sim<'_> {
                 best = Some((score, sid));
             }
         }
-        best.map(|(_, sid)| sid)
+        best
+    }
+
+    /// [`Sim::place_scored`] without the score.
+    fn place(&self, seq: &SeqState) -> Option<usize> {
+        self.place_scored(seq).map(|(_, sid)| sid)
     }
 
     /// Assigns `seq_idx` to `sid`, charging the backlog estimate.
@@ -498,9 +663,44 @@ impl Sim<'_> {
         match &outcome {
             Outcome::Completed { .. } => self.audit.completed += 1,
             Outcome::Rejected { .. } => self.audit.rejected_after_admission += 1,
+            Outcome::Abandoned { .. } => self.audit.abandoned += 1,
         }
         seq.outcome = Some(outcome);
         self.in_flight_requests -= 1;
+    }
+
+    /// Re-dispatches a sequence that lost its shard: schedules a retry
+    /// after the policy's backoff, or abandons it once the budget is gone.
+    /// The sequence keeps all committed progress (`produced`, `ttft_ns`) —
+    /// a retry replays only the step that died.
+    fn retry_or_abandon(&mut self, seq_idx: usize, now: u64) {
+        if self.seqs[seq_idx].outcome.is_some() {
+            return;
+        }
+        let attempts = self.seqs[seq_idx].attempts;
+        if self.cfg.retry.exhausted(attempts) {
+            self.terminal(seq_idx, Outcome::Abandoned { at_ns: now, attempts });
+            return;
+        }
+        self.seqs[seq_idx].attempts = attempts + 1;
+        self.audit.retries += 1;
+        self.events.push(Reverse(Ev {
+            t: now.saturating_add(self.cfg.retry.backoff(attempts)),
+            class: CLASS_RETRY,
+            tie: seq_idx as u64,
+            payload: seq_idx as u64,
+        }));
+    }
+
+    fn on_retry(&mut self, now: u64, seq_idx: usize) {
+        if self.seqs[seq_idx].outcome.is_some() {
+            return;
+        }
+        match self.place(&self.seqs[seq_idx]) {
+            Some(sid) => self.assign(seq_idx, sid),
+            // pool still fully down: burn another attempt and back off more
+            None => self.retry_or_abandon(seq_idx, now),
+        }
     }
 
     fn on_arrival(&mut self, now: u64, req: &Request) {
@@ -512,10 +712,7 @@ impl Sim<'_> {
             self.reject_at_arrival(now, req, RejectReason::NoCapacity);
             return;
         }
-        self.audit.admitted += 1;
-        self.in_flight_requests += 1;
-        let seq_idx = self.seqs.len();
-        self.seqs.push(SeqState {
+        let seq = SeqState {
             req: *req,
             phase: SeqPhase::Prefill,
             context: 0,
@@ -523,19 +720,41 @@ impl Sim<'_> {
             shard: usize::MAX,
             shards_touched: Vec::new(),
             charged_ns: 0,
+            attempts: 0,
             ttft_ns: None,
             outcome: None,
-        });
+        };
+        // load shedding: if even the best placement blows the deadline
+        // bound, admitting only manufactures a guaranteed SLO miss
+        let placed = self.place_scored(&seq);
+        if let (Some(factor), Some((score, _))) = (self.cfg.shed_deadline_factor, placed) {
+            let bound = (req.slo_ns as f64 * factor.max(0.0)) as u64;
+            if score > bound {
+                self.audit.shed += 1;
+                self.reject_at_arrival(now, req, RejectReason::Shed);
+                return;
+            }
+        }
+        self.audit.admitted += 1;
+        self.in_flight_requests += 1;
+        let seq_idx = self.seqs.len();
+        self.seqs.push(seq);
         // admission passed and some shard is in service, so place() holds
-        if let Some(sid) = self.place(&self.seqs[seq_idx]) {
+        if let Some((_, sid)) = placed {
             self.assign(seq_idx, sid);
         }
     }
 
-    fn on_completion(&mut self, now: u64, sid: usize) {
+    fn on_completion(&mut self, now: u64, sid: usize, batch_id: u64) {
         let fl = match self.shards[sid].busy.take() {
-            Some(fl) => fl,
-            None => return, // stale completion (cannot happen; defensive)
+            Some(fl) if fl.batch_id == batch_id => fl,
+            Some(fl) => {
+                // stale completion: the batch this event announced was
+                // killed or preempted and someone else runs now
+                self.shards[sid].busy = Some(fl);
+                return;
+            }
+            None => return,
         };
         {
             let s = &mut self.shards[sid];
@@ -545,6 +764,7 @@ impl Sim<'_> {
         }
         let in_service = self.shards[sid].shard.in_service();
         for &seq_idx in &fl.members {
+            self.audit.tokens_committed += 1;
             let done = {
                 let seq = &mut self.seqs[seq_idx];
                 if !seq.shards_touched.contains(&sid) {
@@ -571,6 +791,7 @@ impl Sim<'_> {
                     finish_ns: now,
                     tokens: 1 + seq.req.decode,
                     shards: seq.shards_touched.clone(),
+                    retries: seq.attempts,
                 };
                 self.discharge(seq_idx);
                 self.terminal(seq_idx, outcome);
@@ -595,20 +816,48 @@ impl Sim<'_> {
         }
     }
 
-    fn on_fault(&mut self, now: u64, fault_idx: usize) {
-        let f = &self.cfg.faults[fault_idx];
-        if f.shard >= self.shards.len() {
-            return;
+    fn on_fault(&mut self, now: u64, src: &FaultSrc) {
+        // self.cfg outlives &mut self: reborrow it so the event data stays
+        // readable across the mutating handlers
+        let cfg = self.cfg;
+        match src {
+            FaultSrc::Legacy(i) => {
+                let f = &cfg.faults[*i];
+                if f.shard >= self.shards.len() {
+                    return;
+                }
+                self.degrade(now, f.shard, &f.plan, false);
+            }
+            FaultSrc::Chaos(i) => {
+                let c = &cfg.chaos[*i];
+                if c.shard >= self.shards.len() {
+                    return;
+                }
+                match &c.action {
+                    ChaosAction::Crash => self.crash(now, c.shard),
+                    ChaosAction::Degrade(plan) => self.degrade(now, c.shard, plan, true),
+                    ChaosAction::Recover => self.recover(c.shard),
+                    ChaosAction::CompileOutage { for_ns } => {
+                        self.compile_outage(now, c.shard, *for_ns);
+                    }
+                }
+            }
         }
-        let tenants = &self.cfg.tenants;
-        self.shards[f.shard].shard.apply_fault(&f.plan, tenants);
-        // re-place everything queued on the touched shard: degraded
-        // capacity re-prices it, out-of-service forbids it
-        let displaced: Vec<usize> = self.shards[f.shard].queue.drain(..).collect();
+    }
+
+    /// Applies `plan` to `sid` with drain semantics: the in-flight batch
+    /// finishes, queued work re-places. On a now-dead pool, displaced work
+    /// goes to the retry ladder for chaos events (`retryable`) and to the
+    /// PR 6 typed rejection for legacy fault events — the legacy path must
+    /// replay bit-identically to before retries existed.
+    fn degrade(&mut self, now: u64, sid: usize, plan: &FaultPlan, retryable: bool) {
+        self.shards[sid].shard.apply_fault(plan, &self.cfg.tenants);
+        let displaced: Vec<usize> = self.shards[sid].queue.drain(..).collect();
         for seq_idx in displaced {
             self.discharge(seq_idx);
             match self.place(&self.seqs[seq_idx]) {
-                Some(sid) => self.assign(seq_idx, sid),
+                Some(new_sid) => self.assign(seq_idx, new_sid),
+                None if retryable => self.retry_or_abandon(seq_idx, now),
                 None => self.terminal(
                     seq_idx,
                     Outcome::Rejected {
@@ -621,11 +870,80 @@ impl Sim<'_> {
         }
     }
 
-    /// Starts a batch on `sid` from its queue front's compatibility key.
+    /// Kills `sid` outright: capacity goes infinite, the in-flight batch
+    /// dies with *nothing* committed (its completion event goes stale via
+    /// the batch id), and every member — running or queued — re-places on
+    /// the survivors or enters the retry ladder.
+    fn crash(&mut self, now: u64, sid: usize) {
+        self.shards[sid].shard.force_out_of_service();
+        if let Some(fl) = self.shards[sid].busy.take() {
+            self.audit.killed_batches += 1;
+            self.shards[sid].killed_batches += 1;
+            self.shards[sid].wasted_ns += now.saturating_sub(fl.start_ns);
+            for &seq_idx in &fl.members {
+                self.discharge(seq_idx);
+                self.retry_or_abandon(seq_idx, now);
+            }
+        }
+        let displaced: Vec<usize> = self.shards[sid].queue.drain(..).collect();
+        for seq_idx in displaced {
+            self.discharge(seq_idx);
+            match self.place(&self.seqs[seq_idx]) {
+                Some(new_sid) => self.assign(seq_idx, new_sid),
+                None => self.retry_or_abandon(seq_idx, now),
+            }
+        }
+    }
+
+    /// Chaos recovery: clears faults and outage gates — full health.
+    fn recover(&mut self, sid: usize) {
+        self.shards[sid].shard.apply_fault(&FaultPlan::none(), &self.cfg.tenants);
+        self.shards[sid].blocked_until = 0;
+    }
+
+    /// Transient compile failure: running work finishes, nothing new
+    /// starts until the window expires (a RESUME event re-pumps then).
+    fn compile_outage(&mut self, now: u64, sid: usize, for_ns: u64) {
+        let until = now.saturating_add(for_ns);
+        let s = &mut self.shards[sid];
+        s.blocked_until = s.blocked_until.max(until);
+        let until = s.blocked_until;
+        self.events.push(Reverse(Ev {
+            t: until,
+            class: CLASS_RESUME,
+            tie: sid as u64,
+            payload: sid as u64,
+        }));
+    }
+
+    /// Whether `sid` may begin a new batch at `now`.
+    fn startable(&self, sid: usize, now: u64) -> bool {
+        let s = &self.shards[sid];
+        s.shard.in_service() && s.busy.is_none() && now >= s.blocked_until
+    }
+
+    /// Queue position of the most urgent waiting sequence on `sid`: lowest
+    /// priority class wins, FIFO within a class, scanning at most
+    /// [`PRIORITY_SCAN_WINDOW`] entries. With every tenant in one class
+    /// this is always position 0 — plain FIFO, bit-identical to PR 6.
+    fn urgent_front(&self, sid: usize) -> Option<usize> {
+        let mut best: Option<(u8, usize)> = None;
+        for (pos, &qi) in
+            self.shards[sid].queue.iter().take(PRIORITY_SCAN_WINDOW).enumerate()
+        {
+            let p = self.cfg.tenants[self.seqs[qi].req.tenant].priority;
+            if best.is_none_or(|(bp, _)| p < bp) {
+                best = Some((p, pos));
+            }
+        }
+        best.map(|(_, pos)| pos)
+    }
+
+    /// Starts a batch on `sid` keyed by its most urgent waiting sequence.
     fn start_batch(&mut self, sid: usize, now: u64) {
         let (tenant, phase, bucket) = {
-            let front = match self.shards[sid].queue.front() {
-                Some(&i) => &self.seqs[i],
+            let front = match self.urgent_front(sid) {
+                Some(pos) => &self.seqs[self.shards[sid].queue[pos]],
                 None => return,
             };
             (front.req.tenant, front.phase, front.bucket())
@@ -678,34 +996,116 @@ impl Sim<'_> {
                 cost_ns: cost,
             });
         }
-        self.shards[sid].busy = Some(InFlight { members, cost_ns: cost });
+        let batch_id = self.next_batch_id;
+        self.next_batch_id += 1;
+        self.shards[sid].busy = Some(InFlight {
+            batch_id,
+            members,
+            cost_ns: cost,
+            start_ns: now,
+            done_at,
+            tenant,
+            prefill: phase == SeqPhase::Prefill,
+        });
         self.events.push(Reverse(Ev {
             t: done_at,
             class: CLASS_COMPLETION,
             tie: sid as u64,
-            payload: sid as u64,
+            payload: batch_id,
         }));
+    }
+
+    /// Preempts low-priority decode batches whose continued run would make
+    /// a strictly-higher-priority queued prefill miss its TTFT bound
+    /// (`slo / PREEMPT_TTFT_DIVISOR`). Preemption only fires when it is
+    /// *useful*: starting the prefill now must still meet the bound — a
+    /// prefill whose bound is already unreachable must not keep shooting
+    /// down every batch behind it (that livelocks the shard). The killed
+    /// step commits nothing; the preemptor jumps to the queue head so it
+    /// actually starts next, with the preempted members right behind it.
+    fn preempt_for_priority(&mut self, now: u64) {
+        for sid in 0..self.shards.len() {
+            if !self.shards[sid].shard.in_service() || now < self.shards[sid].blocked_until {
+                continue;
+            }
+            let (batch_prio, done_at) = match &self.shards[sid].busy {
+                Some(fl) if !fl.prefill => {
+                    (self.cfg.tenants[fl.tenant].priority, fl.done_at)
+                }
+                _ => continue,
+            };
+            let mut best: Option<(u8, usize)> = None;
+            for (pos, &qi) in
+                self.shards[sid].queue.iter().take(PRIORITY_SCAN_WINDOW).enumerate()
+            {
+                let s = &self.seqs[qi];
+                if s.phase != SeqPhase::Prefill {
+                    continue;
+                }
+                let p = self.cfg.tenants[s.req.tenant].priority;
+                if p < batch_prio && best.is_none_or(|(bp, _)| p < bp) {
+                    best = Some((p, pos));
+                }
+            }
+            let Some((_, pos)) = best else { continue };
+            let (tenant, prompt, arrival, slo) = {
+                let s = &self.seqs[self.shards[sid].queue[pos]];
+                (s.req.tenant, s.req.prompt, s.req.arrival_ns, s.req.slo_ns)
+            };
+            let cost = {
+                let sh = &self.shards[sid].shard;
+                sh.scaled(sh.healthy_prefill_cost(tenant, prompt))
+            };
+            let deadline = arrival.saturating_add(slo / PREEMPT_TTFT_DIVISOR);
+            if done_at.saturating_add(cost) <= deadline {
+                continue; // waiting out the decode batch still meets TTFT
+            }
+            if now.saturating_add(cost) > deadline {
+                // the bound is already unsalvageable: killing the decode
+                // batch would waste its partial step without saving the
+                // prefill, and an ever-doomed prefill must not shoot down
+                // every batch behind it forever
+                continue;
+            }
+            let Some(fl) = self.shards[sid].busy.take() else { continue };
+            self.audit.preemptions += 1;
+            self.shards[sid].preempted_batches += 1;
+            self.shards[sid].wasted_ns += now.saturating_sub(fl.start_ns);
+            // the preempting prefill jumps to the queue head: preemption
+            // must actually start it next, not re-lose the shard to
+            // whatever sits in front of it (the preempted members would
+            // otherwise push it past the urgent-front scan window and the
+            // restarted batch would be preempted again — a livelock)
+            let preemptor = self.shards[sid].queue.remove(pos);
+            // preempted members return to the head in original order, so
+            // they stay senior to everything behind them; the preemptor
+            // goes in front of even them
+            for &m in fl.members.iter().rev() {
+                self.shards[sid].queue.push_front(m);
+            }
+            if let Some(qi) = preemptor {
+                self.shards[sid].queue.push_front(qi);
+            }
+        }
     }
 
     /// Drives the pool to the work-conserving fixpoint, then audits it.
     fn pump(&mut self, now: u64) {
-        // 1. every idle in-service shard starts from its own queue
+        // 0. priority preemption frees shards before anything starts
+        if self.cfg.preempt {
+            self.preempt_for_priority(now);
+        }
+        // 1. every idle startable shard starts from its own queue
         for sid in 0..self.shards.len() {
-            if self.shards[sid].shard.in_service()
-                && self.shards[sid].busy.is_none()
-                && !self.shards[sid].queue.is_empty()
-            {
+            if self.startable(sid, now) && !self.shards[sid].queue.is_empty() {
                 self.start_batch(sid, now);
             }
         }
-        // 2. idle shards with empty queues steal the oldest waiting
-        //    sequence from the most-backlogged queue, to fixpoint
+        // 2. idle startable shards with empty queues steal the oldest
+        //    waiting sequence from the most-backlogged queue, to fixpoint
         loop {
-            let thief = (0..self.shards.len()).find(|&sid| {
-                self.shards[sid].shard.in_service()
-                    && self.shards[sid].busy.is_none()
-                    && self.shards[sid].queue.is_empty()
-            });
+            let thief = (0..self.shards.len())
+                .find(|&sid| self.startable(sid, now) && self.shards[sid].queue.is_empty());
             let thief = match thief {
                 Some(t) => t,
                 None => break,
@@ -730,11 +1130,11 @@ impl Sim<'_> {
             self.shards[thief].queue.push_back(seq_idx);
             self.start_batch(thief, now);
         }
-        // 3. audit: no in-service shard may now be idle while work waits
+        // 3. audit: no startable shard may now be idle while work waits
         let waiting: usize = self.shards.iter().map(|s| s.queue.len()).sum();
         if waiting > 0 {
-            for s in &self.shards {
-                if s.shard.in_service() && s.busy.is_none() {
+            for sid in 0..self.shards.len() {
+                if self.startable(sid, now) {
                     self.audit.work_conservation_violations += 1;
                 }
             }

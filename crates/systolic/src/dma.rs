@@ -6,20 +6,27 @@
 //! to ~16 GB/s at 1 GHz with a ~200-cycle descriptor setup, typical of a
 //! measured PCIe-attached HBM path.
 
-use picachu_faults::DmaFaultModel;
+use picachu_faults::{DmaFaultModel, RetryPolicy};
 use std::fmt;
 
-/// Most attempts the retry ladder issues for one transfer before giving up.
-/// Three retries on top of the first attempt: with the worst shipped fault
-/// density (~2 % per attempt) four independent stalls in a row happen at
-/// ~1.6e-7 per transfer — the ladder clears every realistic transient while
-/// still bounding the worst case.
-pub const DMA_MAX_ATTEMPTS: u32 = 4;
+/// The channel's retry ladder: 4 attempts total (three retries on top of the
+/// first), backoff 32 cycles doubling each retry. With the worst shipped
+/// fault density (~2 % per attempt) four independent stalls in a row happen
+/// at ~1.6e-7 per transfer — the ladder clears every realistic transient
+/// while still bounding the worst case — and the backoff is short enough to
+/// be invisible against a 200-cycle setup yet long enough to ride out a
+/// descriptor-timeout turnaround. The same [`RetryPolicy`] type (from
+/// `picachu-faults`) drives the serving scheduler's crash-retry path, so
+/// hardware- and serving-level backoff share one audited implementation.
+pub const DMA_RETRY: RetryPolicy = RetryPolicy::new(4, 32);
 
-/// Backoff before the first retry; doubles each further retry (32, 64, 128
-/// cycles). Short enough to be invisible against a 200-cycle setup, long
-/// enough to ride out a descriptor-timeout turnaround.
-pub const DMA_BACKOFF_BASE_CYCLES: u64 = 32;
+/// Most attempts the retry ladder issues for one transfer before giving up
+/// (see [`DMA_RETRY`]).
+pub const DMA_MAX_ATTEMPTS: u32 = DMA_RETRY.max_attempts;
+
+/// Backoff before the first retry; doubles each further retry (see
+/// [`DMA_RETRY`]).
+pub const DMA_BACKOFF_BASE_CYCLES: u64 = DMA_RETRY.backoff_base;
 
 /// Outcome of a transfer pushed through the retry ladder.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -111,7 +118,7 @@ impl DmaModel {
     ) -> Result<FaultedTransfer, DmaExhausted> {
         let clean = self.transfer_cycles(bytes);
         let mut overhead: u64 = 0;
-        for attempt in 0..DMA_MAX_ATTEMPTS {
+        for attempt in 0..DMA_RETRY.max_attempts {
             if !faults.stalls(transfer, attempt) {
                 return Ok(FaultedTransfer {
                     cycles: clean + overhead,
@@ -119,11 +126,11 @@ impl DmaModel {
                     overhead_cycles: overhead,
                 });
             }
-            overhead += faults.stall_cycles + (DMA_BACKOFF_BASE_CYCLES << attempt);
+            overhead += faults.stall_cycles + DMA_RETRY.backoff(attempt);
         }
         Err(DmaExhausted {
             transfer,
-            attempts: DMA_MAX_ATTEMPTS,
+            attempts: DMA_RETRY.max_attempts,
             wasted_cycles: overhead,
         })
     }

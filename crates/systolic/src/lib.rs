@@ -19,6 +19,6 @@ pub mod gemm;
 pub mod sram;
 
 pub use buffer::SharedBuffer;
-pub use dma::{DmaExhausted, DmaModel, FaultedTransfer, DMA_BACKOFF_BASE_CYCLES, DMA_MAX_ATTEMPTS};
+pub use dma::{DmaExhausted, DmaModel, FaultedTransfer, DMA_BACKOFF_BASE_CYCLES, DMA_MAX_ATTEMPTS, DMA_RETRY};
 pub use gemm::SystolicArray;
 pub use sram::Sram;

@@ -33,6 +33,44 @@ PICACHU_THREADS=4 cargo test -q --offline
 echo "== serve smoke (short seeded trace: invariants + JSON emission) =="
 cargo run --release -q -p picachu-bench --bin serve_bench --offline -- --smoke
 
+echo "== soak smoke (chaos: crash/retry/preempt/shed invariants, thread-invariant artifact) =="
+# The chaos soak's --smoke mode replays a short trace under the full chaos
+# schedule (in-binary: audit + replay bit-exactness + event floor). On top
+# of that the gate checks the artifact schema, the availability floor, and
+# that the artifact is byte-identical at 1 and 4 compile threads. Runs from
+# a scratch directory so the committed full-run artifact stays untouched.
+REPO_ROOT=$(pwd)
+SOAK_SCRATCH=$(mktemp -d)
+(cd "$SOAK_SCRATCH" && PICACHU_THREADS=1 "$REPO_ROOT/target/release/serve_soak" --smoke)
+mv "$SOAK_SCRATCH/results/BENCH_soak.json" "$SOAK_SCRATCH/soak.t1.json"
+(cd "$SOAK_SCRATCH" && PICACHU_THREADS=4 "$REPO_ROOT/target/release/serve_soak" --smoke)
+cmp "$SOAK_SCRATCH/results/BENCH_soak.json" "$SOAK_SCRATCH/soak.t1.json" \
+  || { echo "soak smoke: FAILED (artifact differs between 1 and 4 threads)"; exit 1; }
+python3 - "$SOAK_SCRATCH/results/BENCH_soak.json" <<'EOF'
+import json, sys
+required = {"mode", "seed", "shards", "requests", "events", "horizon_ns",
+            "chaos_crashes", "chaos_degradations", "chaos_compile_outages",
+            "completed", "rejected", "shed", "abandoned", "retries",
+            "preemptions", "killed_batches", "wasted_ns", "availability",
+            "shed_rate", "retry_amplification", "p50_latency_ns",
+            "p99_latency_ns", "p99_ttft_ns", "slo_attainment",
+            "throughput_tokens_per_s", "audit_ok"}
+rows = [json.loads(l) for l in open(sys.argv[1]) if l.strip().startswith("{")]
+if len(rows) != 1:
+    sys.exit(f"soak smoke: expected 1 artifact row, got {len(rows)}")
+r = rows[0]
+missing = required - r.keys()
+if missing:
+    sys.exit(f"soak smoke: row missing keys {sorted(missing)}")
+if not r["audit_ok"]:
+    sys.exit("soak smoke: scheduler audit violated under chaos")
+if r["availability"] < 0.6:
+    sys.exit(f"soak smoke: availability {r['availability']:.3f} below the 0.6 floor")
+print(f"soak smoke: OK ({r['events']} events, availability {r['availability']:.3f}, "
+      f"{r['preemptions']} preemptions, {r['shed']} shed, thread-count invariant)")
+EOF
+rm -rf "$SOAK_SCRATCH"
+
 echo "== bench smoke (one call per benchmark, offline) =="
 cargo bench -p picachu-bench --offline -- --smoke
 

@@ -13,7 +13,8 @@
 //! `picachu-serve` run over a PICACHU-backed pool (whose shard
 //! construction and degraded-compile path both go through the parallel
 //! compile service) must produce identical per-request records at 1 and 4
-//! threads.
+//! threads — and the same must hold under a full chaos schedule (crashes,
+//! retries, preemption and shedding in the loop) at 1 and 8 threads.
 
 use picachu::compile_cache;
 use picachu::compiler::mapper::Mapping;
@@ -25,7 +26,10 @@ use picachu::faults::FaultPlan;
 use picachu_llm::ModelConfig;
 use picachu_nonlinear::NonlinearOp;
 use picachu_num::DataFormat;
-use picachu_serve::{run, ArrivalPattern, FaultEvent, ServeConfig, ServeReport, ShardSpec, Tenant};
+use picachu_serve::{
+    chaos_schedule, run, ArrivalPattern, ChaosConfig, FaultEvent, RetryPolicy, ServeConfig,
+    ServeReport, ShardSpec, Tenant,
+};
 
 struct Snapshot {
     mappings: Vec<(String, Mapping)>,
@@ -116,6 +120,7 @@ fn serve_snapshot(threads: usize) -> ServeReport {
                 prompt: 24,
                 decode: (2, 4),
                 slo_ns: u64::MAX,
+                priority: 0,
             }],
             ArrivalPattern::Bursty { mean_gap_ns: 200_000.0, mean_burst: 3 },
             vec![ShardSpec::picachu(), ShardSpec::Gemmini],
@@ -141,4 +146,75 @@ fn serving_run_is_thread_count_invariant() {
         "batch schedule diverged between 1 and 4 threads"
     );
     assert_eq!(serial, parallel, "full serving report diverged");
+}
+
+/// The chaos extension of the serving snapshot: two priority tenants,
+/// preemption and shedding on, and a generated chaos schedule (crashes +
+/// degradations + a compile outage) over a PICACHU + Gemmini pool — the
+/// crash-retry and degraded-recompile paths all ride the parallel compile
+/// service and must still be schedule-invisible.
+fn chaos_snapshot(threads: usize) -> ServeReport {
+    runtime::set_thread_override(Some(threads));
+    compile_cache::clear();
+    let tiny = |name: &'static str| ModelConfig {
+        name,
+        layers: 1,
+        d_model: 64,
+        n_heads: 4,
+        d_ff: 128,
+        ..ModelConfig::gpt2()
+    };
+    let tenants = vec![
+        Tenant {
+            name: "hi",
+            model: tiny("tiny-chaos-hi"),
+            weight: 2,
+            prompt: 24,
+            decode: (2, 4),
+            slo_ns: 1 << 33,
+            priority: 0,
+        },
+        Tenant {
+            name: "lo",
+            model: tiny("tiny-chaos-lo"),
+            weight: 1,
+            prompt: 16,
+            decode: (2, 6),
+            slo_ns: 1 << 34,
+            priority: 1,
+        },
+    ];
+    let pool = vec![ShardSpec::picachu(), ShardSpec::Gemmini];
+    let cfg = ServeConfig {
+        seed: 0xC4A0_2217,
+        n_requests: 60,
+        max_batch: 4,
+        log_batches: true,
+        chaos: chaos_schedule(&ChaosConfig::new(11, 20_000_000), pool.len()),
+        retry: RetryPolicy::new(3, 250_000),
+        preempt: true,
+        shed_deadline_factor: Some(6.0),
+        ..ServeConfig::new(
+            tenants,
+            ArrivalPattern::Bursty { mean_gap_ns: 150_000.0, mean_burst: 4 },
+            pool,
+        )
+    };
+    let report = run(&cfg);
+    runtime::set_thread_override(None);
+    report
+}
+
+#[test]
+fn chaos_serving_run_is_thread_count_invariant() {
+    let serial = chaos_snapshot(1);
+    let parallel = chaos_snapshot(8);
+
+    serial.audit.check().unwrap();
+    assert!(serial.audit.completed > 0, "chaos must not starve the trace");
+    assert_eq!(
+        serial.records, parallel.records,
+        "per-request records diverged between 1 and 8 threads under chaos"
+    );
+    assert_eq!(serial, parallel, "full chaos serving report diverged");
 }

@@ -160,6 +160,7 @@ fn searched_point_deploys_and_beats_the_default_config() {
                 prompt: 16,
                 decode: (1, 3),
                 slo_ns: u64::MAX,
+                priority: 0,
             }],
             ArrivalPattern::Poisson { mean_gap_ns: 1e6 },
             vec![ShardSpec::from_design(better)],

@@ -1,19 +1,22 @@
 //! Property/invariant suite for the serving scheduler: seeded random
-//! arrival traces × pool configurations must uphold the four invariants —
-//! conservation (every admitted request reaches exactly one typed terminal
-//! state), work conservation (no in-service shard idles while compatible
-//! work waits), batching legality (no batch mixes tenants/phases/shape
-//! buckets), and bit-exact replay from the seed — with shrinking,
-//! replayable counterexample seeds on failure (the `tests/faults.rs` /
-//! oracle replay pattern). Directed tests cover the degraded-capacity
-//! story (mid-trace `FaultPlan`, rebalancing, pool-wide outage) and the
+//! arrival traces × pool configurations × chaos schedules must uphold the
+//! five invariants — conservation (every admitted request reaches exactly
+//! one typed terminal state), work conservation (no startable shard idles
+//! while compatible work waits), batching legality (no batch mixes
+//! tenants/phases/shape buckets), bit-exact replay from the seed, and
+//! conservation under failure (tokens committed by surviving batch steps
+//! equal tokens reported by terminal states) — with shrinking, replayable
+//! counterexample seeds on failure (the `tests/faults.rs` / oracle replay
+//! pattern). Directed tests cover the degraded-capacity story (mid-trace
+//! `FaultPlan`, rebalancing, pool-wide outage), the chaos story (crash
+//! mid-prefill, crash over an empty queue, recover-then-re-crash), and the
 //! degenerate corners (pool of 1, all shards faulted, zero requests).
 
 use picachu::faults::FaultPlan;
 use picachu_llm::ModelConfig;
 use picachu_serve::{
-    run, summarize, ArrivalPattern, FaultEvent, Outcome, RejectReason, ServeConfig, ShardSpec,
-    Tenant,
+    run, summarize, ArrivalPattern, ChaosAction, ChaosEvent, FaultEvent, Outcome, RejectReason,
+    RetryPolicy, ServeConfig, ShardSpec, Tenant,
 };
 use picachu_testkit::prop::{check_result, replay, Gen, PropError, PropResult};
 use picachu_testkit::{prop_assert, prop_assert_eq, prop_check};
@@ -40,9 +43,11 @@ fn total_outage() -> FaultPlan {
     plan
 }
 
-/// Draws a random serving config: 1–2 tenants over tiny models, one of the
-/// three arrival patterns, a 1–3 shard pool over all six device kinds,
-/// random batching/admission knobs, and sometimes a mid-trace fault.
+/// Draws a random serving config: 1–2 tenants (random priorities) over
+/// tiny models, one of the three arrival patterns, a 1–3 shard pool over
+/// all six device kinds, random batching/admission knobs, sometimes a
+/// mid-trace fault, and sometimes chaos events, preemption, shedding and a
+/// random retry budget.
 fn draw_config(g: &mut Gen) -> ServeConfig {
     let mut tenants = vec![Tenant {
         name: "alpha",
@@ -51,6 +56,7 @@ fn draw_config(g: &mut Gen) -> ServeConfig {
         prompt: g.draw(8..48usize),
         decode: (1, g.draw(1..6usize)),
         slo_ns: 1 << g.draw(20..34u32),
+        priority: g.draw(0..2u32) as u8,
     }];
     if g.draw(0..2u32) == 1 {
         tenants.push(Tenant {
@@ -60,6 +66,7 @@ fn draw_config(g: &mut Gen) -> ServeConfig {
             prompt: g.draw(8..48usize),
             decode: (1, g.draw(1..4usize)),
             slo_ns: 1 << g.draw(20..34u32),
+            priority: g.draw(0..2u32) as u8,
         });
     }
     let mean_gap_ns = g.f64(1e4..5e6);
@@ -95,6 +102,25 @@ fn draw_config(g: &mut Gen) -> ServeConfig {
     } else {
         Vec::new()
     };
+    // chaos events are drawn raw (unsorted, unpaired) on purpose: the
+    // scheduler must hold its invariants through any interleaving,
+    // including a crash with no recover or a recover of a healthy shard
+    let chaos = if g.draw(0..2u32) == 1 {
+        (0..g.draw(1..4usize))
+            .map(|_| ChaosEvent {
+                at_ns: g.draw(1..200u64) * 50_000,
+                shard: g.draw(0..n_shards),
+                action: match g.draw(0..4u32) {
+                    0 => ChaosAction::Crash,
+                    1 => ChaosAction::Recover,
+                    2 => ChaosAction::CompileOutage { for_ns: g.draw(1..100u64) * 10_000 },
+                    _ => ChaosAction::Degrade(FaultPlan::dead_tile(5)),
+                },
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
     ServeConfig {
         seed: g.draw(0..u32::MAX) as u64,
         tenants,
@@ -104,11 +130,15 @@ fn draw_config(g: &mut Gen) -> ServeConfig {
         max_batch: g.draw(1..9usize),
         max_in_flight: g.draw(2..64usize),
         faults,
+        chaos,
+        retry: RetryPolicy::new(g.draw(0..4u32), g.draw(1..10u64) * 100_000),
+        preempt: g.draw(0..2u32) == 1,
+        shed_deadline_factor: if g.draw(0..2u32) == 1 { Some(g.f64(1.0..8.0)) } else { None },
         log_batches: true,
     }
 }
 
-/// Re-checks the four invariants from the *outside* of the simulator —
+/// Re-checks the five invariants from the *outside* of the simulator —
 /// records and batch log only, trusting no internal audit arithmetic
 /// beyond the violation counters.
 fn assert_invariants(cfg: &ServeConfig) -> PropResult {
@@ -120,17 +150,32 @@ fn assert_invariants(cfg: &ServeConfig) -> PropResult {
     for (i, r) in report.records.iter().enumerate() {
         prop_assert_eq!(r.id, i as u64);
         match &r.outcome {
-            Outcome::Completed { tokens, finish_ns, ttft_ns, shards, .. } => {
+            Outcome::Completed { tokens, finish_ns, ttft_ns, shards, retries } => {
                 prop_assert!(*tokens >= 1);
                 prop_assert!(*finish_ns >= r.arrival_ns + ttft_ns);
                 prop_assert!(!shards.is_empty(), "completed with no serving shard");
+                prop_assert!(
+                    *retries <= cfg.retry.max_attempts,
+                    "completed after more retries than the budget allows"
+                );
             }
             Outcome::Rejected { at_ns, reason, .. } => {
                 prop_assert!(*at_ns >= r.arrival_ns);
                 prop_assert!(matches!(
                     reason,
-                    RejectReason::QueueFull | RejectReason::NoCapacity
+                    RejectReason::QueueFull | RejectReason::NoCapacity | RejectReason::Shed
                 ));
+                if *reason == RejectReason::Shed {
+                    prop_assert!(
+                        cfg.shed_deadline_factor.is_some(),
+                        "shed with shedding disabled"
+                    );
+                }
+            }
+            Outcome::Abandoned { at_ns, attempts } => {
+                prop_assert!(*at_ns >= r.arrival_ns);
+                prop_assert_eq!(*attempts, cfg.retry.max_attempts);
+                prop_assert!(!cfg.chaos.is_empty(), "abandoned without any chaos");
             }
         }
     }
@@ -161,10 +206,24 @@ fn assert_invariants(cfg: &ServeConfig) -> PropResult {
     prop_assert_eq!(audit.batch_legality_violations, 0u64);
 
     // every completed token was produced by some batch: total steps across
-    // shards equals total batch members
+    // shards equals total batch-log members — except batches killed by a
+    // chaos crash or preempted, which are logged at issue but never
+    // complete a step (their members re-batch and are logged again)
     let steps: u64 = report.shards.iter().map(|s| s.steps).sum();
     let logged: u64 = report.batch_log.iter().map(|b| b.members.len() as u64).sum();
-    prop_assert_eq!(steps, logged);
+    if cfg.chaos.is_empty() && !cfg.preempt {
+        prop_assert_eq!(steps, logged);
+    } else {
+        prop_assert!(steps <= logged, "more steps than issued batch members");
+    }
+
+    // invariant 5 — conservation under failure, cross-checked by the audit
+    // arithmetic (tokens_committed == tokens_reported inside check()), plus
+    // the kill/preempt counters agreeing between audit and shard reports
+    let killed: u64 = report.shards.iter().map(|s| s.killed_batches).sum();
+    let preempted: u64 = report.shards.iter().map(|s| s.preempted_batches).sum();
+    prop_assert_eq!(killed, audit.killed_batches);
+    prop_assert_eq!(preempted, audit.preemptions);
 
     // invariant 4 — bit-exact replay from the seed
     let again = run(cfg);
@@ -173,7 +232,8 @@ fn assert_invariants(cfg: &ServeConfig) -> PropResult {
     // the summary is well-formed whatever happened
     let s = summarize(&report);
     prop_assert!(s.slo_attainment >= 0.0 && s.slo_attainment <= 1.0);
-    prop_assert_eq!(s.completed + s.rejected, cfg.n_requests as u64);
+    prop_assert_eq!(s.completed + s.rejected + s.abandoned, cfg.n_requests as u64);
+    prop_assert!(s.shed <= s.rejected);
     Ok(())
 }
 
@@ -202,6 +262,7 @@ fn failing_properties_shrink_to_replayable_seeds() {
                     prompt: 16,
                     decode: (1, 2),
                     slo_ns: u64::MAX,
+                    priority: 0,
                 }],
                 ArrivalPattern::Poisson { mean_gap_ns: 1e6 },
                 vec![ShardSpec::Gemmini],
@@ -227,6 +288,7 @@ fn degraded_shard_rebalances_and_healthy_shards_stay_bit_identical() {
         prompt: 32,
         decode: (2, 4),
         slo_ns: u64::MAX,
+        priority: 0,
     }];
     let base = ServeConfig {
         seed: 0xD1E5,
@@ -296,6 +358,7 @@ fn pool_wide_outage_rejects_typed() {
         prompt: 16,
         decode: (2, 2),
         slo_ns: u64::MAX,
+        priority: 0,
     }];
     let cfg = ServeConfig {
         seed: 7,
@@ -333,6 +396,7 @@ fn degenerate_configs_are_clean() {
         prompt: 16,
         decode: (1, 3),
         slo_ns: u64::MAX,
+        priority: 0,
     };
     // zero-request trace
     let empty = run(&ServeConfig {
@@ -370,4 +434,129 @@ fn degenerate_configs_are_clean() {
         serial.audit.completed,
         "pool never died, so no admitted request may be lost"
     );
+}
+
+/// Shared base for the directed chaos tests: two shards, one tenant,
+/// modest steady load, batch logging on.
+fn chaos_base(name: &'static str, n_requests: usize) -> ServeConfig {
+    ServeConfig {
+        seed: 0xC4A0,
+        n_requests,
+        max_batch: 4,
+        log_batches: true,
+        ..ServeConfig::new(
+            vec![Tenant {
+                name: "t",
+                model: tiny_model(name, 2, 64),
+                weight: 1,
+                prompt: 32,
+                decode: (2, 6),
+                slo_ns: u64::MAX,
+                priority: 0,
+            }],
+            ArrivalPattern::Poisson { mean_gap_ns: 100_000.0 },
+            vec![ShardSpec::Gemmini, ShardSpec::Gpu],
+        )
+    }
+}
+
+#[test]
+fn crash_during_prefill_retries_on_survivors() {
+    // dry-run clean to find a prefill batch's execution window, then aim a
+    // crash into the middle of it
+    let base = chaos_base("tiny-crash-prefill", 40);
+    let clean = run(&base);
+    clean.audit.check().unwrap();
+    let b = clean
+        .batch_log
+        .iter()
+        .find(|b| b.prefill && b.cost_ns > 1)
+        .expect("trace must contain a prefill batch");
+    let (shard, at_ns) = (b.shard, b.start_ns + b.cost_ns / 2);
+    let chaotic = run(&ServeConfig {
+        chaos: vec![
+            ChaosEvent { at_ns, shard, action: ChaosAction::Crash },
+            ChaosEvent { at_ns: at_ns * 16, shard, action: ChaosAction::Recover },
+        ],
+        ..base
+    });
+    chaotic.audit.check().unwrap();
+    assert!(chaotic.audit.killed_batches >= 1, "the crash must land mid-batch");
+    assert!(
+        chaotic.audit.retries >= 1,
+        "killed prefill members must enter the retry path"
+    );
+    // one shard stayed healthy throughout, so every admitted request still
+    // terminates — and the killed prefill's tokens were never committed
+    assert_eq!(
+        chaotic.audit.completed + chaotic.audit.abandoned,
+        chaotic.audit.admitted
+    );
+    let retried = chaotic
+        .records
+        .iter()
+        .filter(|r| matches!(&r.outcome, Outcome::Completed { retries, .. } if *retries > 0))
+        .count();
+    assert!(
+        retried >= 1 || chaotic.audit.abandoned >= 1,
+        "someone must have survived (or exhausted) a retry"
+    );
+}
+
+#[test]
+fn crash_with_empty_queue_is_a_non_event_for_conservation() {
+    // nearly no load: long gaps mean the crash lands while the pool idles
+    let base = ServeConfig {
+        n_requests: 4,
+        ..chaos_base("tiny-crash-idle", 4)
+    };
+    let clean = run(&base);
+    clean.audit.check().unwrap();
+    // crash long after the last completion, recover later still
+    let quiet = clean.horizon_ns * 4 + 1_000_000;
+    let chaotic = run(&ServeConfig {
+        chaos: vec![
+            ChaosEvent { at_ns: quiet, shard: 0, action: ChaosAction::Crash },
+            ChaosEvent { at_ns: quiet * 2, shard: 0, action: ChaosAction::Recover },
+        ],
+        ..base
+    });
+    chaotic.audit.check().unwrap();
+    assert_eq!(chaotic.audit.killed_batches, 0, "nothing in flight to kill");
+    assert_eq!(chaotic.audit.retries, 0);
+    assert_eq!(chaotic.audit.completed, chaotic.audit.admitted);
+    // the quiet crash cannot change what the requests experienced
+    assert_eq!(chaotic.records, clean.records);
+}
+
+#[test]
+fn recover_then_re_crash_keeps_invariants() {
+    let base = chaos_base("tiny-recrash", 60);
+    let clean = run(&base);
+    clean.audit.check().unwrap();
+    let h = clean.horizon_ns.max(8);
+    // crash → recover → crash again → final recover, all on shard 0
+    let cfg = ServeConfig {
+        chaos: vec![
+            ChaosEvent { at_ns: h / 8, shard: 0, action: ChaosAction::Crash },
+            ChaosEvent { at_ns: h / 4, shard: 0, action: ChaosAction::Recover },
+            ChaosEvent { at_ns: h / 2, shard: 0, action: ChaosAction::Crash },
+            ChaosEvent { at_ns: h, shard: 0, action: ChaosAction::Recover },
+        ],
+        ..base
+    };
+    let a = run(&cfg);
+    a.audit.check().unwrap();
+    assert_eq!(a.audit.completed + a.audit.abandoned, a.audit.admitted);
+    assert!(a.audit.completed > 0, "the surviving shard keeps serving");
+    // the recovered shard really did come back: it, not just shard 1,
+    // keeps batching between and after the outages unless the trace ended
+    let shard0_after_recover =
+        a.batch_log.iter().any(|b| b.shard == 0 && b.start_ns >= h / 4);
+    assert!(
+        shard0_after_recover || a.horizon_ns < h / 4,
+        "recovery must return the shard to service"
+    );
+    let b = run(&cfg);
+    assert_eq!(a, b, "double-crash chaos still replays bit-exactly");
 }
