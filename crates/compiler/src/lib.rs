@@ -36,4 +36,7 @@ pub mod mapper;
 pub mod transform;
 
 pub use arch::{CgraSpec, TileClass};
-pub use mapper::{map_dfg, map_dfg_with, MapError, Mapping, ResourceMask};
+pub use mapper::{
+    map_dfg, map_dfg_mode, map_dfg_with, pnr_report, MapError, Mapping, PnrMode, PnrReport,
+    ResourceMask,
+};

@@ -163,6 +163,16 @@ impl ResourceMask {
         self.dead_links.len()
     }
 
+    /// Whether the mesh link between tiles `a` and `b` is usable: both
+    /// endpoints alive and the (direction-agnostic) link not masked out.
+    /// Adjacency is the caller's concern — the router only asks about pairs
+    /// it got from [`CgraSpec::neighbors`].
+    pub fn link_alive(&self, a: usize, b: usize) -> bool {
+        self.tile_alive(a)
+            && self.tile_alive(b)
+            && !self.dead_links.contains(&(a.min(b), a.max(b)))
+    }
+
     /// Hop count from `a` to `b` over the alive fabric; `None` when
     /// unreachable (or either endpoint is dead).
     pub fn hops(&self, spec: &CgraSpec, a: usize, b: usize) -> Option<u32> {

@@ -1,35 +1,57 @@
 //! Modulo-scheduling mapper onto the CGRA's Modulo Routing Resource Graph
-//! (§4.3 "DFG Mapping").
+//! (§4.3 "DFG Mapping"), structured as a staged P&R pipeline.
 //!
 //! The mapper implements the paper's heuristic optimization: starting from
 //! the lower bound `MII = max(RecMII, ResMII)`, it attempts randomized
-//! priority-based placement of the DFG onto the time-extended fabric
-//! (tiles × II slots). Placement respects:
+//! placement of the DFG onto the time-extended fabric (tiles × II slots),
+//! escalating the II on persistent failure — the iterative modulo-scheduling
+//! discipline. The restarts form a deterministic portfolio: every
+//! `(II, attempt)` cell derives its own RNG stream, so the search fans out
+//! across the `picachu-runtime` thread pool and still returns the exact
+//! mapping the serial grid scan would.
+//!
+//! Since the Place→Route→Fold refactor the work is split into passes:
+//!
+//! * **Place** ([`place`]) — assigns every node a (tile, time). Paper-scale
+//!   fabrics (≤ [`ANNEAL_TILE_THRESHOLD`] tiles) take the historical greedy
+//!   engine, bit-for-bit; larger fabrics take seeded simulated annealing
+//!   over tile assignments (wirelength + congestion cost) followed by
+//!   modulo list scheduling on the chosen tiles.
+//! * **Route** ([`route`]) — congestion-aware routing with per-directed-link
+//!   channel capacities ([`CHANNEL_CAP`]) and PathFinder-style
+//!   rip-up-and-retry. On the annealed path it is the acceptance gate: a
+//!   placement only stands if its routes are congestion-free.
+//! * **Fold** ([`fold`]) — register folding of single-fanout pass-through
+//!   hops; folded hops consume no link channels.
+//! * **Report** ([`report`]) — a [`PnrReport`] (achieved II, area, channel
+//!   utilization, critical path) derivable for any mapping, kept *outside*
+//!   [`Mapping`] so equality-anchored caches and goldens never move.
+//!
+//! Placement respects, on either engine:
 //!
 //! * **heterogeneous operation support** — a node may only occupy a tile
 //!   whose class implements its opcode (BaT/BrT/CoT capabilities);
 //! * **memory-access permissions** — loads/stores only on tiles with Shared
 //!   Buffer ports;
 //! * **compute-slot exclusivity** — one operation per (tile, `time mod II`);
-//! * **mesh routing** — operands travel one hop per cycle along row-first
-//!   paths whose intermediate tiles spend a routing slot (capacity 2 per
-//!   tile-slot), the MRRG's routing-resource constraint;
+//! * **mesh routing** — operands travel one hop per cycle; the greedy engine
+//!   charges the legacy per-tile pass-through budget on canonical paths,
+//!   the annealed engine defers to the Route pass's per-link channels;
 //! * **recurrences** — a loop-carried edge of distance `d` must satisfy
 //!   `t_use + d·II ≥ t_def + latency + hops`.
-//!
-//! Failed placements trigger randomized restarts; persistent failure
-//! increases the II, exactly the iterative modulo-scheduling discipline.
-//! The restarts form a deterministic portfolio: every `(II, attempt)` cell
-//! derives its own RNG stream, so the search fans out across the
-//! `picachu-runtime` thread pool and still returns the exact mapping the
-//! serial grid scan would.
 
 pub mod mask;
+mod fold;
+mod place;
+mod report;
+mod route;
 
 pub use mask::ResourceMask;
+pub use report::{pnr_report, PnrReport};
+pub use route::{route_mapping, RoutedEdge, RouteSet, CHANNEL_CAP};
 
 use crate::arch::CgraSpec;
-use picachu_ir::dfg::{Dfg, NodeId};
+use picachu_ir::dfg::Dfg;
 use picachu_ir::opcode::Opcode;
 use picachu_testkit::{splitmix64, TestRng};
 use std::collections::HashMap;
@@ -37,19 +59,39 @@ use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-/// Routing capacity per (tile, slot): how many pass-through operands a tile's
-/// crossbar can forward per cycle in addition to its own computation.
-const ROUTE_CAP: u32 = 2;
+/// Routing capacity per (tile, slot) in the greedy engine: how many
+/// pass-through operands a tile's crossbar can forward per cycle in addition
+/// to its own computation. (The Route pass's per-link model supersedes this
+/// on the annealed path; the SA cost function still uses it as its
+/// congestion estimate.)
+pub(crate) const ROUTE_CAP: u32 = 2;
 /// Randomized restarts per candidate II.
 const ATTEMPTS_PER_II: usize = 30;
 /// How far beyond MII the search may go before giving up.
 const II_SLACK: u32 = 40;
+/// Fabrics with more tiles than this take the annealed Place→Route pipeline
+/// under [`PnrMode::Auto`]; at or below it (every paper-scale geometry: 4×4,
+/// 8×8) the greedy fast path runs and mappings stay bit-identical to the
+/// pre-pipeline mapper.
+pub const ANNEAL_TILE_THRESHOLD: usize = 64;
+
+/// Which placement engine the portfolio runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PnrMode {
+    /// Greedy at paper scale, annealed above [`ANNEAL_TILE_THRESHOLD`].
+    #[default]
+    Auto,
+    /// Force the historical greedy engine regardless of fabric size.
+    Greedy,
+    /// Force the annealed Place→Route pipeline regardless of fabric size.
+    Annealed,
+}
 
 /// Where and when one DFG node executes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Placement {
     /// The DFG node.
-    pub node: NodeId,
+    pub node: picachu_ir::dfg::NodeId,
     /// Tile index (row-major).
     pub tile: usize,
     /// Absolute schedule time; the node occupies slot `time % II`.
@@ -208,394 +250,6 @@ pub fn min_ii_with(dfg: &Dfg, spec: &CgraSpec, mask: &ResourceMask) -> Result<u3
     Ok(res_mii_with(dfg, spec, mask)?.max(dfg.rec_mii()))
 }
 
-struct State<'a> {
-    spec: &'a CgraSpec,
-    mask: &'a ResourceMask,
-    ii: u32,
-    /// compute occupancy: (tile, slot) -> taken
-    compute: Vec<bool>,
-    /// routing occupancy counts: (tile, slot)
-    routing: Vec<u32>,
-}
-
-impl<'a> State<'a> {
-    fn new(spec: &'a CgraSpec, mask: &'a ResourceMask, ii: u32) -> State<'a> {
-        State {
-            spec,
-            mask,
-            ii,
-            compute: vec![false; spec.len() * ii as usize],
-            routing: vec![0; spec.len() * ii as usize],
-        }
-    }
-
-    fn idx(&self, tile: usize, time: u32) -> usize {
-        tile * self.ii as usize + (time % self.ii) as usize
-    }
-
-    /// Checks that the operand leaving `from` at `depart` can be routed to
-    /// `to` (arriving at `depart + hops`): the pair must be connected on the
-    /// alive fabric and every intermediate tile must have routing capacity.
-    fn route_free(&self, from: usize, to: usize, depart: u32) -> bool {
-        let Some(path) = self.mask.path(self.spec, from, to) else {
-            return false;
-        };
-        for (k, &tile) in path.iter().enumerate() {
-            if self.routing[self.idx(tile, depart + k as u32 + 1)] >= ROUTE_CAP {
-                return false;
-            }
-        }
-        true
-    }
-
-    fn route_commit(&mut self, from: usize, to: usize, depart: u32) {
-        let Some(path) = self.mask.path(self.spec, from, to) else {
-            return; // unreachable: route_free succeeded before every commit
-        };
-        for (k, tile) in path.into_iter().enumerate() {
-            let i = self.idx(tile, depart + k as u32 + 1);
-            self.routing[i] += 1;
-        }
-    }
-}
-
-/// Scheduling priority per node: the ASAP level, except that φ-class nodes
-/// are deferred to just before their earliest same-iteration consumer.
-///
-/// A φ has no same-iteration inputs, so its ASAP level is 0 — but in modulo
-/// scheduling the φ of a reduction must execute just before its update (which
-/// may sit behind a long chain, e.g. the exp pipeline feeding a softmax sum).
-/// Scheduling the φ at time 0 would force `II ≥ chain length` through the
-/// recurrence constraint; deferring it keeps RecMII achievable.
-fn priorities(dfg: &Dfg) -> Vec<u32> {
-    let levels = dfg.asap_levels();
-    let mut prio = levels.clone();
-    for node in dfg.nodes() {
-        if !matches!(node.op, Opcode::Phi | Opcode::FusedPhiAdd | Opcode::FusedPhiAddAdd) {
-            continue;
-        }
-        // earliest same-iteration consumer
-        let mut min_consumer: Option<u32> = None;
-        for c in dfg.nodes() {
-            if c.inputs.iter().any(|e| e.distance == 0 && e.from == node.id) {
-                let l = levels[c.id.0];
-                min_consumer = Some(min_consumer.map_or(l, |m: u32| m.min(l)));
-            }
-        }
-        if let Some(l) = min_consumer {
-            prio[node.id.0] = l.saturating_sub(node.op.latency());
-        }
-    }
-    prio
-}
-
-fn is_phi_class(op: Opcode) -> bool {
-    matches!(op, Opcode::Phi | Opcode::FusedPhiAdd | Opcode::FusedPhiAddAdd)
-}
-
-fn try_place(
-    dfg: &Dfg,
-    spec: &CgraSpec,
-    mask: &ResourceMask,
-    ii: u32,
-    rng: &mut TestRng,
-) -> Option<Vec<Placement>> {
-    let st = State::new(spec, mask, ii);
-    let placed: Vec<Option<Placement>> = vec![None; dfg.len()];
-    place_rest(dfg, spec, mask, ii, rng, st, placed, false)
-}
-
-/// Validates a set of pinned placements against `mask` and builds the
-/// occupancy [`State`] they imply: compute slots of every pinned node, plus
-/// the (possibly detoured) routes of every distance-0 edge between two
-/// pinned nodes. Carried edges between pinned nodes are checked against the
-/// recurrence deadline with the masked hop count.
-///
-/// On the first violation, returns `Err(consumer_node_id)` — the node the
-/// incremental repair must un-pin and re-place. Checks run in node-id order
-/// with inputs in declaration order, so the identified node is
-/// deterministic.
-fn pin_state<'a>(
-    dfg: &Dfg,
-    spec: &'a CgraSpec,
-    mask: &'a ResourceMask,
-    ii: u32,
-    pinned: &[Option<Placement>],
-) -> Result<State<'a>, usize> {
-    let mut st = State::new(spec, mask, ii);
-    for node in dfg.nodes() {
-        let Some(pv) = pinned[node.id.0] else { continue };
-        if !mask.tile_alive(pv.tile) || !spec.tile_supports(pv.tile, node.op) {
-            return Err(node.id.0);
-        }
-        let slot = st.idx(pv.tile, pv.time);
-        if st.compute[slot] {
-            return Err(node.id.0);
-        }
-        st.compute[slot] = true;
-    }
-    for node in dfg.nodes() {
-        let Some(pv) = pinned[node.id.0] else { continue };
-        // check every operand route against the pre-commit state, then
-        // commit them together — the same per-consumer batching the search
-        // uses, so any search-accepted placement re-validates here
-        let mut routes: Vec<(usize, usize, u32)> = Vec::new();
-        for e in &node.inputs {
-            let Some(pu) = pinned[e.from.0] else { continue };
-            let lat = dfg.nodes()[e.from.0].op.latency();
-            let Some(h) = mask.hops(spec, pu.tile, pv.tile) else {
-                return Err(node.id.0);
-            };
-            if e.distance == 0 {
-                // operand must arrive exactly at the consumer's issue time
-                let Some(depart) = pv.time.checked_sub(h) else {
-                    return Err(node.id.0);
-                };
-                if depart < pu.time + lat || !st.route_free(pu.tile, pv.tile, depart) {
-                    return Err(node.id.0);
-                }
-                routes.push((pu.tile, pv.tile, depart));
-            } else if pu.time + lat + h > pv.time + e.distance * ii {
-                return Err(node.id.0);
-            }
-        }
-        for (from, to, depart) in routes {
-            st.route_commit(from, to, depart);
-        }
-    }
-    Ok(st)
-}
-
-/// The placement engine shared by the from-scratch search and incremental
-/// repair: places every node without a placement, in priority order, into
-/// the pre-populated `st`/`placed`.
-///
-/// `repair` enables two extra candidate filters that only arise when some
-/// nodes are already placed *ahead* of the priority order (pinned by
-/// [`repair_mapping`]): a node being placed must route its operand to every
-/// already-placed distance-0 consumer on time, and must satisfy carried-edge
-/// deadlines from already-placed producers. Both are vacuous on the
-/// from-scratch path, but they stay gated behind `repair` so the healthy
-/// search remains bit-identical to its historical behavior (healthy
-/// mappings are anchored by golden tests and the fault oracle).
-#[allow(clippy::too_many_arguments)]
-fn place_rest(
-    dfg: &Dfg,
-    spec: &CgraSpec,
-    mask: &ResourceMask,
-    ii: u32,
-    rng: &mut TestRng,
-    mut st: State<'_>,
-    mut placed: Vec<Option<Placement>>,
-    repair: bool,
-) -> Option<Vec<Placement>> {
-    let n = dfg.len();
-    let levels = priorities(dfg);
-    // priority: deferred level asc; within a level, φ nodes go last so the
-    // *other* inputs of their consumers are already placed when the φ's
-    // dynamic start time is computed; random tiebreak otherwise.
-    let mut order: Vec<usize> = (0..n).collect();
-    let jitter: Vec<u32> = (0..n).map(|_| rng.gen_range(0..1000)).collect();
-    order.sort_by_key(|&i| (levels[i], is_phi_class(dfg.nodes()[i].op), jitter[i]));
-
-    // same-iteration consumers: producer -> consumer ids
-    let mut consumers_of: Vec<Vec<usize>> = vec![Vec::new(); n];
-    for node in dfg.nodes() {
-        for e in &node.inputs {
-            if e.distance == 0 {
-                consumers_of[e.from.0].push(node.id.0);
-            }
-        }
-    }
-
-    // carried consumers: producer -> [(consumer, distance)]
-    let mut carried_out: Vec<Vec<(usize, u32)>> = vec![Vec::new(); n];
-    for node in dfg.nodes() {
-        for e in &node.inputs {
-            if e.distance > 0 {
-                carried_out[e.from.0].push((node.id.0, e.distance));
-            }
-        }
-    }
-
-    for &v in &order {
-        if placed[v].is_some() {
-            continue; // pinned by the repair path
-        }
-        let node = &dfg.nodes()[v];
-        // earliest start from same-iteration predecessors (per-tile addend
-        // for hops is applied per candidate below). The priority order is
-        // topological over distance-0 edges, so predecessors are placed; if
-        // that invariant ever breaks, the attempt fails instead of panicking.
-        let mut preds: Vec<(usize, u32)> = Vec::new();
-        for e in node.inputs.iter().filter(|e| e.distance == 0) {
-            let p = placed[e.from.0]?;
-            preds.push((p.tile, p.time + dfg.nodes()[e.from.0].op.latency()));
-        }
-
-        // Dynamic start for source nodes (φ, const, invariant loads): align
-        // with the actual times of their consumers' other inputs, so the φ of
-        // a reduction sits right where its update will fire, not at time 0.
-        let dynamic_floor = if preds.is_empty() {
-            let mut floor = levels[v];
-            for &c in &consumers_of[v] {
-                for e in &dfg.nodes()[c].inputs {
-                    if e.distance == 0 && e.from.0 != v {
-                        if let Some(p) = placed[e.from.0] {
-                            let rdy = p.time + dfg.nodes()[e.from.0].op.latency();
-                            floor = floor.max(rdy.saturating_sub(node.op.latency()));
-                        }
-                    }
-                }
-            }
-            floor
-        } else {
-            0
-        };
-
-        let mut tiles: Vec<usize> = (0..spec.len())
-            .filter(|&t| mask.tile_alive(t) && spec.tile_supports(t, node.op))
-            .collect();
-        rng.shuffle(&mut tiles);
-
-        let mut placed_here = false;
-        'tile: for &tile in &tiles {
-            // hop distance from every placed predecessor; a predecessor
-            // disconnected from this tile on the alive fabric rules the
-            // tile out entirely.
-            let mut pred_hops: Vec<u32> = Vec::with_capacity(preds.len());
-            for &(pt, _) in &preds {
-                match mask.hops(spec, pt, tile) {
-                    Some(h) => pred_hops.push(h),
-                    None => continue 'tile,
-                }
-            }
-            let earliest = preds
-                .iter()
-                .zip(&pred_hops)
-                .map(|(&(_, rdy), &h)| rdy + h)
-                .max()
-                .unwrap_or(dynamic_floor);
-            for dt in 0..ii {
-                let t = earliest + dt;
-                if st.compute[st.idx(tile, t)] {
-                    continue;
-                }
-                // routing from each predecessor
-                let routes_ok = preds.iter().zip(&pred_hops).all(|(&(pt, rdy), &h)| {
-                    // operand departs when ready; slack waits at source reg
-                    let depart = t - h; // arrive exactly at t
-                    depart >= rdy && st.route_free(pt, tile, depart)
-                });
-                if !routes_ok {
-                    continue;
-                }
-                // carried-consumer deadlines (consumers already placed)
-                let deadlines_ok = carried_out[v].iter().all(|&(c, d)| {
-                    match placed[c] {
-                        Some(pc) => match mask.hops(spec, tile, pc.tile) {
-                            Some(h) => t + node.op.latency() + h <= pc.time + d * ii,
-                            None => false,
-                        },
-                        None => true,
-                    }
-                });
-                if !deadlines_ok {
-                    continue;
-                }
-                if repair {
-                    // pinned distance-0 consumers: the operand must leave
-                    // this candidate slot in time to arrive exactly at the
-                    // consumer's (fixed) issue time, over a free route
-                    let pinned_consumers_ok = consumers_of[v].iter().all(|&c| {
-                        let Some(pc) = placed[c] else { return true };
-                        let Some(h) = mask.hops(spec, tile, pc.tile) else { return false };
-                        match pc.time.checked_sub(h) {
-                            Some(depart) => {
-                                depart >= t + node.op.latency()
-                                    && st.route_free(tile, pc.tile, depart)
-                            }
-                            None => false,
-                        }
-                    });
-                    if !pinned_consumers_ok {
-                        continue;
-                    }
-                    // carried inputs from already-placed producers (the
-                    // from-scratch path defers these to final verification;
-                    // filtering here lets repair try other slots instead of
-                    // failing the whole attempt)
-                    let carried_in_ok =
-                        node.inputs.iter().filter(|e| e.distance > 0).all(|e| {
-                            let Some(pu) = placed[e.from.0] else { return true };
-                            match mask.hops(spec, pu.tile, tile) {
-                                Some(h) => {
-                                    pu.time + dfg.nodes()[e.from.0].op.latency() + h
-                                        <= t + e.distance * ii
-                                }
-                                None => false,
-                            }
-                        });
-                    if !carried_in_ok {
-                        continue;
-                    }
-                }
-                // commit
-                let i = st.idx(tile, t);
-                st.compute[i] = true;
-                for (&(pt, _), &h) in preds.iter().zip(&pred_hops) {
-                    let depart = t - h;
-                    st.route_commit(pt, tile, depart);
-                }
-                if repair {
-                    for &c in &consumers_of[v] {
-                        if let Some(pc) = placed[c] {
-                            if let Some(h) = mask.hops(spec, tile, pc.tile) {
-                                st.route_commit(tile, pc.tile, pc.time - h);
-                            }
-                        }
-                    }
-                }
-                placed[v] = Some(Placement { node: NodeId(v), tile, time: t });
-                placed_here = true;
-                break 'tile;
-            }
-        }
-        if !placed_here {
-            if std::env::var_os("PICACHU_MAP_DEBUG").is_some() {
-                eprintln!(
-                    "  [map-debug] II={ii}: no slot for {} ({}), prio={}",
-                    node.id, node.op, levels[v]
-                );
-            }
-            return None;
-        }
-    }
-
-    // final recurrence verification (covers consumer-placed-after-producer)
-    for node in dfg.nodes() {
-        for e in &node.inputs {
-            if e.distance > 0 {
-                let pu = placed[e.from.0]?;
-                let pv = placed[node.id.0]?;
-                let lat = dfg.nodes()[e.from.0].op.latency();
-                let hops = mask.hops(spec, pu.tile, pv.tile)?;
-                if pu.time + lat + hops > pv.time + e.distance * ii {
-                    if std::env::var_os("PICACHU_MAP_DEBUG").is_some() {
-                        eprintln!(
-                            "  [map-debug] II={ii}: recurrence {} -> {} violated (tu={} tv={})",
-                            e.from, node.id, pu.time, pv.time
-                        );
-                    }
-                    return None;
-                }
-            }
-        }
-    }
-
-    placed.into_iter().collect()
-}
-
 /// The RNG seed of one `(II, attempt)` cell of the search grid. Each attempt
 /// owns an independent derived stream, so any cell can be evaluated on any
 /// worker thread (or serially, in grid order) with identical results.
@@ -677,7 +331,20 @@ pub fn map_dfg_with(
     mask: &ResourceMask,
     deadline: Option<Duration>,
 ) -> Result<Mapping, MapError> {
-    let grid = SearchGrid::prepare(dfg, spec, mask, seed, deadline)?;
+    map_dfg_mode(dfg, spec, seed, mask, deadline, PnrMode::Auto)
+}
+
+/// [`map_dfg_with`] with an explicit [`PnrMode`] — the knob benchmarks use
+/// to compare the greedy and annealed engines on the same fabric.
+pub fn map_dfg_mode(
+    dfg: &Dfg,
+    spec: &CgraSpec,
+    seed: u64,
+    mask: &ResourceMask,
+    deadline: Option<Duration>,
+    mode: PnrMode,
+) -> Result<Mapping, MapError> {
+    let grid = SearchGrid::prepare_with_mode(dfg, spec, mask, seed, deadline, mode)?;
     let found =
         picachu_runtime::try_parallel_find_first(grid.grid_len(), |idx| {
             grid.eval(dfg, spec, mask, idx)
@@ -697,10 +364,11 @@ pub fn map_dfg_with(
 /// Cell `idx` encodes `(ii, attempt)` as `idx = (ii − MII)·ATTEMPTS_PER_II +
 /// attempt`; [`SearchGrid::eval`] is a pure function of `(dfg, spec, mask,
 /// idx)` apart from the cooperative deadline, so the lowest-index success is
-/// the same mapping the serial scan would find.
+/// the same mapping the serial scan would find — on either placement engine.
 pub struct SearchGrid {
     seed: u64,
     mii: u32,
+    mode: PnrMode,
     deadline: Option<Duration>,
     start: Instant,
     timed_out: AtomicBool,
@@ -709,7 +377,8 @@ pub struct SearchGrid {
 
 impl SearchGrid {
     /// Validates the request and computes `MII`. The deadline clock starts
-    /// here.
+    /// here. Uses [`PnrMode::Auto`]: greedy at paper scale, annealed above
+    /// [`ANNEAL_TILE_THRESHOLD`].
     ///
     /// # Errors
     /// [`MapError::EmptyDfg`] or [`MapError::NoCapableTile`].
@@ -720,6 +389,21 @@ impl SearchGrid {
         seed: u64,
         deadline: Option<Duration>,
     ) -> Result<SearchGrid, MapError> {
+        SearchGrid::prepare_with_mode(dfg, spec, mask, seed, deadline, PnrMode::Auto)
+    }
+
+    /// [`SearchGrid::prepare`] with an explicit engine choice.
+    ///
+    /// # Errors
+    /// [`MapError::EmptyDfg`] or [`MapError::NoCapableTile`].
+    pub fn prepare_with_mode(
+        dfg: &Dfg,
+        spec: &CgraSpec,
+        mask: &ResourceMask,
+        seed: u64,
+        deadline: Option<Duration>,
+        mode: PnrMode,
+    ) -> Result<SearchGrid, MapError> {
         if dfg.is_empty() {
             return Err(MapError::EmptyDfg);
         }
@@ -727,6 +411,7 @@ impl SearchGrid {
         Ok(SearchGrid {
             seed,
             mii,
+            mode,
             deadline,
             start: Instant::now(),
             timed_out: AtomicBool::new(false),
@@ -740,9 +425,11 @@ impl SearchGrid {
     }
 
     /// Evaluates one cell: derives the cell's own RNG stream and runs one
-    /// randomized placement attempt. Returns the `(ii, placements)` on
-    /// success. If the cooperative deadline has expired the cell is skipped
-    /// (recorded in the timeout flag, not counted as scanned).
+    /// placement attempt on the engine the mode selects (the annealed engine
+    /// includes its Route-pass acceptance gate). Returns the
+    /// `(ii, placements)` on success. If the cooperative deadline has expired
+    /// the cell is skipped (recorded in the timeout flag, not counted as
+    /// scanned).
     ///
     /// Must be called with the same `dfg`/`spec`/`mask` the grid was
     /// prepared with.
@@ -763,7 +450,17 @@ impl SearchGrid {
         let ii = self.mii + (idx / ATTEMPTS_PER_II) as u32;
         let attempt = idx % ATTEMPTS_PER_II;
         let mut rng = TestRng::seed_from_u64(attempt_seed(self.seed, ii, attempt));
-        try_place(dfg, spec, mask, ii, &mut rng).map(|placements| (ii, placements))
+        let annealed = match self.mode {
+            PnrMode::Greedy => false,
+            PnrMode::Annealed => true,
+            PnrMode::Auto => spec.len() > ANNEAL_TILE_THRESHOLD,
+        };
+        let placements = if annealed {
+            place::try_place_annealed(dfg, spec, mask, ii, &mut rng)
+        } else {
+            place::try_place(dfg, spec, mask, ii, &mut rng)
+        };
+        placements.map(|p| (ii, p))
     }
 
     /// Turns the lowest-index success (or its absence) into the final
@@ -880,30 +577,17 @@ fn critical_path_nodes(dfg: &Dfg, unkept: &[bool]) -> Vec<usize> {
     (0..n).filter(|&i| on_path[i]).collect()
 }
 
-/// Completes a partial placement: builds the occupancy state the pinned
-/// nodes imply (failing on the node `pin_state` identifies) and places the
-/// rest with the repair-mode candidate filters enabled.
-fn try_place_pinned(
-    dfg: &Dfg,
-    spec: &CgraSpec,
-    mask: &ResourceMask,
-    ii: u32,
-    rng: &mut TestRng,
-    pinned: &[Option<Placement>],
-) -> Option<Vec<Placement>> {
-    let st = pin_state(dfg, spec, mask, ii, pinned).ok()?;
-    place_rest(dfg, spec, mask, ii, rng, st, pinned.to_vec(), true)
-}
-
 /// Incrementally re-maps `base` onto the degraded fabric of `mask`,
 /// retaining the II and every placement the degradation did not disturb.
 ///
-/// The kept set starts as "every node on an alive tile" and shrinks to a
-/// fixpoint: [`pin_state`] re-validates the kept placements under the masked
+/// This is a *Place-pass re-entry with pinned placements*: the kept set
+/// starts as "every node on an alive tile" and shrinks to a fixpoint —
+/// [`place::pin_state`] re-validates the kept placements under the masked
 /// (possibly detoured) routes, and each violation un-keeps the consumer it
 /// identifies. If everything survives, only `schedule_len` is recomputed
 /// (detours lengthen the prologue). Otherwise up to [`REPAIR_ATTEMPTS`]
-/// seeded attempts place the affected sub-DFG around the pinned remainder.
+/// seeded attempts place the affected sub-DFG around the pinned remainder
+/// via [`place::try_place_pinned`].
 ///
 /// Returns `None` when no repair at the retained II exists — the caller
 /// falls back to a full re-map, which is free to inflate the II. The repair
@@ -927,7 +611,7 @@ pub fn repair_mapping(
         .map(|p| if mask.tile_alive(p.tile) { Some(*p) } else { None })
         .collect();
     loop {
-        match pin_state(dfg, spec, mask, ii, &pinned) {
+        match place::pin_state(dfg, spec, mask, ii, &pinned) {
             Ok(_) => break,
             // the take can't miss: pin_state only faults pinned nodes
             Err(v) => {
@@ -977,7 +661,9 @@ pub fn repair_mapping(
                 let idx = (phase * REPAIR_WIDEN_ROUNDS + round) * REPAIR_ATTEMPTS + attempt;
                 let s = splitmix64(attempt_seed(seed, ii, idx) ^ 0x52455041_49525F31);
                 let mut rng = TestRng::seed_from_u64(s);
-                if let Some(placements) = try_place_pinned(dfg, spec, mask, ii, &mut rng, &pins) {
+                if let Some(placements) =
+                    place::try_place_pinned(dfg, spec, mask, ii, &mut rng, &pins)
+                {
                     let schedule_len = schedule_len_of(dfg, spec, mask, &placements)?;
                     return Some(Mapping { ii, placements, schedule_len });
                 }
@@ -1467,5 +1153,136 @@ mod tests {
         }
         assert!(res_mii(&g, &picachu()).unwrap() >= 2);
     }
-}
 
+    // ---- Place→Route→Fold pipeline ----
+
+    #[test]
+    fn auto_mode_is_greedy_at_paper_scale() {
+        // ≤ ANNEAL_TILE_THRESHOLD tiles: Auto must be bit-identical to the
+        // forced greedy engine (the pre-pipeline mapper) on 4×4 and 8×8.
+        for spec in [CgraSpec::picachu(4, 4), CgraSpec::picachu(8, 8)] {
+            assert!(spec.len() <= ANNEAL_TILE_THRESHOLD);
+            let mask = ResourceMask::full(&spec);
+            for k in kernel_library(4) {
+                for l in &k.loops {
+                    let fused = fuse_patterns(&l.dfg);
+                    assert_eq!(
+                        map_dfg_mode(&fused, &spec, 7, &mask, None, PnrMode::Auto),
+                        map_dfg_mode(&fused, &spec, 7, &mask, None, PnrMode::Greedy),
+                        "{} on {}x{}",
+                        l.label,
+                        spec.rows,
+                        spec.cols
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn annealed_mappings_are_legal_and_deterministic() {
+        // Force the annealed engine on the paper fabric: the result must be
+        // a legal mapping, identical across repeated runs and thread counts.
+        let spec = picachu();
+        let mask = ResourceMask::full(&spec);
+        let k = softmax_kernel(4);
+        for l in &k.loops {
+            let fused = fuse_patterns(&l.dfg);
+            let run = |threads: usize| {
+                picachu_runtime::set_thread_override(Some(threads));
+                let m = map_dfg_mode(&fused, &spec, 9, &mask, None, PnrMode::Annealed);
+                picachu_runtime::set_thread_override(None);
+                m
+            };
+            let serial = run(1).unwrap_or_else(|e| panic!("{}: annealed failed: {e}", l.label));
+            assert_mapping_legal(&fused, &spec, &mask, &serial);
+            for t in [2, 8] {
+                assert_eq!(run(t).unwrap(), serial, "{}: {t} threads diverged", l.label);
+            }
+        }
+    }
+
+    #[test]
+    fn routes_arrive_exactly_and_respect_the_fabric() {
+        // Route-pass structural invariants on both engines: every distance-0
+        // edge departs no earlier than ready, arrives exactly at the
+        // consumer's issue time, moves one alive hop per cycle, and folded
+        // hops only ever sit on intermediate tiles.
+        let spec = picachu();
+        let mask = ResourceMask::degraded(&spec, [5], [(9, 10)]);
+        let k = softmax_kernel(4);
+        for mode in [PnrMode::Greedy, PnrMode::Annealed] {
+            for l in &k.loops {
+                let fused = fuse_patterns(&l.dfg);
+                let m = map_dfg_mode(&fused, &spec, 7, &mask, None, mode).unwrap();
+                let routes = route_mapping(&fused, &spec, &mask, m.ii, &m.placements)
+                    .expect("legal mapping must route");
+                let mut seen = 0;
+                for re in &routes.edges {
+                    seen += 1;
+                    let pu = m.placements[re.from.0];
+                    let pv = m.placements[re.to.0];
+                    let lat = fused.nodes()[re.from.0].op.latency();
+                    assert_eq!(re.tiles.first(), Some(&pu.tile));
+                    assert_eq!(re.tiles.last(), Some(&pv.tile));
+                    assert!(re.depart >= pu.time + lat, "departs before ready");
+                    assert_eq!(re.depart + re.hops(), pv.time, "must arrive exactly");
+                    assert_eq!(re.folded.len() as u32, re.hops());
+                    for w in re.tiles.windows(2) {
+                        assert_eq!(spec.hops(w[0], w[1]), 1, "non-adjacent step");
+                        assert!(mask.link_alive(w[0], w[1]), "route over dead link");
+                    }
+                    if !re.folded.is_empty() {
+                        assert!(!re.folded[0], "first hop cannot fold");
+                    }
+                }
+                let d0_edges: usize = fused
+                    .nodes()
+                    .iter()
+                    .flat_map(|n| &n.inputs)
+                    .filter(|e| e.distance == 0)
+                    .count();
+                assert_eq!(seen, d0_edges, "{}: every d0 edge routed", l.label);
+                assert_eq!(
+                    routes.used_channel_slots + routes.folded_hops,
+                    routes.total_hops
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pnr_report_is_sane_for_every_kernel() {
+        let spec = picachu();
+        let mask = ResourceMask::full(&spec);
+        for k in kernel_library(4) {
+            for l in &k.loops {
+                let fused = fuse_patterns(&l.dfg);
+                let m = map_dfg(&fused, &spec, 7).unwrap();
+                let r = pnr_report(&fused, &spec, &mask, &m)
+                    .unwrap_or_else(|| panic!("{}: no report", l.label));
+                assert_eq!(r.achieved_ii, m.ii);
+                assert_eq!(r.critical_path, m.schedule_len);
+                assert!(r.area_used > 0.0 && r.area_used <= 1.0, "{}", r.area_used);
+                assert!(
+                    (0.0..=1.0).contains(&r.channel_utilization) || !r.congestion_free,
+                    "utilization {} without congestion",
+                    r.channel_utilization
+                );
+                assert!(r.folded_hops <= r.routed_hops);
+            }
+        }
+    }
+
+    #[test]
+    fn report_survives_degraded_fabric() {
+        let spec = picachu();
+        let mask = ResourceMask::degraded(&spec, [0, 5], [(9, 10)]);
+        let k = softmax_kernel(4);
+        let fused = fuse_patterns(&k.loops[1].dfg);
+        let m = map_dfg_with(&fused, &spec, 42, &mask, None).unwrap();
+        let r = pnr_report(&fused, &spec, &mask, &m).expect("degraded mapping must report");
+        assert_eq!(r.achieved_ii, m.ii);
+        assert!(r.area_used <= 1.0);
+    }
+}

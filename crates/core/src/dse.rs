@@ -249,18 +249,31 @@ pub struct SearchConfig {
 }
 
 impl Default for SearchConfig {
-    /// The full search space: six geometries × four buffer sizes × both
+    /// The full search space: eight geometries × four buffer sizes × both
     /// formats × both fabrics × both unroll portfolios × both repair
-    /// policies (768 knob combinations), sampled by a 4-generation loop.
-    /// The fault plans (a mid-fabric dead PE; a dead link plus a corner PE)
-    /// are valid on every geometry down to 3×3.
+    /// policies (1024 knob combinations), sampled by a 4-generation loop.
+    /// The 12×12 and 16×16 entries are served by the annealed
+    /// Place→Route→Fold pipeline (`picachu-compiler`'s mapper switches
+    /// engines above 64 tiles), so the search can weigh scale-up fabrics
+    /// with realistic routing instead of extrapolating from 6×6. The fault
+    /// plans (a mid-fabric dead PE; a dead link plus a corner PE) are valid
+    /// on every geometry down to 3×3.
     fn default() -> SearchConfig {
         SearchConfig {
             seed: 0xC0DE_5EED,
             generations: 4,
             population: 10,
             seq: 256,
-            geometries: vec![(3, 3), (4, 3), (4, 4), (5, 4), (5, 5), (6, 6)],
+            geometries: vec![
+                (3, 3),
+                (4, 3),
+                (4, 4),
+                (5, 4),
+                (5, 5),
+                (6, 6),
+                (12, 12),
+                (16, 16),
+            ],
             buffers_kb: vec![20, 40, 80, 160],
             fault_plans: vec![
                 FaultPlan::dead_tile(5),

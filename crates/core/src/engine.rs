@@ -14,6 +14,7 @@ use crate::error::PicachuError;
 use crate::stages::{Accountant, CompileService, Dispatcher, PhaseTotals};
 use picachu_backend::{Accelerator, Breakdown, CompileHint, ExecutionReport};
 use picachu_compiler::arch::CgraSpec;
+use picachu_compiler::mapper::{MapError, PnrReport, ResourceMask};
 use picachu_faults::FaultPlan;
 use picachu_llm::trace::TraceOp;
 use picachu_llm::ModelConfig;
@@ -236,6 +237,40 @@ impl PicachuEngine {
     /// seed so that sibling loops explore independent placements).
     pub fn loop_seed(&self, loop_idx: usize) -> u64 {
         CompileService::loop_seed(&self.config, loop_idx)
+    }
+
+    /// Post-P&R quality reports for every compiled loop of `op`, labelled:
+    /// the Route+Fold passes replayed over the cached mappings on the
+    /// healthy fabric (see [`picachu_compiler::mapper::pnr_report`]). Pure
+    /// analysis — nothing about the cached mappings changes, so calling
+    /// this is free of compile-cache side effects beyond the compile
+    /// itself.
+    ///
+    /// # Errors
+    /// [`PicachuError::Compile`] when some kernel loop fails to map.
+    pub fn pnr_reports(
+        &mut self,
+        op: NonlinearOp,
+    ) -> Result<Vec<(String, PnrReport)>, PicachuError> {
+        let loops = self.compile.try_compile_op(&self.config, op)?;
+        let mask = ResourceMask::full(self.compile.spec());
+        let mut reports = Vec::with_capacity(loops.len());
+        for (idx, l) in loops.iter().enumerate() {
+            let dfg = self.compile.lowered_dfg(&self.config, op, idx, l.uf, l.vf);
+            let report = picachu_compiler::mapper::pnr_report(
+                &dfg,
+                self.compile.spec(),
+                &mask,
+                &l.mapping,
+            )
+            .ok_or_else(|| PicachuError::Compile {
+                op,
+                label: l.label.clone(),
+                source: MapError::Internal("cached mapping does not route"),
+            })?;
+            reports.push((l.label.clone(), report));
+        }
+        Ok(reports)
     }
 
     /// Raw CGRA compute cycles for one nonlinear trace op (no memory-system
@@ -474,6 +509,42 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a, 1);
         assert_eq!(e.compile_op(NonlinearOp::Softmax).len(), 3);
+    }
+
+    #[test]
+    fn pnr_reports_cover_every_loop() {
+        // default 4×4 (greedy, bit-frozen — its mappings predate the
+        // channel model, so congestion_free is reported, not required)
+        let mut e = engine();
+        let loops = e.compile_op(NonlinearOp::Softmax).to_vec();
+        let reports = e.pnr_reports(NonlinearOp::Softmax).expect("cached mappings report");
+        assert_eq!(reports.len(), loops.len());
+        for ((label, r), l) in reports.iter().zip(&loops) {
+            assert_eq!(label, &l.label);
+            assert_eq!(r.achieved_ii, l.mapping.ii, "{label}");
+            assert!(r.area_used > 0.0 && r.area_used <= 1.0, "{label}: area {}", r.area_used);
+            assert!(
+                (0.0..=1.0).contains(&r.channel_utilization),
+                "{label}: chan {}", r.channel_utilization
+            );
+        }
+    }
+
+    #[test]
+    fn annealed_pnr_reports_are_congestion_free() {
+        // 16×16 takes the staged pipeline, where the Route pass is the
+        // acceptance gate: every cached mapping must be congestion-free
+        let mut e = PicachuEngine::new(EngineConfig {
+            cgra_rows: 16,
+            cgra_cols: 16,
+            unroll_candidates: vec![1, 2],
+            ..EngineConfig::default()
+        });
+        let reports = e.pnr_reports(NonlinearOp::Softmax).expect("cached mappings report");
+        assert!(!reports.is_empty());
+        for (label, r) in &reports {
+            assert!(r.congestion_free, "{label}: annealed mapping must route congestion-free");
+        }
     }
 
     #[test]

@@ -33,6 +33,13 @@
 //! away). `append` also self-heals such a tail by terminating it with a
 //! newline before writing, so a torn fragment never merges with the next
 //! entry.
+//!
+//! The sibling [`bitstream`] module is the interchange face of the store: a
+//! versioned CSV export of placement **and** routes (the Route+Fold pass
+//! replay) that downstream tooling can consume and a fresh process can
+//! install back into the compile cache without invoking the mapper.
+
+pub mod bitstream;
 
 use crate::compile_cache::CompileKey;
 use crate::engine::CompiledLoop;

@@ -1,0 +1,419 @@
+//! Versioned bitstream-like export of placement + routes (ESL-CSV
+//! interchange).
+//!
+//! The [`mapstore`](crate::mapstore) JSON-lines store persists *mappings* —
+//! placements only, because the cycle-level simulator derives everything
+//! else. A hardware flow needs more: the configuration stream of a real
+//! CGRA encodes, per tile and per II slot, both the compute opcode and the
+//! switchbox routes, which the staged Place→Route→Fold pipeline now
+//! computes explicitly. This module exports that full picture as a
+//! versioned CSV text — the ESL-style interchange format downstream RTL
+//! tooling can consume — and imports it back into the process-wide
+//! [`compile_cache`](crate::compile_cache) so a fresh process can serve a
+//! fabric configuration without ever invoking the mapper.
+//!
+//! The text is a pure function of `(CompileKey, loops)`: routes come from
+//! the deterministic Route pass replay, so exporting on one machine and
+//! importing on another reproduces bit-identical execution.
+//!
+//! Format (one record per line, comma-separated):
+//!
+//! ```text
+//! picachu-bitstream,1
+//! key,<op>,<rows>,<cols>,<format>,<taylor>,<seed>,<universal>,<incremental>,<uf0|uf1|..>,<dead_tiles a|b>,<dead_links a-b|c-d>
+//! loop,<label>,<kind>,<uf>,<vf>,<ii>,<schedule_len>
+//! place,<node>,<tile>,<time>
+//! route,<from>,<to>,<depart>,<tile0|tile1|..>,<fold flags as 0/1>
+//! pnr,<achieved_ii>,<critical_path>,<area>,<chan_util>,<routed_hops>,<folded_hops>,<congestion_free>
+//! ```
+//!
+//! `place`/`route` rows belong to the most recent `loop` row; every loop
+//! block ends with its `pnr` summary row. Import reconstructs the kernel
+//! DFG from the key (kernel → unroll → fuse → vectorize, exactly the
+//! compile pipeline), validates the placements by re-running the Route
+//! pass, and publishes into the compile cache; `route`/`pnr` rows are
+//! derived data and are re-checked, not trusted.
+
+use crate::compile_cache::{self, CompileKey};
+use crate::engine::CompiledLoop;
+use crate::stages::compile::kernel_for;
+use picachu_compiler::arch::CgraSpec;
+use picachu_compiler::mapper::{pnr_report, route_mapping, Mapping, Placement, ResourceMask};
+use picachu_compiler::transform::{fuse_patterns, unroll, vectorize};
+use picachu_ir::dfg::{Dfg, NodeId};
+use picachu_nonlinear::{LoopKind, NonlinearOp};
+use picachu_num::DataFormat;
+use std::fmt::Write as _;
+
+/// Bitstream format version this build reads and writes.
+pub const BITSTREAM_VERSION: u64 = 1;
+
+fn format_name(f: DataFormat) -> &'static str {
+    match f {
+        DataFormat::Fp32 => "fp32",
+        DataFormat::Fp16 => "fp16",
+        DataFormat::Int32 => "int32",
+        DataFormat::Int16 => "int16",
+    }
+}
+
+fn parse_format(s: &str) -> Option<DataFormat> {
+    match s {
+        "fp32" => Some(DataFormat::Fp32),
+        "fp16" => Some(DataFormat::Fp16),
+        "int32" => Some(DataFormat::Int32),
+        "int16" => Some(DataFormat::Int16),
+        _ => None,
+    }
+}
+
+/// The fabric a key's mappings target.
+fn spec_of(key: &CompileKey) -> CgraSpec {
+    if key.universal {
+        CgraSpec::universal(key.cgra_rows, key.cgra_cols)
+    } else {
+        CgraSpec::picachu(key.cgra_rows, key.cgra_cols)
+    }
+}
+
+/// The resource mask a key's mappings were compiled under.
+fn mask_of(key: &CompileKey, spec: &CgraSpec) -> ResourceMask {
+    if key.dead_tiles.is_empty() && key.dead_links.is_empty() {
+        ResourceMask::full(spec)
+    } else {
+        ResourceMask::degraded(
+            spec,
+            key.dead_tiles.iter().copied(),
+            key.dead_links.iter().copied(),
+        )
+    }
+}
+
+/// Reconstructs the lowered DFG the mapper saw for loop `loop_idx` of the
+/// key's kernel (kernel → unroll → fuse → vectorize).
+fn dfg_of(key: &CompileKey, loop_idx: usize, uf: usize, vf: usize) -> Option<Dfg> {
+    let kernel = kernel_for(key.op, key.taylor_terms);
+    let body = &kernel.loops.get(loop_idx)?.dfg;
+    let mut dfg = fuse_patterns(&unroll(body, uf));
+    if vf > 1 {
+        dfg = vectorize(&dfg, vf).dfg;
+    }
+    Some(dfg)
+}
+
+/// Exports one compile-cache entry as bitstream text: the key, every loop's
+/// placements, the Route+Fold pass routes, and the per-loop P&R report.
+///
+/// # Errors
+/// A message when the loops do not belong to this key (a loop index out of
+/// range, a placement set that does not route under the key's mask) or when
+/// a label contains a delimiter character.
+pub fn export_bitstream(key: &CompileKey, loops: &[CompiledLoop]) -> Result<String, String> {
+    let spec = spec_of(key);
+    let mask = mask_of(key, &spec);
+    let mut out = String::new();
+    let _ = writeln!(out, "picachu-bitstream,{BITSTREAM_VERSION}");
+    let unroll_s =
+        key.unroll_candidates.iter().map(|u| u.to_string()).collect::<Vec<_>>().join("|");
+    let tiles_s = key.dead_tiles.iter().map(|t| t.to_string()).collect::<Vec<_>>().join("|");
+    let links_s = key
+        .dead_links
+        .iter()
+        .map(|(a, b)| format!("{a}-{b}"))
+        .collect::<Vec<_>>()
+        .join("|");
+    let _ = writeln!(
+        out,
+        "key,{},{},{},{},{},{},{},{},{unroll_s},{tiles_s},{links_s}",
+        key.op.name(),
+        key.cgra_rows,
+        key.cgra_cols,
+        format_name(key.format),
+        key.taylor_terms,
+        key.seed,
+        key.universal,
+        key.incremental
+    );
+    for (idx, l) in loops.iter().enumerate() {
+        if l.label.contains([',', '|', '\n']) {
+            return Err(format!("loop label {:?} contains a delimiter", l.label));
+        }
+        let kind = match l.kind {
+            LoopKind::Reduction => "reduction",
+            LoopKind::ElementWise => "elementwise",
+        };
+        let _ = writeln!(
+            out,
+            "loop,{},{kind},{},{},{},{}",
+            l.label, l.uf, l.vf, l.mapping.ii, l.mapping.schedule_len
+        );
+        for p in &l.mapping.placements {
+            let _ = writeln!(out, "place,{},{},{}", p.node.0, p.tile, p.time);
+        }
+        let dfg = dfg_of(key, idx, l.uf, l.vf)
+            .ok_or_else(|| format!("loop {idx} out of range for {}", key.op.name()))?;
+        let routes = route_mapping(&dfg, &spec, &mask, l.mapping.ii, &l.mapping.placements)
+            .ok_or_else(|| format!("{}: placements do not route under the mask", l.label))?;
+        for e in &routes.edges {
+            let tiles =
+                e.tiles.iter().map(|t| t.to_string()).collect::<Vec<_>>().join("|");
+            let folded: String =
+                e.folded.iter().map(|&f| if f { '1' } else { '0' }).collect();
+            let _ = writeln!(out, "route,{},{},{},{tiles},{folded}", e.from.0, e.to.0, e.depart);
+        }
+        let report = pnr_report(&dfg, &spec, &mask, &l.mapping)
+            .ok_or_else(|| format!("{}: no P&R report", l.label))?;
+        let _ = writeln!(
+            out,
+            "pnr,{},{},{:.6},{:.6},{},{},{}",
+            report.achieved_ii,
+            report.critical_path,
+            report.area_used,
+            report.channel_utilization,
+            report.routed_hops,
+            report.folded_hops,
+            report.congestion_free
+        );
+    }
+    Ok(out)
+}
+
+fn split_list(s: &str) -> Vec<&str> {
+    if s.is_empty() {
+        Vec::new()
+    } else {
+        s.split('|').collect()
+    }
+}
+
+/// Parses bitstream text back into a compile-cache entry, re-validating
+/// every loop: the placements must route under the key's reconstructed
+/// fabric and mask, and each loop block must carry exactly the route rows
+/// the Route pass derives (the routes are derived data — a mismatch means
+/// the text was edited or produced by an incompatible build).
+///
+/// # Errors
+/// A message naming the offending line or loop.
+pub fn import_bitstream(text: &str) -> Result<(CompileKey, Vec<CompiledLoop>), String> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or("empty bitstream")?;
+    let version = header
+        .strip_prefix("picachu-bitstream,")
+        .and_then(|v| v.parse::<u64>().ok())
+        .ok_or_else(|| format!("bad header {header:?}"))?;
+    if version != BITSTREAM_VERSION {
+        return Err(format!("unsupported bitstream version {version}"));
+    }
+    let (_, key_line) = lines.next().ok_or("missing key row")?;
+    let kf: Vec<&str> = key_line.split(',').collect();
+    if kf.len() != 12 || kf[0] != "key" {
+        return Err(format!("bad key row {key_line:?}"));
+    }
+    let op = *NonlinearOp::ALL
+        .iter()
+        .find(|o| o.name() == kf[1])
+        .ok_or_else(|| format!("unknown op {:?}", kf[1]))?;
+    let parse_usize =
+        |s: &str| s.parse::<usize>().map_err(|_| format!("bad number {s:?}"));
+    let key = CompileKey {
+        op,
+        cgra_rows: parse_usize(kf[2])?,
+        cgra_cols: parse_usize(kf[3])?,
+        format: parse_format(kf[4]).ok_or_else(|| format!("bad format {:?}", kf[4]))?,
+        taylor_terms: parse_usize(kf[5])?,
+        seed: kf[6].parse::<u64>().map_err(|_| format!("bad seed {:?}", kf[6]))?,
+        universal: kf[7].parse::<bool>().map_err(|_| format!("bad flag {:?}", kf[7]))?,
+        incremental: kf[8].parse::<bool>().map_err(|_| format!("bad flag {:?}", kf[8]))?,
+        unroll_candidates: split_list(kf[9])
+            .iter()
+            .map(|s| parse_usize(s))
+            .collect::<Result<_, _>>()?,
+        dead_tiles: split_list(kf[10])
+            .iter()
+            .map(|s| parse_usize(s))
+            .collect::<Result<_, _>>()?,
+        dead_links: split_list(kf[11])
+            .iter()
+            .map(|s| {
+                let (a, b) = s.split_once('-').ok_or_else(|| format!("bad link {s:?}"))?;
+                Ok::<_, String>((parse_usize(a)?, parse_usize(b)?))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+
+    struct LoopBlock {
+        l: CompiledLoop,
+        route_rows: usize,
+        has_pnr: bool,
+    }
+    let mut blocks: Vec<LoopBlock> = Vec::new();
+    for (ln, line) in lines {
+        let f: Vec<&str> = line.split(',').collect();
+        match f.first().copied() {
+            Some("loop") if f.len() == 7 => {
+                let kind = match f[2] {
+                    "reduction" => LoopKind::Reduction,
+                    "elementwise" => LoopKind::ElementWise,
+                    k => return Err(format!("line {}: bad loop kind {k:?}", ln + 1)),
+                };
+                blocks.push(LoopBlock {
+                    l: CompiledLoop {
+                        label: f[1].to_string(),
+                        kind,
+                        uf: parse_usize(f[3])?,
+                        vf: parse_usize(f[4])?,
+                        mapping: Mapping {
+                            ii: parse_usize(f[5])? as u32,
+                            placements: Vec::new(),
+                            schedule_len: parse_usize(f[6])? as u32,
+                        },
+                    },
+                    route_rows: 0,
+                    has_pnr: false,
+                });
+            }
+            Some("place") if f.len() == 4 => {
+                let b = blocks
+                    .last_mut()
+                    .ok_or_else(|| format!("line {}: place before loop", ln + 1))?;
+                b.l.mapping.placements.push(Placement {
+                    node: NodeId(parse_usize(f[1])?),
+                    tile: parse_usize(f[2])?,
+                    time: parse_usize(f[3])? as u32,
+                });
+            }
+            Some("route") if f.len() == 6 => {
+                blocks
+                    .last_mut()
+                    .ok_or_else(|| format!("line {}: route before loop", ln + 1))?
+                    .route_rows += 1;
+            }
+            Some("pnr") if f.len() == 8 => {
+                blocks
+                    .last_mut()
+                    .ok_or_else(|| format!("line {}: pnr before loop", ln + 1))?
+                    .has_pnr = true;
+            }
+            Some("") | None if line.is_empty() => {}
+            _ => return Err(format!("line {}: unrecognized row {line:?}", ln + 1)),
+        }
+    }
+
+    // validate: reconstruct each loop's DFG and prove the placements route
+    let spec = spec_of(&key);
+    let mask = mask_of(&key, &spec);
+    let mut loops = Vec::with_capacity(blocks.len());
+    for (idx, b) in blocks.into_iter().enumerate() {
+        if !b.has_pnr {
+            return Err(format!("{}: loop block missing its pnr row", b.l.label));
+        }
+        let dfg = dfg_of(&key, idx, b.l.uf, b.l.vf)
+            .ok_or_else(|| format!("loop {idx} out of range for {}", key.op.name()))?;
+        if b.l.mapping.placements.len() != dfg.len() {
+            return Err(format!(
+                "{}: {} placements for a {}-node DFG",
+                b.l.label,
+                b.l.mapping.placements.len(),
+                dfg.len()
+            ));
+        }
+        let routes = route_mapping(&dfg, &spec, &mask, b.l.mapping.ii, &b.l.mapping.placements)
+            .ok_or_else(|| format!("{}: placements do not route", b.l.label))?;
+        if routes.edges.len() != b.route_rows {
+            return Err(format!(
+                "{}: {} route rows, Route pass derives {}",
+                b.l.label,
+                b.route_rows,
+                routes.edges.len()
+            ));
+        }
+        loops.push(b.l);
+    }
+    Ok((key, loops))
+}
+
+/// [`import_bitstream`] + publish into the process-wide compile cache: a
+/// fresh process that installs a bitstream serves the fabric configuration
+/// with zero mapper invocations.
+///
+/// # Errors
+/// Everything [`import_bitstream`] rejects.
+pub fn install_bitstream(text: &str) -> Result<CompileKey, String> {
+    let (key, loops) = import_bitstream(text)?;
+    compile_cache::publish(key.clone(), loops);
+    Ok(key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use picachu_compiler::mapper::map_dfg_with;
+
+    fn entry_for(op: NonlinearOp) -> (CompileKey, Vec<CompiledLoop>) {
+        let key = CompileKey {
+            op,
+            cgra_rows: 4,
+            cgra_cols: 4,
+            format: DataFormat::Fp16,
+            taylor_terms: 4,
+            unroll_candidates: vec![1, 2],
+            seed: 0x71CA,
+            dead_tiles: vec![],
+            dead_links: vec![],
+            universal: false,
+            incremental: false,
+        };
+        let spec = spec_of(&key);
+        let mask = mask_of(&key, &spec);
+        let kernel = kernel_for(op, key.taylor_terms);
+        let loops = kernel
+            .loops
+            .iter()
+            .enumerate()
+            .map(|(idx, l)| {
+                let dfg = dfg_of(&key, idx, 1, 1).unwrap();
+                let mapping = map_dfg_with(&dfg, &spec, key.seed, &mask, None).unwrap();
+                let kind = match l.class {
+                    picachu_ir::kernels::LoopClass::Reduction => LoopKind::Reduction,
+                    picachu_ir::kernels::LoopClass::ElementWise => LoopKind::ElementWise,
+                };
+                CompiledLoop { label: l.label.clone(), kind, mapping, uf: 1, vf: 1 }
+            })
+            .collect();
+        (key, loops)
+    }
+
+    #[test]
+    fn bitstream_round_trips_exactly() {
+        let (key, loops) = entry_for(NonlinearOp::Softmax);
+        let text = export_bitstream(&key, &loops).unwrap();
+        assert!(text.starts_with("picachu-bitstream,1\nkey,softmax,4,4,fp16,"));
+        assert!(text.contains("\nloop,"));
+        assert!(text.contains("\nplace,"));
+        assert!(text.contains("\nroute,"));
+        assert!(text.contains("\npnr,"));
+        let (key2, loops2) = import_bitstream(&text).unwrap();
+        assert_eq!(key, key2);
+        assert_eq!(loops, loops2);
+        // the text itself is deterministic
+        assert_eq!(text, export_bitstream(&key2, &loops2).unwrap());
+    }
+
+    #[test]
+    fn import_rejects_tampering() {
+        let (key, loops) = entry_for(NonlinearOp::Relu);
+        let text = export_bitstream(&key, &loops).unwrap();
+        assert!(import_bitstream("").is_err(), "empty");
+        assert!(import_bitstream("picachu-bitstream,999\n").is_err(), "bad version");
+        let dropped: String = text
+            .lines()
+            .filter(|l| !l.starts_with("route,"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert!(import_bitstream(&dropped).is_err(), "route rows must match the Route pass");
+        // moving a placement onto a different tile breaks routability or
+        // the route-row count — either way import must reject it
+        let tampered = text.replacen("place,0,", "place,0,0,99\n#", 1);
+        assert!(import_bitstream(&tampered).is_err(), "tampered placement");
+    }
+}

@@ -78,7 +78,7 @@ pub struct DegradedCompile {
 }
 
 /// One compiled kernel loop: its mapping plus the unroll/vector factors.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CompiledLoop {
     /// Loop label (e.g. `"softmax(2)"`).
     pub label: String,

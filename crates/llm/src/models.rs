@@ -16,6 +16,16 @@ pub enum NormKind {
     RmsNorm,
 }
 
+impl NormKind {
+    /// The Table 1 nonlinear operation this normalization lowers to.
+    pub fn op(self) -> NonlinearOp {
+        match self {
+            NormKind::LayerNorm => NonlinearOp::LayerNorm,
+            NormKind::RmsNorm => NonlinearOp::RmsNorm,
+        }
+    }
+}
+
 /// FFN activation flavour.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ActKind {
@@ -27,6 +37,27 @@ pub enum ActKind {
     SwiGlu,
     /// GeGLU — gated GeLU (LaMDA/GLM class).
     GeGlu,
+}
+
+impl ActKind {
+    /// The Table 1 nonlinear operation this activation lowers to.
+    pub fn op(self) -> NonlinearOp {
+        match self {
+            ActKind::Gelu => NonlinearOp::Gelu,
+            ActKind::Relu => NonlinearOp::Relu,
+            ActKind::SwiGlu => NonlinearOp::Swiglu,
+            ActKind::GeGlu => NonlinearOp::Geglu,
+        }
+    }
+
+    /// Up-projections feeding the activation: gated activations (SwiGLU,
+    /// GeGLU) take two, plain ones take one.
+    pub fn up_projections(self) -> usize {
+        match self {
+            ActKind::SwiGlu | ActKind::GeGlu => 2,
+            ActKind::Gelu | ActKind::Relu => 1,
+        }
+    }
 }
 
 /// Positional-embedding flavour.
@@ -214,16 +245,8 @@ impl ModelConfig {
     /// column, inverted).
     pub fn nonlinear_ops(&self) -> Vec<NonlinearOp> {
         let mut ops = vec![NonlinearOp::Softmax];
-        ops.push(match self.norm {
-            NormKind::LayerNorm => NonlinearOp::LayerNorm,
-            NormKind::RmsNorm => NonlinearOp::RmsNorm,
-        });
-        ops.push(match self.activation {
-            ActKind::Gelu => NonlinearOp::Gelu,
-            ActKind::Relu => NonlinearOp::Relu,
-            ActKind::SwiGlu => NonlinearOp::Swiglu,
-            ActKind::GeGlu => NonlinearOp::Geglu,
-        });
+        ops.push(self.norm.op());
+        ops.push(self.activation.op());
         if self.pos == PosKind::Rope {
             ops.push(NonlinearOp::Rope);
         }
@@ -235,10 +258,8 @@ impl ModelConfig {
         let d = self.d_model as u64;
         let ff = self.d_ff as u64;
         let attn = 4 * d * d;
-        let ffn = match self.activation {
-            ActKind::SwiGlu | ActKind::GeGlu => 3 * d * ff,
-            _ => 2 * d * ff,
-        };
+        // one down-projection plus 1 or 2 up-projections
+        let ffn = (1 + self.activation.up_projections() as u64) * d * ff;
         self.layers as u64 * (attn + ffn)
     }
 }

@@ -5,7 +5,7 @@
 //! end-to-end comparisons differ only in how each device executes the same
 //! operators — the paper's methodology for Figs. 1, 8 and 9.
 
-use crate::models::{ActKind, ModelConfig, NormKind, PosKind};
+use crate::models::{ModelConfig, PosKind};
 use picachu_nonlinear::NonlinearOp;
 use std::fmt;
 
@@ -70,10 +70,7 @@ pub fn layer_trace(cfg: &ModelConfig, seq: usize) -> Vec<TraceOp> {
     let dh = cfg.d_head();
     let h = cfg.n_heads;
     let ff = cfg.d_ff;
-    let norm_op = match cfg.norm {
-        NormKind::LayerNorm => NonlinearOp::LayerNorm,
-        NormKind::RmsNorm => NonlinearOp::RmsNorm,
-    };
+    let norm_op = cfg.norm.op();
     let span = cfg.attn_span.map_or(seq, |s| s.min(seq));
     let mut t = Vec::new();
 
@@ -96,25 +93,9 @@ pub fn layer_trace(cfg: &ModelConfig, seq: usize) -> Vec<TraceOp> {
     // pre-FFN norm
     t.push(TraceOp::Nonlinear { op: norm_op, rows: seq, channel: d });
     // FFN
-    match cfg.activation {
-        ActKind::Gelu => {
-            t.push(TraceOp::Gemm { m: seq, k: d, n: ff, count: 1 });
-            t.push(TraceOp::Nonlinear { op: NonlinearOp::Gelu, rows: seq, channel: ff });
-        }
-        ActKind::Relu => {
-            t.push(TraceOp::Gemm { m: seq, k: d, n: ff, count: 1 });
-            t.push(TraceOp::Nonlinear { op: NonlinearOp::Relu, rows: seq, channel: ff });
-        }
-        ActKind::SwiGlu => {
-            // two up-projections feeding the gated activation
-            t.push(TraceOp::Gemm { m: seq, k: d, n: ff, count: 2 });
-            t.push(TraceOp::Nonlinear { op: NonlinearOp::Swiglu, rows: seq, channel: ff });
-        }
-        ActKind::GeGlu => {
-            t.push(TraceOp::Gemm { m: seq, k: d, n: ff, count: 2 });
-            t.push(TraceOp::Nonlinear { op: NonlinearOp::Geglu, rows: seq, channel: ff });
-        }
-    }
+    // 1 or 2 up-projections feeding the (possibly gated) activation
+    t.push(TraceOp::Gemm { m: seq, k: d, n: ff, count: cfg.activation.up_projections() });
+    t.push(TraceOp::Nonlinear { op: cfg.activation.op(), rows: seq, channel: ff });
     // down projection
     t.push(TraceOp::Gemm { m: seq, k: ff, n: d, count: 1 });
     t
@@ -126,10 +107,7 @@ pub fn model_trace(cfg: &ModelConfig, seq: usize) -> Vec<TraceOp> {
     for _ in 0..cfg.layers {
         t.extend(layer_trace(cfg, seq));
     }
-    let norm_op = match cfg.norm {
-        NormKind::LayerNorm => NonlinearOp::LayerNorm,
-        NormKind::RmsNorm => NonlinearOp::RmsNorm,
-    };
+    let norm_op = cfg.norm.op();
     t.push(TraceOp::Nonlinear { op: norm_op, rows: seq, channel: cfg.d_model });
     t
 }
@@ -143,10 +121,7 @@ pub fn decode_layer_trace(cfg: &ModelConfig, context: usize) -> Vec<TraceOp> {
     let dh = cfg.d_head();
     let h = cfg.n_heads;
     let ff = cfg.d_ff;
-    let norm_op = match cfg.norm {
-        NormKind::LayerNorm => NonlinearOp::LayerNorm,
-        NormKind::RmsNorm => NonlinearOp::RmsNorm,
-    };
+    let norm_op = cfg.norm.op();
     let span = cfg.attn_span.map_or(context, |s| s.min(context));
     let mut t = Vec::new();
     t.push(TraceOp::Nonlinear { op: norm_op, rows: 1, channel: d });
@@ -159,24 +134,9 @@ pub fn decode_layer_trace(cfg: &ModelConfig, context: usize) -> Vec<TraceOp> {
     t.push(TraceOp::Gemm { m: 1, k: span, n: dh, count: h });
     t.push(TraceOp::Gemm { m: 1, k: d, n: d, count: 1 });
     t.push(TraceOp::Nonlinear { op: norm_op, rows: 1, channel: d });
-    match cfg.activation {
-        ActKind::Gelu => {
-            t.push(TraceOp::Gemm { m: 1, k: d, n: ff, count: 1 });
-            t.push(TraceOp::Nonlinear { op: NonlinearOp::Gelu, rows: 1, channel: ff });
-        }
-        ActKind::Relu => {
-            t.push(TraceOp::Gemm { m: 1, k: d, n: ff, count: 1 });
-            t.push(TraceOp::Nonlinear { op: NonlinearOp::Relu, rows: 1, channel: ff });
-        }
-        ActKind::SwiGlu => {
-            t.push(TraceOp::Gemm { m: 1, k: d, n: ff, count: 2 });
-            t.push(TraceOp::Nonlinear { op: NonlinearOp::Swiglu, rows: 1, channel: ff });
-        }
-        ActKind::GeGlu => {
-            t.push(TraceOp::Gemm { m: 1, k: d, n: ff, count: 2 });
-            t.push(TraceOp::Nonlinear { op: NonlinearOp::Geglu, rows: 1, channel: ff });
-        }
-    }
+    // 1 or 2 up-projections feeding the (possibly gated) activation
+    t.push(TraceOp::Gemm { m: 1, k: d, n: ff, count: cfg.activation.up_projections() });
+    t.push(TraceOp::Nonlinear { op: cfg.activation.op(), rows: 1, channel: ff });
     t.push(TraceOp::Gemm { m: 1, k: ff, n: d, count: 1 });
     t
 }
@@ -187,10 +147,7 @@ pub fn decode_trace(cfg: &ModelConfig, context: usize) -> Vec<TraceOp> {
     for _ in 0..cfg.layers {
         t.extend(decode_layer_trace(cfg, context));
     }
-    let norm_op = match cfg.norm {
-        NormKind::LayerNorm => NonlinearOp::LayerNorm,
-        NormKind::RmsNorm => NonlinearOp::RmsNorm,
-    };
+    let norm_op = cfg.norm.op();
     t.push(TraceOp::Nonlinear { op: norm_op, rows: 1, channel: cfg.d_model });
     t
 }
@@ -211,10 +168,7 @@ pub fn batched_decode_layer_trace(
     let dh = cfg.d_head();
     let h = cfg.n_heads;
     let ff = cfg.d_ff;
-    let norm_op = match cfg.norm {
-        NormKind::LayerNorm => NonlinearOp::LayerNorm,
-        NormKind::RmsNorm => NonlinearOp::RmsNorm,
-    };
+    let norm_op = cfg.norm.op();
     let span = cfg.attn_span.map_or(context, |s| s.min(context));
     let mut t = Vec::new();
     t.push(TraceOp::Nonlinear { op: norm_op, rows: b, channel: d });
@@ -227,24 +181,9 @@ pub fn batched_decode_layer_trace(
     t.push(TraceOp::Gemm { m: 1, k: span, n: dh, count: h * b });
     t.push(TraceOp::Gemm { m: b, k: d, n: d, count: 1 });
     t.push(TraceOp::Nonlinear { op: norm_op, rows: b, channel: d });
-    match cfg.activation {
-        ActKind::Gelu => {
-            t.push(TraceOp::Gemm { m: b, k: d, n: ff, count: 1 });
-            t.push(TraceOp::Nonlinear { op: NonlinearOp::Gelu, rows: b, channel: ff });
-        }
-        ActKind::Relu => {
-            t.push(TraceOp::Gemm { m: b, k: d, n: ff, count: 1 });
-            t.push(TraceOp::Nonlinear { op: NonlinearOp::Relu, rows: b, channel: ff });
-        }
-        ActKind::SwiGlu => {
-            t.push(TraceOp::Gemm { m: b, k: d, n: ff, count: 2 });
-            t.push(TraceOp::Nonlinear { op: NonlinearOp::Swiglu, rows: b, channel: ff });
-        }
-        ActKind::GeGlu => {
-            t.push(TraceOp::Gemm { m: b, k: d, n: ff, count: 2 });
-            t.push(TraceOp::Nonlinear { op: NonlinearOp::Geglu, rows: b, channel: ff });
-        }
-    }
+    // 1 or 2 up-projections feeding the (possibly gated) activation
+    t.push(TraceOp::Gemm { m: b, k: d, n: ff, count: cfg.activation.up_projections() });
+    t.push(TraceOp::Nonlinear { op: cfg.activation.op(), rows: b, channel: ff });
     t.push(TraceOp::Gemm { m: b, k: ff, n: d, count: 1 });
     t
 }
@@ -257,10 +196,7 @@ pub fn batched_decode_trace(cfg: &ModelConfig, context: usize, batch: usize) -> 
     for _ in 0..cfg.layers {
         t.extend(batched_decode_layer_trace(cfg, context, batch));
     }
-    let norm_op = match cfg.norm {
-        NormKind::LayerNorm => NonlinearOp::LayerNorm,
-        NormKind::RmsNorm => NonlinearOp::RmsNorm,
-    };
+    let norm_op = cfg.norm.op();
     t.push(TraceOp::Nonlinear { op: norm_op, rows: batch.max(1), channel: cfg.d_model });
     t
 }

@@ -45,8 +45,9 @@ pub struct SweepConfig {
 }
 
 impl SweepConfig {
-    /// The full grid: ≥ 200 timing cases over three-class and degenerate
-    /// fabrics, plus every (op, format) numerics case.
+    /// The full grid: ≥ 200 timing cases over three-class, degenerate and
+    /// annealed scale-up (12×12/16×16) fabrics, plus every (op, format)
+    /// numerics case.
     pub fn full() -> SweepConfig {
         let all = NonlinearOp::ALL.to_vec();
         SweepConfig {
@@ -72,6 +73,19 @@ impl SweepConfig {
                     geometry: (1, 1),
                     formats: vec![DataFormat::Fp16],
                     unroll_candidates: vec![1],
+                },
+                // scale-up tiers: above the 64-tile threshold the engine
+                // takes the annealed Place→Route→Fold pipeline, so these
+                // hold the exact cycle/II/NoC-hop identities through it
+                SweepTier {
+                    geometry: (12, 12),
+                    formats: vec![DataFormat::Fp16],
+                    unroll_candidates: vec![1, 2],
+                },
+                SweepTier {
+                    geometry: (16, 16),
+                    formats: vec![DataFormat::Fp16],
+                    unroll_candidates: vec![1, 2],
                 },
             ],
             numerics_formats: DataFormat::ALL.to_vec(),

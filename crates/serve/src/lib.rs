@@ -56,7 +56,7 @@ pub use picachu_faults::RetryPolicy;
 pub use pool::{bucket_log2, CostKey, Shard, ShardReport, ShardSpec};
 pub use sched::{
     run, Audit, BatchRecord, FaultEvent, Outcome, RejectReason, RequestRecord, ServeConfig,
-    ServeReport, PREEMPT_TTFT_DIVISOR, PRIORITY_SCAN_WINDOW,
+    ServeReport, PREEMPT_TTFT_DIVISOR,
 };
 
 #[cfg(test)]

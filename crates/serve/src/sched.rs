@@ -42,8 +42,12 @@
 //! When `preempt` is on, a running low-priority *decode* batch is preempted
 //! (its members return to the queue head; the partial step never commits)
 //! as soon as a strictly-higher-priority prefill would otherwise miss a
-//! TTFT bound of `slo / 4`; the scan considers the first
-//! [`PRIORITY_SCAN_WINDOW`] queued sequences.
+//! TTFT bound of `slo / 4`. Urgency is resolved through an *exact*
+//! per-shard index — a `BTreeMap` counting queued sequences per
+//! `(priority class, phase)` bucket, maintained at every queue mutation —
+//! so a TTFT-threatened prefill is found no matter how deep it sits in the
+//! queue (the old implementation scanned only the first 64 positions and
+//! went blind past them).
 //!
 //! Everything is a pure function of the [`ServeConfig`] (including its
 //! seed): no wall clock, no ambient randomness, no hash-order iteration on
@@ -57,6 +61,7 @@ use crate::chaos::{ChaosAction, ChaosEvent};
 use crate::pool::{bucket_log2, Shard, ShardReport, ShardSpec};
 use picachu_faults::{FaultPlan, RetryPolicy};
 use std::cmp::Reverse;
+use std::collections::BTreeMap;
 use std::collections::BinaryHeap;
 use std::collections::VecDeque;
 
@@ -74,11 +79,6 @@ pub struct FaultEvent {
     pub plan: FaultPlan,
 }
 
-/// Queued sequences considered when picking a batch key or a preemption
-/// beneficiary: the most urgent of the first 64 waiting sequences wins;
-/// deeper queue positions fall back to FIFO. Bounds every scheduling
-/// decision to O(64) so million-event soaks stay linear in events.
-pub const PRIORITY_SCAN_WINDOW: usize = 64;
 
 /// Fraction of a request's SLO budgeted for time-to-first-token by the
 /// preemption rule: a queued prefill whose wait would push TTFT past
@@ -422,6 +422,13 @@ struct InFlight {
 struct ShardState {
     shard: Shard,
     queue: VecDeque<usize>,
+    /// Exact urgency index over `queue`: `(priority class, is_prefill)` →
+    /// number of queued sequences in that bucket. Zero-count entries are
+    /// removed, so the first key *is* the most urgent bucket present. Every
+    /// queue mutation goes through the `enqueue_*`/`dequeue_*` helpers that
+    /// keep this in sync; a sequence's bucket is stable while it waits
+    /// (phase only flips between batches, never in the queue).
+    urgency: BTreeMap<(u8, bool), usize>,
     busy: Option<InFlight>,
     est_backlog_ns: u64,
     /// Compile-outage gate: no new batch starts before this instant.
@@ -464,6 +471,7 @@ pub fn run(cfg: &ServeConfig) -> ServeReport {
         .map(|(id, spec)| ShardState {
             shard: Shard::new(id, spec.clone(), &cfg.tenants, cfg.max_batch),
             queue: VecDeque::new(),
+            urgency: BTreeMap::new(),
             busy: None,
             est_backlog_ns: 0,
             blocked_until: 0,
@@ -640,7 +648,7 @@ impl Sim<'_> {
         seq.charged_ns = est;
         let s = &mut self.shards[sid];
         s.est_backlog_ns = s.est_backlog_ns.saturating_add(est);
-        s.queue.push_back(seq_idx);
+        self.enqueue_back(sid, seq_idx);
     }
 
     /// Removes `seq_idx`'s backlog charge from its current shard.
@@ -797,7 +805,7 @@ impl Sim<'_> {
                 self.terminal(seq_idx, outcome);
             } else if in_service {
                 // continuous batching: back to this shard's queue tail
-                self.shards[sid].queue.push_back(seq_idx);
+                self.enqueue_back(sid, seq_idx);
             } else {
                 // the shard died under this batch: re-place or reject
                 self.discharge(seq_idx);
@@ -852,7 +860,7 @@ impl Sim<'_> {
     /// replay bit-identically to before retries existed.
     fn degrade(&mut self, now: u64, sid: usize, plan: &FaultPlan, retryable: bool) {
         self.shards[sid].shard.apply_fault(plan, &self.cfg.tenants);
-        let displaced: Vec<usize> = self.shards[sid].queue.drain(..).collect();
+        let displaced = self.drain_queue(sid);
         for seq_idx in displaced {
             self.discharge(seq_idx);
             match self.place(&self.seqs[seq_idx]) {
@@ -885,7 +893,7 @@ impl Sim<'_> {
                 self.retry_or_abandon(seq_idx, now);
             }
         }
-        let displaced: Vec<usize> = self.shards[sid].queue.drain(..).collect();
+        let displaced = self.drain_queue(sid);
         for seq_idx in displaced {
             self.discharge(seq_idx);
             match self.place(&self.seqs[seq_idx]) {
@@ -922,21 +930,74 @@ impl Sim<'_> {
         s.shard.in_service() && s.busy.is_none() && now >= s.blocked_until
     }
 
-    /// Queue position of the most urgent waiting sequence on `sid`: lowest
-    /// priority class wins, FIFO within a class, scanning at most
-    /// [`PRIORITY_SCAN_WINDOW`] entries. With every tenant in one class
-    /// this is always position 0 — plain FIFO, bit-identical to PR 6.
-    fn urgent_front(&self, sid: usize) -> Option<usize> {
-        let mut best: Option<(u8, usize)> = None;
-        for (pos, &qi) in
-            self.shards[sid].queue.iter().take(PRIORITY_SCAN_WINDOW).enumerate()
-        {
-            let p = self.cfg.tenants[self.seqs[qi].req.tenant].priority;
-            if best.is_none_or(|(bp, _)| p < bp) {
-                best = Some((p, pos));
+    /// Urgency-index bucket of a sequence: priority class first (BTreeMap
+    /// order makes the smallest key the most urgent), phase second.
+    fn urgency_key(&self, seq_idx: usize) -> (u8, bool) {
+        let seq = &self.seqs[seq_idx];
+        (self.cfg.tenants[seq.req.tenant].priority, seq.phase == SeqPhase::Prefill)
+    }
+
+    /// Enqueues `seq_idx` at the tail of `sid`'s queue, charging the index.
+    fn enqueue_back(&mut self, sid: usize, seq_idx: usize) {
+        let key = self.urgency_key(seq_idx);
+        let s = &mut self.shards[sid];
+        s.queue.push_back(seq_idx);
+        *s.urgency.entry(key).or_insert(0) += 1;
+    }
+
+    /// Enqueues `seq_idx` at the head of `sid`'s queue, charging the index.
+    fn enqueue_front(&mut self, sid: usize, seq_idx: usize) {
+        let key = self.urgency_key(seq_idx);
+        let s = &mut self.shards[sid];
+        s.queue.push_front(seq_idx);
+        *s.urgency.entry(key).or_insert(0) += 1;
+    }
+
+    /// Removes one index charge for `seq_idx` (zero-count buckets drop out
+    /// so the first remaining key is always the most urgent one present).
+    fn uncharge_urgency(&mut self, sid: usize, seq_idx: usize) {
+        let key = self.urgency_key(seq_idx);
+        if let Some(c) = self.shards[sid].urgency.get_mut(&key) {
+            *c -= 1;
+            if *c == 0 {
+                self.shards[sid].urgency.remove(&key);
             }
         }
-        best.map(|(_, pos)| pos)
+    }
+
+    /// Pops the head of `sid`'s queue, discharging the index.
+    fn dequeue_front(&mut self, sid: usize) -> Option<usize> {
+        let seq_idx = self.shards[sid].queue.pop_front()?;
+        self.uncharge_urgency(sid, seq_idx);
+        Some(seq_idx)
+    }
+
+    /// Removes the sequence at queue position `pos`, discharging the index.
+    fn dequeue_at(&mut self, sid: usize, pos: usize) -> Option<usize> {
+        let seq_idx = self.shards[sid].queue.remove(pos)?;
+        self.uncharge_urgency(sid, seq_idx);
+        Some(seq_idx)
+    }
+
+    /// Empties `sid`'s queue (fault displacement), resetting the index.
+    fn drain_queue(&mut self, sid: usize) -> Vec<usize> {
+        let s = &mut self.shards[sid];
+        s.urgency.clear();
+        s.queue.drain(..).collect()
+    }
+
+    /// Queue position of the most urgent waiting sequence on `sid`: lowest
+    /// priority class wins, FIFO within a class. The class comes from the
+    /// exact urgency index (first key = most urgent bucket present, at any
+    /// queue depth); the position is the class's first — most senior —
+    /// occupant. With every tenant in one class this is always position 0 —
+    /// plain FIFO, bit-identical to PR 6.
+    fn urgent_front(&self, sid: usize) -> Option<usize> {
+        let s = &self.shards[sid];
+        let &(p, _) = s.urgency.keys().next()?;
+        s.queue
+            .iter()
+            .position(|&qi| self.cfg.tenants[self.seqs[qi].req.tenant].priority == p)
     }
 
     /// Starts a batch on `sid` keyed by its most urgent waiting sequence.
@@ -950,8 +1011,11 @@ impl Sim<'_> {
         };
         let cap = if phase == SeqPhase::Prefill { 1 } else { self.cfg.max_batch.max(1) };
         let mut members = Vec::with_capacity(cap);
-        let mut kept = VecDeque::new();
-        while let Some(i) = self.shards[sid].queue.pop_front() {
+        // rotate through exactly the original occupants: matches leave the
+        // queue (and the urgency index), the rest re-append in order
+        let qlen = self.shards[sid].queue.len();
+        for _ in 0..qlen {
+            let Some(i) = self.dequeue_front(sid) else { break };
             let s = &self.seqs[i];
             if members.len() < cap
                 && s.req.tenant == tenant
@@ -960,10 +1024,9 @@ impl Sim<'_> {
             {
                 members.push(i);
             } else {
-                kept.push_back(i);
+                self.enqueue_back(sid, i);
             }
         }
-        self.shards[sid].queue = kept;
 
         // batching legality audit: every member shares the key
         for &i in &members {
@@ -1034,20 +1097,21 @@ impl Sim<'_> {
                 }
                 _ => continue,
             };
-            let mut best: Option<(u8, usize)> = None;
-            for (pos, &qi) in
-                self.shards[sid].queue.iter().take(PRIORITY_SCAN_WINDOW).enumerate()
-            {
+            // exact: the first prefill bucket in the urgency index is the
+            // most urgent queued prefill, no matter how deep it sits
+            let best_prio = self.shards[sid]
+                .urgency
+                .keys()
+                .find(|&&(_, prefill)| prefill)
+                .map(|&(p, _)| p);
+            let Some(p) = best_prio.filter(|&p| p < batch_prio) else { continue };
+            let Some(pos) = self.shards[sid].queue.iter().position(|&qi| {
                 let s = &self.seqs[qi];
-                if s.phase != SeqPhase::Prefill {
-                    continue;
-                }
-                let p = self.cfg.tenants[s.req.tenant].priority;
-                if p < batch_prio && best.is_none_or(|(bp, _)| p < bp) {
-                    best = Some((p, pos));
-                }
-            }
-            let Some((_, pos)) = best else { continue };
+                s.phase == SeqPhase::Prefill
+                    && self.cfg.tenants[s.req.tenant].priority == p
+            }) else {
+                continue;
+            };
             let (tenant, prompt, arrival, slo) = {
                 let s = &self.seqs[self.shards[sid].queue[pos]];
                 (s.req.tenant, s.req.prompt, s.req.arrival_ns, s.req.slo_ns)
@@ -1076,15 +1140,15 @@ impl Sim<'_> {
             // whatever sits in front of it (the preempted members would
             // otherwise push it past the urgent-front scan window and the
             // restarted batch would be preempted again — a livelock)
-            let preemptor = self.shards[sid].queue.remove(pos);
+            let preemptor = self.dequeue_at(sid, pos);
             // preempted members return to the head in original order, so
             // they stay senior to everything behind them; the preemptor
             // goes in front of even them
             for &m in fl.members.iter().rev() {
-                self.shards[sid].queue.push_front(m);
+                self.enqueue_front(sid, m);
             }
             if let Some(qi) = preemptor {
-                self.shards[sid].queue.push_front(qi);
+                self.enqueue_front(sid, qi);
             }
         }
     }
@@ -1117,7 +1181,7 @@ impl Sim<'_> {
                 Some(d) => d,
                 None => break,
             };
-            let seq_idx = match self.shards[donor].queue.pop_front() {
+            let seq_idx = match self.dequeue_front(donor) {
                 Some(i) => i,
                 None => break,
             };
@@ -1127,7 +1191,7 @@ impl Sim<'_> {
             self.seqs[seq_idx].charged_ns = est;
             self.shards[thief].est_backlog_ns =
                 self.shards[thief].est_backlog_ns.saturating_add(est);
-            self.shards[thief].queue.push_back(seq_idx);
+            self.enqueue_back(thief, seq_idx);
             self.start_batch(thief, now);
         }
         // 3. audit: no startable shard may now be idle while work waits
@@ -1150,5 +1214,192 @@ impl Sim<'_> {
             slo_ns: req.slo_ns,
             outcome: Outcome::Rejected { at_ns: now, reason, after_admission: false },
         });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::ShardSpec;
+    use picachu_llm::ModelConfig;
+
+    fn tiny_tenant(name: &'static str, priority: u8, slo_ns: u64) -> Tenant {
+        Tenant {
+            name,
+            model: ModelConfig { name, layers: 1, d_model: 32, n_heads: 4, d_ff: 64, ..ModelConfig::gpt2() },
+            weight: 1,
+            prompt: 16,
+            decode: (1, 2),
+            slo_ns,
+            priority,
+        }
+    }
+
+    fn seq(tenant: usize, phase: SeqPhase, prompt: usize, slo_ns: u64) -> SeqState {
+        SeqState {
+            req: Request { id: 0, tenant, arrival_ns: 0, prompt, decode: 2, slo_ns },
+            phase,
+            context: prompt,
+            produced: 0,
+            shard: 0,
+            shards_touched: Vec::new(),
+            charged_ns: 0,
+            attempts: 0,
+            ttft_ns: None,
+            outcome: None,
+        }
+    }
+
+    /// The regression the exact urgency index exists for: under the old
+    /// bounded 64-entry scan, a TTFT-threatened high-priority prefill
+    /// parked *behind* 100 bulk decodes was invisible to both
+    /// `urgent_front` and the preemption pass. The index must find it at
+    /// any depth and preempt the running low-priority decode batch.
+    #[test]
+    fn ttft_threatened_prefill_beyond_position_64_still_preempts() {
+        const BULK: usize = 0;
+        const VIP: usize = 1;
+        let cfg = ServeConfig {
+            preempt: true,
+            ..ServeConfig::new(
+                vec![tiny_tenant("bulk", 1, u64::MAX), tiny_tenant("vip", 0, 0)],
+                ArrivalPattern::Poisson { mean_gap_ns: 1e6 },
+                vec![ShardSpec::Gemmini],
+            )
+        };
+        let shard = Shard::new(0, ShardSpec::Gemmini, &cfg.tenants, cfg.max_batch);
+        // pick the vip SLO so its TTFT bound (slo/4) is threatened by the
+        // running batch but still reachable by preempting right now
+        let prefill_cost = shard.scaled(shard.healthy_prefill_cost(VIP, 16));
+        let vip_slo = 8 * prefill_cost;
+        let mut sim = Sim {
+            cfg: &cfg,
+            shards: vec![ShardState {
+                shard,
+                queue: VecDeque::new(),
+                urgency: BTreeMap::new(),
+                busy: None,
+                est_backlog_ns: 0,
+                blocked_until: 0,
+                batches: 0,
+                steps: 0,
+                busy_ns: 0,
+                killed_batches: 0,
+                preempted_batches: 0,
+                wasted_ns: 0,
+            }],
+            seqs: Vec::new(),
+            events: BinaryHeap::new(),
+            audit: Audit::default(),
+            batch_log: Vec::new(),
+            in_flight_requests: 0,
+            next_batch_id: 1,
+            horizon_ns: 0,
+            rejected_at_arrival: Vec::new(),
+        };
+
+        // a low-priority decode batch occupies the shard until far future
+        for _ in 0..2 {
+            sim.seqs.push(seq(BULK, SeqPhase::Decode, 16, u64::MAX));
+        }
+        sim.shards[0].busy = Some(InFlight {
+            batch_id: 0,
+            members: vec![0, 1],
+            cost_ns: u64::MAX / 4,
+            start_ns: 0,
+            done_at: u64::MAX / 4,
+            tenant: BULK,
+            prefill: false,
+        });
+
+        // 100 bulk decodes queue ahead of the one vip prefill
+        for _ in 0..100 {
+            let i = sim.seqs.len();
+            sim.seqs.push(seq(BULK, SeqPhase::Decode, 16, u64::MAX));
+            sim.enqueue_back(0, i);
+        }
+        let vip_idx = sim.seqs.len();
+        sim.seqs.push(seq(VIP, SeqPhase::Prefill, 16, vip_slo));
+        sim.enqueue_back(0, vip_idx);
+        assert_eq!(
+            sim.urgent_front(0),
+            Some(100),
+            "the exact index must surface the prefill at depth 100"
+        );
+
+        sim.preempt_for_priority(0);
+        assert_eq!(sim.audit.preemptions, 1, "the decode batch must be preempted");
+        assert!(sim.shards[0].busy.is_none(), "preemption frees the shard");
+        assert_eq!(sim.shards[0].queue.len(), 103, "vip + 2 preempted + 100 bulk");
+        assert_eq!(sim.shards[0].queue[0], vip_idx, "the preemptor jumps to the head");
+        assert_eq!((sim.shards[0].queue[1], sim.shards[0].queue[2]), (0, 1));
+        // the urgency index survived the churn: sum matches the queue and
+        // the vip prefill actually starts next
+        let indexed: usize = sim.shards[0].urgency.values().sum();
+        assert_eq!(indexed, sim.shards[0].queue.len());
+        sim.start_batch(0, 0);
+        let fl = sim.shards[0].busy.as_ref().expect("prefill batch starts");
+        assert!(fl.prefill);
+        assert_eq!(fl.tenant, VIP);
+        assert_eq!(fl.members, vec![vip_idx]);
+    }
+
+    /// A prefill whose TTFT bound is already unreachable must not preempt
+    /// (killing the batch would waste its partial step for nothing) — the
+    /// exact index must not have changed the livelock guard.
+    #[test]
+    fn doomed_prefill_does_not_preempt_even_when_indexed() {
+        const BULK: usize = 0;
+        const VIP: usize = 1;
+        let cfg = ServeConfig {
+            preempt: true,
+            ..ServeConfig::new(
+                vec![tiny_tenant("bulk", 1, u64::MAX), tiny_tenant("vip", 0, 0)],
+                ArrivalPattern::Poisson { mean_gap_ns: 1e6 },
+                vec![ShardSpec::Gemmini],
+            )
+        };
+        let shard = Shard::new(0, ShardSpec::Gemmini, &cfg.tenants, cfg.max_batch);
+        let mut sim = Sim {
+            cfg: &cfg,
+            shards: vec![ShardState {
+                shard,
+                queue: VecDeque::new(),
+                urgency: BTreeMap::new(),
+                busy: None,
+                est_backlog_ns: 0,
+                blocked_until: 0,
+                batches: 0,
+                steps: 0,
+                busy_ns: 0,
+                killed_batches: 0,
+                preempted_batches: 0,
+                wasted_ns: 0,
+            }],
+            seqs: Vec::new(),
+            events: BinaryHeap::new(),
+            audit: Audit::default(),
+            batch_log: Vec::new(),
+            in_flight_requests: 0,
+            next_batch_id: 1,
+            horizon_ns: 0,
+            rejected_at_arrival: Vec::new(),
+        };
+        sim.seqs.push(seq(BULK, SeqPhase::Decode, 16, u64::MAX));
+        sim.shards[0].busy = Some(InFlight {
+            batch_id: 0,
+            members: vec![0],
+            cost_ns: u64::MAX / 4,
+            start_ns: 0,
+            done_at: u64::MAX / 4,
+            tenant: BULK,
+            prefill: false,
+        });
+        // slo 0 → TTFT deadline 0: already missed at now=0, cost > 0
+        sim.seqs.push(seq(VIP, SeqPhase::Prefill, 16, 0));
+        sim.enqueue_back(0, 1);
+        sim.preempt_for_priority(0);
+        assert_eq!(sim.audit.preemptions, 0, "a doomed prefill must not shoot the batch");
+        assert!(sim.shards[0].busy.is_some());
     }
 }

@@ -115,6 +115,51 @@ EOF
 echo "== mapstore round-trip smoke (cold compile -> store -> warm, bit-identical) =="
 cargo test -q -p picachu --test mapstore_store_roundtrip --offline
 
+echo "== bitstream round-trip smoke (16x16 export -> fresh cache -> zero mapper calls) =="
+cargo test -q -p picachu --test bitstream_roundtrip --offline
+
+echo "== pnr smoke (staged P&R: paper-scale bit-identity + 16x16 payoff, thread-invariant) =="
+# pnr_scaling --smoke maps softmax on 4x4 (greedy fast path) and 16x16
+# (annealed Place->Route->Fold). The gate checks the artifact schema, that
+# Auto==Greedy stays bit-identical at paper scale, that the annealed engine
+# demonstrates a payoff at 16x16, and that the artifact is byte-identical at
+# 1 and 4 compile threads. Scratch directory keeps the committed full-run
+# artifact untouched.
+PNR_SCRATCH=$(mktemp -d)
+(cd "$PNR_SCRATCH" && PICACHU_THREADS=1 "$REPO_ROOT/target/release/pnr_scaling" --smoke)
+mv "$PNR_SCRATCH/results/BENCH_pnr.json" "$PNR_SCRATCH/pnr.t1.json"
+(cd "$PNR_SCRATCH" && PICACHU_THREADS=4 "$REPO_ROOT/target/release/pnr_scaling" --smoke)
+cmp "$PNR_SCRATCH/results/BENCH_pnr.json" "$PNR_SCRATCH/pnr.t1.json" \
+  || { echo "pnr smoke: FAILED (artifact differs between 1 and 4 threads)"; exit 1; }
+python3 - "$PNR_SCRATCH/results/BENCH_pnr.json" <<'EOF'
+import json, sys
+case_keys = {"kind", "loop", "uf", "rows", "cols", "tiles", "mode", "ok", "ii",
+             "area", "chan_util", "folded_hops", "congestion_free"}
+rows = [json.loads(l) for l in open(sys.argv[1]) if l.strip().startswith("{")]
+cases = [r for r in rows if r.get("kind") == "case"]
+idents = [r for r in rows if r.get("kind") == "identity"]
+summaries = [r for r in rows if r.get("kind") == "summary"]
+if not cases:
+    sys.exit("pnr smoke: no case rows")
+for r in cases:
+    missing = case_keys - r.keys()
+    if missing:
+        sys.exit(f"pnr smoke: case row missing keys {sorted(missing)}")
+if not idents:
+    sys.exit("pnr smoke: no paper-scale identity rows")
+for r in idents:
+    if not r["bit_identical"]:
+        sys.exit(f"pnr smoke: Auto != Greedy at {r['rows']}x{r['cols']} (paper-scale regression)")
+if len(summaries) != 1:
+    sys.exit(f"pnr smoke: expected 1 summary row, got {len(summaries)}")
+s = summaries[0]
+if s["payoff_kind"] == "none":
+    sys.exit("pnr smoke: annealed engine shows no payoff at the largest fabric")
+print(f"pnr smoke: OK ({len(cases)} cases, identity at paper scale, "
+      f"payoff {s['payoff_kind']} on {s['payoff_kernel']}, thread-count invariant)")
+EOF
+rm -rf "$PNR_SCRATCH"
+
 echo "== dse smoke (seeded mini-search: artifact schema + thread-count invariance) =="
 # The co-design search must emit a non-empty, schema-valid results/pareto.json
 # and the artifact must be bit-identical at 1 and 4 worker threads (the search

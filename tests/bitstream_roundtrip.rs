@@ -1,0 +1,83 @@
+//! Bitstream interchange round trip at scale-up geometry: a process that
+//! compiled a 16×16 fabric (through the annealed Place→Route→Fold pipeline)
+//! exports every compile-cache entry as versioned bitstream text; a "fresh
+//! process" (modelled by clearing the process-wide compile cache) installs
+//! the bitstreams and serves the same trace with **zero mapper invocations**
+//! and a bit-identical [`ExecutionReport`](picachu::ExecutionReport).
+//!
+//! Own integration-test binary (own process) because the compile cache and
+//! its hit/miss counters are process-global.
+
+use picachu::engine::{EngineConfig, PicachuEngine};
+use picachu::mapstore::bitstream::{export_bitstream, install_bitstream};
+use picachu::{compile_cache, Accelerator, CompileKey};
+use picachu_llm::trace::model_trace;
+use picachu_llm::ModelConfig;
+use picachu_nonlinear::NonlinearOp;
+
+fn config_16x16() -> EngineConfig {
+    EngineConfig {
+        cgra_rows: 16,
+        cgra_cols: 16,
+        // two unroll candidates keep the annealed cold compile quick while
+        // still exercising a non-trivial portfolio
+        unroll_candidates: vec![1, 2],
+        ..EngineConfig::default()
+    }
+}
+
+fn key_for(cfg: &EngineConfig, op: NonlinearOp) -> CompileKey {
+    CompileKey {
+        op,
+        cgra_rows: cfg.cgra_rows,
+        cgra_cols: cfg.cgra_cols,
+        format: cfg.format,
+        taylor_terms: cfg.taylor_terms,
+        unroll_candidates: cfg.unroll_candidates.clone(),
+        seed: cfg.seed,
+        dead_tiles: vec![],
+        dead_links: vec![],
+        universal: false,
+        incremental: false,
+    }
+}
+
+#[test]
+fn bitstream_reload_is_bit_identical_and_mapper_free() {
+    compile_cache::clear();
+    let cfg = config_16x16();
+    let trace = model_trace(&ModelConfig::gpt2(), 32);
+
+    let mut cold_engine = PicachuEngine::new(cfg.clone());
+    let cold = Accelerator::execute_trace(&mut cold_engine, &trace);
+    let (_, cold_misses) = compile_cache::stats();
+    assert!(cold_misses > 0, "first run must actually compile cold");
+
+    // export every op the trace compiled (16×16 > the anneal threshold, so
+    // these mappings came from the staged pipeline)
+    let mut bitstreams = Vec::new();
+    for op in NonlinearOp::ALL {
+        if let Some(loops) = compile_cache::lookup(&key_for(&cfg, op)) {
+            let text = export_bitstream(&key_for(&cfg, op), &loops)
+                .unwrap_or_else(|e| panic!("{op:?}: export failed: {e}"));
+            assert!(text.starts_with("picachu-bitstream,1\n"), "versioned header");
+            assert!(text.contains("\nroute,"), "{op:?}: bitstream must carry routes");
+            bitstreams.push(text);
+        }
+    }
+    assert!(!bitstreams.is_empty(), "the trace must have compiled something");
+
+    // a fresh process: empty cache, bitstreams installed, no mapstore
+    compile_cache::clear();
+    for text in &bitstreams {
+        install_bitstream(text).expect("exported bitstream must install");
+    }
+    let mut warm_engine = PicachuEngine::new(cfg);
+    let warm = Accelerator::execute_trace(&mut warm_engine, &trace);
+    let (warm_hits, warm_misses) = compile_cache::stats();
+    assert!(warm_hits > 0, "reloaded run must serve from the installed bitstreams");
+    assert_eq!(warm_misses, 0, "bitstream-warmed run must never invoke the mapper");
+    assert_eq!(cold, warm, "bitstream-reloaded report diverged from the cold one");
+
+    compile_cache::clear();
+}
